@@ -1,0 +1,394 @@
+//! Interval controllers.
+//!
+//! A controller receives every polled sample and decides how long to wait
+//! before the next poll. Intervals are clamped to `[min_interval,
+//! max_interval]` so AIMD can neither spin nor stall.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Decides the next polling interval after each sample.
+pub trait IntervalController: Send {
+    /// Record a polled `value` and return the interval to wait before the
+    /// next poll.
+    fn on_sample(&mut self, value: f64) -> Duration;
+
+    /// The interval the controller would use right now (without a new
+    /// sample). Used to schedule the very first poll.
+    fn current_interval(&self) -> Duration;
+
+    /// Short label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Static polling interval — the baseline the paper compares against.
+#[derive(Debug, Clone)]
+pub struct FixedInterval {
+    interval: Duration,
+}
+
+impl FixedInterval {
+    /// Poll every `interval`.
+    pub fn new(interval: Duration) -> Self {
+        Self { interval }
+    }
+}
+
+impl IntervalController for FixedInterval {
+    fn on_sample(&mut self, _value: f64) -> Duration {
+        self.interval
+    }
+
+    fn current_interval(&self) -> Duration {
+        self.interval
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// How the change between samples is measured against the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChangeMode {
+    /// Symmetric relative change `|Δ| / max(|prev|, |cur|)` — suitable for
+    /// bounded metrics (load, utilization).
+    #[default]
+    Relative,
+    /// Absolute change `|Δ|` in metric units — suitable for large-scale
+    /// metrics like device capacity, where a meaningful write is a
+    /// vanishing relative change (38 kB on a 250 GB NVMe ≈ 1.5×10⁻⁷).
+    Absolute,
+}
+
+/// Shared AIMD parameters.
+#[derive(Debug, Clone)]
+pub struct AimdParams {
+    /// Change below which the value counts as "close enough"
+    /// (a fraction for [`ChangeMode::Relative`], metric units for
+    /// [`ChangeMode::Absolute`]).
+    pub threshold: f64,
+    /// How change is measured.
+    pub change_mode: ChangeMode,
+    /// Additive increase applied when the metric is stable.
+    pub add_step: Duration,
+    /// Multiplicative decrease factor (> 1) applied when the metric moved.
+    pub decrease_factor: f64,
+    /// Smallest allowed interval.
+    pub min_interval: Duration,
+    /// Largest allowed interval.
+    pub max_interval: Duration,
+    /// Starting interval.
+    pub initial_interval: Duration,
+}
+
+impl Default for AimdParams {
+    fn default() -> Self {
+        Self {
+            threshold: 0.001,
+            change_mode: ChangeMode::Relative,
+            add_step: Duration::from_secs(1),
+            decrease_factor: 2.0,
+            min_interval: Duration::from_secs(1),
+            max_interval: Duration::from_secs(60),
+            initial_interval: Duration::from_secs(5),
+        }
+    }
+}
+
+impl AimdParams {
+    fn clamp(&self, d: Duration) -> Duration {
+        d.clamp(self.min_interval, self.max_interval)
+    }
+
+    fn change(&self, prev: f64, cur: f64) -> f64 {
+        match self.change_mode {
+            ChangeMode::Relative => relative_change(prev, cur),
+            ChangeMode::Absolute => (cur - prev).abs(),
+        }
+    }
+}
+
+/// Symmetric relative change between consecutive samples, robust to zero
+/// baselines: `|cur - prev| / max(|prev|, |cur|)`. Symmetry matters for
+/// the rolling-average method: a metric bouncing A→B→A then produces the
+/// *same* change magnitude in both directions, so the rhythm registers as
+/// an expected change instead of alternating surprises.
+fn relative_change(prev: f64, cur: f64) -> f64 {
+    let denom = prev.abs().max(cur.abs()).max(1e-12);
+    (cur - prev).abs() / denom
+}
+
+/// The *simple parameterized method* (§3.4.1): pure AIMD against the last
+/// value.
+#[derive(Debug, Clone)]
+pub struct SimpleAimd {
+    params: AimdParams,
+    interval: Duration,
+    last: Option<f64>,
+}
+
+impl SimpleAimd {
+    /// Create with the given parameters.
+    pub fn new(params: AimdParams) -> Self {
+        let interval = params.clamp(params.initial_interval);
+        Self { params, interval, last: None }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &AimdParams {
+        &self.params
+    }
+}
+
+impl IntervalController for SimpleAimd {
+    fn on_sample(&mut self, value: f64) -> Duration {
+        if let Some(prev) = self.last {
+            let change = self.params.change(prev, value);
+            if change <= self.params.threshold {
+                // Stable: relax polling additively.
+                self.interval = self.params.clamp(self.interval + self.params.add_step);
+            } else {
+                // Moving: tighten multiplicatively.
+                self.interval =
+                    self.params.clamp(self.interval.div_f64(self.params.decrease_factor));
+            }
+        }
+        self.last = Some(value);
+        self.interval
+    }
+
+    fn current_interval(&self) -> Duration {
+        self.interval
+    }
+
+    fn name(&self) -> &'static str {
+        "simple_aimd"
+    }
+}
+
+/// The *adaptive parameterized method* (§3.4.1): AIMD against a rolling
+/// average of recent changes, so a metric bouncing between discrete
+/// levels with a steady rhythm reads as "expected change" rather than
+/// constant instability. A window of 1 degenerates to [`SimpleAimd`].
+#[derive(Debug, Clone)]
+pub struct ComplexAimd {
+    params: AimdParams,
+    interval: Duration,
+    last: Option<f64>,
+    changes: VecDeque<f64>,
+    window: usize,
+}
+
+impl ComplexAimd {
+    /// Create with the given parameters and rolling window (paper: 10).
+    pub fn new(params: AimdParams, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        let interval = params.clamp(params.initial_interval);
+        Self { params, interval, last: None, changes: VecDeque::with_capacity(window), window }
+    }
+
+    /// Mean of the recorded changes (0 when empty).
+    fn rolling_average(&self) -> f64 {
+        if self.changes.is_empty() {
+            0.0
+        } else {
+            self.changes.iter().sum::<f64>() / self.changes.len() as f64
+        }
+    }
+}
+
+impl IntervalController for ComplexAimd {
+    fn on_sample(&mut self, value: f64) -> Duration {
+        if let Some(prev) = self.last {
+            let change = self.params.change(prev, value);
+            let expected = self.rolling_average();
+            // Deviation of this change from the expected change.
+            let deviation = (change - expected).abs();
+            if deviation <= self.params.threshold {
+                self.interval = self.params.clamp(self.interval + self.params.add_step);
+            } else {
+                self.interval =
+                    self.params.clamp(self.interval.div_f64(self.params.decrease_factor));
+            }
+            if self.changes.len() == self.window {
+                self.changes.pop_front();
+            }
+            self.changes.push_back(change);
+        }
+        self.last = Some(value);
+        self.interval
+    }
+
+    fn current_interval(&self) -> Duration {
+        self.interval
+    }
+
+    fn name(&self) -> &'static str {
+        "complex_aimd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AimdParams {
+        AimdParams {
+            threshold: 0.01,
+            change_mode: ChangeMode::Relative,
+            add_step: Duration::from_secs(1),
+            decrease_factor: 2.0,
+            min_interval: Duration::from_secs(1),
+            max_interval: Duration::from_secs(30),
+            initial_interval: Duration::from_secs(4),
+        }
+    }
+
+    #[test]
+    fn fixed_never_changes() {
+        let mut c = FixedInterval::new(Duration::from_secs(5));
+        assert_eq!(c.current_interval(), Duration::from_secs(5));
+        for v in [0.0, 100.0, -5.0, 1e9] {
+            assert_eq!(c.on_sample(v), Duration::from_secs(5));
+        }
+        assert_eq!(c.name(), "fixed");
+    }
+
+    #[test]
+    fn simple_aimd_relaxes_on_stability() {
+        let mut c = SimpleAimd::new(params());
+        c.on_sample(100.0); // first sample: no change info yet
+        assert_eq!(c.on_sample(100.0), Duration::from_secs(5)); // 4+1
+        assert_eq!(c.on_sample(100.05), Duration::from_secs(6)); // within 1%
+        assert_eq!(c.on_sample(100.0), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn simple_aimd_tightens_on_change() {
+        let mut c = SimpleAimd::new(params());
+        c.on_sample(100.0);
+        assert_eq!(c.on_sample(200.0), Duration::from_secs(2)); // 4/2
+        assert_eq!(c.on_sample(400.0), Duration::from_secs(1)); // 2/2
+        assert_eq!(c.on_sample(800.0), Duration::from_secs(1), "clamped at min");
+    }
+
+    #[test]
+    fn simple_aimd_respects_max() {
+        let mut c = SimpleAimd::new(params());
+        c.on_sample(1.0);
+        for _ in 0..100 {
+            c.on_sample(1.0);
+        }
+        assert_eq!(c.current_interval(), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn first_sample_does_not_adjust() {
+        let mut c = SimpleAimd::new(params());
+        assert_eq!(c.on_sample(123.0), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn zero_baseline_change_is_finite() {
+        let mut c = SimpleAimd::new(params());
+        c.on_sample(0.0);
+        // 0 -> 1 is a huge relative change; must tighten, not panic.
+        assert_eq!(c.on_sample(1.0), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn complex_aimd_window_one_equals_simple_on_monotone_changes() {
+        // With window 1, the expected change is the previous change; a
+        // constant series keeps both relaxed identically.
+        let mut simple = SimpleAimd::new(params());
+        let mut complex = ComplexAimd::new(params(), 1);
+        for _ in 0..10 {
+            let a = simple.on_sample(50.0);
+            let b = complex.on_sample(50.0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn complex_aimd_tolerates_rhythmic_bouncing() {
+        // A metric bouncing between two levels: simple AIMD stays pinned
+        // at min interval; complex AIMD learns the bounce as the expected
+        // change and relaxes.
+        let mut simple = SimpleAimd::new(params());
+        let mut complex = ComplexAimd::new(params(), 10);
+        let mut s_final = Duration::ZERO;
+        let mut c_final = Duration::ZERO;
+        for i in 0..40 {
+            let v = if i % 2 == 0 { 100.0 } else { 200.0 };
+            s_final = simple.on_sample(v);
+            c_final = complex.on_sample(v);
+        }
+        assert_eq!(s_final, Duration::from_secs(1), "simple AIMD thrashes");
+        assert!(
+            c_final > Duration::from_secs(5),
+            "complex AIMD should relax on rhythmic change, got {c_final:?}"
+        );
+    }
+
+    #[test]
+    fn complex_aimd_still_reacts_to_novel_change() {
+        let mut c = ComplexAimd::new(params(), 10);
+        for _ in 0..20 {
+            c.on_sample(100.0);
+        }
+        let relaxed = c.current_interval();
+        assert!(relaxed >= Duration::from_secs(10));
+        let after_burst = c.on_sample(500.0);
+        assert!(after_burst < relaxed, "novel change must tighten the interval");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn complex_window_zero_panics() {
+        ComplexAimd::new(params(), 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SimpleAimd::new(params()).name(), "simple_aimd");
+        assert_eq!(ComplexAimd::new(params(), 10).name(), "complex_aimd");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The interval must always stay within [min, max] regardless of
+        /// the sample stream.
+        #[test]
+        fn interval_always_bounded(values in proptest::collection::vec(-1e12f64..1e12, 1..300)) {
+            let p = AimdParams::default();
+            let mut simple = SimpleAimd::new(p.clone());
+            let mut complex = ComplexAimd::new(p.clone(), 10);
+            for v in values {
+                for d in [simple.on_sample(v), complex.on_sample(v)] {
+                    prop_assert!(d >= p.min_interval);
+                    prop_assert!(d <= p.max_interval);
+                }
+            }
+        }
+
+        /// A perfectly constant stream must monotonically relax both
+        /// controllers until the max interval.
+        #[test]
+        fn constant_stream_relaxes(v in -1e9f64..1e9, n in 2usize..100) {
+            let p = AimdParams::default();
+            let mut c = SimpleAimd::new(p.clone());
+            let mut prev = c.on_sample(v);
+            for _ in 1..n {
+                let next = c.on_sample(v);
+                prop_assert!(next >= prev);
+                prev = next;
+            }
+        }
+    }
+}

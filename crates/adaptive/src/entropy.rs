@@ -1,0 +1,281 @@
+//! Permutation-entropy adaptive interval — the paper's future-work
+//! heuristic (§6: *"We could also improve the adaptive interval heuristic
+//! by using a more intricate heuristic metric inspired by entropy changes
+//! in physics"*, citing Cao et al.'s permutation entropy).
+//!
+//! Permutation entropy (Bandt–Pompe) measures the complexity of a series
+//! by the distribution of ordinal patterns among consecutive samples: a
+//! flat or strictly trending metric has near-zero entropy, a rhythmic
+//! metric has low entropy, and an erratic metric approaches the maximum
+//! `log2(order!)`. The controller maps normalized entropy onto the
+//! interval range: high complexity → poll near `min_interval`, low
+//! complexity → relax toward `max_interval`.
+//!
+//! Unlike AIMD this adapts to the *character* of the signal rather than
+//! individual changes, so a metric that is noisy-but-stationary does not
+//! pin the poller at the minimum interval the way simple AIMD does.
+
+use crate::controller::IntervalController;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Compute the permutation entropy of `series` with ordinal patterns of
+/// length `order` (typically 3–5), in bits. Returns 0 for series shorter
+/// than `order`.
+///
+/// Ties are broken by position (the Bandt–Pompe convention), so constant
+/// runs map to the identity pattern.
+pub fn permutation_entropy(series: &[f64], order: usize) -> f64 {
+    assert!((2..=6).contains(&order), "order must be in 2..=6");
+    if series.len() < order {
+        return 0.0;
+    }
+    // Count ordinal patterns. order! <= 720, a fixed map is fine.
+    let mut counts: std::collections::HashMap<Vec<u8>, u64> = std::collections::HashMap::new();
+    for w in series.windows(order) {
+        let mut idx: Vec<u8> = (0..order as u8).collect();
+        idx.sort_by(|&a, &b| {
+            w[a as usize]
+                .partial_cmp(&w[b as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        *counts.entry(idx).or_insert(0) += 1;
+    }
+    let total = (series.len() - order + 1) as f64;
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Maximum possible permutation entropy for a pattern order, in bits.
+pub fn max_permutation_entropy(order: usize) -> f64 {
+    ((1..=order).product::<usize>() as f64).log2()
+}
+
+/// Parameters of the entropy-based controller.
+#[derive(Debug, Clone)]
+pub struct EntropyParams {
+    /// Ordinal pattern length (3–5 typical).
+    pub order: usize,
+    /// Samples of history the entropy is computed over.
+    pub history: usize,
+    /// Smallest allowed interval.
+    pub min_interval: Duration,
+    /// Largest allowed interval.
+    pub max_interval: Duration,
+    /// Smoothing factor for the entropy estimate (0 = frozen, 1 = jumpy).
+    pub alpha: f64,
+}
+
+impl Default for EntropyParams {
+    fn default() -> Self {
+        Self {
+            order: 3,
+            history: 32,
+            min_interval: Duration::from_secs(1),
+            max_interval: Duration::from_secs(60),
+            alpha: 0.3,
+        }
+    }
+}
+
+/// The permutation-entropy interval controller.
+#[derive(Debug, Clone)]
+pub struct EntropyInterval {
+    params: EntropyParams,
+    window: VecDeque<f64>,
+    smoothed: f64,
+    interval: Duration,
+}
+
+impl EntropyInterval {
+    /// Create with the given parameters.
+    pub fn new(params: EntropyParams) -> Self {
+        assert!(params.history >= params.order, "history must cover at least one pattern");
+        assert!((0.0..=1.0).contains(&params.alpha), "alpha in [0,1]");
+        let interval = params.min_interval;
+        Self { params, window: VecDeque::new(), smoothed: 1.0, interval }
+    }
+
+    /// Current (smoothed, normalized) complexity estimate in [0, 1].
+    pub fn complexity(&self) -> f64 {
+        self.smoothed
+    }
+}
+
+impl IntervalController for EntropyInterval {
+    fn on_sample(&mut self, value: f64) -> Duration {
+        if self.window.len() == self.params.history {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+        if self.window.len() > self.params.order {
+            let series: Vec<f64> = self.window.iter().copied().collect();
+            let h = permutation_entropy(&series, self.params.order)
+                / max_permutation_entropy(self.params.order);
+            self.smoothed = self.params.alpha * h + (1.0 - self.params.alpha) * self.smoothed;
+        }
+        // Map complexity onto the interval range (log-space so the sweep
+        // from 1s to 60s is perceptually even).
+        let lo = self.params.min_interval.as_secs_f64();
+        let hi = self.params.max_interval.as_secs_f64();
+        let exponent = 1.0 - self.smoothed.clamp(0.0, 1.0);
+        let secs = lo * (hi / lo).powf(exponent);
+        self.interval = Duration::from_secs_f64(secs);
+        self.interval
+    }
+
+    fn current_interval(&self) -> Duration {
+        self.interval
+    }
+
+    fn name(&self) -> &'static str {
+        "entropy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_has_zero_entropy() {
+        let s = vec![5.0; 100];
+        assert_eq!(permutation_entropy(&s, 3), 0.0);
+    }
+
+    #[test]
+    fn monotone_series_has_zero_entropy() {
+        let s: Vec<f64> = (0..100).map(f64::from).collect();
+        assert_eq!(permutation_entropy(&s, 3), 0.0);
+    }
+
+    #[test]
+    fn alternating_series_has_low_but_nonzero_entropy() {
+        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let h = permutation_entropy(&s, 3);
+        assert!(h > 0.0 && h < 1.1, "h={h}");
+    }
+
+    /// Deterministic high-quality scramble (splitmix64 finalizer).
+    fn scramble(i: u64) -> f64 {
+        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z as f64 / u64::MAX as f64
+    }
+
+    #[test]
+    fn random_series_approaches_max_entropy() {
+        let s: Vec<f64> = (0..2000).map(scramble).collect();
+        let h = permutation_entropy(&s, 3);
+        let max = max_permutation_entropy(3);
+        assert!(h > 0.95 * max, "h={h} max={max}");
+    }
+
+    #[test]
+    fn entropy_short_series_is_zero() {
+        assert_eq!(permutation_entropy(&[1.0, 2.0], 3), 0.0);
+    }
+
+    #[test]
+    fn max_entropy_values() {
+        assert!((max_permutation_entropy(3) - 6f64.log2()).abs() < 1e-12);
+        assert!((max_permutation_entropy(4) - 24f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be in")]
+    fn order_out_of_range_panics() {
+        permutation_entropy(&[1.0; 10], 7);
+    }
+
+    #[test]
+    fn controller_relaxes_on_flat_metric() {
+        let mut c = EntropyInterval::new(EntropyParams::default());
+        let mut last = Duration::ZERO;
+        for _ in 0..100 {
+            last = c.on_sample(42.0);
+        }
+        assert!(last > Duration::from_secs(30), "flat metric must relax, got {last:?}");
+        assert!(c.complexity() < 0.1);
+    }
+
+    #[test]
+    fn controller_tightens_on_erratic_metric() {
+        let mut c = EntropyInterval::new(EntropyParams::default());
+        let mut last = Duration::ZERO;
+        for i in 0..200 {
+            last = c.on_sample(scramble(i) * 100.0);
+        }
+        assert!(last < Duration::from_secs(3), "erratic metric must tighten, got {last:?}");
+        assert!(c.complexity() > 0.8);
+    }
+
+    #[test]
+    fn controller_interval_always_bounded() {
+        let p = EntropyParams::default();
+        let (lo, hi) = (p.min_interval, p.max_interval);
+        let mut c = EntropyInterval::new(p);
+        for i in 0..500 {
+            let v = if i % 7 == 0 { 1e9 } else { (i % 13) as f64 };
+            let d = c.on_sample(v);
+            assert!(d >= lo && d <= hi + Duration::from_millis(1), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn rhythmic_metric_sits_between_flat_and_random() {
+        let run = |values: Vec<f64>| {
+            let mut c = EntropyInterval::new(EntropyParams::default());
+            let mut last = Duration::ZERO;
+            for v in values {
+                last = c.on_sample(v);
+            }
+            last
+        };
+        let flat = run(vec![1.0; 200]);
+        let rhythmic = run((0..200).map(|i| f64::from(i % 2 == 0)).collect());
+        let erratic = run((0..200).map(scramble).collect());
+        assert!(flat > rhythmic, "flat {flat:?} vs rhythmic {rhythmic:?}");
+        assert!(rhythmic > erratic, "rhythmic {rhythmic:?} vs erratic {erratic:?}");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn entropy_is_nonnegative_and_bounded(
+            values in proptest::collection::vec(-1e6f64..1e6, 0..200),
+            order in 2usize..6,
+        ) {
+            let h = permutation_entropy(&values, order);
+            prop_assert!(h >= 0.0);
+            prop_assert!(h <= max_permutation_entropy(order) + 1e-9);
+        }
+
+        #[test]
+        fn controller_never_escapes_bounds(
+            values in proptest::collection::vec(-1e9f64..1e9, 1..300),
+        ) {
+            let p = EntropyParams::default();
+            let (lo, hi) = (p.min_interval, p.max_interval);
+            let mut c = EntropyInterval::new(p);
+            for v in values {
+                let d = c.on_sample(v);
+                prop_assert!(d >= lo);
+                prop_assert!(d <= hi + Duration::from_millis(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Cost/accuracy evaluation of polling policies (§4.3.1, Figures 8–10).
+//!
+//! Given a reference trace (the metric polled every second — "the 1 second
+//! monitoring trace"), a policy is replayed: the hook is "called" at the
+//! times the controller schedules, reading the true value from the trace.
+//! Between polls the monitoring system's belief is the last polled value,
+//! or — when a [`Forecaster`] such as Delphi is plugged in — the model's
+//! prediction for each intermediate second (§3.4.2).
+//!
+//! * **accuracy** — "the ratio of calls which would match the 1 second
+//!   monitoring equivalent": the fraction of 1-second grid points whose
+//!   believed value matches the reference (within a relative tolerance;
+//!   0 = exact).
+//! * **cost** — "the ratio of the number to the maximum number monitoring
+//!   hook calls": hook calls divided by the number of 1-second reference
+//!   calls.
+
+use crate::controller::IntervalController;
+use apollo_cluster::series::TimeSeries;
+const NS: u64 = 1_000_000_000;
+
+/// Fills believed values between polls.
+pub trait Forecaster {
+    /// Record a real measurement.
+    fn observe(&mut self, value: f64);
+    /// Predict the next intermediate value, feeding it back as context.
+    /// `None` when not yet warmed up.
+    fn predict_next(&mut self) -> Option<f64>;
+    /// Forget everything (called at the start of a run).
+    fn reset(&mut self);
+}
+
+/// A no-op forecaster: belief holds the last measured value.
+#[derive(Debug, Default, Clone)]
+pub struct HoldLast;
+
+impl Forecaster for HoldLast {
+    fn observe(&mut self, _value: f64) {}
+
+    fn predict_next(&mut self) -> Option<f64> {
+        None
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Result of replaying a policy against a reference trace.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Controller name.
+    pub policy: String,
+    /// Monitor-hook invocations during the run.
+    pub hook_calls: u64,
+    /// Reference (1-second) call count.
+    pub reference_calls: u64,
+    /// `hook_calls / reference_calls`.
+    pub cost: f64,
+    /// Fraction of grid points whose belief matches the reference.
+    pub accuracy: f64,
+    /// The believed value at every 1-second grid point.
+    pub reconstructed: TimeSeries,
+    /// Values the system believed that came from prediction, not polling.
+    pub predicted_points: u64,
+}
+
+/// Replay `controller` against `reference` (a 1-second-grid trace) with no
+/// prediction; belief holds the last polled value. Exact-match accuracy.
+pub fn evaluate(controller: &mut dyn IntervalController, reference: &TimeSeries) -> EvalOutcome {
+    evaluate_with_forecaster(controller, &mut HoldLast, reference, 0.0)
+}
+
+/// Replay with a forecaster filling intermediate seconds and a relative
+/// accuracy tolerance (`0.0` = exact match; Delphi runs use a small
+/// tolerance because float predictions rarely match byte-exact values).
+pub fn evaluate_with_forecaster(
+    controller: &mut dyn IntervalController,
+    forecaster: &mut dyn Forecaster,
+    reference: &TimeSeries,
+    tolerance: f64,
+) -> EvalOutcome {
+    assert!(!reference.is_empty(), "reference trace must not be empty");
+    forecaster.reset();
+    let start = reference.start().expect("non-empty");
+    let end = reference.end().expect("non-empty");
+    assert_eq!(start % NS, 0, "reference must be on a 1s grid");
+
+    // Poll schedule: first poll at t=start, then controller-driven.
+    let mut polls: Vec<(u64, f64)> = Vec::new();
+    let mut t = start;
+    while t <= end {
+        let v = reference.value_at(t).expect("within trace");
+        polls.push((t, v));
+        let interval = controller.on_sample(v);
+        let step = interval.as_nanos().max(1) as u64;
+        match t.checked_add(step) {
+            Some(next) => t = next,
+            None => break,
+        }
+    }
+
+    // Walk the 1-second grid, reconstructing belief.
+    let mut reconstructed = TimeSeries::new();
+    let mut matches = 0u64;
+    let mut total = 0u64;
+    let mut predicted_points = 0u64;
+    let mut poll_idx = 0usize;
+    let mut belief = polls[0].1;
+    let mut last_was_poll;
+    let mut grid_t = start;
+    while grid_t <= end {
+        // Apply any polls at or before this grid point (the latest wins).
+        last_was_poll = false;
+        while poll_idx < polls.len() && polls[poll_idx].0 <= grid_t {
+            belief = polls[poll_idx].1;
+            forecaster.observe(belief);
+            poll_idx += 1;
+            last_was_poll = true;
+        }
+        if !last_was_poll {
+            // Between polls: ask the forecaster; fall back to hold-last.
+            if let Some(p) = forecaster.predict_next() {
+                belief = p;
+                predicted_points += 1;
+            }
+        }
+        let truth = reference.value_at(grid_t).expect("within trace");
+        let scale = truth.abs().max(1e-12);
+        if (belief - truth).abs() <= tolerance * scale {
+            matches += 1;
+        }
+        reconstructed.push(grid_t, belief);
+        total += 1;
+        grid_t += NS;
+    }
+
+    EvalOutcome {
+        policy: controller.name().to_string(),
+        hook_calls: polls.len() as u64,
+        reference_calls: total,
+        cost: polls.len() as f64 / total as f64,
+        accuracy: matches as f64 / total as f64,
+        reconstructed,
+        predicted_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{AimdParams, ComplexAimd, FixedInterval, SimpleAimd};
+    use std::time::Duration;
+
+    /// Reference: value changes every `period_s` seconds by `delta`.
+    fn step_trace(duration_s: u64, period_s: u64, start_v: f64, delta: f64) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        let mut v = start_v;
+        for t in 0..=duration_s {
+            if t > 0 && t % period_s == 0 {
+                v += delta;
+            }
+            ts.push(t * NS, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn one_second_fixed_polling_is_perfect_and_full_cost() {
+        let trace = step_trace(60, 5, 100.0, -1.0);
+        let mut c = FixedInterval::new(Duration::from_secs(1));
+        let out = evaluate(&mut c, &trace);
+        assert_eq!(out.accuracy, 1.0);
+        assert!((out.cost - 1.0).abs() < 1e-9);
+        assert_eq!(out.hook_calls, 61);
+        assert_eq!(out.predicted_points, 0);
+    }
+
+    #[test]
+    fn five_second_fixed_on_five_second_workload_is_cheap_and_accurate() {
+        // The §4.3.1 observation: a 5s fixed interval is near-optimal for
+        // the regular (5s period) workload.
+        let trace = step_trace(300, 5, 1000.0, -38.0);
+        let mut c = FixedInterval::new(Duration::from_secs(5));
+        let out = evaluate(&mut c, &trace);
+        assert!(out.cost < 0.25, "cost {}", out.cost);
+        assert!(out.accuracy > 0.95, "accuracy {}", out.accuracy);
+    }
+
+    #[test]
+    fn coarse_fixed_interval_loses_accuracy_on_fast_workload() {
+        let trace = step_trace(300, 2, 1000.0, -1.0);
+        let mut c = FixedInterval::new(Duration::from_secs(20));
+        let out = evaluate(&mut c, &trace);
+        assert!(out.accuracy < 0.5, "accuracy {}", out.accuracy);
+        assert!(out.cost < 0.1);
+    }
+
+    #[test]
+    fn static_trace_lets_aimd_relax() {
+        let mut ts = TimeSeries::new();
+        for t in 0..=600u64 {
+            ts.push(t * NS, 42.0);
+        }
+        let mut aimd = SimpleAimd::new(AimdParams::default());
+        let out = evaluate(&mut aimd, &ts);
+        assert_eq!(out.accuracy, 1.0, "constant metric is always matched");
+        assert!(out.cost < 0.1, "aimd must relax on a static metric, cost {}", out.cost);
+    }
+
+    #[test]
+    fn aimd_beats_coarse_fixed_on_bursty_trace() {
+        // Quiet for 200s, then changes every 2s for 100s, then quiet.
+        let mut ts = TimeSeries::new();
+        let mut v = 1000.0;
+        for t in 0..=500u64 {
+            if (200..300).contains(&t) && t % 2 == 0 {
+                v -= 5.0;
+            }
+            ts.push(t * NS, v);
+        }
+        let mut aimd = SimpleAimd::new(AimdParams::default());
+        let aimd_out = evaluate(&mut aimd, &ts);
+        let mut fixed = FixedInterval::new(Duration::from_secs(20));
+        let fixed_out = evaluate(&mut fixed, &ts);
+        assert!(
+            aimd_out.accuracy > fixed_out.accuracy,
+            "aimd {} vs fixed {}",
+            aimd_out.accuracy,
+            fixed_out.accuracy
+        );
+    }
+
+    #[test]
+    fn figure8_shape_on_irregular_hacc() {
+        // The paper's Figure 8 claim: on the *irregular* HACC workload,
+        // complex AIMD is the most accurate adaptive policy (beating both
+        // simple AIMD and the fixed 5 s interval), "but with an associated
+        // cost". Capacity changes are absolute (bytes), so the controllers
+        // run in Absolute mode with a threshold below one write.
+        use apollo_cluster::workloads::hacc::{HaccConfig, HaccWorkload};
+        let reference =
+            HaccWorkload::generate(HaccConfig::irregular(11)).reference_trace_1s();
+        let p = AimdParams {
+            threshold: 1_000.0,
+            change_mode: crate::controller::ChangeMode::Absolute,
+            ..AimdParams::default()
+        };
+        let mut fixed = FixedInterval::new(Duration::from_secs(5));
+        let mut simple = SimpleAimd::new(p.clone());
+        let mut complex = ComplexAimd::new(p, 10);
+        let f = evaluate(&mut fixed, &reference);
+        let s = evaluate(&mut simple, &reference);
+        let c = evaluate(&mut complex, &reference);
+        assert!(
+            c.accuracy > s.accuracy,
+            "complex accuracy {} must beat simple {}",
+            c.accuracy,
+            s.accuracy
+        );
+        assert!(
+            c.accuracy > f.accuracy,
+            "complex accuracy {} must beat fixed-5s {}",
+            c.accuracy,
+            f.accuracy
+        );
+        assert!(c.cost > s.cost, "complex has an associated cost: {} vs {}", c.cost, s.cost);
+        assert!(c.cost <= 1.0, "never costlier than 1s polling, cost {}", c.cost);
+    }
+
+    #[test]
+    fn forecaster_fills_between_polls() {
+        /// A domain-correct model for this trace: the metric falls by
+        /// exactly 1 per second, so each intermediate second predicts
+        /// `last - 1` (chained).
+        #[derive(Default)]
+        struct DecrementPerSecond {
+            cur: Option<f64>,
+        }
+        impl Forecaster for DecrementPerSecond {
+            fn observe(&mut self, v: f64) {
+                self.cur = Some(v);
+            }
+            fn predict_next(&mut self) -> Option<f64> {
+                let next = self.cur? - 1.0;
+                self.cur = Some(next);
+                Some(next)
+            }
+            fn reset(&mut self) {
+                self.cur = None;
+            }
+        }
+
+        // Linearly decreasing metric: predictions between coarse polls are
+        // exact, so accuracy stays perfect at low cost.
+        let mut ts = TimeSeries::new();
+        for t in 0..=300u64 {
+            ts.push(t * NS, 1_000.0 - t as f64);
+        }
+        let mut fixed = FixedInterval::new(Duration::from_secs(10));
+        let without = evaluate(&mut FixedInterval::new(Duration::from_secs(10)), &ts);
+        let mut fc = DecrementPerSecond::default();
+        let with = evaluate_with_forecaster(&mut fixed, &mut fc, &ts, 1e-9);
+        assert!(with.accuracy > without.accuracy);
+        assert!((with.accuracy - 1.0).abs() < 1e-9, "accuracy {}", with.accuracy);
+        assert_eq!(with.hook_calls, without.hook_calls, "prediction costs no hook calls");
+        assert!(with.predicted_points > 0);
+    }
+
+    #[test]
+    fn reconstructed_series_covers_every_second() {
+        let trace = step_trace(120, 7, 10.0, 3.0);
+        let mut c = SimpleAimd::new(AimdParams::default());
+        let out = evaluate(&mut c, &trace);
+        assert_eq!(out.reconstructed.len(), 121);
+        assert_eq!(out.reference_calls, 121);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_reference_panics() {
+        let mut c = FixedInterval::new(Duration::from_secs(1));
+        evaluate(&mut c, &TimeSeries::new());
+    }
+}

@@ -1,0 +1,34 @@
+//! # apollo-adaptive
+//!
+//! Apollo's **adaptive and dynamic monitoring interval** (HPDC '21,
+//! §3.4.1) and the evaluation harness behind Figures 8–10.
+//!
+//! Two interval policies from the paper, plus the static baseline:
+//!
+//! * [`controller::FixedInterval`] — the fixed-interval strawman (the
+//!   "fixed model of 5 seconds" of Figure 8).
+//! * [`controller::SimpleAimd`] — *simple parameterized method*: Additive
+//!   Increase, Multiplicative Decrease keyed on the change in metric value
+//!   relative to a user-defined threshold.
+//! * [`controller::ComplexAimd`] — *adaptive parameterized method*: the
+//!   change is compared to a **rolling average of changes** (window 10 in
+//!   the paper), so non-continuous metrics that bounce between discrete
+//!   value groupings don't thrash the interval.
+//!
+//! As the paper's §6 future-work extension, [`entropy`] adds a
+//! permutation-entropy controller ([`entropy::EntropyInterval`]) that
+//! adapts to the *complexity* of the signal rather than single changes.
+//!
+//! [`eval`] replays a reference trace (the 1-second monitoring trace of
+//! §4.3.1) against any controller and scores **accuracy** (fraction of
+//! 1-second grid points whose reconstructed value matches the reference)
+//! and **cost** (hook calls relative to 1-second polling), optionally
+//! filling between polls with a [`eval::Forecaster`] such as Delphi.
+
+pub mod controller;
+pub mod entropy;
+pub mod eval;
+
+pub use controller::{ComplexAimd, FixedInterval, IntervalController, SimpleAimd};
+pub use entropy::{EntropyInterval, EntropyParams};
+pub use eval::{evaluate, evaluate_with_forecaster, EvalOutcome, Forecaster};

@@ -1,0 +1,203 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//!
+//! 1. **Change-filtered publication** (§3.2.1) — publish-on-change vs
+//!    publish-always, on metrics of varying volatility.
+//! 2. **Queue implementation** — the stream's locked `VecDeque` window vs
+//!    a crossbeam `SegQueue` vs a mutexed `VecDeque`, raw ops.
+//! 3. **Per-metric dedicated queues vs one shared queue** (the paper's
+//!    pull-path design choice).
+
+use apollo_adaptive::controller::FixedInterval;
+use apollo_cluster::metrics::TraceSource;
+use apollo_cluster::series::TimeSeries;
+use apollo_core::vertex::FactVertex;
+use apollo_streams::{Broker, StreamConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NS: u64 = 1_000_000_000;
+
+fn trace(change_every: u64, len: u64) -> TimeSeries {
+    TimeSeries::from_points(
+        (0..len).map(|i| (i * NS, (i / change_every) as f64)).collect(),
+    )
+}
+
+fn bench_change_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_change_filter");
+    group.sample_size(20);
+    for (label, change_every) in [("volatile_1s", 1u64), ("slow_60s", 60)] {
+        for (mode, on_change) in [("on_change", true), ("always", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(mode, label),
+                &(change_every, on_change),
+                |b, &(change_every, on_change)| {
+                    b.iter(|| {
+                        let broker = Arc::new(Broker::new(StreamConfig::bounded(8192)));
+                        let v = FactVertex::new(
+                            "m",
+                            Arc::new(TraceSource::new("m", trace(change_every, 600))),
+                            Box::new(FixedInterval::new(Duration::from_secs(1))),
+                            broker,
+                            on_change,
+                        );
+                        for t in 0..600u64 {
+                            v.poll(t * NS);
+                        }
+                        v.published()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_queue_impls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_queue_impl");
+    const OPS: usize = 10_000;
+
+    group.bench_function("segqueue_push_pop", |b| {
+        b.iter(|| {
+            let q: SegQueue<u64> = SegQueue::new();
+            for i in 0..OPS as u64 {
+                q.push(i);
+            }
+            let mut sum = 0u64;
+            while let Some(v) = q.pop() {
+                sum += v;
+            }
+            sum
+        });
+    });
+
+    group.bench_function("mutex_vecdeque_push_pop", |b| {
+        b.iter(|| {
+            let q: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
+            for i in 0..OPS as u64 {
+                q.lock().push_back(i);
+            }
+            let mut sum = 0u64;
+            while let Some(v) = q.lock().pop_front() {
+                sum += v;
+            }
+            sum
+        });
+    });
+
+    group.bench_function("stream_append_read", |b| {
+        b.iter(|| {
+            let s = apollo_streams::Stream::new("q", StreamConfig::unbounded());
+            for i in 0..OPS as u64 {
+                s.append(i, bytes::Bytes::new());
+            }
+            s.read_after(None, OPS).len()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_dedicated_vs_shared_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fanin");
+    group.sample_size(20);
+    const METRICS: usize = 32;
+    const EVENTS: u64 = 500;
+
+    // Dedicated per-metric topics (the paper's design): reading the
+    // latest value of one metric is O(1).
+    group.bench_function("dedicated_queues_latest", |b| {
+        let broker = Broker::new(StreamConfig::bounded(65_536));
+        for m in 0..METRICS {
+            for i in 0..EVENTS {
+                broker.publish(&format!("m{m}"), i, vec![0u8; 16]);
+            }
+        }
+        b.iter(|| broker.latest("m17"));
+    });
+
+    // One shared topic: the latest value of a *specific* metric needs a
+    // reverse scan through interleaved entries.
+    group.bench_function("shared_queue_latest", |b| {
+        let broker = Broker::new(StreamConfig::bounded(65_536));
+        for i in 0..EVENTS {
+            for m in 0..METRICS {
+                // Metric id in the payload's first byte.
+                broker.publish("shared", i * METRICS as u64 + m as u64, vec![m as u8; 16]);
+            }
+        }
+        b.iter(|| {
+            let all = broker.range_by_time("shared", 0, u64::MAX);
+            all.iter().rev().find(|e| e.payload[0] == 17).map(|e| e.id)
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_polling_vs_event_driven(c: &mut Criterion) {
+    use apollo_cluster::device::{Device, DeviceSpec};
+    use apollo_core::kprobe::{EventFactVertex, EventMetric};
+
+    let mut group = c.benchmark_group("ablation_kprobe");
+    group.sample_size(20);
+    const WRITES: u64 = 1_000;
+
+    // Cost of the monitoring paths while a device absorbs WRITES ops.
+    group.bench_function("polling_1s_path", |b| {
+        b.iter(|| {
+            let device = Arc::new(Device::new("d", DeviceSpec::nvme_250g()));
+            let broker = Arc::new(Broker::new(StreamConfig::bounded(8192)));
+            let v = FactVertex::new(
+                "cap",
+                Arc::new(apollo_cluster::metrics::DeviceMetric::new(
+                    Arc::clone(&device),
+                    apollo_cluster::metrics::MetricKind::RemainingCapacity,
+                )),
+                Box::new(FixedInterval::new(Duration::from_secs(1))),
+                broker,
+                true,
+            );
+            for i in 0..WRITES {
+                device.write(i * NS / 10, 10_000).unwrap();
+                if i % 10 == 0 {
+                    v.poll(i * NS / 10);
+                }
+            }
+            v.published()
+        });
+    });
+
+    group.bench_function("event_driven_path", |b| {
+        b.iter(|| {
+            let device = Arc::new(Device::new("d", DeviceSpec::nvme_250g()));
+            let broker = Arc::new(Broker::new(StreamConfig::bounded(8192)));
+            let v = EventFactVertex::attach(
+                "cap",
+                &device,
+                EventMetric::RemainingCapacity,
+                broker,
+            );
+            for i in 0..WRITES {
+                device.write(i * NS / 10, 10_000).unwrap();
+            }
+            v.pump(WRITES * NS / 10);
+            v.published()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_change_filter,
+    bench_queue_impls,
+    bench_dedicated_vs_shared_queue,
+    bench_polling_vs_event_driven
+);
+criterion_main!(benches);

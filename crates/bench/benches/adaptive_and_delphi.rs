@@ -1,0 +1,95 @@
+//! Criterion counterpart of Figures 8–11: the per-sample cost of the
+//! interval controllers, the full workload evaluations, and model
+//! inference costs (Delphi's must undercut both the LSTM and the
+//! monitoring hook itself, §3.4.2).
+
+use apollo_adaptive::controller::{AimdParams, ChangeMode, ComplexAimd, FixedInterval, SimpleAimd};
+use apollo_adaptive::eval::evaluate;
+use apollo_cluster::workloads::hacc::{HaccConfig, HaccWorkload};
+use apollo_delphi::lstm::LstmModel;
+use apollo_delphi::stack::{Delphi, DelphiConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn params() -> AimdParams {
+    AimdParams {
+        threshold: 1_000.0,
+        change_mode: ChangeMode::Absolute,
+        ..AimdParams::default()
+    }
+}
+
+fn bench_controller_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_on_sample");
+    group.bench_function("fixed", |b| {
+        let mut ctl = FixedInterval::new(Duration::from_secs(5));
+        let mut v = 0.0f64;
+        b.iter(|| {
+            use apollo_adaptive::controller::IntervalController;
+            v += 1.0;
+            ctl.on_sample(black_box(v))
+        });
+    });
+    group.bench_function("simple_aimd", |b| {
+        let mut ctl = SimpleAimd::new(params());
+        let mut v = 0.0f64;
+        b.iter(|| {
+            use apollo_adaptive::controller::IntervalController;
+            v += 1.0;
+            ctl.on_sample(black_box(v))
+        });
+    });
+    group.bench_function("complex_aimd_w10", |b| {
+        let mut ctl = ComplexAimd::new(params(), 10);
+        let mut v = 0.0f64;
+        b.iter(|| {
+            use apollo_adaptive::controller::IntervalController;
+            v += 1.0;
+            ctl.on_sample(black_box(v))
+        });
+    });
+    group.finish();
+}
+
+fn bench_workload_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hacc_eval_30min");
+    group.sample_size(10);
+    for (name, config) in
+        [("regular", HaccConfig::regular()), ("irregular", HaccConfig::irregular(5))]
+    {
+        let reference = HaccWorkload::generate(config).reference_trace_1s();
+        group.bench_with_input(BenchmarkId::new("complex_aimd", name), &reference, |b, r| {
+            b.iter(|| {
+                let mut ctl = ComplexAimd::new(params(), 10);
+                evaluate(&mut ctl, r)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_inference");
+    // Train small/fast variants once.
+    let delphi = Delphi::train(DelphiConfig {
+        feature_samples: 400,
+        feature_epochs: 100,
+        combiner_samples: 100,
+        combiner_epochs: 100,
+        ..DelphiConfig::default()
+    });
+    let lstm_small = LstmModel::new(24, 5, 1);
+    let lstm_paper = LstmModel::paper_baseline(5, 1);
+    let window = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+    group.bench_function("delphi_stack", |b| b.iter(|| delphi.predict(black_box(&window))));
+    group.bench_function("lstm_h24", |b| b.iter(|| lstm_small.predict(black_box(&window))));
+    group.bench_function("lstm_h133_paper_scale", |b| {
+        b.iter(|| lstm_paper.predict(black_box(&window)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_decision, bench_workload_eval, bench_inference);
+criterion_main!(benches);

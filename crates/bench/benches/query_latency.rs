@@ -1,0 +1,96 @@
+//! Criterion counterpart of Figure 12a/b: AQE resource-query latency vs
+//! the LDMS-model store-scan, as complexity and table sizes grow.
+
+use apollo_cluster::metrics::{ConstSource, MetricSource};
+use apollo_ldms::{LdmsConfig, LdmsService};
+use apollo_query::exec::QueryEngine;
+use apollo_streams::codec::Record;
+use apollo_streams::{Broker, StreamConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn seeded_broker(tables: usize, rows_per_table: u64) -> Broker {
+    let broker = Broker::new(StreamConfig::bounded(200_000));
+    for t in 0..tables {
+        let name = format!("node_{t}_metric");
+        for i in 0..rows_per_table {
+            broker.publish(&name, i, Record::measured(i * 1_000_000, i as f64).encode());
+        }
+    }
+    broker
+}
+
+fn seeded_ldms(tables: usize, seconds: u64) -> LdmsService {
+    let mut ldms = LdmsService::new_virtual(LdmsConfig::default());
+    for t in 0..tables {
+        let src: Arc<dyn MetricSource> = Arc::new(ConstSource::new(format!("m{t}"), t as f64));
+        ldms.register_sampler(format!("node_{t}_metric"), src);
+    }
+    ldms.run_for(Duration::from_secs(seconds));
+    ldms
+}
+
+fn resource_sql(complexity: usize) -> String {
+    (0..complexity)
+        .map(|t| format!("SELECT MAX(Timestamp), metric FROM node_{t}_metric"))
+        .collect::<Vec<_>>()
+        .join(" UNION ")
+}
+
+fn bench_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_query_complexity");
+    let broker = seeded_broker(8, 10_000);
+    let ldms = seeded_ldms(8, 10_000);
+    for complexity in [1usize, 2, 4, 8] {
+        let sql = resource_sql(complexity);
+        group.bench_with_input(BenchmarkId::new("apollo", complexity), &sql, |b, sql| {
+            let engine = QueryEngine::new(&broker);
+            b.iter(|| engine.execute_sql(sql).unwrap());
+        });
+        let tables: Vec<String> = (0..complexity).map(|t| format!("node_{t}_metric")).collect();
+        let refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::new("ldms", complexity), &refs, |b, refs| {
+            b.iter(|| ldms.query_latest(refs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_size(c: &mut Criterion) {
+    // Apollo's tail-read is O(1) in history size; LDMS's scan is O(n).
+    let mut group = c.benchmark_group("history_size");
+    group.sample_size(20);
+    for rows in [1_000u64, 10_000, 50_000] {
+        let broker = seeded_broker(1, rows);
+        let ldms = seeded_ldms(1, rows);
+        group.bench_with_input(BenchmarkId::new("apollo_latest", rows), &broker, |b, broker| {
+            let engine = QueryEngine::new(broker);
+            b.iter(|| engine.execute_sql("SELECT MAX(Timestamp), metric FROM node_0_metric").unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ldms_scan", rows), &ldms, |b, ldms| {
+            b.iter(|| ldms.query_latest(&["node_0_metric"]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregates");
+    let broker = seeded_broker(1, 10_000);
+    let engine_queries = [
+        ("avg", "SELECT AVG(metric) FROM node_0_metric"),
+        ("count", "SELECT COUNT(*) FROM node_0_metric"),
+        ("range", "SELECT metric FROM node_0_metric WHERE Timestamp BETWEEN 4000 AND 4100"),
+    ];
+    for (name, sql) in engine_queries {
+        group.bench_function(name, |b| {
+            let engine = QueryEngine::new(&broker);
+            b.iter(|| engine.execute_sql(sql).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complexity, bench_history_size, bench_aggregates);
+criterion_main!(benches);

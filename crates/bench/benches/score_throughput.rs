@@ -1,0 +1,106 @@
+//! Criterion counterpart of Figure 6: SCoRe publish/subscribe throughput
+//! and the latency of the core queue operations.
+
+use apollo_streams::codec::Record;
+use apollo_streams::{Broker, StreamConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish");
+    group.throughput(Throughput::Elements(1));
+    let payload = vec![0u8; 16];
+
+    group.bench_function("single_thread_16B", |b| {
+        let broker = Broker::new(StreamConfig::bounded(65_536));
+        let mut ms = 0u64;
+        b.iter(|| {
+            ms += 1;
+            broker.publish("t", ms, payload.clone())
+        });
+    });
+
+    for subscribers in [0usize, 1, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("with_subscribers", subscribers),
+            &subscribers,
+            |b, &n| {
+                let broker = Broker::new(StreamConfig::bounded(65_536));
+                let subs: Vec<_> = (0..n).map(|_| broker.subscribe("t")).collect();
+                let mut ms = 0u64;
+                b.iter(|| {
+                    ms += 1;
+                    let id = broker.publish("t", ms, payload.clone());
+                    // Drain to keep channels bounded in memory.
+                    for s in &subs {
+                        while s.try_recv().is_some() {}
+                    }
+                    id
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_metric_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish_metric_size");
+    for size in [16usize, 64, 256, 1024, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let broker = Broker::new(StreamConfig::bounded(65_536));
+            let payload = vec![0u8; size];
+            let mut ms = 0u64;
+            b.iter(|| {
+                ms += 1;
+                broker.publish("t", ms, payload.clone())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pull_latest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pull");
+    let broker = Broker::new(StreamConfig::bounded(65_536));
+    for i in 0..10_000u64 {
+        broker.publish("t", i, Record::measured(i * 1_000_000, i as f64).encode());
+    }
+    group.bench_function("latest", |b| b.iter(|| broker.latest("t")));
+    group.bench_function("range_100", |b| {
+        b.iter(|| broker.range_by_time("t", 5_000, 5_099))
+    });
+    group.finish();
+}
+
+fn bench_multithread_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish_concurrent");
+    group.sample_size(10);
+    for threads in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let broker = Arc::new(Broker::new(StreamConfig::bounded(65_536)));
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let broker = Arc::clone(&broker);
+                        s.spawn(move || {
+                            for i in 0..2_000u64 {
+                                broker.publish("t", u64::from(t) * 10_000 + i, vec![0u8; 16]);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_publish,
+    bench_metric_sizes,
+    bench_pull_latest,
+    bench_multithread_publish
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Figure 7 — pull latency vs node degree and Hamming distance.
+//!
+//! (a) Degree: each "node" hosts 40 Fact curators; one Insight curator
+//!     subscribes to all of them. Scaling nodes 1→16 raises the insight
+//!     vertex's fan-in (degree 40→640). Paper shape: latency rises with
+//!     degree, then plateaus.
+//! (b) Hamming distance: 32 hook vertices feed a chain of insight layers
+//!     (1→32). The client pulls from the top layer. Paper shape: latency
+//!     grows with distance, spiking at the maximum.
+//!
+//! Latency here is the wall-clock time for a client pull (`latest`) plus
+//! the propagation work the graph performs per fresh fact, measured on
+//! the live (real-clock) pump path.
+//!
+//! Run: `cargo run --release -p apollo-bench --bin fig7_latency`
+
+use apollo_bench::report::{Report, Series};
+use apollo_core::vertex::{FactVertex, InsightInputs, InsightVertex};
+use apollo_adaptive::controller::FixedInterval;
+use apollo_cluster::metrics::ConstSource;
+use apollo_streams::{Broker, StreamConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    degree_scaling();
+    hamming_scaling();
+}
+
+fn fact(broker: &Arc<Broker>, name: String) -> FactVertex {
+    FactVertex::new(
+        name.clone(),
+        Arc::new(ConstSource::new(name, 1.0)),
+        Box::new(FixedInterval::new(Duration::from_secs(1))),
+        Arc::clone(broker),
+        false, // publish always: every poll produces a fresh fact
+    )
+}
+
+fn degree_scaling() {
+    let mut report = Report::new("fig7a", "pull latency vs node degree (40 fact curators/node)");
+    let mut series = Series::new("latency_us");
+
+    for nodes in [1u32, 2, 4, 8, 16] {
+        let broker = Arc::new(Broker::new(StreamConfig::bounded(4096)));
+        let mut facts = Vec::new();
+        let mut inputs = Vec::new();
+        for n in 0..nodes {
+            for c in 0..40 {
+                let name = format!("n{n}/fact{c}");
+                inputs.push(name.clone());
+                facts.push(fact(&broker, name));
+            }
+        }
+        let expected = inputs.clone();
+        let insight = InsightVertex::new(
+            "top",
+            inputs,
+            Box::new(move |i: &InsightInputs| i.all_present(&expected).then(|| i.sum())),
+            Arc::clone(&broker),
+        );
+
+        // Warm: one round of polls + pump.
+        let mut t_ns = 1_000_000_000u64;
+        for f in &facts {
+            f.poll(t_ns);
+        }
+        insight.pump(t_ns);
+
+        // Measure: fresh facts -> pump (propagation) -> client pull.
+        let rounds = 50;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            t_ns += 1_000_000_000;
+            for f in &facts {
+                f.poll(t_ns);
+            }
+            insight.pump(t_ns);
+            let _ = std::hint::black_box(broker.latest("top"));
+        }
+        let per_pull_us = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+        println!("degree: nodes={nodes:>2} (fan-in {:>3})  {per_pull_us:>10.1} us", nodes * 40);
+        series.push(f64::from(nodes), per_pull_us);
+    }
+    report.add_series(series);
+    report.note("paper_shape", "latency rises with degree then hits an upper bound");
+    report.finish("nodes (x40 curators)", "latency (us)");
+}
+
+fn hamming_scaling() {
+    let mut report = Report::new("fig7b", "pull latency vs Hamming distance (insight layers)");
+    let mut series = Series::new("latency_us");
+
+    for layers in [1u32, 2, 4, 8, 16, 32] {
+        let broker = Arc::new(Broker::new(StreamConfig::bounded(4096)));
+        // 32 hook vertices at the base.
+        let facts: Vec<FactVertex> =
+            (0..32).map(|i| fact(&broker, format!("hook{i}"))).collect();
+        let base_inputs: Vec<String> = (0..32).map(|i| format!("hook{i}")).collect();
+
+        let mut chain: Vec<InsightVertex> = Vec::new();
+        for l in 0..layers {
+            let (name, inputs) = if l == 0 {
+                ("layer0".to_string(), base_inputs.clone())
+            } else {
+                (format!("layer{l}"), vec![format!("layer{}", l - 1)])
+            };
+            chain.push(InsightVertex::new(
+                name,
+                inputs,
+                Box::new(|i: &InsightInputs| Some(i.sum())),
+                Arc::clone(&broker),
+            ));
+        }
+        let top = format!("layer{}", layers - 1);
+
+        let mut t_ns = 1_000_000_000u64;
+        for f in &facts {
+            f.poll(t_ns);
+        }
+        for v in &chain {
+            v.pump(t_ns);
+        }
+
+        let rounds = 200;
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..rounds {
+            t_ns += 1_000_000_000;
+            // Fresh facts appear (hook cost excluded: the figure isolates
+            // how long a fresh fact takes to become pullable at the top).
+            for f in &facts {
+                f.poll(t_ns);
+            }
+            let start = Instant::now();
+            // Propagate through every layer (the Hamming-distance cost) …
+            for v in &chain {
+                v.pump(t_ns);
+            }
+            // … and pull from the top insight curator.
+            let _ = std::hint::black_box(broker.latest(&top));
+            total += start.elapsed();
+        }
+        let per_pull_us = total.as_secs_f64() * 1e6 / rounds as f64;
+        println!("hamming: layers={layers:>2}  {per_pull_us:>10.1} us");
+        series.push(f64::from(layers), per_pull_us);
+    }
+    report.add_series(series);
+    report.note("paper_shape", "latency grows with distance; spike at the maximum");
+    report.finish("insight layers (Hamming distance)", "latency (us)");
+}

@@ -1,0 +1,107 @@
+//! Table 1 — the fifteen I/O curations, computed live over a simulated
+//! Ares cluster with activity on its devices, network, and job table.
+//!
+//! Run: `cargo run --release -p apollo-bench --bin fig_table1`
+
+use apollo_bench::report::Report;
+use apollo_cluster::cluster::SimCluster;
+use apollo_cluster::device::DeviceKind;
+use apollo_insights as insights;
+
+fn main() {
+    let cluster = SimCluster::ares();
+    let now: u64 = 10_000_000_000; // t = 10 s into the run
+
+    // Generate some activity so the insights have signal.
+    let nvme = &cluster.tier(DeviceKind::Nvme)[0];
+    for i in 0..32 {
+        nvme.write(now - 500_000_000 + i * 1_000_000, 64 * 1024 * 1024).unwrap();
+        nvme.read(now - 400_000_000 + i * 1_000_000, 16 * 1024 * 1024, i * 8);
+    }
+    let hdd = &cluster.tier(DeviceKind::Hdd)[0];
+    hdd.write(now - 100_000_000, 512 * 1024 * 1024).unwrap();
+    hdd.degrade(hdd.spec.total_blocks() / 100); // 1% bad blocks
+    cluster.node(40).unwrap().set_online(false); // one storage node down
+    let job = cluster.jobs().submit("VPIC-IO", now - 2_000_000_000, vec![0, 1, 2, 3], vec![40; 4]);
+    cluster.jobs().record_io(job, 3 * 1024 * 1024 * 1024, 16 * 1024 * 1024 * 1024);
+
+    let mut report = Report::new("table1", "I/O Insight curations computed live");
+
+    println!("\n#  Insight                          Value");
+    println!("{}", "-".repeat(78));
+
+    let msca = insights::msca(nvme, now);
+    row(1, "MSCA (busy NVMe)", format!("{msca:.6}"));
+    report.note("msca_nvme", msca);
+
+    let interference = insights::interference_factor(nvme, now);
+    row(2, "Interference Factor (busy NVMe)", format!("{interference:.4}"));
+    report.note("interference_nvme", interference);
+
+    let fs = insights::fs_performance(&cluster, DeviceKind::Nvme);
+    row(3, "FS Performance (NVMe tier)", format!(
+        "compression={} block={}B raid={} devices={} maxbw={:.1}GB/s",
+        fs.compression, fs.block_size, fs.raid_level, fs.n_devices, fs.max_bw / 1e9
+    ));
+    report.note("fs_nvme_devices", fs.n_devices as u64);
+
+    let hot = insights::block_hotness(nvme, 3);
+    row(4, "Block Hotness (top 3)", format!("{hot:?}"));
+
+    let health = insights::device_health(hdd);
+    row(5, "Device Health (degraded HDD)", format!("{health:.4}"));
+    report.note("hdd_health", health);
+
+    let nh = insights::network_health(&cluster, now, 0, 63);
+    row(6, "Network Health (node0 <-> node63)", format!("{:.1} us RTT", nh.ping_ns as f64 / 1e3));
+    report.note("ping_us_0_63", nh.ping_ns as f64 / 1e3);
+
+    let ft = insights::device_fault_tolerance(hdd);
+    row(7, "Device Fault Tolerance (HDD)", format!("{ft:.4}"));
+
+    let deg = insights::device_degradation_rate(hdd);
+    row(8, "Device Degradation Rate (HDD)", format!("{deg:.3e} health/block"));
+
+    let avail = insights::node_availability(&cluster, now);
+    row(9, "Node Availability List", format!(
+        "{} online (node 40 down: {})",
+        avail.online.len(),
+        !avail.online.contains(&40)
+    ));
+    report.note("online_nodes", avail.online.len() as u64);
+
+    for kind in [DeviceKind::Nvme, DeviceKind::Ssd, DeviceKind::Hdd] {
+        let rem = insights::tier_remaining_capacity(&cluster, kind);
+        row(10, &format!("Tier Remaining Capacity ({})", kind.label()), format!("{:.3} TB", rem as f64 / 1e12));
+        report.note(format!("tier_remaining_{}", kind.label()), rem as f64 / 1e12);
+    }
+
+    let energy = insights::node_energy_per_transfer(cluster.node(0).unwrap(), now, 10.0);
+    row(11, "Energy/Transfer (node0, J per op)", format!("{energy:.3}"));
+
+    let st = insights::system_time(7, now);
+    row(12, "System Time (node 7)", format!("t={} ns", st.time_ns));
+
+    let load = insights::device_load(nvme, now);
+    row(13, "Device Load (busy NVMe)", format!("{load:.6}"));
+
+    let dev_energy = insights::device_energy_per_transfer(nvme, now, 10.0);
+    row(14, "Energy/Transfer (NVMe device)", format!("{dev_energy:.3}"));
+
+    let allocs = insights::allocation_characteristics(&cluster, now);
+    row(15, "Allocation Characteristics", format!(
+        "{} job(s); {}: nodes={} procs={:?} r={}GiB w={}GiB",
+        allocs.len(),
+        allocs[0].job_name,
+        allocs[0].n_nodes,
+        allocs[0].proc_distribution,
+        allocs[0].bytes_read >> 30,
+        allocs[0].bytes_written >> 30,
+    ));
+
+    report.finish("row", "value");
+}
+
+fn row(i: u32, name: &str, value: String) {
+    println!("{i:<3}{name:<34}{value}");
+}

@@ -1,0 +1,160 @@
+//! Figure-series reporting: aligned console tables plus JSON persisted to
+//! `bench_results/<experiment>.json` so EXPERIMENTS.md rows are
+//! regenerable and diffable.
+
+use serde_json::{json, Value};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A named series of (x, y) points plus free-form metadata.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series label (legend entry).
+    pub name: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A figure report being assembled.
+#[derive(Debug)]
+pub struct Report {
+    experiment: String,
+    title: String,
+    series: Vec<Series>,
+    notes: Vec<(String, Value)>,
+}
+
+impl Report {
+    /// Start a report for experiment id `experiment` (e.g. `fig6a`).
+    pub fn new(experiment: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            experiment: experiment.into(),
+            title: title.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn add_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Record a scalar/metadata note (shows in both console and JSON).
+    pub fn note(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.notes.push((key.into(), value.into()));
+    }
+
+    /// Print the report as an aligned console table.
+    pub fn print(&self, x_label: &str, y_label: &str) {
+        println!("\n=== {} — {} ===", self.experiment, self.title);
+        for (k, v) in &self.notes {
+            println!("  {k}: {v}");
+        }
+        if self.series.is_empty() {
+            return;
+        }
+        print!("{:>14}", x_label);
+        for s in &self.series {
+            print!("{:>22}", s.name);
+        }
+        println!("    ({y_label})");
+        let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..n {
+            let x = self.series.iter().find_map(|s| s.points.get(i).map(|p| p.0));
+            match x {
+                Some(x) => print!("{x:>14.3}"),
+                None => print!("{:>14}", "-"),
+            }
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => print!("{y:>22.6}"),
+                    None => print!("{:>22}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+
+    /// Persist as JSON under `bench_results/`. Returns the path.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        let body = json!({
+            "experiment": self.experiment,
+            "title": self.title,
+            "notes": self.notes.iter().cloned().collect::<serde_json::Map<String, Value>>(),
+            "series": self.series.iter().map(|s| json!({
+                "name": s.name,
+                "points": s.points,
+            })).collect::<Vec<_>>(),
+        });
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(serde_json::to_string_pretty(&body)?.as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Print (with the given axis labels) and save; panics on I/O error
+    /// (harness binaries want loud failures).
+    pub fn finish(&self, x_label: &str, y_label: &str) {
+        self.print(x_label, y_label);
+        let path = self.save().expect("write bench_results");
+        println!("  [saved: {}]", path.display());
+    }
+}
+
+/// Where figure JSON lands: `<workspace>/bench_results`.
+pub fn results_dir() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        // Under cargo: CARGO_MANIFEST_DIR = crates/bench; the workspace
+        // root is two levels up.
+        Ok(manifest) => {
+            PathBuf::from(manifest).join("../../bench_results").components().collect()
+        }
+        // Direct binary invocation: relative to the working directory.
+        Err(_) => PathBuf::from("bench_results"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_and_report_round_trip() {
+        let mut s = Series::new("apollo");
+        s.push(1.0, 2.0);
+        s.push(2.0, 4.0);
+        let mut r = Report::new("test_report_roundtrip", "unit test");
+        r.add_series(s);
+        r.note("nodes", 4);
+        r.print("x", "y");
+        let path = r.save().unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&raw).unwrap();
+        assert_eq!(v["experiment"], "test_report_roundtrip");
+        assert_eq!(v["notes"]["nodes"], 4);
+        assert_eq!(v["series"][0]["points"][1][1], 4.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn results_dir_is_workspace_level() {
+        let d = results_dir();
+        assert!(d.ends_with("bench_results"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Slurm-like job allocation table.
+//!
+//! The Allocation Characteristics insight (Table 1, row 15) is defined as
+//! `(timestamp, #nodes, distribution of processes, bytes read/written by
+//! jobs)`, which the paper gathers "using various Slurm commands". This
+//! module is the synthetic stand-in: a job table the workload generators
+//! register with and the insight layer reads from.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Queued, not yet running.
+    Pending,
+    /// Currently running.
+    Running,
+    /// Finished.
+    Completed,
+    /// Cancelled or failed.
+    Failed,
+}
+
+/// One job's allocation record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobInfo {
+    /// Job identifier.
+    pub id: JobId,
+    /// Human name (e.g. "VPIC-IO").
+    pub name: String,
+    /// Submission timestamp (ns).
+    pub submitted_ns: u64,
+    /// Node ids allocated to this job.
+    pub nodes: Vec<u32>,
+    /// Processes per node (parallel to `nodes`).
+    pub procs_per_node: Vec<u32>,
+    /// Cumulative bytes read by the job.
+    pub bytes_read: u64,
+    /// Cumulative bytes written by the job.
+    pub bytes_written: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+}
+
+impl JobInfo {
+    /// Total process count across all nodes.
+    pub fn total_procs(&self) -> u64 {
+        self.procs_per_node.iter().map(|&p| p as u64).sum()
+    }
+}
+
+/// The cluster-wide allocation table.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: RwLock<BTreeMap<JobId, JobInfo>>,
+    next_id: RwLock<u64>,
+}
+
+impl JobTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit a job; it starts in [`JobState::Running`] (allocation is
+    /// immediate in the simulation). Panics if `nodes` and
+    /// `procs_per_node` lengths differ.
+    pub fn submit(
+        &self,
+        name: impl Into<String>,
+        now_ns: u64,
+        nodes: Vec<u32>,
+        procs_per_node: Vec<u32>,
+    ) -> JobId {
+        assert_eq!(nodes.len(), procs_per_node.len(), "nodes/procs length mismatch");
+        let mut next = self.next_id.write();
+        *next += 1;
+        let id = JobId(*next);
+        self.jobs.write().insert(
+            id,
+            JobInfo {
+                id,
+                name: name.into(),
+                submitted_ns: now_ns,
+                nodes,
+                procs_per_node,
+                bytes_read: 0,
+                bytes_written: 0,
+                state: JobState::Running,
+            },
+        );
+        id
+    }
+
+    /// Account I/O against a job. Unknown ids are ignored (a job may have
+    /// been purged).
+    pub fn record_io(&self, id: JobId, read: u64, written: u64) {
+        if let Some(job) = self.jobs.write().get_mut(&id) {
+            job.bytes_read += read;
+            job.bytes_written += written;
+        }
+    }
+
+    /// Transition a job's state.
+    pub fn set_state(&self, id: JobId, state: JobState) {
+        if let Some(job) = self.jobs.write().get_mut(&id) {
+            job.state = state;
+        }
+    }
+
+    /// Snapshot of one job.
+    pub fn get(&self, id: JobId) -> Option<JobInfo> {
+        self.jobs.read().get(&id).cloned()
+    }
+
+    /// Snapshot of all jobs in id order.
+    pub fn all(&self) -> Vec<JobInfo> {
+        self.jobs.read().values().cloned().collect()
+    }
+
+    /// Jobs currently running.
+    pub fn running(&self) -> Vec<JobInfo> {
+        self.jobs.read().values().filter(|j| j.state == JobState::Running).cloned().collect()
+    }
+
+    /// Total nodes in use by running jobs (with multiplicity).
+    pub fn nodes_in_use(&self) -> usize {
+        self.running().iter().map(|j| j.nodes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_query() {
+        let t = JobTable::new();
+        let id = t.submit("VPIC-IO", 100, vec![0, 1, 2], vec![80, 80, 80]);
+        let job = t.get(id).unwrap();
+        assert_eq!(job.name, "VPIC-IO");
+        assert_eq!(job.total_procs(), 240);
+        assert_eq!(job.state, JobState::Running);
+        assert_eq!(t.running().len(), 1);
+    }
+
+    #[test]
+    fn io_accounting() {
+        let t = JobTable::new();
+        let id = t.submit("j", 0, vec![0], vec![1]);
+        t.record_io(id, 100, 200);
+        t.record_io(id, 1, 2);
+        let job = t.get(id).unwrap();
+        assert_eq!(job.bytes_read, 101);
+        assert_eq!(job.bytes_written, 202);
+        // Unknown job ignored.
+        t.record_io(JobId(999), 5, 5);
+    }
+
+    #[test]
+    fn state_transitions_and_running_filter() {
+        let t = JobTable::new();
+        let a = t.submit("a", 0, vec![0], vec![1]);
+        let b = t.submit("b", 0, vec![1], vec![1]);
+        t.set_state(a, JobState::Completed);
+        let running = t.running();
+        assert_eq!(running.len(), 1);
+        assert_eq!(running[0].id, b);
+        assert_eq!(t.nodes_in_use(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let t = JobTable::new();
+        let a = t.submit("a", 0, vec![], vec![]);
+        let b = t.submit("b", 0, vec![], vec![]);
+        assert!(b > a);
+        assert_eq!(t.all().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let t = JobTable::new();
+        t.submit("bad", 0, vec![0, 1], vec![1]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cluster topology assembly.
+
+use crate::allocation::JobTable;
+use crate::device::{Device, DeviceKind};
+use crate::network::Network;
+use crate::node::{Node, NodeRole};
+use std::sync::Arc;
+
+/// A simulated cluster: nodes, network, and job table.
+#[derive(Debug)]
+pub struct SimCluster {
+    nodes: Vec<Arc<Node>>,
+    network: Network,
+    jobs: JobTable,
+}
+
+impl SimCluster {
+    /// The Ares testbed of §4.1.1: 32 compute nodes (40 cores, 96 GB RAM,
+    /// 250 GB NVMe) and 32 storage nodes (8 cores, 32 GB RAM, 150 GB SSD +
+    /// 1 TB HDD), 40 Gb/s network.
+    pub fn ares() -> Self {
+        Self::ares_scaled(32, 32)
+    }
+
+    /// A scaled-down Ares topology for fast tests and experiments.
+    pub fn ares_scaled(compute: u32, storage: u32) -> Self {
+        let mut nodes = Vec::with_capacity((compute + storage) as usize);
+        for i in 0..compute {
+            nodes.push(Arc::new(Node::ares_compute(i)));
+        }
+        for i in 0..storage {
+            nodes.push(Arc::new(Node::ares_storage(compute + i)));
+        }
+        let n = nodes.len() as u32;
+        Self { nodes, network: Network::new(n, 0xA9_0110), jobs: JobTable::new() }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: u32) -> Option<&Arc<Node>> {
+        self.nodes.iter().find(|n| n.id() == id)
+    }
+
+    /// Nodes with a given role.
+    pub fn nodes_of(&self, role: NodeRole) -> Vec<Arc<Node>> {
+        self.nodes.iter().filter(|n| n.role() == role).cloned().collect()
+    }
+
+    /// Node ids currently online, ascending — the Node Availability List.
+    pub fn online_nodes(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> =
+            self.nodes.iter().filter(|n| n.is_online()).map(|n| n.id()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Every device in the cluster, with its hosting node id.
+    pub fn devices(&self) -> Vec<(u32, Arc<Device>)> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.devices().into_iter().map(move |d| (n.id(), d)))
+            .collect()
+    }
+
+    /// Every device of a given kind (a storage *tier*).
+    pub fn tier(&self, kind: DeviceKind) -> Vec<Arc<Device>> {
+        self.nodes.iter().flat_map(|n| n.devices_of(kind)).collect()
+    }
+
+    /// Remaining capacity summed over a tier (Table 1, row 10).
+    pub fn tier_remaining_bytes(&self, kind: DeviceKind) -> u64 {
+        self.tier(kind).iter().map(|d| d.remaining_bytes()).sum()
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The job allocation table.
+    pub fn jobs(&self) -> &JobTable {
+        &self.jobs
+    }
+}
+
+/// Builder for custom topologies.
+#[derive(Debug, Default)]
+pub struct ClusterBuilder {
+    nodes: Vec<Arc<Node>>,
+    seed: u64,
+}
+
+impl ClusterBuilder {
+    /// Start an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed for the network jitter RNG.
+    pub fn network_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a node (ids should be unique; enforced at build).
+    pub fn node(mut self, node: Node) -> Self {
+        self.nodes.push(Arc::new(node));
+        self
+    }
+
+    /// Finish the topology.
+    ///
+    /// # Panics
+    /// Panics if two nodes share an id.
+    pub fn build(self) -> SimCluster {
+        let mut seen = std::collections::HashSet::new();
+        for n in &self.nodes {
+            assert!(seen.insert(n.id()), "duplicate node id {}", n.id());
+        }
+        let n = self.nodes.len() as u32;
+        SimCluster {
+            nodes: self.nodes,
+            network: Network::new(n.max(1), self.seed),
+            jobs: JobTable::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ares_topology_counts() {
+        let c = SimCluster::ares();
+        assert_eq!(c.nodes().len(), 64);
+        assert_eq!(c.nodes_of(NodeRole::Compute).len(), 32);
+        assert_eq!(c.nodes_of(NodeRole::Storage).len(), 32);
+        // 32 NVMe + 32 SSD + 32 HDD
+        assert_eq!(c.devices().len(), 96);
+        assert_eq!(c.tier(DeviceKind::Nvme).len(), 32);
+        assert_eq!(c.tier(DeviceKind::Ssd).len(), 32);
+        assert_eq!(c.tier(DeviceKind::Hdd).len(), 32);
+    }
+
+    #[test]
+    fn tier_remaining_capacity() {
+        let c = SimCluster::ares_scaled(2, 1);
+        assert_eq!(c.tier_remaining_bytes(DeviceKind::Nvme), 2 * 250_000_000_000);
+        let d = &c.tier(DeviceKind::Nvme)[0];
+        d.write(0, 1_000).unwrap();
+        assert_eq!(c.tier_remaining_bytes(DeviceKind::Nvme), 2 * 250_000_000_000 - 1_000);
+    }
+
+    #[test]
+    fn online_node_list_tracks_faults() {
+        let c = SimCluster::ares_scaled(3, 0);
+        assert_eq!(c.online_nodes(), vec![0, 1, 2]);
+        c.node(1).unwrap().set_online(false);
+        assert_eq!(c.online_nodes(), vec![0, 2]);
+        c.node(1).unwrap().set_online(true);
+        assert_eq!(c.online_nodes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn builder_custom_topology() {
+        let c = ClusterBuilder::new()
+            .network_seed(5)
+            .node(Node::ares_compute(10))
+            .node(Node::ares_storage(20))
+            .build();
+        assert_eq!(c.nodes().len(), 2);
+        assert!(c.node(10).is_some());
+        assert!(c.node(99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn builder_rejects_duplicate_ids() {
+        ClusterBuilder::new()
+            .node(Node::ares_compute(1))
+            .node(Node::ares_compute(1))
+            .build();
+    }
+}

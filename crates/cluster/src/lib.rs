@@ -1,0 +1,45 @@
+//! # apollo-cluster
+//!
+//! A simulated distributed storage cluster — the substrate standing in for
+//! the **Ares testbed** the paper evaluates on (HPDC '21, §4.1.1: 32
+//! compute nodes with local NVMe, 32 storage nodes with SATA SSD + HDD,
+//! 40 Gb/s RoCE Ethernet).
+//!
+//! Everything Apollo observes lives here:
+//!
+//! * [`device`] — storage device models (RAM, NVMe, SSD, HDD, burst
+//!   buffer, PFS) with capacity, bandwidth, queueing, health, energy, and
+//!   block-access accounting — the raw-metric surface the Fact vertices
+//!   hook into and Table 1's insights aggregate.
+//! * [`node`] — compute/storage nodes: cores, RAM, CPU load, power,
+//!   online/offline state, attached devices.
+//! * [`network`] — a latency/bandwidth model between nodes with
+//!   deterministic jitter; ping probes feed the Network Health insight.
+//! * [`cluster`] — topology assembly, including an [`cluster::SimCluster::ares`]
+//!   preset mirroring the paper's testbed.
+//! * [`allocation`] — a Slurm-like job table supplying the Allocation
+//!   Characteristics insight (Table 1, row 15).
+//! * [`series`] — time-series containers shared by the adaptive-interval
+//!   and Delphi evaluations.
+//! * [`metrics`] — `MetricSource` abstraction: live device/node metrics
+//!   and trace replays (the "synthetic monitoring hook" of §4.3.1).
+//! * [`workloads`] — generators for every workload in the evaluation:
+//!   HACC-IO capacity traces (regular/irregular, §4.3.1 parameters),
+//!   IOR-style load, FIO/SAR-style device metric traces (Fig 11), and the
+//!   VPIC-IO / BD-CATS / Montage application models (Fig 13).
+
+pub mod allocation;
+pub mod cluster;
+pub mod device;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod series;
+pub mod workloads;
+
+pub use cluster::{ClusterBuilder, SimCluster};
+pub use device::{Device, DeviceKind, DeviceSpec};
+pub use metrics::{MetricKind, MetricSource};
+pub use network::Network;
+pub use node::{Node, NodeRole};
+pub use series::TimeSeries;

@@ -1,0 +1,172 @@
+//! Cluster network model.
+//!
+//! Models the 40 Gb/s Ethernet of the Ares testbed as a pairwise
+//! latency/bandwidth matrix with deterministic jitter. Ping probes feed
+//! the Network Health insight (Table 1, row 6); transfer times are used by
+//! the middleware replication engine when scoring replica targets.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// Base intra-cluster round-trip latency (same rack).
+const BASE_RTT: Duration = Duration::from_micros(25);
+/// Extra latency per "distance" unit between node ids (different racks).
+const PER_HOP: Duration = Duration::from_micros(3);
+/// Link bandwidth: 40 Gb/s in bytes/second.
+const LINK_BW: f64 = 5.0e9;
+
+/// A recorded ping observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingSample {
+    /// When the probe ran (ns).
+    pub timestamp_ns: u64,
+    /// Source node.
+    pub from: u32,
+    /// Destination node.
+    pub to: u32,
+    /// Measured round-trip time.
+    pub rtt: Duration,
+}
+
+/// Deterministic network model between `n` nodes.
+#[derive(Debug)]
+pub struct Network {
+    n_nodes: u32,
+    rng: Mutex<StdRng>,
+    history: Mutex<Vec<PingSample>>,
+    /// Per-node extra latency injected by faults (ns).
+    degraded: Mutex<Vec<u64>>,
+}
+
+impl Network {
+    /// Create a network over `n_nodes` nodes with a deterministic seed.
+    pub fn new(n_nodes: u32, seed: u64) -> Self {
+        Self {
+            n_nodes,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            history: Mutex::new(Vec::new()),
+            degraded: Mutex::new(vec![0; n_nodes as usize]),
+        }
+    }
+
+    /// Number of nodes the network spans.
+    pub fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Nominal (jitter-free) RTT between two nodes. Nodes in the same
+    /// 8-node "rack" are closest.
+    pub fn base_rtt(&self, a: u32, b: u32) -> Duration {
+        if a == b {
+            return Duration::from_nanos(500); // loopback
+        }
+        let rack_dist = (a / 8).abs_diff(b / 8);
+        let extra = PER_HOP * rack_dist;
+        let degraded = self.degraded.lock();
+        let slow = Duration::from_nanos(
+            degraded[a as usize % self.n_nodes as usize]
+                + degraded[b as usize % self.n_nodes as usize],
+        );
+        BASE_RTT + extra + slow
+    }
+
+    /// Probe the link, recording and returning an RTT with ±20% jitter.
+    pub fn ping(&self, now_ns: u64, a: u32, b: u32) -> Duration {
+        let base = self.base_rtt(a, b);
+        let jitter = self.rng.lock().random_range(0.8..1.2);
+        let rtt = base.mul_f64(jitter);
+        self.history.lock().push(PingSample { timestamp_ns: now_ns, from: a, to: b, rtt });
+        rtt
+    }
+
+    /// Time to move `bytes` from `a` to `b`: half the RTT plus serialization.
+    pub fn transfer_time(&self, a: u32, b: u32, bytes: u64) -> Duration {
+        self.base_rtt(a, b) / 2 + Duration::from_secs_f64(bytes as f64 / LINK_BW)
+    }
+
+    /// Inject `extra` one-way latency on every link touching `node`.
+    pub fn degrade_node(&self, node: u32, extra: Duration) {
+        self.degraded.lock()[node as usize % self.n_nodes as usize] =
+            extra.as_nanos().min(u128::from(u64::MAX)) as u64;
+    }
+
+    /// All recorded ping samples.
+    pub fn ping_history(&self) -> Vec<PingSample> {
+        self.history.lock().clone()
+    }
+
+    /// Most recent ping between a pair, if any.
+    pub fn last_ping(&self, a: u32, b: u32) -> Option<PingSample> {
+        self.history
+            .lock()
+            .iter()
+            .rev()
+            .find(|p| (p.from, p.to) == (a, b) || (p.from, p.to) == (b, a))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_is_fastest() {
+        let net = Network::new(16, 7);
+        assert!(net.base_rtt(3, 3) < net.base_rtt(3, 4));
+    }
+
+    #[test]
+    fn cross_rack_slower_than_same_rack() {
+        let net = Network::new(64, 7);
+        let same_rack = net.base_rtt(0, 1);
+        let cross = net.base_rtt(0, 63);
+        assert!(cross > same_rack);
+    }
+
+    #[test]
+    fn ping_is_recorded_and_jittered_within_bounds() {
+        let net = Network::new(8, 42);
+        let base = net.base_rtt(1, 2);
+        for _ in 0..50 {
+            let rtt = net.ping(0, 1, 2);
+            assert!(rtt >= base.mul_f64(0.8) && rtt <= base.mul_f64(1.2));
+        }
+        assert_eq!(net.ping_history().len(), 50);
+        assert!(net.last_ping(1, 2).is_some());
+        assert!(net.last_ping(2, 1).is_some(), "pair lookup is symmetric");
+        assert!(net.last_ping(5, 6).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Network::new(8, 99);
+        let b = Network::new(8, 99);
+        for _ in 0..10 {
+            assert_eq!(a.ping(0, 1, 2), b.ping(0, 1, 2));
+        }
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let net = Network::new(8, 7);
+        let small = net.transfer_time(0, 1, 1_000);
+        let big = net.transfer_time(0, 1, 1_000_000_000);
+        assert!(big > small);
+        // 1GB over 5 GB/s ≈ 0.2s
+        assert!((big.as_secs_f64() - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn degraded_node_slows_its_links() {
+        let net = Network::new(8, 7);
+        let before = net.base_rtt(0, 1);
+        net.degrade_node(1, Duration::from_millis(5));
+        let after = net.base_rtt(0, 1);
+        assert!(after >= before + Duration::from_millis(5));
+        // Links not touching node 1 are unaffected.
+        assert_eq!(net.base_rtt(2, 3), before);
+    }
+}

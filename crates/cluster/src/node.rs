@@ -1,0 +1,243 @@
+//! Cluster nodes.
+//!
+//! A [`Node`] models one machine of the Ares testbed: core count, RAM,
+//! attached storage devices, a CPU-load signal, a power model, and an
+//! online/offline flag (driving the Node Availability List insight,
+//! Table 1 row 9).
+
+use crate::device::{Device, DeviceKind, DeviceSpec};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The role a node plays in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Compute node (Ares: 40 cores, 96 GB RAM, local NVMe).
+    Compute,
+    /// Storage node (Ares: 8 cores, 32 GB RAM, SSD + HDD).
+    Storage,
+}
+
+/// One machine in the simulated cluster.
+#[derive(Debug)]
+pub struct Node {
+    id: u32,
+    role: NodeRole,
+    cores: u32,
+    ram_bytes: u64,
+    ram_used: AtomicU64,
+    /// CPU load in thousandths (0..=1000) for lock-free storage.
+    cpu_load_milli: AtomicU64,
+    online: AtomicBool,
+    devices: RwLock<Vec<Arc<Device>>>,
+}
+
+impl Node {
+    /// Create a node.
+    pub fn new(id: u32, role: NodeRole, cores: u32, ram_bytes: u64) -> Self {
+        Self {
+            id,
+            role,
+            cores,
+            ram_bytes,
+            ram_used: AtomicU64::new(0),
+            cpu_load_milli: AtomicU64::new(0),
+            online: AtomicBool::new(true),
+            devices: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// An Ares compute node: dual Xeon Silver 4114 (40 cores), 96 GB RAM,
+    /// 250 GB local NVMe.
+    pub fn ares_compute(id: u32) -> Self {
+        let n = Self::new(id, NodeRole::Compute, 40, 96_000_000_000);
+        n.attach(Device::new(format!("node{id}/nvme0"), DeviceSpec::nvme_250g()));
+        n
+    }
+
+    /// An Ares storage node: dual Opteron 2384 (8 cores), 32 GB RAM,
+    /// 150 GB SSD + 1 TB HDD.
+    pub fn ares_storage(id: u32) -> Self {
+        let n = Self::new(id, NodeRole::Storage, 8, 32_000_000_000);
+        n.attach(Device::new(format!("node{id}/ssd0"), DeviceSpec::ssd_150g()));
+        n.attach(Device::new(format!("node{id}/hdd0"), DeviceSpec::hdd_1t()));
+        n
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Node role.
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// Core count.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Total RAM in bytes.
+    pub fn ram_bytes(&self) -> u64 {
+        self.ram_bytes
+    }
+
+    /// RAM currently allocated.
+    pub fn ram_used(&self) -> u64 {
+        self.ram_used.load(Ordering::SeqCst)
+    }
+
+    /// Allocate RAM; saturates at capacity and returns the granted amount.
+    pub fn alloc_ram(&self, bytes: u64) -> u64 {
+        let mut cur = self.ram_used.load(Ordering::SeqCst);
+        loop {
+            let granted = bytes.min(self.ram_bytes.saturating_sub(cur));
+            match self.ram_used.compare_exchange(
+                cur,
+                cur + granted,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return granted,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release RAM.
+    pub fn free_ram(&self, bytes: u64) {
+        let mut cur = self.ram_used.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.ram_used.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// CPU load as a fraction in [0, 1].
+    pub fn cpu_load(&self) -> f64 {
+        self.cpu_load_milli.load(Ordering::SeqCst) as f64 / 1000.0
+    }
+
+    /// Set the CPU load fraction (clamped to [0, 1]).
+    pub fn set_cpu_load(&self, load: f64) {
+        let milli = (load.clamp(0.0, 1.0) * 1000.0).round() as u64;
+        self.cpu_load_milli.store(milli, Ordering::SeqCst);
+    }
+
+    /// Whether the node is online.
+    pub fn is_online(&self) -> bool {
+        self.online.load(Ordering::SeqCst)
+    }
+
+    /// Take the node offline (fault injection) or bring it back.
+    pub fn set_online(&self, online: bool) {
+        self.online.store(online, Ordering::SeqCst);
+    }
+
+    /// Attach a device; returns its handle.
+    pub fn attach(&self, device: Device) -> Arc<Device> {
+        let d = Arc::new(device);
+        self.devices.write().push(Arc::clone(&d));
+        d
+    }
+
+    /// All attached devices.
+    pub fn devices(&self) -> Vec<Arc<Device>> {
+        self.devices.read().clone()
+    }
+
+    /// Devices of a given kind.
+    pub fn devices_of(&self, kind: DeviceKind) -> Vec<Arc<Device>> {
+        self.devices.read().iter().filter(|d| d.spec.kind == kind).cloned().collect()
+    }
+
+    /// First device of a given kind, if present.
+    pub fn device_of(&self, kind: DeviceKind) -> Option<Arc<Device>> {
+        self.devices.read().iter().find(|d| d.spec.kind == kind).cloned()
+    }
+
+    /// Node power draw: per-core active power scaled by CPU load plus
+    /// device power, in watts.
+    pub fn power_w(&self, now_ns: u64) -> f64 {
+        let core_idle = 2.0;
+        let core_active = 5.0;
+        let cpu = self.cores as f64 * (core_idle + (core_active - core_idle) * self.cpu_load());
+        let dev: f64 = self.devices.read().iter().map(|d| d.power_w(now_ns)).sum();
+        cpu + dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ares_presets_match_paper() {
+        let c = Node::ares_compute(1);
+        assert_eq!(c.cores(), 40);
+        assert_eq!(c.ram_bytes(), 96_000_000_000);
+        assert_eq!(c.devices().len(), 1);
+        assert!(c.device_of(DeviceKind::Nvme).is_some());
+
+        let s = Node::ares_storage(2);
+        assert_eq!(s.cores(), 8);
+        assert_eq!(s.ram_bytes(), 32_000_000_000);
+        assert!(s.device_of(DeviceKind::Ssd).is_some());
+        assert!(s.device_of(DeviceKind::Hdd).is_some());
+        assert!(s.device_of(DeviceKind::Nvme).is_none());
+    }
+
+    #[test]
+    fn ram_allocation_saturates() {
+        let n = Node::new(0, NodeRole::Compute, 4, 1000);
+        assert_eq!(n.alloc_ram(600), 600);
+        assert_eq!(n.alloc_ram(600), 400, "grants only what remains");
+        assert_eq!(n.ram_used(), 1000);
+        n.free_ram(300);
+        assert_eq!(n.ram_used(), 700);
+        n.free_ram(u64::MAX);
+        assert_eq!(n.ram_used(), 0);
+    }
+
+    #[test]
+    fn cpu_load_clamps() {
+        let n = Node::new(0, NodeRole::Compute, 4, 0);
+        n.set_cpu_load(0.5);
+        assert!((n.cpu_load() - 0.5).abs() < 1e-9);
+        n.set_cpu_load(7.0);
+        assert_eq!(n.cpu_load(), 1.0);
+        n.set_cpu_load(-1.0);
+        assert_eq!(n.cpu_load(), 0.0);
+    }
+
+    #[test]
+    fn online_toggle() {
+        let n = Node::new(0, NodeRole::Storage, 8, 0);
+        assert!(n.is_online());
+        n.set_online(false);
+        assert!(!n.is_online());
+    }
+
+    #[test]
+    fn power_grows_with_load() {
+        let n = Node::ares_compute(0);
+        let idle = n.power_w(0);
+        n.set_cpu_load(1.0);
+        assert!(n.power_w(0) > idle);
+    }
+
+    #[test]
+    fn devices_of_filters_by_kind() {
+        let n = Node::ares_storage(0);
+        assert_eq!(n.devices_of(DeviceKind::Ssd).len(), 1);
+        assert_eq!(n.devices_of(DeviceKind::Hdd).len(), 1);
+        assert_eq!(n.devices_of(DeviceKind::Ram).len(), 0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Time-series containers.
+//!
+//! Telemetry is time-series data (§2.2); this module provides the shared
+//! representation used by workload replays, the adaptive-interval
+//! evaluation (Figures 8–10) and Delphi's datasets (Figures 3c, 11).
+
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds since an experiment epoch.
+pub type Nanos = u64;
+
+/// An ordered sequence of `(timestamp, value)` samples.
+///
+/// Timestamps are strictly increasing. Values between samples follow a
+/// step function (the value holds until the next sample) — matching how a
+/// polled metric is interpreted by a monitoring service.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(Nanos, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw points.
+    ///
+    /// # Panics
+    /// Panics if timestamps are not strictly increasing.
+    pub fn from_points(points: Vec<(Nanos, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "TimeSeries timestamps must be strictly increasing"
+        );
+        Self { points }
+    }
+
+    /// Append a sample. Timestamps must strictly increase.
+    ///
+    /// # Panics
+    /// Panics on a non-increasing timestamp.
+    pub fn push(&mut self, t: Nanos, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t > last, "non-increasing timestamp {t} after {last}");
+        }
+        self.points.push((t, v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples exist.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw points.
+    pub fn points(&self) -> &[(Nanos, f64)] {
+        &self.points
+    }
+
+    /// Just the values, in time order.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// First timestamp, if any.
+    pub fn start(&self) -> Option<Nanos> {
+        self.points.first().map(|&(t, _)| t)
+    }
+
+    /// Last timestamp, if any.
+    pub fn end(&self) -> Option<Nanos> {
+        self.points.last().map(|&(t, _)| t)
+    }
+
+    /// Step-function value at time `t`: the most recent sample at or
+    /// before `t`. `None` before the first sample.
+    pub fn value_at(&self, t: Nanos) -> Option<f64> {
+        let idx = self.points.partition_point(|&(ts, _)| ts <= t);
+        idx.checked_sub(1).map(|i| self.points[i].1)
+    }
+
+    /// Resample onto a regular grid `[start, end]` with step `dt`,
+    /// carrying the step-function value. Times before the first sample
+    /// carry the first value.
+    pub fn resample(&self, start: Nanos, end: Nanos, dt: Nanos) -> TimeSeries {
+        assert!(dt > 0, "resample step must be positive");
+        let mut out = TimeSeries::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        let first_v = self.points[0].1;
+        let mut t = start;
+        while t <= end {
+            out.push(t, self.value_at(t).unwrap_or(first_v));
+            match t.checked_add(dt) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Mean of the values. `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Population standard deviation. `NaN` when empty.
+    pub fn std(&self) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        let m = self.mean();
+        let var = self.points.iter().map(|&(_, v)| (v - m) * (v - m)).sum::<f64>()
+            / self.points.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum value, `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum value, `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(f64::NAN, f64::max)
+    }
+
+    /// Mean absolute error against another series on this series' grid.
+    ///
+    /// # Panics
+    /// Panics when the two series have different lengths.
+    pub fn mae(&self, other: &TimeSeries) -> f64 {
+        assert_eq!(self.len(), other.len(), "mae requires equal-length series");
+        if self.is_empty() {
+            return f64::NAN;
+        }
+        self.points
+            .iter()
+            .zip(&other.points)
+            .map(|(&(_, a), &(_, b))| (a - b).abs())
+            .sum::<f64>()
+            / self.len() as f64
+    }
+
+    /// Root-mean-squared error against another series of equal length.
+    ///
+    /// # Panics
+    /// Panics when the two series have different lengths.
+    pub fn rmse(&self, other: &TimeSeries) -> f64 {
+        assert_eq!(self.len(), other.len(), "rmse requires equal-length series");
+        if self.is_empty() {
+            return f64::NAN;
+        }
+        let se: f64 = self
+            .points
+            .iter()
+            .zip(&other.points)
+            .map(|(&(_, a), &(_, b))| (a - b) * (a - b))
+            .sum();
+        (se / self.len() as f64).sqrt()
+    }
+
+    /// Coefficient of determination R² of `other` as a prediction of
+    /// `self`.
+    ///
+    /// # Panics
+    /// Panics when the two series have different lengths.
+    pub fn r2(&self, other: &TimeSeries) -> f64 {
+        assert_eq!(self.len(), other.len(), "r2 requires equal-length series");
+        let mean = self.mean();
+        let ss_tot: f64 = self.points.iter().map(|&(_, v)| (v - mean) * (v - mean)).sum();
+        let ss_res: f64 = self
+            .points
+            .iter()
+            .zip(&other.points)
+            .map(|(&(_, a), &(_, b))| (a - b) * (a - b))
+            .sum();
+        if ss_tot == 0.0 {
+            if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY }
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+
+    /// Serialize as two-column CSV (`timestamp_ns,value`) — the capture
+    /// format for workload replay (§4.3.1: "we captured the HACC capacity
+    /// workload and replayed it with an emulation").
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.points.len() * 24 + 20);
+        out.push_str("timestamp_ns,value\n");
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{t},{v}\n"));
+        }
+        out
+    }
+
+    /// Parse the [`TimeSeries::to_csv`] format (header optional).
+    pub fn from_csv(csv: &str) -> Result<TimeSeries, String> {
+        let mut ts = TimeSeries::new();
+        for (i, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (i == 0 && line.starts_with("timestamp_ns")) {
+                continue;
+            }
+            let (t_str, v_str) =
+                line.split_once(',').ok_or_else(|| format!("line {}: missing comma", i + 1))?;
+            let t: Nanos =
+                t_str.trim().parse().map_err(|e| format!("line {}: bad timestamp: {e}", i + 1))?;
+            let v: f64 =
+                v_str.trim().parse().map_err(|e| format!("line {}: bad value: {e}", i + 1))?;
+            if ts.end().is_some_and(|last| t <= last) {
+                return Err(format!("line {}: non-increasing timestamp {t}", i + 1));
+            }
+            ts.push(t, v);
+        }
+        Ok(ts)
+    }
+
+    /// Write the CSV capture to a file.
+    pub fn save_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Load a CSV capture from a file.
+    pub fn load_csv(path: &std::path::Path) -> std::io::Result<TimeSeries> {
+        let raw = std::fs::read_to_string(path)?;
+        Self::from_csv(&raw)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Min-max normalize values into [0, 1]. Constant series map to 0.5.
+    pub fn normalized(&self) -> TimeSeries {
+        let (lo, hi) = (self.min(), self.max());
+        let span = hi - lo;
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .map(|&(t, v)| (t, if span == 0.0 { 0.5 } else { (v - lo) / span }))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(pts: &[(u64, f64)]) -> TimeSeries {
+        TimeSeries::from_points(pts.to_vec())
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(1, 10.0);
+        ts.push(2, 20.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.values(), vec![10.0, 20.0]);
+        assert_eq!(ts.start(), Some(1));
+        assert_eq!(ts.end(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn push_non_increasing_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(5, 0.0);
+        ts.push(5, 0.0);
+    }
+
+    #[test]
+    fn value_at_is_step_function() {
+        let ts = s(&[(10, 1.0), (20, 2.0), (30, 3.0)]);
+        assert_eq!(ts.value_at(9), None);
+        assert_eq!(ts.value_at(10), Some(1.0));
+        assert_eq!(ts.value_at(15), Some(1.0));
+        assert_eq!(ts.value_at(20), Some(2.0));
+        assert_eq!(ts.value_at(1000), Some(3.0));
+    }
+
+    #[test]
+    fn resample_regular_grid() {
+        let ts = s(&[(0, 1.0), (10, 2.0)]);
+        let r = ts.resample(0, 20, 5);
+        assert_eq!(r.points(), &[(0, 1.0), (5, 1.0), (10, 2.0), (15, 2.0), (20, 2.0)]);
+    }
+
+    #[test]
+    fn resample_before_first_sample_carries_first_value() {
+        let ts = s(&[(10, 7.0)]);
+        let r = ts.resample(0, 10, 5);
+        assert_eq!(r.points(), &[(0, 7.0), (5, 7.0), (10, 7.0)]);
+    }
+
+    #[test]
+    fn stats() {
+        let ts = s(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        assert!((ts.mean() - 2.5).abs() < 1e-12);
+        assert!((ts.std() - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(ts.min(), 1.0);
+        assert_eq!(ts.max(), 4.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = s(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let b = s(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        assert_eq!(a.mae(&b), 0.0);
+        assert_eq!(a.rmse(&b), 0.0);
+        assert_eq!(a.r2(&b), 1.0);
+
+        let c = s(&[(0, 2.0), (1, 3.0), (2, 4.0)]);
+        assert!((a.mae(&c) - 1.0).abs() < 1e-12);
+        assert!((a.rmse(&c) - 1.0).abs() < 1e-12);
+        // ss_tot = 2, ss_res = 3 -> r2 = -0.5
+        assert!((a.r2(&c) - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_series() {
+        let a = s(&[(0, 5.0), (1, 5.0)]);
+        let b = s(&[(0, 5.0), (1, 5.0)]);
+        assert_eq!(a.r2(&b), 1.0);
+        let c = s(&[(0, 4.0), (1, 5.0)]);
+        assert_eq!(a.r2(&c), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normalized_maps_to_unit_interval() {
+        let ts = s(&[(0, 10.0), (1, 20.0), (2, 30.0)]);
+        let n = ts.normalized();
+        assert_eq!(n.values(), vec![0.0, 0.5, 1.0]);
+        let flat = s(&[(0, 3.0), (1, 3.0)]);
+        assert_eq!(flat.normalized().values(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ts = s(&[(0, 1.5), (10, -2.25), (20, 1e11)]);
+        let csv = ts.to_csv();
+        assert!(csv.starts_with("timestamp_ns,value\n"));
+        let back = TimeSeries::from_csv(&csv).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn csv_parses_without_header_and_with_blank_lines() {
+        let back = TimeSeries::from_csv("1,2.0\n\n3,4.0\n").unwrap();
+        assert_eq!(back.points(), &[(1, 2.0), (3, 4.0)]);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(TimeSeries::from_csv("nonsense").is_err());
+        assert!(TimeSeries::from_csv("1,notanumber").is_err());
+        assert!(TimeSeries::from_csv("5,1.0\n5,2.0").is_err(), "non-increasing");
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("apollo-series-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let ts = s(&[(100, 42.0), (200, 43.5)]);
+        ts.save_csv(&path).unwrap();
+        assert_eq!(TimeSeries::load_csv(&path).unwrap(), ts);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_series_stats_are_nan() {
+        let ts = TimeSeries::new();
+        assert!(ts.mean().is_nan());
+        assert!(ts.std().is_nan());
+        assert!(ts.min().is_nan());
+        assert!(ts.max().is_nan());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn value_at_matches_naive_scan(
+            raw in proptest::collection::btree_map(0u64..1000, -1e6f64..1e6, 1..50),
+            q in 0u64..1200,
+        ) {
+            let pts: Vec<(u64, f64)> = raw.into_iter().collect();
+            let ts = TimeSeries::from_points(pts.clone());
+            let naive = pts.iter().rev().find(|&&(t, _)| t <= q).map(|&(_, v)| v);
+            prop_assert_eq!(ts.value_at(q), naive);
+        }
+
+        #[test]
+        fn resample_preserves_bounds(
+            raw in proptest::collection::btree_map(0u64..1000, 0f64..100.0, 1..40),
+        ) {
+            let pts: Vec<(u64, f64)> = raw.into_iter().collect();
+            let ts = TimeSeries::from_points(pts);
+            let r = ts.resample(0, 1000, 7);
+            prop_assert!(!r.is_empty());
+            for &(_, v) in r.points() {
+                prop_assert!(v >= ts.min() && v <= ts.max());
+            }
+        }
+
+        #[test]
+        fn normalized_is_in_unit_interval(
+            raw in proptest::collection::btree_map(0u64..1000, -1e9f64..1e9, 1..40),
+        ) {
+            let ts = TimeSeries::from_points(raw.into_iter().collect());
+            for &(_, v) in ts.normalized().points() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! FIO/SAR-style device metric traces.
+//!
+//! For Figure 11 the paper "collected data using SAR while running
+//! different workloads using FIO … different metrics per drive and
+//! partition every second using the `-dbp -P ALL 1` flags on an NVMe, SSD
+//! and HDD", then trained per-metric LSTMs on 10 K points and tested on
+//! 60 K. This module synthesizes equivalent traces: per-device, per-metric
+//! series at 1 s cadence, with the bursty/phased/periodic structure real
+//! SAR device metrics show.
+//!
+//! Each trace is a deterministic function of `(device, metric, seed)`.
+
+use crate::device::DeviceKind;
+use crate::series::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const NS: u64 = 1_000_000_000;
+
+/// SAR `-d` block-device metrics (per second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SarMetric {
+    /// Transfers per second.
+    Tps,
+    /// Sectors read per second.
+    ReadSectors,
+    /// Sectors written per second.
+    WriteSectors,
+    /// Average request size (sectors).
+    AvgRequestSize,
+    /// Average queue length.
+    AvgQueueSize,
+    /// Average request wait (ms).
+    Await,
+    /// Device utilization percentage.
+    Util,
+}
+
+impl SarMetric {
+    /// All metrics, in a stable order.
+    pub const ALL: [SarMetric; 7] = [
+        SarMetric::Tps,
+        SarMetric::ReadSectors,
+        SarMetric::WriteSectors,
+        SarMetric::AvgRequestSize,
+        SarMetric::AvgQueueSize,
+        SarMetric::Await,
+        SarMetric::Util,
+    ];
+
+    /// SAR column name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SarMetric::Tps => "tps",
+            SarMetric::ReadSectors => "rd_sec/s",
+            SarMetric::WriteSectors => "wr_sec/s",
+            SarMetric::AvgRequestSize => "avgrq-sz",
+            SarMetric::AvgQueueSize => "avgqu-sz",
+            SarMetric::Await => "await",
+            SarMetric::Util => "%util",
+        }
+    }
+}
+
+/// Scale/shape parameters per device/metric pair.
+struct Shape {
+    base: f64,
+    burst_amp: f64,
+    period_s: f64,
+    periodic_amp: f64,
+    noise: f64,
+    /// Probability per second of entering/leaving a burst phase.
+    p_burst_on: f64,
+    p_burst_off: f64,
+    clamp_max: f64,
+}
+
+fn shape_for(device: DeviceKind, metric: SarMetric) -> Shape {
+    // Device speed class scales throughput-like metrics; latency-like
+    // metrics scale inversely.
+    let speed = match device {
+        DeviceKind::Ram => 10.0,
+        DeviceKind::Nvme => 4.0,
+        DeviceKind::BurstBuffer | DeviceKind::Ssd => 1.5,
+        DeviceKind::Pfs | DeviceKind::Hdd => 0.4,
+    };
+    match metric {
+        SarMetric::Tps => Shape {
+            base: 40.0 * speed,
+            burst_amp: 400.0 * speed,
+            period_s: 60.0,
+            periodic_amp: 15.0 * speed,
+            noise: 6.0,
+            p_burst_on: 0.02,
+            p_burst_off: 0.10,
+            clamp_max: f64::INFINITY,
+        },
+        SarMetric::ReadSectors => Shape {
+            base: 2_000.0 * speed,
+            burst_amp: 60_000.0 * speed,
+            period_s: 45.0,
+            periodic_amp: 800.0 * speed,
+            noise: 250.0,
+            p_burst_on: 0.015,
+            p_burst_off: 0.08,
+            clamp_max: f64::INFINITY,
+        },
+        SarMetric::WriteSectors => Shape {
+            base: 1_500.0 * speed,
+            burst_amp: 80_000.0 * speed,
+            period_s: 90.0,
+            periodic_amp: 600.0 * speed,
+            noise: 220.0,
+            p_burst_on: 0.02,
+            p_burst_off: 0.06,
+            clamp_max: f64::INFINITY,
+        },
+        SarMetric::AvgRequestSize => Shape {
+            base: 64.0,
+            burst_amp: 448.0,
+            period_s: 120.0,
+            periodic_amp: 16.0,
+            noise: 4.0,
+            p_burst_on: 0.01,
+            p_burst_off: 0.05,
+            clamp_max: 1024.0,
+        },
+        SarMetric::AvgQueueSize => Shape {
+            base: 0.5 / speed,
+            burst_amp: 24.0 / speed,
+            period_s: 60.0,
+            periodic_amp: 0.2,
+            noise: 0.1,
+            p_burst_on: 0.02,
+            p_burst_off: 0.10,
+            clamp_max: 256.0,
+        },
+        SarMetric::Await => Shape {
+            base: 1.0 / speed,
+            burst_amp: 40.0 / speed,
+            period_s: 75.0,
+            periodic_amp: 0.3 / speed,
+            noise: 0.15,
+            p_burst_on: 0.02,
+            p_burst_off: 0.10,
+            clamp_max: 5_000.0,
+        },
+        SarMetric::Util => Shape {
+            base: 8.0,
+            burst_amp: 85.0,
+            period_s: 60.0,
+            periodic_amp: 4.0,
+            noise: 1.5,
+            p_burst_on: 0.02,
+            p_burst_off: 0.08,
+            clamp_max: 100.0,
+        },
+    }
+}
+
+/// Generate `samples` seconds of a SAR metric trace for a device kind.
+pub fn trace(device: DeviceKind, metric: SarMetric, samples: usize, seed: u64) -> TimeSeries {
+    let shape = shape_for(device, metric);
+    // Distinct stream per (device, metric, seed).
+    let stream = seed
+        ^ (device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (metric as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut rng = StdRng::seed_from_u64(stream);
+    let mut ts = TimeSeries::new();
+    let mut bursting = false;
+    let mut burst_level = 0.0f64;
+    for i in 0..samples {
+        let t_s = i as f64;
+        // Burst phase Markov chain.
+        if bursting {
+            if rng.random_range(0.0..1.0) < shape.p_burst_off {
+                bursting = false;
+            }
+        } else if rng.random_range(0.0..1.0) < shape.p_burst_on {
+            bursting = true;
+            burst_level = rng.random_range(0.4..1.0);
+        }
+        let burst = if bursting { shape.burst_amp * burst_level } else { 0.0 };
+        let periodic =
+            shape.periodic_amp * (2.0 * std::f64::consts::PI * t_s / shape.period_s).sin();
+        let noise = rng.random_range(-shape.noise..=shape.noise);
+        let v = (shape.base + burst + periodic + noise).clamp(0.0, shape.clamp_max);
+        ts.push(i as u64 * NS, v);
+    }
+    ts
+}
+
+/// The full Figure 11 dataset: every (device, metric) pair with
+/// `train + test` points, split into (train, test).
+pub fn dataset(
+    train: usize,
+    test: usize,
+    seed: u64,
+) -> Vec<(DeviceKind, SarMetric, TimeSeries, TimeSeries)> {
+    let devices = [DeviceKind::Nvme, DeviceKind::Ssd, DeviceKind::Hdd];
+    let mut out = Vec::new();
+    for d in devices {
+        for m in SarMetric::ALL {
+            let full = trace(d, m, train + test, seed);
+            let pts = full.points();
+            let train_ts = TimeSeries::from_points(pts[..train].to_vec());
+            let test_ts = TimeSeries::from_points(pts[train..].to_vec());
+            out.push((d, m, train_ts, test_ts));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = trace(DeviceKind::Nvme, SarMetric::Tps, 100, 1);
+        let b = trace(DeviceKind::Nvme, SarMetric::Tps, 100, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_streams_per_device_and_metric() {
+        let a = trace(DeviceKind::Nvme, SarMetric::Tps, 200, 1);
+        let b = trace(DeviceKind::Hdd, SarMetric::Tps, 200, 1);
+        let c = trace(DeviceKind::Nvme, SarMetric::Await, 200, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_respect_clamps() {
+        let u = trace(DeviceKind::Ssd, SarMetric::Util, 2_000, 9);
+        assert!(u.values().iter().all(|&v| (0.0..=100.0).contains(&v)));
+        let q = trace(DeviceKind::Hdd, SarMetric::AvgQueueSize, 2_000, 9);
+        assert!(q.values().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn one_second_cadence() {
+        let t = trace(DeviceKind::Nvme, SarMetric::Tps, 10, 0);
+        let pts = t.points();
+        assert_eq!(pts.len(), 10);
+        assert!(pts.windows(2).all(|w| w[1].0 - w[0].0 == NS));
+    }
+
+    #[test]
+    fn bursts_occur() {
+        // Over a long trace, bursty metrics must show high-amplitude
+        // excursions well above base.
+        let t = trace(DeviceKind::Nvme, SarMetric::WriteSectors, 5_000, 4);
+        let base = shape_for(DeviceKind::Nvme, SarMetric::WriteSectors).base;
+        assert!(t.max() > base * 5.0, "no bursts found: max={}", t.max());
+    }
+
+    #[test]
+    fn hdd_latency_worse_than_nvme() {
+        let h = trace(DeviceKind::Hdd, SarMetric::Await, 5_000, 2);
+        let n = trace(DeviceKind::Nvme, SarMetric::Await, 5_000, 2);
+        assert!(h.mean() > n.mean());
+    }
+
+    #[test]
+    fn dataset_covers_all_pairs_and_split_sizes() {
+        let ds = dataset(50, 200, 0);
+        assert_eq!(ds.len(), 3 * 7);
+        for (_, _, train, test) in &ds {
+            assert_eq!(train.len(), 50);
+            assert_eq!(test.len(), 200);
+            // Test continues after train.
+            assert!(test.start().unwrap() > train.end().unwrap());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! HACC-IO capacity workloads (§4.3.1).
+//!
+//! The paper: *"a HACC write workload which was tailored with waits to
+//! ensure writing 38000 bytes of data to an NVMe every 5 seconds or a
+//! random amount of data between 19000 and 38000 bytes to an NVMe every
+//! 5-20 seconds, and measured the capacity of the NVMe over time. In order
+//! to ensure uniformity, we captured the HACC capacity workload and
+//! replayed it with an emulation."*
+//!
+//! [`HaccWorkload`] generates the write-event schedule and the resulting
+//! remaining-capacity [`TimeSeries`] deterministically from a seed, for
+//! use as a replayed trace (the Figure 8–10 experiments) or to drive a
+//! live [`crate::device::Device`].
+
+use crate::series::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Nanoseconds per second.
+const NS: u64 = 1_000_000_000;
+
+/// Configuration of a HACC capacity workload.
+#[derive(Debug, Clone)]
+pub struct HaccConfig {
+    /// Total workload duration in seconds (paper: 30 minutes).
+    pub duration_s: u64,
+    /// Initial remaining capacity of the NVMe in bytes.
+    pub initial_capacity: u64,
+    /// Regular mode: fixed bytes per write; irregular: upper bound.
+    pub bytes_max: u64,
+    /// Irregular mode: lower bound on bytes per write.
+    pub bytes_min: u64,
+    /// Regular mode: fixed inter-write gap (s); irregular: lower bound.
+    pub gap_min_s: u64,
+    /// Irregular mode: upper bound on the gap (s).
+    pub gap_max_s: u64,
+    /// RNG seed for irregular schedules.
+    pub seed: u64,
+}
+
+impl HaccConfig {
+    /// The paper's *regular* workload: 38 000 B every 5 s for 30 min.
+    pub fn regular() -> Self {
+        Self {
+            duration_s: 30 * 60,
+            initial_capacity: 250_000_000_000,
+            bytes_max: 38_000,
+            bytes_min: 38_000,
+            gap_min_s: 5,
+            gap_max_s: 5,
+            seed: 0,
+        }
+    }
+
+    /// The paper's *irregular* workload: 19 000–38 000 B every 5–20 s.
+    pub fn irregular(seed: u64) -> Self {
+        Self {
+            duration_s: 30 * 60,
+            initial_capacity: 250_000_000_000,
+            bytes_max: 38_000,
+            bytes_min: 19_000,
+            gap_min_s: 5,
+            gap_max_s: 20,
+            seed,
+        }
+    }
+
+    /// Shrink the run length (for fast tests).
+    pub fn with_duration_s(mut self, s: u64) -> Self {
+        self.duration_s = s;
+        self
+    }
+}
+
+/// One scheduled write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEvent {
+    /// Time of the write (ns from workload start).
+    pub at_ns: u64,
+    /// Bytes written.
+    pub bytes: u64,
+}
+
+/// A generated HACC workload: the event schedule plus derived traces.
+#[derive(Debug, Clone)]
+pub struct HaccWorkload {
+    config: HaccConfig,
+    events: Vec<WriteEvent>,
+}
+
+impl HaccWorkload {
+    /// Generate a workload from a config (deterministic per seed).
+    pub fn generate(config: HaccConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut events = Vec::new();
+        let end_ns = config.duration_s * NS;
+        let mut t = 0u64;
+        loop {
+            let gap_s = if config.gap_min_s == config.gap_max_s {
+                config.gap_min_s
+            } else {
+                rng.random_range(config.gap_min_s..=config.gap_max_s)
+            };
+            t += gap_s * NS;
+            if t > end_ns {
+                break;
+            }
+            let bytes = if config.bytes_min == config.bytes_max {
+                config.bytes_max
+            } else {
+                rng.random_range(config.bytes_min..=config.bytes_max)
+            };
+            events.push(WriteEvent { at_ns: t, bytes });
+        }
+        Self { config, events }
+    }
+
+    /// The write schedule.
+    pub fn events(&self) -> &[WriteEvent] {
+        &self.events
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &HaccConfig {
+        &self.config
+    }
+
+    /// Total bytes the workload writes.
+    pub fn total_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.bytes).sum()
+    }
+
+    /// The exact remaining-capacity step function: a point at t=0 with the
+    /// initial capacity and one point per write.
+    pub fn capacity_trace(&self) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        ts.push(0, self.config.initial_capacity as f64);
+        let mut cap = self.config.initial_capacity;
+        for e in &self.events {
+            cap = cap.saturating_sub(e.bytes);
+            ts.push(e.at_ns, cap as f64);
+        }
+        ts
+    }
+
+    /// The capacity trace sampled on a regular 1 s grid — the "1 second
+    /// monitoring trace" reference of §4.3.1 against which accuracy is
+    /// scored.
+    pub fn reference_trace_1s(&self) -> TimeSeries {
+        self.capacity_trace().resample(0, self.config.duration_s * NS, NS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_schedule_matches_paper_parameters() {
+        let w = HaccWorkload::generate(HaccConfig::regular());
+        // 30 min / 5 s = 360 writes (first at t=5s, last at t=1800s).
+        assert_eq!(w.events().len(), 360);
+        assert!(w.events().iter().all(|e| e.bytes == 38_000));
+        assert_eq!(w.events()[0].at_ns, 5 * NS);
+        assert_eq!(w.events()[359].at_ns, 1800 * NS);
+        assert_eq!(w.total_bytes(), 360 * 38_000);
+    }
+
+    #[test]
+    fn irregular_schedule_respects_bounds() {
+        let w = HaccWorkload::generate(HaccConfig::irregular(7));
+        assert!(!w.events().is_empty());
+        for e in w.events() {
+            assert!((19_000..=38_000).contains(&e.bytes));
+        }
+        let mut prev = 0u64;
+        for e in w.events() {
+            let gap = e.at_ns - prev;
+            assert!((5 * NS..=20 * NS).contains(&gap), "gap {gap} out of range");
+            prev = e.at_ns;
+        }
+    }
+
+    #[test]
+    fn irregular_is_deterministic_per_seed() {
+        let a = HaccWorkload::generate(HaccConfig::irregular(42));
+        let b = HaccWorkload::generate(HaccConfig::irregular(42));
+        assert_eq!(a.events(), b.events());
+        let c = HaccWorkload::generate(HaccConfig::irregular(43));
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn capacity_trace_is_monotone_decreasing() {
+        let w = HaccWorkload::generate(HaccConfig::irregular(1));
+        let trace = w.capacity_trace();
+        let vals = trace.values();
+        assert!(vals.windows(2).all(|v| v[1] <= v[0]));
+        assert_eq!(vals[0], 250_000_000_000.0);
+        let expected_final = 250_000_000_000.0 - w.total_bytes() as f64;
+        assert_eq!(*vals.last().unwrap(), expected_final);
+    }
+
+    #[test]
+    fn reference_trace_has_one_sample_per_second() {
+        let w = HaccWorkload::generate(HaccConfig::regular().with_duration_s(60));
+        let r = w.reference_trace_1s();
+        assert_eq!(r.len(), 61); // t=0..=60 inclusive
+        // Value at 4s is still initial; at 5s the first write landed.
+        assert_eq!(r.points()[4].1, 250_000_000_000.0);
+        assert_eq!(r.points()[5].1, 250_000_000_000.0 - 38_000.0);
+    }
+
+    #[test]
+    fn short_duration_yields_no_events_when_gap_exceeds_it() {
+        let w = HaccWorkload::generate(HaccConfig::regular().with_duration_s(3));
+        assert!(w.events().is_empty());
+        assert_eq!(w.capacity_trace().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn events_are_in_bounds_and_ordered(seed in any::<u64>(), dur in 30u64..600) {
+            let w = HaccWorkload::generate(HaccConfig::irregular(seed).with_duration_s(dur));
+            let end = dur * NS;
+            let mut prev = 0u64;
+            for e in w.events() {
+                prop_assert!(e.at_ns > prev);
+                prop_assert!(e.at_ns <= end);
+                prop_assert!((19_000..=38_000).contains(&e.bytes));
+                prev = e.at_ns;
+            }
+        }
+
+        #[test]
+        fn capacity_trace_conserves_bytes(seed in any::<u64>()) {
+            let w = HaccWorkload::generate(HaccConfig::irregular(seed).with_duration_s(120));
+            let trace = w.capacity_trace();
+            let first = trace.values()[0];
+            let last = *trace.values().last().unwrap();
+            prop_assert_eq!(first - last, w.total_bytes() as f64);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! IOR-style phased sequential I/O.
+//!
+//! The overhead analysis (Figure 5) runs IOR "to simulate different
+//! workloads" while Apollo monitors. This generator produces the classic
+//! IOR access pattern: `procs` processes each writing (then reading)
+//! `block_size` in `transfer_size` chunks, in bursts separated by compute
+//! phases — the bursty phase behaviour of scientific I/O (§2.1, Méndez et
+//! al.).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const NS: u64 = 1_000_000_000;
+
+/// One I/O burst from one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IorEvent {
+    /// Event time (ns from start).
+    pub at_ns: u64,
+    /// Issuing process rank.
+    pub rank: u32,
+    /// True for write, false for read.
+    pub write: bool,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+/// IOR run configuration.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// Number of processes.
+    pub procs: u32,
+    /// Per-process block size in bytes.
+    pub block_size: u64,
+    /// Transfer (chunk) size in bytes.
+    pub transfer_size: u64,
+    /// Number of write/read phase pairs.
+    pub iterations: u32,
+    /// Compute time between phases, seconds.
+    pub compute_gap_s: f64,
+    /// Seed for per-rank skew.
+    pub seed: u64,
+}
+
+impl Default for IorConfig {
+    fn default() -> Self {
+        Self {
+            procs: 40,
+            block_size: 256 * 1024 * 1024,
+            transfer_size: 2 * 1024 * 1024,
+            iterations: 4,
+            compute_gap_s: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate the IOR event schedule, time-ordered.
+pub fn generate(config: &IorConfig) -> Vec<IorEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut events = Vec::new();
+    let chunks = config.block_size.div_ceil(config.transfer_size.max(1));
+    // Assume ~1 GB/s effective per-rank bandwidth for schedule spacing.
+    let chunk_time_ns = (config.transfer_size as f64 / 1e9 * NS as f64) as u64;
+    let mut phase_start = 0u64;
+    for _iter in 0..config.iterations {
+        for write in [true, false] {
+            let mut phase_end = phase_start;
+            for rank in 0..config.procs {
+                // Ranks start with a small random skew, like real MPI jobs.
+                let skew = rng.random_range(0..10_000_000);
+                let mut t = phase_start + skew;
+                for _ in 0..chunks {
+                    events.push(IorEvent { at_ns: t, rank, write, bytes: config.transfer_size });
+                    t += chunk_time_ns.max(1);
+                }
+                phase_end = phase_end.max(t);
+            }
+            phase_start = phase_end + (config.compute_gap_s * NS as f64) as u64;
+        }
+    }
+    events.sort_by_key(|e| (e.at_ns, e.rank));
+    events
+}
+
+/// Total bytes moved by a schedule.
+pub fn total_bytes(events: &[IorEvent]) -> u64 {
+    events.iter().map(|e| e.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> IorConfig {
+        IorConfig {
+            procs: 4,
+            block_size: 8 * 1024 * 1024,
+            transfer_size: 1024 * 1024,
+            iterations: 2,
+            compute_gap_s: 1.0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn event_count_matches_configuration() {
+        let cfg = small();
+        let events = generate(&cfg);
+        // procs * chunks * 2 (write+read) * iterations
+        let expected = 4 * 8 * 2 * 2;
+        assert_eq!(events.len(), expected);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let events = generate(&small());
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn write_phase_precedes_read_phase() {
+        let events = generate(&small());
+        let first_read = events.iter().position(|e| !e.write).unwrap();
+        let writes_before: usize = events[..first_read].iter().filter(|e| e.write).count();
+        // All rank-chunks of the first write phase land before any read.
+        assert_eq!(writes_before, 4 * 8);
+    }
+
+    #[test]
+    fn total_bytes_accounts_everything() {
+        let cfg = small();
+        let events = generate(&cfg);
+        assert_eq!(total_bytes(&events), 4 * 8 * 1024 * 1024 * 2 * 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(&small()), generate(&small()));
+    }
+
+    #[test]
+    fn phases_are_separated_by_compute_gaps() {
+        let events = generate(&small());
+        // There must exist at least one gap >= compute_gap between
+        // consecutive events (the phase boundary).
+        let has_gap = events
+            .windows(2)
+            .any(|w| w[1].at_ns - w[0].at_ns >= (1.0 * NS as f64) as u64);
+        assert!(has_gap, "expected a compute-phase gap in the schedule");
+    }
+}

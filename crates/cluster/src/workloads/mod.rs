@@ -1,0 +1,21 @@
+//! Workload generators for every experiment in the paper's evaluation.
+//!
+//! * [`hacc`] — the HACC-IO capacity workloads of §4.3.1 (regular: 38 000
+//!   bytes to an NVMe every 5 s; irregular: 19 000–38 000 bytes every
+//!   5–20 s), replayed as capacity-over-time traces.
+//! * [`ior`] — IOR-style phased sequential I/O used by the overhead
+//!   analysis (Figure 5).
+//! * [`fio`] — FIO/SAR-style per-device metric traces (tps, bandwidth,
+//!   await, util) used to train/test the Delphi-vs-LSTM comparison
+//!   (Figure 11: 10 K train + 60 K test points per metric).
+//! * [`apps`] — the application models of §4.4.2: VPIC-IO (32 MB per
+//!   process per time step, 16 steps), BD-CATS (reads VPIC output), and
+//!   Montage (10 MB reads per process per step, 16 steps).
+
+pub mod apps;
+pub mod fio;
+pub mod hacc;
+pub mod ior;
+
+pub use apps::{bdcats, montage, vpic, IoKind, IoOp};
+pub use hacc::{HaccConfig, HaccWorkload};

@@ -1,0 +1,192 @@
+//! Standard monitoring deployments.
+//!
+//! The Figure 2 deployment pattern — one Fact vertex per device metric,
+//! per-node and per-tier Insight vertices aggregating them — recurs in
+//! every Apollo installation. [`MonitoringPlan`] captures it as a
+//! builder: pick the metrics, the interval policy, and the aggregation
+//! levels, then deploy onto an [`Apollo`] service against a
+//! [`SimCluster`].
+
+use crate::service::{Apollo, FactVertexSpec, InsightVertexSpec};
+use crate::vertex::FactVertex;
+use apollo_adaptive::controller::AimdParams;
+use apollo_cluster::cluster::SimCluster;
+use apollo_cluster::device::DeviceKind;
+use apollo_cluster::metrics::{DeviceMetric, MetricKind};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How fact vertices pick their polling interval.
+#[derive(Debug, Clone)]
+pub enum IntervalPolicy {
+    /// Fixed interval for every hook.
+    Fixed(Duration),
+    /// Simple AIMD with the given parameters.
+    SimpleAimd(AimdParams),
+    /// Complex (rolling-average) AIMD with parameters and window.
+    ComplexAimd(AimdParams, usize),
+}
+
+/// A declarative monitoring deployment.
+#[derive(Debug, Clone)]
+pub struct MonitoringPlan {
+    /// Device metrics to monitor on every device.
+    pub metrics: Vec<MetricKind>,
+    /// Interval policy for all fact vertices.
+    pub interval: IntervalPolicy,
+    /// Build a per-tier sum insight per monitored capacity-like metric.
+    pub tier_insights: bool,
+    /// Cadence of insight vertices.
+    pub insight_cadence: Duration,
+}
+
+impl Default for MonitoringPlan {
+    fn default() -> Self {
+        Self {
+            metrics: vec![MetricKind::RemainingCapacity],
+            interval: IntervalPolicy::Fixed(Duration::from_secs(1)),
+            tier_insights: true,
+            insight_cadence: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What a deployment created.
+#[derive(Debug, Default)]
+pub struct Deployment {
+    /// Fact topics, per metric label, in creation order.
+    pub fact_topics: BTreeMap<String, Vec<String>>,
+    /// Tier-insight topics (`tier/<kind>/<metric>`), if enabled.
+    pub tier_topics: Vec<String>,
+    /// Handles to the created fact vertices.
+    pub facts: Vec<Arc<FactVertex>>,
+}
+
+impl MonitoringPlan {
+    /// Topic name for a device metric.
+    pub fn fact_topic(node: u32, device_label: &str, metric: MetricKind) -> String {
+        format!("node{node}/{device_label}/{}", metric.label())
+    }
+
+    /// Deploy the plan: register fact vertices for every device of the
+    /// cluster and, when enabled, per-tier sum insights.
+    pub fn deploy(
+        &self,
+        apollo: &mut Apollo,
+        cluster: &SimCluster,
+    ) -> Result<Deployment, crate::graph::GraphError> {
+        let mut deployment = Deployment::default();
+        let mut per_tier_metric: BTreeMap<(DeviceKind, &'static str), Vec<String>> =
+            BTreeMap::new();
+
+        for (node, device) in cluster.devices() {
+            for &metric in &self.metrics {
+                let topic = Self::fact_topic(node, device.spec.kind.label(), metric);
+                let source = Arc::new(DeviceMetric::new(Arc::clone(&device), metric));
+                let spec = match &self.interval {
+                    IntervalPolicy::Fixed(d) => FactVertexSpec::fixed(&topic, source, *d),
+                    IntervalPolicy::SimpleAimd(p) => {
+                        FactVertexSpec::simple_aimd(&topic, source, p.clone())
+                    }
+                    IntervalPolicy::ComplexAimd(p, w) => {
+                        FactVertexSpec::complex_aimd(&topic, source, p.clone(), *w)
+                    }
+                };
+                let vertex = apollo.register_fact(spec)?;
+                deployment.facts.push(vertex);
+                deployment
+                    .fact_topics
+                    .entry(metric.label().to_string())
+                    .or_default()
+                    .push(topic.clone());
+                per_tier_metric
+                    .entry((device.spec.kind, metric.label()))
+                    .or_default()
+                    .push(topic);
+            }
+        }
+
+        if self.tier_insights {
+            for ((kind, metric), topics) in per_tier_metric {
+                let name = format!("tier/{}/{metric}", kind.label());
+                apollo.register_insight(InsightVertexSpec::sum_of(
+                    &name,
+                    topics,
+                    self.insight_cadence,
+                ))?;
+                deployment.tier_topics.push(name);
+            }
+        }
+        Ok(deployment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_monitors_every_device() {
+        let cluster = SimCluster::ares_scaled(2, 1);
+        let mut apollo = Apollo::new_virtual();
+        let d = MonitoringPlan::default().deploy(&mut apollo, &cluster).unwrap();
+        // 2 NVMe + 1 SSD + 1 HDD devices, one metric each.
+        assert_eq!(d.facts.len(), 4);
+        assert_eq!(d.fact_topics["remaining_capacity"].len(), 4);
+        // Tiers present: nvme, ssd, hdd.
+        assert_eq!(d.tier_topics.len(), 3);
+        assert!(d.tier_topics.iter().any(|t| t == "tier/nvme/remaining_capacity"));
+        assert_eq!(apollo.graph().height(), 1);
+    }
+
+    #[test]
+    fn deployment_produces_queryable_insights() {
+        let cluster = SimCluster::ares_scaled(2, 0);
+        let mut apollo = Apollo::new_virtual();
+        MonitoringPlan::default().deploy(&mut apollo, &cluster).unwrap();
+        cluster.tier(DeviceKind::Nvme)[1].write(0, 7_000_000_000).unwrap();
+        apollo.run_for(Duration::from_secs(3));
+        let out = apollo
+            .query("SELECT MAX(Timestamp), metric FROM tier/nvme/remaining_capacity")
+            .unwrap();
+        assert_eq!(out.rows[0].value, 2.0 * 250e9 - 7e9);
+    }
+
+    #[test]
+    fn multi_metric_plan() {
+        let cluster = SimCluster::ares_scaled(1, 0);
+        let mut apollo = Apollo::new_virtual();
+        let plan = MonitoringPlan {
+            metrics: vec![MetricKind::RemainingCapacity, MetricKind::QueueDepth],
+            tier_insights: false,
+            ..MonitoringPlan::default()
+        };
+        let d = plan.deploy(&mut apollo, &cluster).unwrap();
+        assert_eq!(d.facts.len(), 2);
+        assert!(d.tier_topics.is_empty());
+        assert_eq!(d.fact_topics.len(), 2);
+    }
+
+    #[test]
+    fn adaptive_plan_relaxes_on_idle_cluster() {
+        let cluster = SimCluster::ares_scaled(1, 0);
+        let mut apollo = Apollo::new_virtual();
+        let plan = MonitoringPlan {
+            interval: IntervalPolicy::SimpleAimd(AimdParams::default()),
+            ..MonitoringPlan::default()
+        };
+        let d = plan.deploy(&mut apollo, &cluster).unwrap();
+        apollo.run_for(Duration::from_secs(2100));
+        assert_eq!(d.facts[0].current_interval(), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn double_deploy_conflicts() {
+        let cluster = SimCluster::ares_scaled(1, 0);
+        let mut apollo = Apollo::new_virtual();
+        let plan = MonitoringPlan::default();
+        plan.deploy(&mut apollo, &cluster).unwrap();
+        assert!(plan.deploy(&mut apollo, &cluster).is_err(), "duplicate topics rejected");
+    }
+}

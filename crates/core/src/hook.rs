@@ -1,0 +1,96 @@
+//! Monitor-hook glue: adaptive intervals + Delphi prediction.
+
+use apollo_adaptive::eval::Forecaster;
+use apollo_delphi::predictor::{OnlinePredictor, WindowModel};
+use apollo_delphi::stack::{Delphi, DelphiConfig};
+
+/// A [`Forecaster`] backed by a trained Delphi stack (or any
+/// [`WindowModel`]), for plugging into
+/// [`apollo_adaptive::eval::evaluate_with_forecaster`] — the Figures 9/10
+/// "adaptive + Delphi" configuration.
+pub struct DelphiForecaster<M: WindowModel = Delphi> {
+    predictor: OnlinePredictor<M>,
+}
+
+impl DelphiForecaster<Delphi> {
+    /// Train a Delphi stack with `config` and wrap it.
+    pub fn train(config: DelphiConfig) -> Self {
+        Self::from_model(Delphi::train(config))
+    }
+}
+
+impl<M: WindowModel> DelphiForecaster<M> {
+    /// Wrap an already-trained model.
+    pub fn from_model(model: M) -> Self {
+        Self { predictor: OnlinePredictor::new(model) }
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &OnlinePredictor<M> {
+        &self.predictor
+    }
+}
+
+impl<M: WindowModel> Forecaster for DelphiForecaster<M> {
+    fn observe(&mut self, value: f64) {
+        self.predictor.observe(value);
+    }
+
+    fn predict_next(&mut self) -> Option<f64> {
+        self.predictor.predict_and_advance()
+    }
+
+    fn reset(&mut self) {
+        self.predictor.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Hold(usize);
+
+    impl WindowModel for Hold {
+        fn window(&self) -> usize {
+            self.0
+        }
+
+        fn predict_normalized(&self, w: &[f64]) -> f64 {
+            *w.last().unwrap()
+        }
+    }
+
+    #[test]
+    fn forecaster_warms_up_then_predicts() {
+        let mut f = DelphiForecaster::from_model(Hold(3));
+        assert_eq!(f.predict_next(), None);
+        f.observe(1.0);
+        f.observe(2.0);
+        assert_eq!(f.predict_next(), None, "window not yet full");
+        f.observe(3.0);
+        let p = f.predict_next().expect("ready");
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut f = DelphiForecaster::from_model(Hold(2));
+        f.observe(1.0);
+        f.observe(2.0);
+        assert!(f.predict_next().is_some());
+        f.reset();
+        assert_eq!(f.predict_next(), None);
+    }
+
+    #[test]
+    fn chained_predictions_advance() {
+        let mut f = DelphiForecaster::from_model(Hold(2));
+        f.observe(10.0);
+        f.observe(20.0);
+        // Hold-last on normalized [0,1] → predicts 20, then window
+        // becomes [20,20] (flat) → predicts 20 again.
+        assert_eq!(f.predict_next(), Some(20.0));
+        assert_eq!(f.predict_next(), Some(20.0));
+    }
+}

@@ -1,0 +1,58 @@
+//! # apollo-core
+//!
+//! The core of the Apollo reproduction (HPDC '21): **SCoRe** — the
+//! *Storage Condition Report* — a distributed DAG of Fact and Insight
+//! vertices over a pub-sub fabric, together with the Apollo service facade
+//! that middleware libraries talk to.
+//!
+//! * [`vertex`] — [`vertex::FactVertex`] (monitor hook → fact builder →
+//!   fact queue, Figure 1b flows ①–②) and [`vertex::InsightVertex`]
+//!   (consumes facts/insights ③–④, builds and publishes insights ⑤–⑥).
+//!   Facts and insights are published **only when their value changes**
+//!   (§3.2.1); every vertex carries a [`apollo_runtime::time::PhaseTimer`]
+//!   so the Figure 4 anatomy can be reproduced.
+//! * [`hook`] — glue between the adaptive-interval controllers, the
+//!   Delphi predictor, and vertex scheduling: [`hook::DelphiForecaster`]
+//!   implements the adaptive evaluation's `Forecaster` over a trained
+//!   Delphi stack.
+//! * [`graph`] — the SCoRe DAG: registration, cycle detection, height
+//!   (the Hamming-distance bound of §3.2.1's `O(p·h)` propagation cost)
+//!   and degree accounting for the Figure 7 experiments.
+//! * [`service`] — [`service::Apollo`]: owns the broker, the event loop,
+//!   and the vertex registry; runs deterministically on a virtual clock
+//!   (`run_for`) or live on a background thread (`spawn`); answers AQE
+//!   queries (`query`).
+//!
+//! ```
+//! use apollo_core::service::{Apollo, FactVertexSpec};
+//! use apollo_cluster::metrics::ConstSource;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let mut apollo = Apollo::new_virtual();
+//! apollo.register_fact(FactVertexSpec::fixed(
+//!     "node0/nvme0/remaining_capacity",
+//!     Arc::new(ConstSource::new("cap", 42.0)),
+//!     Duration::from_secs(1),
+//! ));
+//! apollo.run_for(Duration::from_secs(10));
+//! let out = apollo
+//!     .query("SELECT MAX(Timestamp), metric FROM node0/nvme0/remaining_capacity")
+//!     .unwrap();
+//! assert_eq!(out.rows[0].value, 42.0);
+//! ```
+
+pub mod curators;
+pub mod deploy;
+pub mod graph;
+pub mod hook;
+pub mod kprobe;
+pub mod service;
+pub mod vertex;
+
+pub use deploy::{Deployment, MonitoringPlan};
+pub use graph::ScoreGraph;
+pub use hook::DelphiForecaster;
+pub use kprobe::EventFactVertex;
+pub use service::{Apollo, ApolloHandle, FactVertexSpec, InsightVertexSpec};
+pub use vertex::{FactVertex, InsightInputs, InsightVertex};

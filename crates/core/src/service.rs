@@ -1,0 +1,690 @@
+//! The Apollo service facade.
+//!
+//! [`Apollo`] assembles the pieces: the pub-sub [`Broker`] (SCoRe's
+//! communication fabric), the timer [`EventLoop`] (the libuv analogue
+//! driving monitor hooks at their — possibly adaptive — intervals), the
+//! [`ScoreGraph`] topology, and the AQE for queries.
+//!
+//! Two execution modes:
+//!
+//! * **Deterministic** — build with [`Apollo::new_virtual`] and drive with
+//!   [`Apollo::run_for`]; time is simulated, so a 30-minute monitoring run
+//!   replays in milliseconds and is bit-identical across runs. Every
+//!   figure harness uses this mode.
+//! * **Live** — build with [`Apollo::new_real`] and call
+//!   [`Apollo::spawn`]; the loop runs on a background thread against the
+//!   wall clock until the returned [`ApolloHandle`] is stopped.
+
+use crate::graph::{GraphError, ScoreGraph};
+use crate::vertex::{FactVertex, InsightInputs, InsightVertex};
+use apollo_adaptive::controller::{AimdParams, ComplexAimd, FixedInterval, IntervalController, SimpleAimd};
+use apollo_cluster::metrics::MetricSource;
+use apollo_delphi::predictor::OnlinePredictor;
+use apollo_delphi::stack::Delphi;
+use apollo_query::exec::{ExecSqlError, QueryEngine, QueryResult};
+use apollo_runtime::event_loop::{EventLoop, TimerAction};
+use apollo_runtime::time::{AnyClock, Clock};
+use apollo_streams::{Broker, StreamConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Delphi prediction attachment for a fact vertex.
+pub struct PredictionSpec {
+    /// The trained model.
+    pub model: Delphi,
+    /// Emit a predicted record when no measurement is newer than this.
+    pub every: Duration,
+}
+
+/// Specification of a Fact vertex to register.
+pub struct FactVertexSpec {
+    /// Topic / table name.
+    pub name: String,
+    /// The resource hook.
+    pub source: Arc<dyn MetricSource>,
+    /// Polling interval policy.
+    pub controller: Box<dyn IntervalController>,
+    /// Publish only on value change (§3.2.1). Disable for ablation.
+    pub publish_on_change_only: bool,
+    /// Optional Delphi prediction between polls.
+    pub prediction: Option<PredictionSpec>,
+}
+
+impl FactVertexSpec {
+    /// A fact vertex with a fixed polling interval.
+    pub fn fixed(name: impl Into<String>, source: Arc<dyn MetricSource>, every: Duration) -> Self {
+        Self {
+            name: name.into(),
+            source,
+            controller: Box::new(FixedInterval::new(every)),
+            publish_on_change_only: true,
+            prediction: None,
+        }
+    }
+
+    /// A fact vertex with the simple AIMD adaptive interval.
+    pub fn simple_aimd(
+        name: impl Into<String>,
+        source: Arc<dyn MetricSource>,
+        params: AimdParams,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            source,
+            controller: Box::new(SimpleAimd::new(params)),
+            publish_on_change_only: true,
+            prediction: None,
+        }
+    }
+
+    /// A fact vertex with the complex (rolling-average) AIMD interval.
+    pub fn complex_aimd(
+        name: impl Into<String>,
+        source: Arc<dyn MetricSource>,
+        params: AimdParams,
+        window: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            source,
+            controller: Box::new(ComplexAimd::new(params, window)),
+            publish_on_change_only: true,
+            prediction: None,
+        }
+    }
+
+    /// Attach Delphi prediction between polls.
+    pub fn with_prediction(mut self, model: Delphi, every: Duration) -> Self {
+        self.prediction = Some(PredictionSpec { model, every });
+        self
+    }
+
+    /// Disable the change filter (ablation).
+    pub fn publish_always(mut self) -> Self {
+        self.publish_on_change_only = false;
+        self
+    }
+}
+
+/// Specification of an Insight vertex to register.
+pub struct InsightVertexSpec {
+    /// Topic / table name of the insight queue.
+    pub name: String,
+    /// Input topics (facts and/or other insights).
+    pub inputs: Vec<String>,
+    /// The insight builder.
+    pub builder: Box<dyn FnMut(&InsightInputs) -> Option<f64> + Send>,
+    /// How often the vertex drains its subscriptions and recomputes.
+    pub cadence: Duration,
+    /// Modelled producer→vertex network latency (vertices are distinct
+    /// processes, §3.1). Zero by default.
+    pub link_delay: Duration,
+}
+
+impl InsightVertexSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        cadence: Duration,
+        builder: impl FnMut(&InsightInputs) -> Option<f64> + Send + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            inputs,
+            builder: Box::new(builder),
+            cadence,
+            link_delay: Duration::ZERO,
+        }
+    }
+
+    /// Model a network hop of `delay` between producers and this vertex.
+    pub fn with_link_delay(mut self, delay: Duration) -> Self {
+        self.link_delay = delay;
+        self
+    }
+
+    /// An insight summing the latest values of all inputs once every
+    /// input has reported — the Figure 2 "total space available" use case.
+    pub fn sum_of(name: impl Into<String>, inputs: Vec<String>, cadence: Duration) -> Self {
+        let expected = inputs.clone();
+        Self::new(name, inputs, cadence, move |i: &InsightInputs| {
+            i.all_present(&expected).then(|| i.sum())
+        })
+    }
+}
+
+/// The assembled Apollo service.
+pub struct Apollo {
+    broker: Arc<Broker>,
+    el: EventLoop<AnyClock>,
+    graph: ScoreGraph,
+    facts: Vec<Arc<FactVertex>>,
+    insights: Vec<Arc<InsightVertex>>,
+    /// Timer handles per vertex, so runtime unregistration can cancel.
+    timers: std::collections::HashMap<String, Vec<Arc<apollo_runtime::event_loop::TimerControl>>>,
+}
+
+impl Apollo {
+    /// Service over a fresh virtual clock (deterministic).
+    pub fn new_virtual() -> Self {
+        Self::with_config(EventLoop::new_virtual(), StreamConfig::default())
+    }
+
+    /// Service over the wall clock.
+    pub fn new_real() -> Self {
+        Self::with_config(EventLoop::new_real(), StreamConfig::default())
+    }
+
+    /// Service with explicit loop and stream retention config.
+    pub fn with_config(el: EventLoop<AnyClock>, streams: StreamConfig) -> Self {
+        Self {
+            broker: Arc::new(Broker::new(streams)),
+            el,
+            graph: ScoreGraph::new(),
+            facts: Vec::new(),
+            insights: Vec::new(),
+            timers: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The pub-sub fabric (for subscribing middleware).
+    pub fn broker(&self) -> Arc<Broker> {
+        Arc::clone(&self.broker)
+    }
+
+    /// The DAG topology.
+    pub fn graph(&self) -> &ScoreGraph {
+        &self.graph
+    }
+
+    /// Current clock reading.
+    pub fn now(&self) -> u64 {
+        self.el.clock().now()
+    }
+
+    /// Register a fact vertex; returns its handle.
+    pub fn register_fact(&mut self, spec: FactVertexSpec) -> Result<Arc<FactVertex>, GraphError> {
+        self.graph.add_fact(&spec.name)?;
+        let initial = spec.controller.current_interval();
+        let vertex = Arc::new(FactVertex::new(
+            spec.name,
+            spec.source,
+            spec.controller,
+            Arc::clone(&self.broker),
+            spec.publish_on_change_only,
+        ));
+        let clock = self.el.clock().clone();
+        let last_poll = Arc::new(AtomicU64::new(0));
+
+        // Optional Delphi prediction state shared between the two timers.
+        let predictor: Option<Arc<Mutex<OnlinePredictor<Delphi>>>> = spec
+            .prediction
+            .as_ref()
+            .map(|p| Arc::new(Mutex::new(OnlinePredictor::new(p.model.clone()))));
+
+        let mut handles = Vec::new();
+        {
+            let vertex = Arc::clone(&vertex);
+            let clock = clock.clone();
+            let last_poll = Arc::clone(&last_poll);
+            let predictor = predictor.clone();
+            handles.push(self.el.add_timer(initial, move |ctl| {
+                let now = clock.now();
+                let next = vertex.poll(now);
+                last_poll.store(now, Ordering::SeqCst);
+                if let Some(p) = &predictor {
+                    // Re-anchor the predictor on the measured value.
+                    if let Some(v) = vertex.last_value() {
+                        p.lock().observe(v);
+                    }
+                }
+                ctl.set_interval(next);
+                TimerAction::Continue
+            }));
+        }
+
+        if let Some(pspec) = spec.prediction {
+            let vertex = Arc::clone(&vertex);
+            let predictor = predictor.expect("created above");
+            let every = pspec.every;
+            let last_poll = Arc::clone(&last_poll);
+            handles.push(self.el.add_timer(every, move |_ctl| {
+                let now = clock.now();
+                // Only predict when the latest record is stale.
+                if now.saturating_sub(last_poll.load(Ordering::SeqCst)) >= every.as_nanos() as u64
+                {
+                    if let Some(v) = predictor.lock().predict_and_advance() {
+                        vertex.publish_predicted(now, v);
+                    }
+                }
+                TimerAction::Continue
+            }));
+        }
+
+        self.timers.insert(vertex.name().to_string(), handles);
+        self.facts.push(Arc::clone(&vertex));
+        Ok(vertex)
+    }
+
+    /// Unregister a vertex at runtime (§3.1). Cancels its timers, removes
+    /// it from the DAG (rejected while other vertices consume it) and
+    /// drops its topic from the broker.
+    pub fn unregister(&mut self, name: &str) -> Result<(), GraphError> {
+        self.graph.remove(name)?;
+        if let Some(handles) = self.timers.remove(name) {
+            for h in handles {
+                h.cancel();
+            }
+        }
+        self.facts.retain(|f| f.name() != name);
+        self.insights.retain(|i| i.name() != name);
+        self.broker.remove_topic(name);
+        Ok(())
+    }
+
+    /// Register an insight vertex; returns its handle.
+    pub fn register_insight(
+        &mut self,
+        spec: InsightVertexSpec,
+    ) -> Result<Arc<InsightVertex>, GraphError> {
+        self.graph.add_insight(&spec.name, &spec.inputs)?;
+        let vertex = Arc::new(InsightVertex::with_link_delay(
+            spec.name,
+            spec.inputs,
+            spec.builder,
+            Arc::clone(&self.broker),
+            spec.link_delay,
+        ));
+        let clock = self.el.clock().clone();
+        let handle = {
+            let vertex = Arc::clone(&vertex);
+            self.el.add_timer(spec.cadence, move |_ctl| {
+                vertex.pump(clock.now());
+                TimerAction::Continue
+            })
+        };
+        self.timers.insert(vertex.name().to_string(), vec![handle]);
+        self.insights.push(Arc::clone(&vertex));
+        Ok(vertex)
+    }
+
+    /// Registered fact vertices.
+    pub fn facts(&self) -> &[Arc<FactVertex>] {
+        &self.facts
+    }
+
+    /// Registered insight vertices.
+    pub fn insights(&self) -> &[Arc<InsightVertex>] {
+        &self.insights
+    }
+
+    /// Drive the service for `d` (virtual clocks replay instantly).
+    pub fn run_for(&mut self, d: Duration) {
+        self.el.run_for(d);
+    }
+
+    /// Execute an AQE query.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, ExecSqlError> {
+        QueryEngine::new(self.broker.as_ref()).execute_sql(sql)
+    }
+
+    /// Approximate memory held by all SCoRe queues (Figure 5).
+    pub fn approx_memory_bytes(&self) -> usize {
+        self.broker.approx_memory_bytes()
+    }
+
+    /// Total monitor-hook calls across all fact vertices (monitoring
+    /// cost, Figures 9/10).
+    pub fn total_hook_calls(&self) -> u64 {
+        self.facts.iter().map(|f| f.hook_calls()).sum()
+    }
+
+    /// Operational snapshot of the whole service: per-vertex counters
+    /// plus aggregate memory and DAG shape — the status surface an
+    /// administrator (or Figure 5's accounting) reads.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            now_ns: self.now(),
+            fact_vertices: self.facts.len(),
+            insight_vertices: self.insights.len(),
+            dag_height: self.graph.height(),
+            hook_calls: self.total_hook_calls(),
+            facts_published: self.facts.iter().map(|f| f.published()).sum(),
+            facts_suppressed: self.facts.iter().map(|f| f.suppressed()).sum(),
+            insights_published: self.insights.iter().map(|i| i.published()).sum(),
+            insight_recomputes: self.insights.iter().map(|i| i.recomputes()).sum(),
+            memory_bytes: self.approx_memory_bytes(),
+            vertex_intervals: self
+                .facts
+                .iter()
+                .map(|f| (f.name().to_string(), f.current_interval()))
+                .collect(),
+        }
+    }
+
+    /// Move the service onto a background thread (live mode). The service
+    /// keeps running until [`ApolloHandle::stop`].
+    pub fn spawn(mut self) -> ApolloHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let broker = Arc::clone(&self.broker);
+        // Canary timer bounds the stop latency even when all hooks run at
+        // long intervals.
+        let stop2 = Arc::clone(&stop);
+        self.el.add_timer(Duration::from_millis(25), move |_| {
+            if stop2.load(Ordering::SeqCst) {
+                TimerAction::Stop
+            } else {
+                TimerAction::Continue
+            }
+        });
+        let stop3 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("apollo-service".into())
+            .spawn(move || {
+                while !stop3.load(Ordering::SeqCst) {
+                    if !self.el.turn() {
+                        break;
+                    }
+                }
+                self
+            })
+            .expect("spawn apollo service thread");
+        ApolloHandle { stop, join: Some(join), broker }
+    }
+}
+
+/// Operational snapshot of a running Apollo service.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Clock reading at snapshot time (ns).
+    pub now_ns: u64,
+    /// Registered fact vertices.
+    pub fact_vertices: usize,
+    /// Registered insight vertices.
+    pub insight_vertices: usize,
+    /// Height of the SCoRe DAG.
+    pub dag_height: usize,
+    /// Monitor-hook invocations so far.
+    pub hook_calls: u64,
+    /// Facts published (post change-filter).
+    pub facts_published: u64,
+    /// Samples suppressed by the change filter.
+    pub facts_suppressed: u64,
+    /// Insights published.
+    pub insights_published: u64,
+    /// Insight builder invocations.
+    pub insight_recomputes: u64,
+    /// Approximate queue memory.
+    pub memory_bytes: usize,
+    /// Current polling interval per fact vertex.
+    pub vertex_intervals: Vec<(String, Duration)>,
+}
+
+impl ServiceStats {
+    /// Fraction of samples the change filter suppressed.
+    pub fn suppression_ratio(&self) -> f64 {
+        let total = self.facts_published + self.facts_suppressed;
+        if total == 0 {
+            0.0
+        } else {
+            self.facts_suppressed as f64 / total as f64
+        }
+    }
+}
+
+/// Handle to a live (spawned) Apollo service.
+pub struct ApolloHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<Apollo>>,
+    broker: Arc<Broker>,
+}
+
+impl ApolloHandle {
+    /// The pub-sub fabric (for live queries/subscriptions).
+    pub fn broker(&self) -> Arc<Broker> {
+        Arc::clone(&self.broker)
+    }
+
+    /// Execute an AQE query against the live service.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, ExecSqlError> {
+        QueryEngine::new(self.broker.as_ref()).execute_sql(sql)
+    }
+
+    /// Stop the service and get the `Apollo` back for inspection.
+    pub fn stop(mut self) -> Apollo {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join.take().expect("not yet joined").join().expect("apollo thread panicked")
+    }
+}
+
+impl Drop for ApolloHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_cluster::metrics::{ConstSource, TraceSource};
+    use apollo_cluster::series::TimeSeries;
+
+    const NS: u64 = 1_000_000_000;
+
+    #[test]
+    fn fixed_fact_vertex_end_to_end() {
+        let mut apollo = Apollo::new_virtual();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 9.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(10));
+        let out = apollo.query("SELECT MAX(Timestamp), metric FROM cap").unwrap();
+        assert_eq!(out.rows[0].value, 9.0);
+        assert_eq!(apollo.total_hook_calls(), 10);
+        assert_eq!(apollo.facts()[0].published(), 1, "change filter");
+    }
+
+    #[test]
+    fn adaptive_fact_vertex_relaxes_on_static_metric() {
+        let mut apollo = Apollo::new_virtual();
+        let v = apollo
+            .register_fact(FactVertexSpec::simple_aimd(
+                "cap",
+                Arc::new(ConstSource::new("c", 5.0)),
+                AimdParams::default(),
+            ))
+            .unwrap();
+        // Additive growth from 5s needs Σ(5..60) ≈ 1 820 s to reach the
+        // 60 s cap; run past that.
+        apollo.run_for(Duration::from_secs(2100));
+        assert_eq!(v.current_interval(), Duration::from_secs(60));
+        assert!(apollo.total_hook_calls() < 100, "calls {}", apollo.total_hook_calls());
+    }
+
+    #[test]
+    fn insight_pipeline_via_event_loop() {
+        let mut apollo = Apollo::new_virtual();
+        for (name, v) in [("a", 10.0), ("b", 20.0)] {
+            apollo
+                .register_fact(FactVertexSpec::fixed(
+                    name,
+                    Arc::new(ConstSource::new(name, v)),
+                    Duration::from_secs(1),
+                ))
+                .unwrap();
+        }
+        apollo
+            .register_insight(InsightVertexSpec::sum_of(
+                "total",
+                vec!["a".into(), "b".into()],
+                Duration::from_millis(500),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(5));
+        let out = apollo.query("SELECT MAX(Timestamp), metric FROM total").unwrap();
+        assert_eq!(out.rows[0].value, 30.0);
+        assert_eq!(apollo.graph().height(), 1);
+    }
+
+    #[test]
+    fn registering_duplicate_vertex_fails() {
+        let mut apollo = Apollo::new_virtual();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "x",
+                Arc::new(ConstSource::new("x", 0.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        let err = apollo
+            .register_fact(FactVertexSpec::fixed(
+                "x",
+                Arc::new(ConstSource::new("x", 0.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Duplicate(_)));
+    }
+
+    #[test]
+    fn changing_trace_produces_history_for_range_queries() {
+        let mut apollo = Apollo::new_virtual();
+        let series = TimeSeries::from_points(vec![
+            (0, 100.0),
+            (3 * NS, 90.0),
+            (6 * NS, 80.0),
+        ]);
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(TraceSource::new("t", series)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(10));
+        let all = apollo.query("SELECT metric FROM cap").unwrap();
+        assert_eq!(all.rows.len(), 3, "one row per distinct value");
+        let avg = apollo.query("SELECT AVG(metric) FROM cap").unwrap();
+        assert_eq!(avg.rows[0].value, 90.0);
+    }
+
+    #[test]
+    fn live_mode_spawn_and_stop() {
+        let mut apollo = Apollo::new_real();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 3.0)),
+                Duration::from_millis(5),
+            ))
+            .unwrap();
+        let handle = apollo.spawn();
+        // Wait for at least one poll.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(out) = handle.query("SELECT MAX(Timestamp), metric FROM cap") {
+                assert_eq!(out.rows[0].value, 3.0);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no data within 5s");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let apollo = handle.stop();
+        assert!(apollo.total_hook_calls() >= 1);
+    }
+
+    #[test]
+    fn stats_snapshot_reports_counters() {
+        let mut apollo = Apollo::new_virtual();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "constant",
+                Arc::new(ConstSource::new("c", 5.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo
+            .register_insight(InsightVertexSpec::sum_of(
+                "sum",
+                vec!["constant".into()],
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(10));
+        let stats = apollo.stats();
+        assert_eq!(stats.fact_vertices, 1);
+        assert_eq!(stats.insight_vertices, 1);
+        assert_eq!(stats.dag_height, 1);
+        assert_eq!(stats.hook_calls, 10);
+        assert_eq!(stats.facts_published, 1, "constant metric publishes once");
+        assert_eq!(stats.facts_suppressed, 9);
+        assert!((stats.suppression_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(stats.vertex_intervals.len(), 1);
+        assert_eq!(stats.vertex_intervals[0].1, Duration::from_secs(1));
+        assert_eq!(stats.now_ns, 10_000_000_000);
+    }
+
+    #[test]
+    fn link_delay_adds_per_hop_propagation_latency() {
+        // fact -> i1 -> i2, each hop costing 2s of network latency: a
+        // fact value born at t reaches i2's queue only after both hops
+        // (plus pump cadence) — the Hamming-distance latency of Fig 7b.
+        let mut apollo = Apollo::new_virtual();
+        let series = TimeSeries::from_points(vec![(0, 1.0), (5 * NS, 2.0)]);
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "f",
+                Arc::new(TraceSource::new("f", series)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        for (name, input) in [("i1", "f"), ("i2", "i1")] {
+            apollo
+                .register_insight(
+                    InsightVertexSpec::new(
+                        name,
+                        vec![input.into()],
+                        Duration::from_secs(1),
+                        {
+                            let input = input.to_string();
+                            move |i: &InsightInputs| i.value(&input)
+                        },
+                    )
+                    .with_link_delay(Duration::from_secs(2)),
+                )
+                .unwrap();
+        }
+        // The new value (2.0) is sampled at t=5s.
+        apollo.run_for(Duration::from_secs(6));
+        let at_6 = apollo.query("SELECT MAX(Timestamp), metric FROM i2").unwrap().rows[0].value;
+        assert_eq!(at_6, 1.0, "new value still in flight across two hops");
+        apollo.run_for(Duration::from_secs(6));
+        let later = apollo.query("SELECT MAX(Timestamp), metric FROM i2").unwrap().rows[0].value;
+        assert_eq!(later, 2.0, "value arrives after both link delays elapse");
+    }
+
+    #[test]
+    fn memory_accounting_nonzero_after_publishes() {
+        let mut apollo = Apollo::new_virtual();
+        let series = TimeSeries::from_points((0..100).map(|i| (i * NS, i as f64)).collect());
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "m",
+                Arc::new(TraceSource::new("t", series)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(100));
+        assert!(apollo.approx_memory_bytes() > 0);
+    }
+}

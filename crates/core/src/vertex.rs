@@ -1,0 +1,526 @@
+//! SCoRe vertices.
+//!
+//! A **Fact Vertex** hooks into a resource (flow ① of Figure 1b): its
+//! Monitor Hook samples a [`MetricSource`], the Fact Builder turns the
+//! metric into a `(timestamp, value, measured)` record, and the record is
+//! linearized and published onto the vertex's fact queue (②) — but only
+//! when the value changed (§3.2.1: "Facts and Insights are added only if
+//! there is a change from their previous value").
+//!
+//! An **Insight Vertex** subscribes to fact queues and/or other insight
+//! queues (③/④), recomputes its insight in the Insight Builder, and
+//! publishes to its own insight queue (⑤) for downstream consumption (⑥).
+//!
+//! Both vertex types are instrumented with a [`PhaseTimer`] so the share
+//! of time spent in each internal component can be reported (Figure 4).
+
+use apollo_adaptive::controller::IntervalController;
+use apollo_cluster::metrics::MetricSource;
+use apollo_runtime::time::PhaseTimer;
+use apollo_streams::codec::Record;
+use apollo_streams::{Broker, Subscription};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Phase labels used by the anatomy instrumentation.
+pub mod phases {
+    /// Sampling the resource (the monitor hook).
+    pub const MONITOR_HOOK: &str = "monitor_hook";
+    /// Building the fact/insight record.
+    pub const BUILD: &str = "build";
+    /// Publishing onto the queue.
+    pub const PUBLISH: &str = "publish";
+    /// Draining input subscriptions (insight vertices).
+    pub const CONSUME: &str = "consume";
+    /// Everything else (thread management, insight computation).
+    pub const OTHER: &str = "other";
+}
+
+/// A Fact Vertex: monitor hook + fact builder + fact queue.
+pub struct FactVertex {
+    name: String,
+    source: Arc<dyn MetricSource>,
+    controller: parking_lot::Mutex<Box<dyn IntervalController>>,
+    broker: Arc<Broker>,
+    timer: PhaseTimer,
+    last_published: parking_lot::Mutex<Option<f64>>,
+    published: AtomicU64,
+    suppressed: AtomicU64,
+    /// When false (ablation), every sample publishes even if unchanged.
+    publish_on_change_only: bool,
+}
+
+impl FactVertex {
+    /// Create a fact vertex publishing to topic `name`.
+    pub fn new(
+        name: impl Into<String>,
+        source: Arc<dyn MetricSource>,
+        controller: Box<dyn IntervalController>,
+        broker: Arc<Broker>,
+        publish_on_change_only: bool,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            source,
+            controller: parking_lot::Mutex::new(controller),
+            broker,
+            timer: PhaseTimer::new(),
+            last_published: parking_lot::Mutex::new(None),
+            published: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            publish_on_change_only,
+        }
+    }
+
+    /// Topic / table name of this vertex's queue.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execute one monitoring cycle at time `now_ns`: sample, build,
+    /// maybe publish. Returns the interval until the next cycle.
+    ///
+    /// The monitor-hook phase is charged the modelled `sample_cost` of the
+    /// source (a real hook does syscalls; a simulated one is a lookup), so
+    /// anatomy fractions match a live deployment's shape.
+    pub fn poll(&self, now_ns: u64) -> Duration {
+        // ① Monitor hook.
+        let value = self.timer.time(phases::MONITOR_HOOK, || self.source.sample(now_ns));
+        self.timer.record(phases::MONITOR_HOOK, self.source.sample_cost().as_nanos() as u64);
+
+        // Fact builder.
+        let record = self.timer.time(phases::BUILD, || Record::measured(now_ns, value).encode());
+
+        // ② Publish, change-filtered.
+        let mut last = self.last_published.lock();
+        let changed = last.is_none_or(|prev| prev != value);
+        if changed || !self.publish_on_change_only {
+            self.timer.time(phases::PUBLISH, || {
+                self.broker.publish(&self.name, now_ns / 1_000_000, record);
+            });
+            self.published.fetch_add(1, Ordering::Relaxed);
+            *last = Some(value);
+        } else {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(last);
+
+        self.controller.lock().on_sample(value)
+    }
+
+    /// Publish a Delphi-predicted value between polls (flow ① with the
+    /// prediction path of Figure 1b). Not change-filtered: a prediction is
+    /// only emitted when the model believes the value moved.
+    pub fn publish_predicted(&self, now_ns: u64, value: f64) {
+        let record = Record::predicted(now_ns, value).encode();
+        self.broker.publish(&self.name, now_ns / 1_000_000, record);
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The most recently sampled value (the change filter guarantees the
+    /// cached publish value equals the latest sample).
+    pub fn last_value(&self) -> Option<f64> {
+        *self.last_published.lock()
+    }
+
+    /// Records published so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Samples suppressed by the change filter.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Monitor-hook invocations (the monitoring *cost*).
+    pub fn hook_calls(&self) -> u64 {
+        self.source.samples_taken()
+    }
+
+    /// The anatomy instrumentation.
+    pub fn phase_timer(&self) -> &PhaseTimer {
+        &self.timer
+    }
+
+    /// Current interval of the attached controller.
+    pub fn current_interval(&self) -> Duration {
+        self.controller.lock().current_interval()
+    }
+}
+
+impl std::fmt::Debug for FactVertex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FactVertex")
+            .field("name", &self.name)
+            .field("published", &self.published())
+            .field("suppressed", &self.suppressed())
+            .finish()
+    }
+}
+
+/// The inputs handed to an insight builder on each recomputation.
+#[derive(Debug, Default)]
+pub struct InsightInputs {
+    /// Latest record seen per input topic.
+    pub latest: HashMap<String, Record>,
+    /// Records newly consumed in this cycle, in arrival order.
+    pub fresh: Vec<(String, Record)>,
+}
+
+impl InsightInputs {
+    /// Latest value of an input topic, if seen.
+    pub fn value(&self, topic: &str) -> Option<f64> {
+        self.latest.get(topic).map(|r| r.value)
+    }
+
+    /// True when every listed topic has been seen at least once.
+    pub fn all_present(&self, topics: &[String]) -> bool {
+        topics.iter().all(|t| self.latest.contains_key(t))
+    }
+
+    /// Sum of the latest values of all inputs (the classic capacity
+    /// aggregation insight).
+    pub fn sum(&self) -> f64 {
+        self.latest.values().map(|r| r.value).sum()
+    }
+}
+
+type Builder = Box<dyn FnMut(&InsightInputs) -> Option<f64> + Send>;
+
+/// An Insight Vertex: subscriptions + insight builder + insight queue.
+pub struct InsightVertex {
+    name: String,
+    inputs: Vec<String>,
+    subscriptions: Vec<Subscription>,
+    builder: parking_lot::Mutex<Builder>,
+    state: parking_lot::Mutex<InsightInputs>,
+    broker: Arc<Broker>,
+    timer: PhaseTimer,
+    last_published: parking_lot::Mutex<Option<f64>>,
+    published: AtomicU64,
+    recomputes: AtomicU64,
+    /// Modelled one-way network latency from producers to this vertex
+    /// (vertices are "distinct processes in the cluster", §3.1): an
+    /// entry becomes visible only `link_delay` after its timestamp.
+    link_delay_ms: u64,
+    /// Entries received but not yet network-visible.
+    in_flight: parking_lot::Mutex<Vec<(String, Record)>>,
+}
+
+impl InsightVertex {
+    /// Create an insight vertex named `name` consuming `inputs` topics.
+    /// Subscriptions are created immediately, so anything published to the
+    /// inputs after this call is seen.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        builder: Builder,
+        broker: Arc<Broker>,
+    ) -> Self {
+        Self::with_link_delay(name, inputs, builder, broker, Duration::ZERO)
+    }
+
+    /// [`InsightVertex::new`] with a modelled producer→vertex network
+    /// latency.
+    pub fn with_link_delay(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        builder: Builder,
+        broker: Arc<Broker>,
+        link_delay: Duration,
+    ) -> Self {
+        let subscriptions = inputs.iter().map(|t| broker.subscribe(t)).collect();
+        Self {
+            name: name.into(),
+            inputs,
+            subscriptions,
+            builder: parking_lot::Mutex::new(builder),
+            state: parking_lot::Mutex::new(InsightInputs::default()),
+            broker,
+            timer: PhaseTimer::new(),
+            last_published: parking_lot::Mutex::new(None),
+            published: AtomicU64::new(0),
+            recomputes: AtomicU64::new(0),
+            link_delay_ms: link_delay.as_millis() as u64,
+            in_flight: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Topic / table name of this vertex's insight queue.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input topic names.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// One processing cycle (flow ③→⑤): drain subscriptions, rebuild the
+    /// insight, publish when it changed. Returns true when something new
+    /// was consumed.
+    pub fn pump(&self, now_ns: u64) -> bool {
+        let mut state = self.state.lock();
+        state.fresh.clear();
+        let consumed = self.timer.time(phases::CONSUME, || {
+            let mut any = false;
+            let mut in_flight = self.in_flight.lock();
+            for (topic, sub) in self.inputs.iter().zip(&self.subscriptions) {
+                for entry in sub.drain() {
+                    if let Ok(r) = Record::decode(&entry.payload) {
+                        in_flight.push((topic.clone(), r));
+                    }
+                }
+            }
+            // Deliver entries whose network latency has elapsed.
+            let now_ms = now_ns / 1_000_000;
+            let mut still_flying = Vec::new();
+            for (topic, r) in in_flight.drain(..) {
+                if r.timestamp_ns / 1_000_000 + self.link_delay_ms <= now_ms {
+                    state.latest.insert(topic.clone(), r);
+                    state.fresh.push((topic, r));
+                    any = true;
+                } else {
+                    still_flying.push((topic, r));
+                }
+            }
+            *in_flight = still_flying;
+            any
+        });
+        if !consumed {
+            return false;
+        }
+        self.recomputes.fetch_add(1, Ordering::Relaxed);
+        let value = {
+            let mut builder = self.builder.lock();
+            self.timer.time(phases::OTHER, || (builder)(&state))
+        };
+        if let Some(v) = value {
+            let mut last = self.last_published.lock();
+            if last.is_none_or(|prev| prev != v) {
+                let record = self.timer.time(phases::BUILD, || Record::measured(now_ns, v).encode());
+                self.timer.time(phases::PUBLISH, || {
+                    self.broker.publish(&self.name, now_ns / 1_000_000, record);
+                });
+                self.published.fetch_add(1, Ordering::Relaxed);
+                *last = Some(v);
+            }
+        }
+        true
+    }
+
+    /// Insights published so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Builder invocations.
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes.load(Ordering::Relaxed)
+    }
+
+    /// The anatomy instrumentation.
+    pub fn phase_timer(&self) -> &PhaseTimer {
+        &self.timer
+    }
+}
+
+impl std::fmt::Debug for InsightVertex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InsightVertex")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("published", &self.published())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_adaptive::controller::FixedInterval;
+    use apollo_cluster::metrics::{ConstSource, TraceSource};
+    use apollo_cluster::series::TimeSeries;
+    use apollo_streams::StreamConfig;
+
+    fn broker() -> Arc<Broker> {
+        Arc::new(Broker::new(StreamConfig::default()))
+    }
+
+    fn fixed(secs: u64) -> Box<dyn IntervalController> {
+        Box::new(FixedInterval::new(Duration::from_secs(secs)))
+    }
+
+    #[test]
+    fn fact_vertex_publishes_measured_records() {
+        let b = broker();
+        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), true);
+        let next = v.poll(1_000_000_000);
+        assert_eq!(next, Duration::from_secs(1));
+        let entry = b.latest("cap").unwrap();
+        let r = Record::decode(&entry.payload).unwrap();
+        assert_eq!(r.value, 7.0);
+        assert!(r.is_measured());
+        assert_eq!(v.published(), 1);
+        assert_eq!(v.hook_calls(), 1);
+    }
+
+    #[test]
+    fn change_filter_suppresses_duplicates() {
+        let b = broker();
+        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), true);
+        for i in 0..5 {
+            v.poll(i * 1_000_000_000 + 1);
+        }
+        assert_eq!(v.published(), 1, "constant metric publishes once");
+        assert_eq!(v.suppressed(), 4);
+        assert_eq!(b.topic_len("cap"), 1);
+    }
+
+    #[test]
+    fn publish_always_ablation() {
+        let b = broker();
+        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), false);
+        for i in 0..5 {
+            v.poll(i * 1_000_000_000 + 1);
+        }
+        assert_eq!(v.published(), 5);
+        assert_eq!(v.suppressed(), 0);
+    }
+
+    #[test]
+    fn changing_metric_publishes_each_change() {
+        let b = broker();
+        let series = TimeSeries::from_points(vec![(0, 1.0), (2_000_000_000, 2.0)]);
+        let v = FactVertex::new(
+            "m",
+            Arc::new(TraceSource::new("t", series)),
+            fixed(1),
+            b.clone(),
+            true,
+        );
+        v.poll(0);
+        v.poll(1_000_000_000); // still 1.0 — suppressed
+        v.poll(2_000_000_000); // 2.0 — published
+        assert_eq!(v.published(), 2);
+        assert_eq!(v.suppressed(), 1);
+    }
+
+    #[test]
+    fn anatomy_is_dominated_by_the_monitor_hook() {
+        let b = broker();
+        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 1.0)), fixed(1), b, true);
+        for i in 0..100 {
+            v.poll(i * 1_000_000_000);
+        }
+        let rows = v.phase_timer().breakdown();
+        assert_eq!(rows[0].0, phases::MONITOR_HOOK, "hook dominates: {rows:?}");
+        assert!(rows[0].2 > 0.9, "hook share {:.3} should be ~97.5%", rows[0].2);
+    }
+
+    #[test]
+    fn predicted_records_are_marked() {
+        let b = broker();
+        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 1.0)), fixed(1), b.clone(), true);
+        v.publish_predicted(5_000_000, 3.5);
+        let r = Record::decode(&b.latest("cap").unwrap().payload).unwrap();
+        assert!(!r.is_measured());
+        assert_eq!(r.value, 3.5);
+    }
+
+    #[test]
+    fn insight_vertex_aggregates_inputs() {
+        let b = broker();
+        let fact_a = FactVertex::new("a", Arc::new(ConstSource::new("a", 10.0)), fixed(1), b.clone(), true);
+        let fact_b = FactVertex::new("b", Arc::new(ConstSource::new("b", 32.0)), fixed(1), b.clone(), true);
+        let insight = InsightVertex::new(
+            "total",
+            vec!["a".into(), "b".into()],
+            Box::new(|inputs: &InsightInputs| {
+                inputs.all_present(&["a".to_string(), "b".to_string()]).then(|| inputs.sum())
+            }),
+            b.clone(),
+        );
+        fact_a.poll(1_000_000_000);
+        fact_b.poll(1_000_000_000);
+        assert!(insight.pump(2_000_000_000));
+        let r = Record::decode(&b.latest("total").unwrap().payload).unwrap();
+        assert_eq!(r.value, 42.0);
+        assert_eq!(insight.published(), 1);
+    }
+
+    #[test]
+    fn insight_pump_without_input_is_noop() {
+        let b = broker();
+        let insight = InsightVertex::new(
+            "i",
+            vec!["missing".into()],
+            Box::new(|_| Some(1.0)),
+            b.clone(),
+        );
+        assert!(!insight.pump(1));
+        assert_eq!(insight.published(), 0);
+        assert_eq!(insight.recomputes(), 0);
+    }
+
+    #[test]
+    fn insight_change_filter() {
+        let b = broker();
+        let fact = FactVertex::new("a", Arc::new(ConstSource::new("a", 5.0)), fixed(1), b.clone(), false);
+        let insight = InsightVertex::new(
+            "i",
+            vec!["a".into()],
+            Box::new(|inputs: &InsightInputs| inputs.value("a")),
+            b.clone(),
+        );
+        for i in 0..4 {
+            fact.poll(i * 1_000_000_000 + 1);
+            insight.pump(i * 1_000_000_000 + 2);
+        }
+        assert_eq!(insight.recomputes(), 4, "recomputed per fresh fact");
+        assert_eq!(insight.published(), 1, "published once: value never changed");
+    }
+
+    #[test]
+    fn insights_can_chain() {
+        let b = broker();
+        let fact = FactVertex::new("f", Arc::new(ConstSource::new("f", 2.0)), fixed(1), b.clone(), true);
+        let mid = InsightVertex::new(
+            "mid",
+            vec!["f".into()],
+            Box::new(|i: &InsightInputs| i.value("f").map(|v| v * 10.0)),
+            b.clone(),
+        );
+        let top = InsightVertex::new(
+            "top",
+            vec!["mid".into()],
+            Box::new(|i: &InsightInputs| i.value("mid").map(|v| v + 1.0)),
+            b.clone(),
+        );
+        fact.poll(1_000_000_000);
+        mid.pump(1_100_000_000);
+        top.pump(1_200_000_000);
+        let r = Record::decode(&b.latest("top").unwrap().payload).unwrap();
+        assert_eq!(r.value, 21.0);
+    }
+
+    #[test]
+    fn fresh_records_visible_to_builder() {
+        let b = broker();
+        let fact = FactVertex::new("f", Arc::new(ConstSource::new("f", 1.0)), fixed(1), b.clone(), false);
+        let insight = InsightVertex::new(
+            "count",
+            vec!["f".into()],
+            Box::new(|i: &InsightInputs| Some(i.fresh.len() as f64)),
+            b.clone(),
+        );
+        fact.poll(1);
+        fact.poll(1_000_000_001);
+        insight.pump(2_000_000_000);
+        let r = Record::decode(&b.latest("count").unwrap().payload).unwrap();
+        assert_eq!(r.value, 2.0, "both records arrived in one pump");
+    }
+}

@@ -1,0 +1,139 @@
+//! Model evaluation: one-step-ahead error metrics and inference timing.
+//!
+//! Produces the three axes of Figure 11 — RMSE (bubble size), R² (colour)
+//! and inference time (y-axis) — for any [`WindowModel`].
+
+use crate::predictor::WindowModel;
+use std::time::Instant;
+
+/// Evaluation result of a model on one test series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalReport {
+    /// Root mean squared error of one-step-ahead predictions (on the
+    /// metric's real scale).
+    pub rmse: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean wall-clock inference time per prediction, nanoseconds.
+    pub inference_ns: f64,
+    /// Number of predictions scored.
+    pub n: usize,
+}
+
+/// Run one-step-ahead evaluation of `model` over `series` using sliding
+/// windows with per-window min-max normalization (the same scheme the
+/// online predictor applies in production).
+///
+/// # Panics
+/// Panics when the series is not longer than the model window.
+pub fn one_step_eval<M: WindowModel>(model: &M, series: &[f64]) -> EvalReport {
+    let w = model.window();
+    assert!(series.len() > w, "series must exceed the model window");
+    let mut se = 0.0;
+    let mut ae = 0.0;
+    let mut preds = Vec::with_capacity(series.len() - w);
+    let mut truths = Vec::with_capacity(series.len() - w);
+    let start = Instant::now();
+    for i in 0..series.len() - w {
+        let window = &series[i..i + w];
+        let lo = window.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = window.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - lo;
+        let pred = if span == 0.0 {
+            lo
+        } else {
+            let normalized: Vec<f64> = window.iter().map(|v| (v - lo) / span).collect();
+            lo + model.predict_normalized(&normalized) * span
+        };
+        let truth = series[i + w];
+        se += (pred - truth) * (pred - truth);
+        ae += (pred - truth).abs();
+        preds.push(pred);
+        truths.push(truth);
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let n = preds.len();
+    let mean_truth = truths.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = truths.iter().map(|t| (t - mean_truth) * (t - mean_truth)).sum();
+    let r2 = if ss_tot == 0.0 {
+        if se == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - se / ss_tot
+    };
+    EvalReport {
+        rmse: (se / n as f64).sqrt(),
+        mae: ae / n as f64,
+        r2,
+        inference_ns: elapsed / n as f64,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Predicts the last value of the window (persistence forecast).
+    struct Persist(usize);
+
+    impl WindowModel for Persist {
+        fn window(&self) -> usize {
+            self.0
+        }
+
+        fn predict_normalized(&self, window: &[f64]) -> f64 {
+            *window.last().unwrap()
+        }
+    }
+
+    #[test]
+    fn perfect_on_constant_series() {
+        let series = vec![5.0; 20];
+        let r = one_step_eval(&Persist(5), &series);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.r2, 1.0);
+        assert_eq!(r.n, 15);
+        assert!(r.inference_ns >= 0.0);
+    }
+
+    #[test]
+    fn persistence_lags_a_ramp() {
+        let series: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let r = one_step_eval(&Persist(5), &series);
+        // Persistence on a unit-slope ramp is off by exactly 1 each step.
+        assert!((r.rmse - 1.0).abs() < 1e-9, "rmse {}", r.rmse);
+        assert!((r.mae - 1.0).abs() < 1e-9);
+        // Still highly correlated.
+        assert!(r.r2 > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the model window")]
+    fn too_short_series_panics() {
+        one_step_eval(&Persist(5), &[1.0; 5]);
+    }
+
+    #[test]
+    fn r2_negative_for_bad_model() {
+        /// Predicts the negated last value — deliberately terrible.
+        struct Bad(usize);
+        impl WindowModel for Bad {
+            fn window(&self) -> usize {
+                self.0
+            }
+            fn predict_normalized(&self, w: &[f64]) -> f64 {
+                -10.0 * w.last().unwrap()
+            }
+        }
+        let series: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let r = one_step_eval(&Bad(5), &series);
+        assert!(r.r2 < 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The eight key time-series features and their synthetic datasets.
+//!
+//! §3.4.2: *"Delphi is designed with the intuition that time-series data
+//! is made of eight key features. We experimented by creating a synthetic
+//! dataset of these eight different features found in time-series data and
+//! trained a lightweight, one-Dense layer neural network on each of the
+//! features with a window size of five."*
+//!
+//! Following the pattern-recognition taxonomy the paper cites (Lin et
+//! al.), the eight features are: constant level, linear trend, seasonal
+//! (short period), cyclic (long period), level shift (step), spike
+//! (impulse), autoregressive momentum, and mean reversion. Each generator
+//! emits values in roughly [0, 1] so the feature models train on the same
+//! normalized scale the online predictor feeds them.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The eight time-series features Delphi decomposes data into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Flat level with tiny noise.
+    Constant,
+    /// Linear trend (up or down).
+    Trend,
+    /// Short-period sinusoid.
+    Seasonal,
+    /// Long-period sinusoid.
+    Cyclic,
+    /// Discrete level shifts (the "non-continuous metrics which bounced …
+    /// between two or more discrete value groupings" of §3.4.1).
+    Step,
+    /// Mostly-flat with occasional impulses.
+    Spike,
+    /// AR(1) with momentum.
+    AutoRegressive,
+    /// Mean-reverting (Ornstein-Uhlenbeck-like) walk.
+    MeanReverting,
+}
+
+impl Feature {
+    /// All eight, in a stable order.
+    pub const ALL: [Feature; 8] = [
+        Feature::Constant,
+        Feature::Trend,
+        Feature::Seasonal,
+        Feature::Cyclic,
+        Feature::Step,
+        Feature::Spike,
+        Feature::AutoRegressive,
+        Feature::MeanReverting,
+    ];
+
+    /// Stable label for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Feature::Constant => "constant",
+            Feature::Trend => "trend",
+            Feature::Seasonal => "seasonal",
+            Feature::Cyclic => "cyclic",
+            Feature::Step => "step",
+            Feature::Spike => "spike",
+            Feature::AutoRegressive => "autoregressive",
+            Feature::MeanReverting => "mean_reverting",
+        }
+    }
+
+    /// Generate `n` values of this feature, deterministic per seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (*self as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+        let mut out = Vec::with_capacity(n);
+        match self {
+            Feature::Constant => {
+                let level = rng.random_range(0.2..0.8);
+                for _ in 0..n {
+                    out.push(level + rng.random_range(-0.01..0.01));
+                }
+            }
+            Feature::Trend => {
+                // A pure line (no clamp kinks): pick the total rise, then
+                // a start that keeps the whole line inside [0, 1], so a
+                // linear learner can recover exact extrapolation.
+                let total: f64 = rng.random_range(-0.8..0.8);
+                let lo = 0.05 - total.min(0.0);
+                let hi = 0.95 - total.max(0.0);
+                let start = rng.random_range(lo..hi);
+                let slope = total / n.max(1) as f64;
+                for i in 0..n {
+                    out.push(start + slope * i as f64);
+                }
+            }
+            Feature::Seasonal => {
+                let period = rng.random_range(8.0..24.0);
+                let amp = rng.random_range(0.1..0.4);
+                let level = rng.random_range(0.3..0.7);
+                for i in 0..n {
+                    out.push(level + amp * (2.0 * std::f64::consts::PI * i as f64 / period).sin());
+                }
+            }
+            Feature::Cyclic => {
+                let period = rng.random_range(60.0..200.0);
+                let amp = rng.random_range(0.2..0.45);
+                let level = 0.5;
+                for i in 0..n {
+                    out.push(level + amp * (2.0 * std::f64::consts::PI * i as f64 / period).sin());
+                }
+            }
+            Feature::Step => {
+                let levels = [
+                    rng.random_range(0.05..0.35),
+                    rng.random_range(0.4..0.6),
+                    rng.random_range(0.65..0.95),
+                ];
+                let mut cur = 0usize;
+                for _ in 0..n {
+                    if rng.random_range(0.0..1.0) < 0.05 {
+                        cur = rng.random_range(0..levels.len());
+                    }
+                    out.push(levels[cur]);
+                }
+            }
+            Feature::Spike => {
+                let base = rng.random_range(0.1..0.3);
+                for _ in 0..n {
+                    if rng.random_range(0.0..1.0) < 0.04 {
+                        out.push(base + rng.random_range(0.4..0.7));
+                    } else {
+                        out.push(base + rng.random_range(-0.02..0.02));
+                    }
+                }
+            }
+            Feature::AutoRegressive => {
+                let mut v: f64 = rng.random_range(0.3..0.7);
+                let mut momentum = 0.0;
+                for _ in 0..n {
+                    momentum = 0.8 * momentum + rng.random_range(-0.02..0.02);
+                    v = (v + momentum).clamp(0.0, 1.0);
+                    out.push(v);
+                }
+            }
+            Feature::MeanReverting => {
+                let mean = rng.random_range(0.4..0.6);
+                let mut v: f64 = rng.random_range(0.0..1.0);
+                for _ in 0..n {
+                    v += 0.2 * (mean - v) + rng.random_range(-0.03..0.03);
+                    v = v.clamp(0.0, 1.0);
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Slide a window of length `w` over `series`, producing `(inputs,
+/// targets)` pairs: each row of inputs is `w` consecutive values, the
+/// target is the value that follows.
+pub fn windows(series: &[f64], w: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    assert!(w > 0, "window must be positive");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    if series.len() <= w {
+        return (xs, ys);
+    }
+    for i in 0..series.len() - w {
+        xs.push(series[i..i + w].to_vec());
+        ys.push(series[i + w]);
+    }
+    (xs, ys)
+}
+
+/// A mixed dataset containing stretches of every feature, used to train
+/// Delphi's combiner layer.
+pub fn mixed_dataset(per_feature: usize, seed: u64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(per_feature * Feature::ALL.len());
+    for (i, f) in Feature::ALL.iter().enumerate() {
+        out.extend(f.generate(per_feature, seed.wrapping_add(i as u64)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_features_generate_requested_length() {
+        for f in Feature::ALL {
+            let v = f.generate(500, 1);
+            assert_eq!(v.len(), 500, "{}", f.label());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for f in Feature::ALL {
+            assert_eq!(f.generate(100, 7), f.generate(100, 7));
+            assert_ne!(f.generate(100, 7), f.generate(100, 8), "{}", f.label());
+        }
+    }
+
+    #[test]
+    fn values_are_roughly_unit_scaled() {
+        for f in Feature::ALL {
+            let v = f.generate(2000, 3);
+            assert!(v.iter().all(|x| (-0.1..=1.1).contains(x)), "{} out of scale", f.label());
+        }
+    }
+
+    #[test]
+    fn trend_is_monotonic() {
+        let v = Feature::Trend.generate(200, 5);
+        let ups = v.windows(2).filter(|w| w[1] >= w[0]).count();
+        let downs = v.windows(2).filter(|w| w[1] <= w[0]).count();
+        assert!(ups == 199 || downs == 199, "trend must be monotone");
+    }
+
+    #[test]
+    fn seasonal_oscillates() {
+        let v = Feature::Seasonal.generate(200, 2);
+        let crossings = v
+            .windows(2)
+            .filter(|w| (w[0] - 0.5).signum() != (w[1] - 0.5).signum())
+            .count();
+        assert!(crossings > 5, "seasonal must cross its level repeatedly");
+    }
+
+    #[test]
+    fn step_takes_few_distinct_values() {
+        let v = Feature::Step.generate(500, 9);
+        let mut distinct: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 3, "step feature uses discrete groupings");
+    }
+
+    #[test]
+    fn spike_has_outliers() {
+        let v = Feature::Spike.generate(1000, 4);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > mean + 0.3, "spikes must stand out");
+    }
+
+    #[test]
+    fn windows_shapes() {
+        let series = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let (xs, ys) = windows(&series, 5);
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(ys[0], 6.0);
+        assert_eq!(xs[1], vec![2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(ys[1], 7.0);
+    }
+
+    #[test]
+    fn windows_too_short_series() {
+        let (xs, ys) = windows(&[1.0, 2.0], 5);
+        assert!(xs.is_empty() && ys.is_empty());
+    }
+
+    #[test]
+    fn mixed_dataset_contains_all_features() {
+        let d = mixed_dataset(100, 0);
+        assert_eq!(d.len(), 800);
+    }
+}

@@ -1,0 +1,218 @@
+//! Online prediction wrapper used by monitor hooks.
+//!
+//! The Delphi stack is trained on unit-scaled synthetic features; real
+//! metrics live on wildly different scales (an NVMe capacity is ~10¹¹
+//! bytes). [`OnlinePredictor`] makes the model scale-invariant: it keeps
+//! the last `window` observations, min-max normalizes the window, asks the
+//! model for the next normalized value, and denormalizes.
+//!
+//! This is the component the Monitor Hook / Insight Builder calls to emit
+//! *predicted* records between measurements (§3.1: "Delphi … predicts
+//! Facts for Fact Vertices and Insights for Insight Vertices between the
+//! monitoring intervals").
+
+use std::collections::VecDeque;
+
+/// A model that maps a normalized window to the next normalized value.
+pub trait WindowModel: Send + Sync {
+    /// Expected window length.
+    fn window(&self) -> usize;
+    /// Predict the next value of a unit-scaled window.
+    fn predict_normalized(&self, window: &[f64]) -> f64;
+}
+
+impl WindowModel for crate::stack::Delphi {
+    fn window(&self) -> usize {
+        self.window()
+    }
+
+    fn predict_normalized(&self, window: &[f64]) -> f64 {
+        self.predict(window)
+    }
+}
+
+impl WindowModel for crate::lstm::LstmModel {
+    fn window(&self) -> usize {
+        self.window()
+    }
+
+    fn predict_normalized(&self, window: &[f64]) -> f64 {
+        self.predict(window)
+    }
+}
+
+/// Scale-invariant online wrapper around a [`WindowModel`].
+pub struct OnlinePredictor<M: WindowModel> {
+    model: M,
+    history: VecDeque<f64>,
+}
+
+impl<M: WindowModel> OnlinePredictor<M> {
+    /// Wrap a model.
+    pub fn new(model: M) -> Self {
+        let w = model.window();
+        Self { model, history: VecDeque::with_capacity(w) }
+    }
+
+    /// Record a *measured* value (from a real poll).
+    pub fn observe(&mut self, value: f64) {
+        if self.history.len() == self.model.window() {
+            self.history.pop_front();
+        }
+        self.history.push_back(value);
+    }
+
+    /// Number of observations currently held.
+    pub fn observed(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True once enough history exists to predict.
+    pub fn ready(&self) -> bool {
+        self.history.len() == self.model.window()
+    }
+
+    /// Predict the next value on the metric's real scale. Returns `None`
+    /// until the window is full.
+    ///
+    /// A flat window (max == min) predicts the same flat value — the
+    /// normalizer cannot invent variation, and a constant metric staying
+    /// constant is the correct call.
+    pub fn predict_next(&self) -> Option<f64> {
+        if !self.ready() {
+            return None;
+        }
+        let lo = self.history.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - lo;
+        if span == 0.0 {
+            return Some(lo);
+        }
+        let normalized: Vec<f64> = self.history.iter().map(|v| (v - lo) / span).collect();
+        let p = self.model.predict_normalized(&normalized);
+        Some(lo + p * span)
+    }
+
+    /// Predict, then feed the prediction back as pseudo-history so chained
+    /// multi-step prediction is possible. Returns `None` until ready.
+    pub fn predict_and_advance(&mut self) -> Option<f64> {
+        let p = self.predict_next()?;
+        self.observe(p);
+        Some(p)
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Drop all history (e.g. after a monitoring gap).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial model predicting the mean of the window.
+    struct MeanModel(usize);
+
+    impl WindowModel for MeanModel {
+        fn window(&self) -> usize {
+            self.0
+        }
+
+        fn predict_normalized(&self, window: &[f64]) -> f64 {
+            window.iter().sum::<f64>() / window.len() as f64
+        }
+    }
+
+    #[test]
+    fn not_ready_until_window_full() {
+        let mut p = OnlinePredictor::new(MeanModel(3));
+        assert!(!p.ready());
+        assert_eq!(p.predict_next(), None);
+        p.observe(1.0);
+        p.observe(2.0);
+        assert_eq!(p.observed(), 2);
+        assert_eq!(p.predict_next(), None);
+        p.observe(3.0);
+        assert!(p.ready());
+        assert!(p.predict_next().is_some());
+    }
+
+    #[test]
+    fn denormalization_restores_scale() {
+        // Window [1e9, 2e9, 3e9]: normalized [0, 0.5, 1], mean = 0.5,
+        // denormalized = 1e9 + 0.5 * 2e9 = 2e9.
+        let mut p = OnlinePredictor::new(MeanModel(3));
+        for v in [1e9, 2e9, 3e9] {
+            p.observe(v);
+        }
+        let pred = p.predict_next().unwrap();
+        assert!((pred - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn flat_window_predicts_flat() {
+        let mut p = OnlinePredictor::new(MeanModel(3));
+        for _ in 0..3 {
+            p.observe(42.0);
+        }
+        assert_eq!(p.predict_next(), Some(42.0));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut p = OnlinePredictor::new(MeanModel(2));
+        p.observe(1.0);
+        p.observe(2.0);
+        p.observe(10.0); // evicts 1.0; window now [2, 10]
+        // normalized [0,1], mean 0.5 -> 2 + 0.5*8 = 6
+        assert_eq!(p.predict_next(), Some(6.0));
+    }
+
+    #[test]
+    fn predict_and_advance_chains() {
+        let mut p = OnlinePredictor::new(MeanModel(2));
+        p.observe(0.0);
+        p.observe(1.0);
+        let a = p.predict_and_advance().unwrap();
+        assert!((a - 0.5).abs() < 1e-12);
+        // history now [1.0, 0.5]
+        let b = p.predict_and_advance().unwrap();
+        assert!((b - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut p = OnlinePredictor::new(MeanModel(2));
+        p.observe(1.0);
+        p.observe(2.0);
+        p.reset();
+        assert!(!p.ready());
+        assert_eq!(p.observed(), 0);
+    }
+
+    #[test]
+    fn works_with_real_delphi() {
+        let config = crate::stack::DelphiConfig {
+            feature_samples: 300,
+            feature_epochs: 100,
+            combiner_samples: 100,
+            combiner_epochs: 100,
+            ..Default::default()
+        };
+        let delphi = crate::stack::Delphi::train(config);
+        let mut p = OnlinePredictor::new(delphi);
+        // Feed a falling capacity-like series.
+        for i in 0..5 {
+            p.observe(1e11 - i as f64 * 38_000.0);
+        }
+        let pred = p.predict_next().unwrap();
+        // Prediction stays in the neighbourhood of the window.
+        assert!(pred > 1e11 - 10.0 * 38_000.0 && pred < 1e11 + 5.0 * 38_000.0, "pred {pred}");
+    }
+}

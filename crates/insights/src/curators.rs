@@ -1,0 +1,487 @@
+//! The fifteen I/O curations of Table 1.
+//!
+//! Each function implements the table's formalization over live
+//! cluster-state objects. Where the published formalization is
+//! typographically ambiguous or degenerate, the doc comment records the
+//! interpretation chosen and why it preserves the stated use case.
+
+use apollo_cluster::allocation::JobInfo;
+use apollo_cluster::cluster::SimCluster;
+use apollo_cluster::device::{Device, DeviceKind};
+use serde::{Deserialize, Serialize};
+
+/// Insight categories from §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    /// Resource performance and load.
+    Performance,
+    /// Power accounting.
+    Energy,
+    /// Access/availability information.
+    Access,
+    /// Job/workflow information.
+    Workflow,
+}
+
+// ---------------------------------------------------------------------------
+// 1. Medium Sensitivity to Concurrent Access
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 1 — **MSCA**: `NumReqs/DevC × (MaxBW − RealBW)/MaxBW`.
+///
+/// Indicates how much concurrent I/O a device can still absorb; an I/O
+/// scheduler sends concurrent work to the device with the lowest
+/// sensitivity.
+pub fn msca(device: &Device, now_ns: u64) -> f64 {
+    let num_reqs = device.queue_depth() as f64;
+    let devc = device.spec.concurrency.max(1) as f64;
+    let max_bw = device.max_bw();
+    let headroom = ((max_bw - device.real_bw(now_ns)) / max_bw).max(0.0);
+    (num_reqs / devc) * headroom
+}
+
+// ---------------------------------------------------------------------------
+// 2. Interference Factor
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 2 — **Interference Factor**: `RealBW / MaxBW`.
+///
+/// The degree to which a device's bandwidth is already consumed (0 = idle,
+/// 1 = saturated); a scheduler picks the device with the smallest value to
+/// accept more I/O.
+pub fn interference_factor(device: &Device, now_ns: u64) -> f64 {
+    (device.real_bw(now_ns) / device.max_bw()).clamp(0.0, 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// 3. FS Performance
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 3 — **FS Performance** record: the static performance
+/// characteristics of a filesystem/tier a DPE uses for placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsPerformance {
+    /// Compression configured on the filesystem ("none", "lz4", ...).
+    pub compression: String,
+    /// Filesystem block size in bytes.
+    pub block_size: u64,
+    /// RAID level (0 = none).
+    pub raid_level: u8,
+    /// Number of devices backing the filesystem.
+    pub n_devices: usize,
+    /// Peak aggregate bandwidth, bytes/s.
+    pub max_bw: f64,
+}
+
+/// Build the FS Performance record for one storage tier of the cluster.
+pub fn fs_performance(cluster: &SimCluster, kind: DeviceKind) -> FsPerformance {
+    let tier = cluster.tier(kind);
+    FsPerformance {
+        compression: "none".to_string(),
+        block_size: apollo_cluster::device::BLOCK_SIZE,
+        raid_level: 0,
+        n_devices: tier.len(),
+        max_bw: tier.iter().map(|d| d.max_bw()).sum(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Block Hotness
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 4 — **Block Hotness**: `(BlockID, frequency of access)`,
+/// hottest first. Prefetchers use it to pick what to cache.
+pub fn block_hotness(device: &Device, top: usize) -> Vec<(u64, u64)> {
+    device.hottest_blocks(top)
+}
+
+// ---------------------------------------------------------------------------
+// 5. Device Health
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 5 — **Device Health**: `1 − NumBadBlocks/TotalNumBlocks`,
+/// in [0, 1].
+pub fn device_health(device: &Device) -> f64 {
+    device.health()
+}
+
+// ---------------------------------------------------------------------------
+// 6. Network Health
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 6 — **Network Health** sample:
+/// `(timestamp, nodeID-1, nodeID-2, ping time)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkHealth {
+    /// Probe timestamp (ns).
+    pub timestamp_ns: u64,
+    /// First endpoint.
+    pub node_a: u32,
+    /// Second endpoint.
+    pub node_b: u32,
+    /// Measured round-trip time in nanoseconds.
+    pub ping_ns: u64,
+}
+
+/// Probe the link between two nodes and report the insight tuple.
+pub fn network_health(cluster: &SimCluster, now_ns: u64, a: u32, b: u32) -> NetworkHealth {
+    let rtt = cluster.network().ping(now_ns, a, b);
+    NetworkHealth { timestamp_ns: now_ns, node_a: a, node_b: b, ping_ns: rtt.as_nanos() as u64 }
+}
+
+// ---------------------------------------------------------------------------
+// 7. Device Fault Tolerance
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 7 — **Device Fault Tolerance**.
+///
+/// The table typesets this as `ReplicationLevel / DeviceHealth`, but read
+/// literally that *rises* as health falls, inverting the stated use case
+/// ("place important data on more fault-tolerant devices"). We interpret
+/// the stacked formalization as the product `ReplicationLevel ×
+/// DeviceHealth`: more replicas and healthier media are both more fault
+/// tolerant. EXPERIMENTS.md records the deviation.
+pub fn device_fault_tolerance(device: &Device) -> f64 {
+    device.spec.replication_level as f64 * device.health()
+}
+
+// ---------------------------------------------------------------------------
+// 8. Device Degradation Rate
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 8 — **Device Degradation Rate**: health lost per block of
+/// lifetime I/O — `(1 − health) / (blocks read + blocks written)`.
+/// Zero for a device that has done no I/O.
+pub fn device_degradation_rate(device: &Device) -> f64 {
+    let io = device.blocks_read() + device.blocks_written();
+    if io == 0 {
+        0.0
+    } else {
+        (1.0 - device.health()) / io as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 9. Node Availability List
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 9 — **Node Availability List**:
+/// `(timestamp, list of all the available nodes)` — ordered node ids that
+/// are currently online, for leader election.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeAvailability {
+    /// Snapshot timestamp (ns).
+    pub timestamp_ns: u64,
+    /// Online node ids, ascending.
+    pub online: Vec<u32>,
+}
+
+/// Snapshot the availability list.
+pub fn node_availability(cluster: &SimCluster, now_ns: u64) -> NodeAvailability {
+    NodeAvailability { timestamp_ns: now_ns, online: cluster.online_nodes() }
+}
+
+// ---------------------------------------------------------------------------
+// 10. Tier Remaining Capacity
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 10 — **Tier Remaining Capacity**:
+/// `Σᵢ DeviceCapacityᵢ − CapacityUsedᵢ` over a tier.
+pub fn tier_remaining_capacity(cluster: &SimCluster, kind: DeviceKind) -> u64 {
+    cluster.tier_remaining_bytes(kind)
+}
+
+// ---------------------------------------------------------------------------
+// 11/14. Energy Consumption per Transfer
+// ---------------------------------------------------------------------------
+
+/// Table 1 rows 11 and 14 — **Energy Consumption per Transfer**:
+/// `PowerPerSec / TransfersPerSec` (the table lists the node- and
+/// I/O-scoped variants as separate rows with the same formalization; both
+/// are served by this function at device scope and by
+/// [`node_energy_per_transfer`] at node scope).
+///
+/// Infinite when no transfers are happening — a resource consuming power
+/// while doing no work is exactly what a decommissioning policy looks for.
+pub fn device_energy_per_transfer(device: &Device, now_ns: u64, window_s: f64) -> f64 {
+    let transfers_per_sec = device.transfers() as f64 / window_s.max(1e-9);
+    let power = device.power_w(now_ns);
+    if transfers_per_sec == 0.0 {
+        f64::INFINITY
+    } else {
+        power / transfers_per_sec
+    }
+}
+
+/// Node-scoped Energy Consumption per Transfer (Table 1 row 11): node
+/// power divided by the transfer rate summed over its devices.
+pub fn node_energy_per_transfer(
+    node: &apollo_cluster::node::Node,
+    now_ns: u64,
+    window_s: f64,
+) -> f64 {
+    let transfers: u64 = node.devices().iter().map(|d| d.transfers()).sum();
+    let tps = transfers as f64 / window_s.max(1e-9);
+    if tps == 0.0 {
+        f64::INFINITY
+    } else {
+        node.power_w(now_ns) / tps
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 12. System Time
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 12 — **System Time**: `(NodeID, system time)`; consumers
+/// compute drift for time coordination (e.g. ChronoLog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemTime {
+    /// Reporting node.
+    pub node_id: u32,
+    /// That node's clock reading (ns).
+    pub time_ns: u64,
+}
+
+/// Report a node's current clock (the simulation shares one clock, so
+/// per-node drift is zero; fault injection can perturb it upstream).
+pub fn system_time(node_id: u32, now_ns: u64) -> SystemTime {
+    SystemTime { node_id, time_ns: now_ns }
+}
+
+// ---------------------------------------------------------------------------
+// 13. Device Load
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 13 — **Device Load**:
+/// `(Blk_read/s + Blk_written/s) / (Blk_read + Blk_written)` — the
+/// fraction of the device's lifetime block traffic happening right now;
+/// recent activity on a quiet device reads as high load. Zero when the
+/// device has never done I/O.
+pub fn device_load(device: &Device, now_ns: u64) -> f64 {
+    let lifetime = (device.blocks_read() + device.blocks_written()) as f64;
+    if lifetime == 0.0 {
+        return 0.0;
+    }
+    // Blocks/s over the trailing window, derived from the byte rates.
+    let bps = device.real_bw(now_ns) / apollo_cluster::device::BLOCK_SIZE as f64;
+    bps / lifetime
+}
+
+// ---------------------------------------------------------------------------
+// 15. Allocation Characteristics
+// ---------------------------------------------------------------------------
+
+/// Table 1 row 15 — **Allocation Characteristics**:
+/// `(timestamp, #nodes, distribution of processes, bytes read/written)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationCharacteristics {
+    /// Snapshot timestamp (ns).
+    pub timestamp_ns: u64,
+    /// Job this record describes.
+    pub job_name: String,
+    /// Number of allocated nodes.
+    pub n_nodes: usize,
+    /// Processes per node.
+    pub proc_distribution: Vec<u32>,
+    /// Bytes read so far.
+    pub bytes_read: u64,
+    /// Bytes written so far.
+    pub bytes_written: u64,
+}
+
+/// Build the allocation insight for every running job.
+pub fn allocation_characteristics(
+    cluster: &SimCluster,
+    now_ns: u64,
+) -> Vec<AllocationCharacteristics> {
+    cluster
+        .jobs()
+        .running()
+        .into_iter()
+        .map(|j: JobInfo| AllocationCharacteristics {
+            timestamp_ns: now_ns,
+            job_name: j.name,
+            n_nodes: j.nodes.len(),
+            proc_distribution: j.procs_per_node,
+            bytes_read: j.bytes_read,
+            bytes_written: j.bytes_written,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_cluster::device::DeviceSpec;
+
+    fn nvme() -> Device {
+        Device::new("t/nvme0", DeviceSpec::nvme_250g())
+    }
+
+    #[test]
+    fn msca_zero_when_idle() {
+        let d = nvme();
+        assert_eq!(msca(&d, 0), 0.0, "no queued requests => no sensitivity");
+    }
+
+    #[test]
+    fn interference_zero_idle_and_grows_with_traffic() {
+        let d = nvme();
+        assert_eq!(interference_factor(&d, 0), 0.0);
+        for _ in 0..10 {
+            d.write(0, 200_000_000).unwrap();
+        }
+        let f = interference_factor(&d, 0);
+        assert!(f > 0.0 && f <= 1.0, "interference {f}");
+    }
+
+    #[test]
+    fn fs_performance_aggregates_tier() {
+        let c = SimCluster::ares_scaled(2, 0);
+        let fs = fs_performance(&c, DeviceKind::Nvme);
+        assert_eq!(fs.n_devices, 2);
+        assert_eq!(fs.max_bw, 2.0 * DeviceSpec::nvme_250g().read_bw + 2.0 * DeviceSpec::nvme_250g().write_bw);
+        assert_eq!(fs.block_size, 4096);
+    }
+
+    #[test]
+    fn block_hotness_orders_by_frequency() {
+        let d = nvme();
+        d.read(0, 4096, 7);
+        d.read(0, 4096, 7);
+        d.read(0, 4096, 3);
+        let hot = block_hotness(&d, 10);
+        assert_eq!(hot[0], (7, 2));
+        assert_eq!(hot[1], (3, 1));
+    }
+
+    #[test]
+    fn health_and_fault_tolerance() {
+        let d = nvme();
+        assert_eq!(device_health(&d), 1.0);
+        assert_eq!(device_fault_tolerance(&d), 1.0); // replication 1 × health 1
+        d.degrade(d.spec.total_blocks() / 2);
+        assert!((device_health(&d) - 0.5).abs() < 1e-9);
+        assert!((device_fault_tolerance(&d) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_rate() {
+        let d = nvme();
+        assert_eq!(device_degradation_rate(&d), 0.0, "no I/O yet");
+        d.write(0, 4096 * 100).unwrap();
+        d.degrade(d.spec.total_blocks() / 10);
+        let rate = device_degradation_rate(&d);
+        assert!((rate - 0.1 / 100.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn network_health_probe_records() {
+        let c = SimCluster::ares_scaled(4, 0);
+        let nh = network_health(&c, 123, 0, 2);
+        assert_eq!(nh.timestamp_ns, 123);
+        assert!(nh.ping_ns > 0);
+        assert_eq!((nh.node_a, nh.node_b), (0, 2));
+        assert_eq!(c.network().ping_history().len(), 1);
+    }
+
+    #[test]
+    fn node_availability_tracks_offline() {
+        let c = SimCluster::ares_scaled(3, 0);
+        assert_eq!(node_availability(&c, 0).online, vec![0, 1, 2]);
+        c.node(1).unwrap().set_online(false);
+        assert_eq!(node_availability(&c, 1).online, vec![0, 2]);
+    }
+
+    #[test]
+    fn tier_remaining_capacity_sums() {
+        let c = SimCluster::ares_scaled(2, 1);
+        let before = tier_remaining_capacity(&c, DeviceKind::Ssd);
+        assert_eq!(before, 150_000_000_000);
+        c.tier(DeviceKind::Ssd)[0].write(0, 1_000).unwrap();
+        assert_eq!(tier_remaining_capacity(&c, DeviceKind::Ssd), before - 1_000);
+    }
+
+    #[test]
+    fn energy_per_transfer_infinite_when_idle() {
+        let d = nvme();
+        assert!(device_energy_per_transfer(&d, 0, 10.0).is_infinite());
+        d.write(0, 1_000_000).unwrap();
+        let e = device_energy_per_transfer(&d, 0, 10.0);
+        assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn node_energy_per_transfer_spans_devices() {
+        let c = SimCluster::ares_scaled(1, 0);
+        let node = &c.nodes()[0];
+        assert!(node_energy_per_transfer(node, 0, 1.0).is_infinite());
+        node.devices()[0].write(0, 1_000).unwrap();
+        assert!(node_energy_per_transfer(node, 0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn system_time_tuple() {
+        let st = system_time(9, 777);
+        assert_eq!(st, SystemTime { node_id: 9, time_ns: 777 });
+    }
+
+    #[test]
+    fn device_load_recent_over_lifetime() {
+        let d = nvme();
+        assert_eq!(device_load(&d, 0), 0.0);
+        d.write(0, 4096 * 10).unwrap();
+        let now = 0;
+        let load = device_load(&d, now);
+        assert!(load > 0.0, "recent I/O means nonzero load");
+        // After the window expires the load decays to zero.
+        assert_eq!(device_load(&d, 10_000_000_000), 0.0);
+    }
+
+    #[test]
+    fn allocation_characteristics_for_running_jobs() {
+        let c = SimCluster::ares_scaled(4, 0);
+        let id = c.jobs().submit("VPIC-IO", 5, vec![0, 1], vec![40, 40]);
+        c.jobs().record_io(id, 100, 200);
+        let ac = allocation_characteristics(&c, 10);
+        assert_eq!(ac.len(), 1);
+        assert_eq!(ac[0].job_name, "VPIC-IO");
+        assert_eq!(ac[0].n_nodes, 2);
+        assert_eq!(ac[0].proc_distribution, vec![40, 40]);
+        assert_eq!(ac[0].bytes_read, 100);
+        assert_eq!(ac[0].bytes_written, 200);
+        c.jobs().set_state(id, apollo_cluster::allocation::JobState::Completed);
+        assert!(allocation_characteristics(&c, 11).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use apollo_cluster::device::DeviceSpec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn interference_always_in_unit_interval(writes in proptest::collection::vec(1u64..500_000_000, 0..30)) {
+            let d = Device::new("d", DeviceSpec::ssd_150g());
+            for (i, w) in writes.iter().enumerate() {
+                let _ = d.write(i as u64 * 1_000_000, *w);
+            }
+            let f = interference_factor(&d, 0);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn fault_tolerance_nonnegative(bad in 0u64..u64::MAX / 2, repl in 1u32..10) {
+            let mut spec = DeviceSpec::hdd_1t();
+            spec.replication_level = repl;
+            let d = Device::new("d", spec);
+            d.degrade(bad);
+            let ft = device_fault_tolerance(&d);
+            prop_assert!(ft >= 0.0);
+            prop_assert!(ft <= repl as f64);
+        }
+    }
+}

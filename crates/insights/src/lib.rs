@@ -1,0 +1,33 @@
+//! # apollo-insights
+//!
+//! The curated **I/O Insights** of Apollo (HPDC '21, §3.3, Table 1): the
+//! fifteen high-level curations middleware libraries consume, each with
+//! the formalization the paper gives and the cluster-state inputs it
+//! reads.
+//!
+//! Insights are pure functions over simulated-cluster state
+//! ([`apollo_cluster`]), so they can be evaluated directly (the
+//! `fig_table1` binary), wrapped into SCoRe Insight vertices
+//! (`apollo-core`), or queried through the AQE.
+//!
+//! | # | Insight | Category |
+//! |---|---------|----------|
+//! | 1 | Medium Sensitivity to Concurrent Access (MSCA) | Performance |
+//! | 2 | Interference Factor | Performance |
+//! | 3 | FS Performance | Performance |
+//! | 4 | Block Hotness | Access |
+//! | 5 | Device Health | Performance |
+//! | 6 | Network Health | Access |
+//! | 7 | Device Fault Tolerance | Performance |
+//! | 8 | Device Degradation Rate | Performance |
+//! | 9 | Node Availability List | Access |
+//! | 10 | Tier Remaining Capacity | Performance |
+//! | 11 | Energy Consumption per Transfer (node) | Energy |
+//! | 12 | System Time | Workflow |
+//! | 13 | Device Load | Performance |
+//! | 14 | Energy Consumption per Transfer (I/O) | Energy |
+//! | 15 | Allocation Characteristics | Workflow |
+
+pub mod curators;
+
+pub use curators::*;

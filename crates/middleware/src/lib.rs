@@ -1,0 +1,43 @@
+//! # apollo-middleware
+//!
+//! The three Hermes-ecosystem middleware libraries of the paper's
+//! end-to-end evaluation (§4.4.2, Figure 13), each in a resource-blind
+//! (round-robin) and an Apollo-aware variant:
+//!
+//! * [`placement`] — **HDPE**, the Hierarchical Data Placement Engine:
+//!   writes into fast buffering targets; round-robin can hit full targets
+//!   that "need to be flushed before the new data can be ingested", while
+//!   the Apollo-aware policy places "into buffering targets … that have
+//!   enough capacity, reducing the number of flushes … and data stalls".
+//! * [`prefetch`] — **HDFE**, the Hierarchical Data Prefetching Engine:
+//!   stages data from the PFS into prefetching caches; round-robin causes
+//!   "unnecessary evictions when a prefetching cache is full, leading to
+//!   data stalls".
+//! * [`replication`] — **HDRE**, the Hierarchical Data Replication
+//!   Engine: places replicas into replication sets; Apollo lets it
+//!   prioritize "sets with high remaining capacities and lower network
+//!   latency".
+//!
+//! All engines run a bulk-synchronous simulation over
+//! [`apollo_cluster::workloads::apps`] request streams: per application
+//! time step, bytes are routed to devices by the policy, and the step's
+//! wall time is the slowest device's transfer time plus any stall
+//! penalties — deterministic, so Figure 13 regenerates bit-identically.
+//!
+//! * [`view`] — how a policy sees remaining capacity: an [`view::OracleView`]
+//!   (ground truth) or an [`view::ApolloView`] reading Apollo's — possibly
+//!   slightly stale — capacity facts from the pub-sub fabric.
+
+pub mod placement;
+pub mod prefetch;
+pub mod replication;
+pub mod report;
+pub mod targets;
+pub mod view;
+
+pub use placement::{PlacementEngine, PlacementPolicy};
+pub use prefetch::{PrefetchEngine, PrefetchPolicy};
+pub use replication::{ReplicationEngine, ReplicationPolicy};
+pub use report::SimReport;
+pub use targets::TargetSet;
+pub use view::{ApolloView, CapacityView, OracleView};

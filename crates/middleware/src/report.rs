@@ -1,0 +1,78 @@
+//! Simulation outcome report.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Outcome of running a workload through a middleware engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total simulated I/O time.
+    pub io_time_s: f64,
+    /// Stalls: operations that had to wait (full target, cache miss, …).
+    pub stalls: u64,
+    /// Flush operations (buffered data pushed down to the PFS).
+    pub flushes: u64,
+    /// Prefetch-cache evictions.
+    pub evictions: u64,
+    /// Bytes that reached fast tiers (RAM/NVMe/BB).
+    pub bytes_fast: u64,
+    /// Bytes that went to (or came from) the PFS.
+    pub bytes_pfs: u64,
+    /// Simulated time spent querying the monitoring service.
+    pub query_overhead_s: f64,
+}
+
+impl SimReport {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_fast + self.bytes_pfs
+    }
+
+    /// Query overhead as a fraction of I/O time (the "<1%" check of
+    /// §4.4.2).
+    pub fn query_overhead_fraction(&self) -> f64 {
+        if self.io_time_s == 0.0 {
+            0.0
+        } else {
+            self.query_overhead_s / self.io_time_s
+        }
+    }
+
+    /// Speedup of `self` relative to `other` (>1 means `self` is faster).
+    pub fn speedup_over(&self, other: &SimReport) -> f64 {
+        other.io_time_s / self.io_time_s
+    }
+
+    /// Add a duration to the I/O time.
+    pub fn add_io_time(&mut self, d: Duration) {
+        self.io_time_s += d.as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_fractions() {
+        let fast = SimReport { io_time_s: 10.0, query_overhead_s: 0.05, ..Default::default() };
+        let slow = SimReport { io_time_s: 23.0, ..Default::default() };
+        assert!((fast.speedup_over(&slow) - 2.3).abs() < 1e-12);
+        assert!((fast.query_overhead_fraction() - 0.005).abs() < 1e-12);
+        assert_eq!(SimReport::default().query_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let r = SimReport { bytes_fast: 10, bytes_pfs: 32, ..Default::default() };
+        assert_eq!(r.total_bytes(), 42);
+    }
+
+    #[test]
+    fn add_io_time_accumulates() {
+        let mut r = SimReport::default();
+        r.add_io_time(Duration::from_millis(1500));
+        r.add_io_time(Duration::from_millis(500));
+        assert!((r.io_time_s - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Query syntax tree.
+
+use serde::{Deserialize, Serialize};
+
+/// What a single SELECT computes over its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// `MAX(Timestamp), metric` — the most recent record (the resource
+    /// query of Algorithm 4.4.1).
+    Latest,
+    /// `MAX(metric)` over the (optionally time-filtered) records.
+    Max,
+    /// `MIN(metric)`.
+    Min,
+    /// `AVG(metric)`.
+    Avg,
+    /// `SUM(metric)`.
+    Sum,
+    /// `COUNT(*)`.
+    Count,
+    /// Plain `metric` — every record in the range.
+    All,
+}
+
+/// Sort order for result rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderBy {
+    /// `ORDER BY Timestamp ASC` (the natural stream order).
+    TimestampAsc,
+    /// `ORDER BY Timestamp DESC`.
+    TimestampDesc,
+    /// `ORDER BY metric ASC`.
+    MetricAsc,
+    /// `ORDER BY metric DESC`.
+    MetricDesc,
+}
+
+/// One SELECT arm of a UNION query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    /// Aggregate to compute.
+    pub aggregate: Aggregate,
+    /// Table (= SCoRe stream/topic) name.
+    pub table: String,
+    /// Optional inclusive `[start_ms, end_ms]` timestamp filter.
+    pub time_range: Option<(u64, u64)>,
+    /// Optional row ordering (§2's "ordering" transformation).
+    pub order: Option<OrderBy>,
+    /// Optional row limit.
+    pub limit: Option<usize>,
+}
+
+/// A full query: one or more SELECTs combined by UNION.
+///
+/// The *complexity* of a query — the term used when scaling Figure 12b —
+/// is the number of queried tables, i.e. `selects.len()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The UNION arms, in source order.
+    pub selects: Vec<Select>,
+}
+
+impl Query {
+    /// The paper's definition of query complexity: number of queried
+    /// tables.
+    pub fn complexity(&self) -> usize {
+        self.selects.len()
+    }
+
+    /// Build the Algorithm 4.4.1 resource query over a set of tables:
+    /// `SELECT MAX(Timestamp), metric FROM t1 UNION … FROM tn`.
+    pub fn latest_of(tables: &[&str]) -> Self {
+        Query {
+            selects: tables
+                .iter()
+                .map(|t| Select {
+                    aggregate: Aggregate::Latest,
+                    table: (*t).to_string(),
+                    time_range: None,
+                    order: None,
+                    limit: None,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_counts_tables() {
+        let q = Query::latest_of(&["a", "b", "c"]);
+        assert_eq!(q.complexity(), 3);
+        assert!(q.selects.iter().all(|s| s.aggregate == Aggregate::Latest));
+        assert_eq!(q.selects[1].table, "b");
+    }
+
+    #[test]
+    fn empty_query_has_zero_complexity() {
+        let q = Query { selects: vec![] };
+        assert_eq!(q.complexity(), 0);
+    }
+}

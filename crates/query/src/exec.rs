@@ -1,0 +1,418 @@
+//! The parallel query executor.
+//!
+//! Each SELECT of a UNION is an independent table access — "highly
+//! parallel and decoupled access to information" (§3.1) — so the executor
+//! resolves them on scoped threads and concatenates the results in source
+//! order. Table data comes from a [`TableProvider`]; the in-tree provider
+//! is the pub-sub [`Broker`], whose range reads transparently cover the
+//! live queue and the archived log ("the queue (or the persisted log for
+//! evicted entries) using timestamp-based indexing").
+
+use crate::ast::{Aggregate, OrderBy, Query, Select};
+use apollo_streams::codec::Record;
+use apollo_streams::Broker;
+use serde::{Deserialize, Serialize};
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Source table.
+    pub table: String,
+    /// Record timestamp (ms), when the row is a record; aggregate rows
+    /// carry the largest contributing timestamp.
+    pub timestamp_ms: u64,
+    /// The value (record value, or aggregate result).
+    pub value: f64,
+}
+
+/// Error executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The table does not exist or holds no records.
+    EmptyTable(String),
+    /// A stored payload failed to decode as a telemetry record.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::EmptyTable(t) => write!(f, "table {t:?} is empty or missing"),
+            ExecError::Corrupt(t) => write!(f, "corrupt record in table {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a full query: per-arm rows, flattened in source order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// All rows from all UNION arms.
+    pub rows: Vec<Row>,
+}
+
+/// Supplies table data to the executor.
+pub trait TableProvider: Sync {
+    /// Most recent record of a table, if any.
+    fn latest(&self, table: &str) -> Option<Record>;
+
+    /// Records with `start_ms <= timestamp <= end_ms`, time-ordered.
+    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Vec<Record>;
+}
+
+impl TableProvider for Broker {
+    fn latest(&self, table: &str) -> Option<Record> {
+        Broker::latest(self, table).and_then(|e| Record::decode(&e.payload).ok())
+    }
+
+    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Vec<Record> {
+        Broker::range_by_time(self, table, start_ms, end_ms)
+            .iter()
+            .filter_map(|e| Record::decode(&e.payload).ok())
+            .collect()
+    }
+}
+
+/// The Apollo Query Engine.
+pub struct QueryEngine<'a, P: TableProvider> {
+    provider: &'a P,
+}
+
+impl<'a, P: TableProvider> QueryEngine<'a, P> {
+    /// Create an engine over a provider.
+    pub fn new(provider: &'a P) -> Self {
+        Self { provider }
+    }
+
+    /// Execute one SELECT arm.
+    fn run_select(&self, select: &Select) -> Result<Vec<Row>, ExecError> {
+        let table = &select.table;
+        match select.aggregate {
+            Aggregate::Latest => {
+                let record = match select.time_range {
+                    None => self.provider.latest(table),
+                    Some((lo, hi)) => self.provider.range(table, lo, hi).into_iter().last(),
+                };
+                let r = record.ok_or_else(|| ExecError::EmptyTable(table.clone()))?;
+                Ok(vec![Row {
+                    table: table.clone(),
+                    timestamp_ms: r.timestamp_ns / 1_000_000,
+                    value: r.value,
+                }])
+            }
+            Aggregate::All => {
+                let (lo, hi) = select.time_range.unwrap_or((0, u64::MAX));
+                let records = self.provider.range(table, lo, hi);
+                let mut rows: Vec<Row> = records
+                    .into_iter()
+                    .map(|r| Row {
+                        table: table.clone(),
+                        timestamp_ms: r.timestamp_ns / 1_000_000,
+                        value: r.value,
+                    })
+                    .collect();
+                match select.order {
+                    None | Some(OrderBy::TimestampAsc) => {}
+                    Some(OrderBy::TimestampDesc) => rows.reverse(),
+                    Some(OrderBy::MetricAsc) => rows.sort_by(|a, b| {
+                        a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
+                    }),
+                    Some(OrderBy::MetricDesc) => rows.sort_by(|a, b| {
+                        b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal)
+                    }),
+                }
+                if let Some(n) = select.limit {
+                    rows.truncate(n);
+                }
+                Ok(rows)
+            }
+            agg => {
+                let (lo, hi) = select.time_range.unwrap_or((0, u64::MAX));
+                let records = self.provider.range(table, lo, hi);
+                if records.is_empty() {
+                    return Err(ExecError::EmptyTable(table.clone()));
+                }
+                let ts = records.iter().map(|r| r.timestamp_ns / 1_000_000).max().unwrap_or(0);
+                let values = records.iter().map(|r| r.value);
+                let value = match agg {
+                    Aggregate::Max => values.fold(f64::NEG_INFINITY, f64::max),
+                    Aggregate::Min => values.fold(f64::INFINITY, f64::min),
+                    Aggregate::Avg => {
+                        values.sum::<f64>() / records.len() as f64
+                    }
+                    Aggregate::Sum => values.sum(),
+                    Aggregate::Count => records.len() as f64,
+                    Aggregate::Latest | Aggregate::All => unreachable!("handled above"),
+                };
+                Ok(vec![Row { table: table.clone(), timestamp_ms: ts, value }])
+            }
+        }
+    }
+
+    /// Execute a query. Rows come back grouped by arm, in source order.
+    ///
+    /// Arms are resolved in parallel on scoped threads **when the work
+    /// warrants it**: `Latest` arms are O(1) indexed tail-reads for which
+    /// a thread spawn costs more than the read, so Latest-only unions run
+    /// inline; unions containing scan aggregates (`AVG`, `COUNT`, range
+    /// reads, …) fan out.
+    pub fn execute(&self, query: &Query) -> Result<QueryResult, ExecError> {
+        if query.selects.is_empty() {
+            return Ok(QueryResult { rows: vec![] });
+        }
+        let heavy_arms =
+            query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
+        if query.selects.len() == 1 || heavy_arms == 0 {
+            let mut rows = Vec::new();
+            for s in &query.selects {
+                rows.extend(self.run_select(s)?);
+            }
+            return Ok(QueryResult { rows });
+        }
+        let results: Vec<Result<Vec<Row>, ExecError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = query
+                .selects
+                .iter()
+                .map(|s| scope.spawn(move || self.run_select(s)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("select worker panicked")).collect()
+        });
+        let mut rows = Vec::new();
+        for r in results {
+            rows.extend(r?);
+        }
+        Ok(QueryResult { rows })
+    }
+
+    /// Parse and execute in one call.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryResult, ExecSqlError> {
+        let query = crate::parser::parse(sql).map_err(ExecSqlError::Parse)?;
+        self.execute(&query).map_err(ExecSqlError::Exec)
+    }
+
+    /// Describe how a query would execute without running it (the
+    /// `EXPLAIN` surface): one line per arm plus the chosen execution
+    /// strategy.
+    pub fn explain(&self, query: &Query) -> String {
+        let heavy_arms =
+            query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
+        let strategy = if query.selects.len() <= 1 || heavy_arms == 0 {
+            "inline (indexed tail-reads)"
+        } else {
+            "parallel (one scoped thread per arm)"
+        };
+        let mut out = format!(
+            "query: {} arm(s), complexity {}, strategy: {strategy}
+",
+            query.selects.len(),
+            query.complexity()
+        );
+        for (i, s) in query.selects.iter().enumerate() {
+            let access = match s.aggregate {
+                Aggregate::Latest => "O(1) tail-read".to_string(),
+                Aggregate::All => "range scan".to_string(),
+                other => format!("range scan + {other:?}"),
+            };
+            let filter = match s.time_range {
+                Some((lo, hi)) if hi == u64::MAX => format!(", Timestamp >= {lo}"),
+                Some((lo, hi)) => format!(", Timestamp in [{lo}, {hi}]"),
+                None => String::new(),
+            };
+            let order = s.order.map(|o| format!(", order {o:?}")).unwrap_or_default();
+            let limit = s.limit.map(|n| format!(", limit {n}")).unwrap_or_default();
+            out.push_str(&format!("  arm {i}: {} — {access}{filter}{order}{limit}
+", s.table));
+        }
+        out
+    }
+
+    /// Parse and explain in one call.
+    pub fn explain_sql(&self, sql: &str) -> Result<String, crate::parser::ParseError> {
+        Ok(self.explain(&crate::parser::parse(sql)?))
+    }
+}
+
+/// Combined parse/execute error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecSqlError {
+    /// The query text failed to parse.
+    Parse(crate::parser::ParseError),
+    /// The query failed at execution.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for ExecSqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecSqlError::Parse(e) => write!(f, "{e}"),
+            ExecSqlError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecSqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apollo_streams::StreamConfig;
+
+    fn seeded_broker() -> Broker {
+        let b = Broker::new(StreamConfig::default());
+        for (i, v) in [10.0, 20.0, 30.0, 40.0].iter().enumerate() {
+            let ts_ms = (i as u64 + 1) * 100;
+            b.publish("capacity", ts_ms, Record::measured(ts_ms * 1_000_000, *v).encode());
+        }
+        for (i, v) in [5.0, 15.0].iter().enumerate() {
+            let ts_ms = (i as u64 + 1) * 100;
+            b.publish("load", ts_ms, Record::measured(ts_ms * 1_000_000, *v).encode());
+        }
+        b
+    }
+
+    #[test]
+    fn latest_returns_most_recent() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let out = engine.execute_sql("SELECT MAX(Timestamp), metric FROM capacity").unwrap();
+        assert_eq!(out.rows, vec![Row { table: "capacity".into(), timestamp_ms: 400, value: 40.0 }]);
+    }
+
+    #[test]
+    fn union_concatenates_in_source_order() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let out = engine
+            .execute_sql(
+                "SELECT MAX(Timestamp), metric FROM load \
+                 UNION SELECT MAX(Timestamp), metric FROM capacity",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].table, "load");
+        assert_eq!(out.rows[1].table, "capacity");
+    }
+
+    #[test]
+    fn aggregates() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        assert_eq!(engine.execute_sql("SELECT MAX(metric) FROM capacity").unwrap().rows[0].value, 40.0);
+        assert_eq!(engine.execute_sql("SELECT MIN(metric) FROM capacity").unwrap().rows[0].value, 10.0);
+        assert_eq!(engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap().rows[0].value, 25.0);
+        assert_eq!(engine.execute_sql("SELECT SUM(metric) FROM capacity").unwrap().rows[0].value, 100.0);
+        assert_eq!(engine.execute_sql("SELECT COUNT(*) FROM capacity").unwrap().rows[0].value, 4.0);
+    }
+
+    #[test]
+    fn time_range_filters() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let out = engine
+            .execute_sql("SELECT metric FROM capacity WHERE Timestamp BETWEEN 150 AND 350")
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].value, 20.0);
+        assert_eq!(out.rows[1].value, 30.0);
+
+        let latest_in_range = engine
+            .execute_sql("SELECT MAX(Timestamp), metric FROM capacity WHERE Timestamp <= 250")
+            .unwrap();
+        assert_eq!(latest_in_range.rows[0].value, 20.0);
+    }
+
+    #[test]
+    fn empty_table_is_an_error_for_latest_and_aggregates() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let err = engine.execute_sql("SELECT MAX(Timestamp), metric FROM nope").unwrap_err();
+        assert!(matches!(err, ExecSqlError::Exec(ExecError::EmptyTable(t)) if t == "nope"));
+        let err = engine.execute_sql("SELECT AVG(metric) FROM nope").unwrap_err();
+        assert!(matches!(err, ExecSqlError::Exec(ExecError::EmptyTable(_))));
+        // `SELECT metric` over a missing table is an empty set, not an error.
+        let ok = engine.execute_sql("SELECT metric FROM nope").unwrap();
+        assert!(ok.rows.is_empty());
+    }
+
+    #[test]
+    fn union_failure_propagates() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let err = engine
+            .execute_sql(
+                "SELECT MAX(Timestamp), metric FROM capacity \
+                 UNION SELECT MAX(Timestamp), metric FROM missing",
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExecSqlError::Exec(ExecError::EmptyTable(_))));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let err = engine.execute_sql("SELEKT nope").unwrap_err();
+        assert!(matches!(err, ExecSqlError::Parse(_)));
+    }
+
+    #[test]
+    fn wide_union_resolves_in_parallel() {
+        let b = Broker::new(StreamConfig::default());
+        for i in 0..32 {
+            let t = format!("t{i}");
+            b.publish(&t, 1, Record::measured(1_000_000, i as f64).encode());
+        }
+        let engine = QueryEngine::new(&b);
+        let tables: Vec<String> = (0..32).map(|i| format!("t{i}")).collect();
+        let refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+        let q = Query::latest_of(&refs);
+        let out = engine.execute(&q).unwrap();
+        assert_eq!(out.rows.len(), 32);
+        for (i, row) in out.rows.iter().enumerate() {
+            assert_eq!(row.value, i as f64, "source order preserved");
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_are_skipped_by_provider() {
+        let b = Broker::new(StreamConfig::default());
+        b.publish("t", 1, vec![1, 2, 3]); // not a valid record
+        b.publish("t", 2, Record::measured(2_000_000, 9.0).encode());
+        let engine = QueryEngine::new(&b);
+        let out = engine.execute_sql("SELECT metric FROM t").unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].value, 9.0);
+    }
+
+    #[test]
+    fn explain_describes_strategy_and_arms() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let plan = engine
+            .explain_sql(
+                "SELECT MAX(Timestamp), metric FROM capacity                  UNION SELECT MAX(Timestamp), metric FROM load",
+            )
+            .unwrap();
+        assert!(plan.contains("2 arm(s)"), "{plan}");
+        assert!(plan.contains("inline"), "latest-only goes inline: {plan}");
+        assert!(plan.contains("O(1) tail-read"), "{plan}");
+
+        let plan = engine
+            .explain_sql(
+                "SELECT AVG(metric) FROM capacity WHERE Timestamp BETWEEN 1 AND 9                  UNION SELECT metric FROM load ORDER BY metric DESC LIMIT 3",
+            )
+            .unwrap();
+        assert!(plan.contains("parallel"), "{plan}");
+        assert!(plan.contains("Timestamp in [1, 9]"), "{plan}");
+        assert!(plan.contains("limit 3"), "{plan}");
+    }
+
+    #[test]
+    fn empty_query_returns_no_rows() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let out = engine.execute(&Query { selects: vec![] }).unwrap();
+        assert!(out.rows.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # apollo-query
+//!
+//! The **Apollo Query Engine** (AQE) of HPDC '21 §3.1: middleware
+//! services query Apollo with a small SQL subset; the engine "converts a
+//! client query into multiple Information access calls", resolves each
+//! table access **in parallel** against the SCoRe streams, and unions the
+//! results.
+//!
+//! The supported grammar is exactly the resource-query shape of
+//! Algorithm 4.4.1 plus the aggregates middleware needs:
+//!
+//! ```sql
+//! SELECT MAX(Timestamp), metric FROM pfs_capacity
+//! UNION
+//! SELECT MAX(Timestamp), metric FROM node_1_memory_capacity
+//! UNION
+//! SELECT AVG(metric) FROM node_2_load WHERE Timestamp BETWEEN 100 AND 200;
+//! ```
+//!
+//! * [`ast`] — query syntax tree.
+//! * [`parser`] — hand-rolled tokenizer/parser with error positions.
+//! * [`exec`] — the parallel executor over a [`exec::TableProvider`]
+//!   (implemented for the pub-sub [`apollo_streams::Broker`], reading the
+//!   live queue or the archived log via timestamp indexing).
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+
+pub use ast::{Aggregate, Query, Select};
+pub use exec::{QueryEngine, QueryResult, Row, TableProvider};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,484 @@
+//! Hand-rolled tokenizer and recursive-descent parser for the AQE SQL
+//! subset.
+//!
+//! Keywords are case-insensitive; table and column identifiers keep their
+//! case. Errors carry the byte offset of the offending token.
+
+use crate::ast::{Aggregate, OrderBy, Query, Select};
+
+/// A parse failure with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Semicolon,
+    /// Comparison operators for WHERE clauses.
+    Ge,
+    Le,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0 }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut out = Vec::new();
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '(' => {
+                    out.push((Token::LParen, start));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((Token::RParen, start));
+                    self.pos += 1;
+                }
+                ',' => {
+                    out.push((Token::Comma, start));
+                    self.pos += 1;
+                }
+                '*' => {
+                    out.push((Token::Star, start));
+                    self.pos += 1;
+                }
+                ';' => {
+                    out.push((Token::Semicolon, start));
+                    self.pos += 1;
+                }
+                '>' | '<' => {
+                    if self.pos + 1 < bytes.len() && bytes[self.pos + 1] as char == '=' {
+                        out.push((if c == '>' { Token::Ge } else { Token::Le }, start));
+                        self.pos += 2;
+                    } else {
+                        return Err(ParseError {
+                            message: format!("unsupported operator {c:?} (only >= and <=)"),
+                            offset: start,
+                        });
+                    }
+                }
+                '0'..='9' => {
+                    let mut end = self.pos;
+                    while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                        end += 1;
+                    }
+                    let n: u64 = self.src[self.pos..end].parse().map_err(|_| ParseError {
+                        message: "number too large".into(),
+                        offset: start,
+                    })?;
+                    out.push((Token::Number(n), start));
+                    self.pos = end;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = self.pos;
+                    while end < bytes.len() {
+                        let ch = bytes[end] as char;
+                        if ch.is_ascii_alphanumeric() || ch == '_' || ch == '/' || ch == '.' {
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((Token::Ident(self.src[self.pos..end].to_string()), start));
+                    self.pos = end;
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("unexpected character {other:?}"),
+                        offset: start,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    end_offset: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|&(_, o)| o).unwrap_or(self.end_offset)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.offset() }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        let saved = self.pos;
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => {
+                self.pos = saved;
+                Err(self.err(format!("expected keyword {kw}")))
+            }
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_token(&mut self, t: Token, what: &str) -> Result<(), ParseError> {
+        let saved = self.pos;
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            _ => {
+                self.pos = saved;
+                Err(self.err(format!("expected {what}")))
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let saved = self.pos;
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = saved;
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        let saved = self.pos;
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            _ => {
+                self.pos = saved;
+                Err(self.err("expected number"))
+            }
+        }
+    }
+
+    /// selector := MAX ( Timestamp ) , metric
+    ///           | MAX|MIN|AVG|SUM ( metric )
+    ///           | COUNT ( * )
+    ///           | metric
+    fn selector(&mut self) -> Result<Aggregate, ParseError> {
+        let name = self.ident()?;
+        let upper = name.to_ascii_uppercase();
+        match upper.as_str() {
+            "MAX" | "MIN" | "AVG" | "SUM" | "COUNT" => {
+                self.expect_token(Token::LParen, "(")?;
+                let agg = if upper == "COUNT" {
+                    self.expect_token(Token::Star, "*")?;
+                    Aggregate::Count
+                } else {
+                    let col = self.ident()?;
+                    if upper == "MAX" && col.eq_ignore_ascii_case("timestamp") {
+                        // MAX(Timestamp), metric
+                        self.expect_token(Token::RParen, ")")?;
+                        self.expect_token(Token::Comma, ", metric")?;
+                        let metric = self.ident()?;
+                        if !metric.eq_ignore_ascii_case("metric") {
+                            return Err(self.err("expected `metric` after MAX(Timestamp),"));
+                        }
+                        return Ok(Aggregate::Latest);
+                    }
+                    if !col.eq_ignore_ascii_case("metric") {
+                        return Err(self.err("aggregates apply to `metric` or `Timestamp`"));
+                    }
+                    match upper.as_str() {
+                        "MAX" => Aggregate::Max,
+                        "MIN" => Aggregate::Min,
+                        "AVG" => Aggregate::Avg,
+                        "SUM" => Aggregate::Sum,
+                        _ => unreachable!(),
+                    }
+                };
+                self.expect_token(Token::RParen, ")")?;
+                Ok(agg)
+            }
+            "METRIC" => Ok(Aggregate::All),
+            _ => Err(ParseError {
+                message: format!("unknown selector {name:?}"),
+                offset: self.tokens[self.pos - 1].1,
+            }),
+        }
+    }
+
+    /// where := WHERE Timestamp BETWEEN n AND n
+    ///        | WHERE Timestamp >= n [AND Timestamp <= n]
+    fn where_clause(&mut self) -> Result<Option<(u64, u64)>, ParseError> {
+        if !self.peek_kw("where") {
+            return Ok(None);
+        }
+        self.expect_kw("where")?;
+        let col = self.ident()?;
+        if !col.eq_ignore_ascii_case("timestamp") {
+            return Err(self.err("WHERE supports only Timestamp filters"));
+        }
+        if self.peek_kw("between") {
+            self.expect_kw("between")?;
+            let lo = self.number()?;
+            self.expect_kw("and")?;
+            let hi = self.number()?;
+            if lo > hi {
+                return Err(self.err("BETWEEN bounds out of order"));
+            }
+            return Ok(Some((lo, hi)));
+        }
+        match self.next() {
+            Some(Token::Ge) => {
+                let lo = self.number()?;
+                let mut hi = u64::MAX;
+                if self.peek_kw("and") {
+                    self.expect_kw("and")?;
+                    let col = self.ident()?;
+                    if !col.eq_ignore_ascii_case("timestamp") {
+                        return Err(self.err("WHERE supports only Timestamp filters"));
+                    }
+                    self.expect_token(Token::Le, "<=")?;
+                    hi = self.number()?;
+                }
+                Ok(Some((lo, hi)))
+            }
+            Some(Token::Le) => {
+                let hi = self.number()?;
+                Ok(Some((0, hi)))
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected BETWEEN, >= or <="))
+            }
+        }
+    }
+
+    /// order := ORDER BY (Timestamp|metric) [ASC|DESC]
+    fn order_clause(&mut self) -> Result<Option<OrderBy>, ParseError> {
+        if !self.peek_kw("order") {
+            return Ok(None);
+        }
+        self.expect_kw("order")?;
+        self.expect_kw("by")?;
+        let col = self.ident()?;
+        let descending = if self.peek_kw("desc") {
+            self.expect_kw("desc")?;
+            true
+        } else {
+            if self.peek_kw("asc") {
+                self.expect_kw("asc")?;
+            }
+            false
+        };
+        let order = match (col.to_ascii_lowercase().as_str(), descending) {
+            ("timestamp", false) => OrderBy::TimestampAsc,
+            ("timestamp", true) => OrderBy::TimestampDesc,
+            ("metric", false) => OrderBy::MetricAsc,
+            ("metric", true) => OrderBy::MetricDesc,
+            _ => return Err(self.err("ORDER BY supports Timestamp or metric")),
+        };
+        Ok(Some(order))
+    }
+
+    /// limit := LIMIT n
+    fn limit_clause(&mut self) -> Result<Option<usize>, ParseError> {
+        if !self.peek_kw("limit") {
+            return Ok(None);
+        }
+        self.expect_kw("limit")?;
+        let n = self.number()?;
+        Ok(Some(usize::try_from(n).map_err(|_| self.err("LIMIT too large"))?))
+    }
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("select")?;
+        let aggregate = self.selector()?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let time_range = self.where_clause()?;
+        let order = self.order_clause()?;
+        let limit = self.limit_clause()?;
+        Ok(Select { aggregate, table, time_range, order, limit })
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let mut selects = vec![self.select()?];
+        while self.peek_kw("union") {
+            self.expect_kw("union")?;
+            selects.push(self.select()?);
+        }
+        if matches!(self.peek(), Some(Token::Semicolon)) {
+            self.next();
+        }
+        if self.peek().is_some() {
+            return Err(self.err("trailing input after query"));
+        }
+        Ok(Query { selects })
+    }
+}
+
+/// Parse a query string.
+pub fn parse(src: &str) -> Result<Query, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut p = Parser { tokens, pos: 0, end_offset: src.len() };
+    p.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_algorithm_441_resource_query() {
+        let q = parse(
+            "SELECT MAX(Timestamp), metric FROM pfs_capacity \
+             UNION SELECT MAX(Timestamp), metric FROM node_1_memory_capacity \
+             UNION SELECT MAX(Timestamp), metric FROM node_2_availability;",
+        )
+        .unwrap();
+        assert_eq!(q.complexity(), 3);
+        assert!(q.selects.iter().all(|s| s.aggregate == Aggregate::Latest));
+        assert_eq!(q.selects[0].table, "pfs_capacity");
+        assert_eq!(q.selects[2].table, "node_2_availability");
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        assert_eq!(parse("SELECT MAX(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Max);
+        assert_eq!(parse("SELECT MIN(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Min);
+        assert_eq!(parse("SELECT AVG(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Avg);
+        assert_eq!(parse("SELECT SUM(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Sum);
+        assert_eq!(parse("SELECT COUNT(*) FROM t").unwrap().selects[0].aggregate, Aggregate::Count);
+        assert_eq!(parse("SELECT metric FROM t").unwrap().selects[0].aggregate, Aggregate::All);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select max(timestamp), METRIC from T1 union select Metric from t2").unwrap();
+        assert_eq!(q.complexity(), 2);
+        assert_eq!(q.selects[0].table, "T1", "table case is preserved");
+    }
+
+    #[test]
+    fn where_between() {
+        let q = parse("SELECT metric FROM t WHERE Timestamp BETWEEN 100 AND 200").unwrap();
+        assert_eq!(q.selects[0].time_range, Some((100, 200)));
+    }
+
+    #[test]
+    fn where_comparison_forms() {
+        let q = parse("SELECT metric FROM t WHERE Timestamp >= 50").unwrap();
+        assert_eq!(q.selects[0].time_range, Some((50, u64::MAX)));
+        let q = parse("SELECT metric FROM t WHERE Timestamp <= 80").unwrap();
+        assert_eq!(q.selects[0].time_range, Some((0, 80)));
+        let q = parse("SELECT metric FROM t WHERE Timestamp >= 5 AND Timestamp <= 9").unwrap();
+        assert_eq!(q.selects[0].time_range, Some((5, 9)));
+    }
+
+    #[test]
+    fn table_names_with_slashes() {
+        let q = parse("SELECT MAX(Timestamp), metric FROM node3/nvme0/remaining_capacity").unwrap();
+        assert_eq!(q.selects[0].table, "node3/nvme0/remaining_capacity");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("SELECT MAX(Timestamp), metric FROM").unwrap_err();
+        assert!(err.message.contains("identifier"), "{err}");
+        assert_eq!(err.offset, 34); // end of input
+
+        let err = parse("SELECT BOGUS(metric) FROM t").unwrap_err();
+        assert!(err.message.contains("unknown selector"), "{err}");
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn rejects_out_of_order_between() {
+        let err = parse("SELECT metric FROM t WHERE Timestamp BETWEEN 9 AND 5").unwrap_err();
+        assert!(err.message.contains("out of order"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("SELECT metric FROM t; extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_non_timestamp_where() {
+        let err = parse("SELECT metric FROM t WHERE value >= 1").unwrap_err();
+        assert!(err.message.contains("Timestamp"));
+    }
+
+    #[test]
+    fn rejects_single_angle_operators() {
+        let err = parse("SELECT metric FROM t WHERE Timestamp > 1").unwrap_err();
+        assert!(err.message.contains("only >= and <="));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser must never panic on arbitrary input.
+        #[test]
+        fn never_panics(input in ".{0,200}") {
+            let _ = parse(&input);
+        }
+
+        /// Queries built from valid fragments round-trip through the
+        /// parser with the expected complexity.
+        #[test]
+        fn union_count_matches(n in 1usize..20) {
+            let arms: Vec<String> = (0..n)
+                .map(|i| format!("SELECT MAX(Timestamp), metric FROM table_{i}"))
+                .collect();
+            let q = parse(&arms.join(" UNION ")).unwrap();
+            prop_assert_eq!(q.complexity(), n);
+        }
+    }
+}

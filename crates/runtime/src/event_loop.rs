@@ -1,0 +1,365 @@
+//! A libuv-style event loop driving repeating timers.
+//!
+//! Each timer carries a callback that is invoked with a [`TimerControl`]
+//! handle; through it the callback can read and **mutate its own interval**
+//! — the primitive Apollo's adaptive/dynamic monitoring interval (§3.4.1)
+//! is built on. The callback's [`TimerAction`] return value decides whether
+//! the timer re-arms or stops.
+//!
+//! The loop is generic over a [`Clock`]: with a [`VirtualClock`] it becomes
+//! a deterministic discrete-event scheduler (used by every figure harness);
+//! with a [`RealClock`] it sleeps between deadlines like libuv's
+//! `uv_run(UV_RUN_DEFAULT)`.
+
+use crate::time::{duration_to_nanos, AnyClock, Clock, Nanos, RealClock, VirtualClock};
+use crate::timer::{EntryId, Expired, TimerHeap, TimerQueue};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of a timer registered with an [`EventLoop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// What a timer callback wants to happen next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerAction {
+    /// Re-arm with the (possibly updated) interval.
+    Continue,
+    /// Stop this timer; it will not fire again.
+    Stop,
+}
+
+/// Shared, mutable state of one timer, exposed to its callback.
+///
+/// Intervals are stored in nanoseconds; `set_interval` from inside the
+/// callback affects the *next* re-arm, exactly like re-programming a libuv
+/// repeat timer.
+#[derive(Debug)]
+pub struct TimerControl {
+    id: TimerId,
+    interval: AtomicU64,
+    cancelled: AtomicBool,
+    fires: AtomicU64,
+}
+
+impl TimerControl {
+    /// This timer's id.
+    pub fn id(&self) -> TimerId {
+        self.id
+    }
+
+    /// Current interval.
+    pub fn interval(&self) -> Duration {
+        Duration::from_nanos(self.interval.load(Ordering::SeqCst))
+    }
+
+    /// Re-program the interval used for the next re-arm. Clamped to at
+    /// least 1ns to avoid a zero-interval spin.
+    pub fn set_interval(&self, interval: Duration) {
+        self.interval
+            .store(duration_to_nanos(interval).max(1), Ordering::SeqCst);
+    }
+
+    /// Cancel the timer from outside the callback.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the timer has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Number of times this timer's callback has run.
+    pub fn fire_count(&self) -> u64 {
+        self.fires.load(Ordering::SeqCst)
+    }
+}
+
+type Callback = Box<dyn FnMut(&TimerControl) -> TimerAction + Send>;
+
+struct TimerSlot {
+    control: Arc<TimerControl>,
+    callback: Callback,
+    /// Generation guards against a stale queue entry firing a re-added id.
+    generation: u64,
+}
+
+/// The event loop. Not itself `Sync`; run it on one thread and interact
+/// with timers through their [`TimerControl`] handles.
+pub struct EventLoop<C: Clock = AnyClock> {
+    clock: C,
+    queue: Mutex<TimerHeap>,
+    timers: HashMap<TimerId, TimerSlot>,
+    next_id: u64,
+    /// Expired-entry scratch buffer, reused across iterations.
+    scratch: Vec<Expired>,
+}
+
+impl EventLoop<AnyClock> {
+    /// Event loop over a fresh virtual clock.
+    pub fn new_virtual() -> Self {
+        Self::with_clock(AnyClock::Virtual(VirtualClock::new()))
+    }
+
+    /// Event loop over the wall clock.
+    pub fn new_real() -> Self {
+        Self::with_clock(AnyClock::Real(RealClock::new()))
+    }
+}
+
+impl<C: Clock> EventLoop<C> {
+    /// Event loop over the given clock.
+    pub fn with_clock(clock: C) -> Self {
+        Self {
+            clock,
+            queue: Mutex::new(TimerHeap::new()),
+            timers: HashMap::new(),
+            next_id: 1,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The clock driving this loop.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Register a repeating timer firing every `interval`, first firing one
+    /// `interval` from now. Returns a control handle shared with the
+    /// callback.
+    pub fn add_timer(
+        &mut self,
+        interval: Duration,
+        callback: impl FnMut(&TimerControl) -> TimerAction + Send + 'static,
+    ) -> Arc<TimerControl> {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        let control = Arc::new(TimerControl {
+            id,
+            interval: AtomicU64::new(duration_to_nanos(interval).max(1)),
+            cancelled: AtomicBool::new(false),
+            fires: AtomicU64::new(0),
+        });
+        let deadline = self
+            .clock
+            .now()
+            .saturating_add(control.interval.load(Ordering::SeqCst));
+        self.timers.insert(
+            id,
+            TimerSlot { control: Arc::clone(&control), callback: Box::new(callback), generation: 0 },
+        );
+        self.queue.lock().insert(EntryId(id.0), deadline);
+        control
+    }
+
+    /// Number of live (non-cancelled) timers.
+    pub fn timer_count(&self) -> usize {
+        self.timers.len()
+    }
+
+    fn fire(&mut self, id: TimerId) {
+        let Some(slot) = self.timers.get_mut(&id) else { return };
+        if slot.control.is_cancelled() {
+            self.timers.remove(&id);
+            return;
+        }
+        slot.control.fires.fetch_add(1, Ordering::SeqCst);
+        let action = (slot.callback)(&slot.control);
+        match action {
+            TimerAction::Continue if !slot.control.is_cancelled() => {
+                slot.generation += 1;
+                let next = self
+                    .clock
+                    .now()
+                    .saturating_add(slot.control.interval.load(Ordering::SeqCst));
+                self.queue.lock().insert(EntryId(id.0), next);
+            }
+            _ => {
+                self.timers.remove(&id);
+            }
+        }
+    }
+
+    /// Run one iteration: wait for the earliest deadline (sleeping or
+    /// advancing virtual time) and fire everything due. Returns `false`
+    /// when no timers remain.
+    pub fn turn(&mut self) -> bool {
+        let next = self.queue.lock().next_deadline();
+        let Some(deadline) = next else { return false };
+        let now = self.clock.wait_until(deadline);
+        let mut expired = std::mem::take(&mut self.scratch);
+        expired.clear();
+        self.queue.lock().pop_expired(now, &mut expired);
+        for e in &expired {
+            self.fire(TimerId(e.id.0));
+        }
+        self.scratch = expired;
+        !self.timers.is_empty()
+    }
+
+    /// Run until no timers remain or `horizon` (absolute clock time) is
+    /// reached. Timers whose next deadline is past the horizon stay armed
+    /// but do not fire.
+    pub fn run_until(&mut self, horizon: Nanos) {
+        loop {
+            let next = self.queue.lock().next_deadline();
+            match next {
+                Some(d) if d <= horizon => {
+                    if !self.turn() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Land exactly on the horizon so elapsed-time accounting is exact.
+        if self.clock.now() < horizon {
+            self.clock.wait_until(horizon);
+        }
+    }
+
+    /// Run for `duration` from the current clock time.
+    pub fn run_for(&mut self, duration: Duration) {
+        let horizon = self.clock.now().saturating_add(duration_to_nanos(duration));
+        self.run_until(horizon);
+    }
+}
+
+impl<C: Clock> std::fmt::Debug for EventLoop<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop")
+            .field("timers", &self.timers.len())
+            .field("pending", &self.queue.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn repeating_timer_fires_expected_count() {
+        let mut el = EventLoop::new_virtual();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        el.add_timer(Duration::from_millis(5), move |_| {
+            n2.fetch_add(1, Ordering::SeqCst);
+            TimerAction::Continue
+        });
+        el.run_for(Duration::from_millis(50));
+        assert_eq!(n.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn stop_action_removes_timer() {
+        let mut el = EventLoop::new_virtual();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        el.add_timer(Duration::from_millis(1), move |_| {
+            if n2.fetch_add(1, Ordering::SeqCst) + 1 >= 3 {
+                TimerAction::Stop
+            } else {
+                TimerAction::Continue
+            }
+        });
+        el.run_for(Duration::from_millis(100));
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+        assert_eq!(el.timer_count(), 0);
+    }
+
+    #[test]
+    fn callback_can_retune_its_interval() {
+        // Start at 1ms, double each firing: deadlines at 1, 3, 7, 15, 31...
+        let mut el = EventLoop::new_virtual();
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t2 = times.clone();
+        let clock = el.clock().clone();
+        el.add_timer(Duration::from_millis(1), move |ctl| {
+            t2.lock().push(clock.now());
+            ctl.set_interval(ctl.interval() * 2);
+            TimerAction::Continue
+        });
+        el.run_for(Duration::from_millis(32));
+        let t = times.lock().clone();
+        assert_eq!(t, vec![1_000_000, 3_000_000, 7_000_000, 15_000_000, 31_000_000]);
+    }
+
+    #[test]
+    fn external_cancel_stops_timer() {
+        let mut el = EventLoop::new_virtual();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        let ctl = el.add_timer(Duration::from_millis(1), move |_| {
+            n2.fetch_add(1, Ordering::SeqCst);
+            TimerAction::Continue
+        });
+        // Fire twice, then cancel.
+        el.run_for(Duration::from_millis(2));
+        ctl.cancel();
+        el.run_for(Duration::from_millis(10));
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        assert_eq!(el.timer_count(), 0);
+    }
+
+    #[test]
+    fn multiple_timers_interleave_in_deadline_order() {
+        let mut el = EventLoop::new_virtual();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        el.add_timer(Duration::from_millis(2), move |_| {
+            l1.lock().push('a');
+            TimerAction::Continue
+        });
+        el.add_timer(Duration::from_millis(3), move |_| {
+            l2.lock().push('b');
+            TimerAction::Continue
+        });
+        el.run_for(Duration::from_millis(6));
+        // a@2, b@3, a@4, a@6, b@6 (a first: lower id on tie)
+        assert_eq!(log.lock().clone(), vec!['a', 'b', 'a', 'a', 'b']);
+    }
+
+    #[test]
+    fn run_until_lands_on_horizon() {
+        let mut el = EventLoop::new_virtual();
+        el.add_timer(Duration::from_millis(7), |_| TimerAction::Continue);
+        el.run_for(Duration::from_millis(10));
+        assert_eq!(el.clock().now(), 10_000_000);
+    }
+
+    #[test]
+    fn fire_count_tracks() {
+        let mut el = EventLoop::new_virtual();
+        let ctl = el.add_timer(Duration::from_millis(1), |_| TimerAction::Continue);
+        el.run_for(Duration::from_millis(5));
+        assert_eq!(ctl.fire_count(), 5);
+    }
+
+    #[test]
+    fn empty_loop_turn_returns_false() {
+        let mut el = EventLoop::new_virtual();
+        assert!(!el.turn());
+    }
+
+    #[test]
+    fn real_clock_smoke() {
+        let mut el = EventLoop::new_real();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        el.add_timer(Duration::from_millis(1), move |_| {
+            if n2.fetch_add(1, Ordering::SeqCst) + 1 >= 3 {
+                TimerAction::Stop
+            } else {
+                TimerAction::Continue
+            }
+        });
+        el.run_for(Duration::from_millis(500));
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed worker pool.
+//!
+//! SCoRe vertices offload insight computation to workers so the vertex
+//! event loop stays responsive (the "thread management" slice of the
+//! Insight-vertex anatomy in Figure 4). The pool is deliberately simple: a
+//! crossbeam MPMC channel fanned out to N threads, plus a `wait_idle`
+//! barrier used by deterministic test harnesses.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker thread pool.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::Builder::new()
+                    .name(format!("apollo-worker-{i}"))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            job();
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { tx: Some(tx), workers, in_flight }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job for execution.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .as_ref()
+            .expect("pool not shut down")
+            .send(Box::new(job))
+            .expect("worker pool channel closed");
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Spin until every submitted job has completed.
+    ///
+    /// Only sound when no other thread is concurrently submitting; intended
+    /// for deterministic harnesses and tests.
+    pub fn wait_idle(&self) {
+        while self.pending() != 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join them.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_joins_outstanding_work() {
+        let results = Arc::new(Mutex::new(Vec::new()));
+        {
+            let pool = WorkerPool::new(2);
+            for i in 0..10 {
+                let r = results.clone();
+                pool.submit(move || {
+                    r.lock().unwrap().push(i);
+                });
+            }
+            // Drop without wait_idle: destructor must still run all jobs.
+        }
+        let mut got = results.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_speedup_is_possible() {
+        // Not a timing assertion (flaky); just checks jobs run on multiple
+        // distinct threads.
+        let pool = WorkerPool::new(4);
+        let ids = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        for _ in 0..64 {
+            let ids = ids.clone();
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        }
+        pool.wait_idle();
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+}

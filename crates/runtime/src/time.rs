@@ -1,0 +1,325 @@
+//! Pluggable time sources.
+//!
+//! All of Apollo's internals keep time as monotonic nanoseconds since an
+//! arbitrary epoch ([`Nanos`]). Two clock implementations are provided:
+//!
+//! * [`RealClock`] — wall-clock, backed by [`std::time::Instant`]. Used by
+//!   the live service.
+//! * [`VirtualClock`] — a manually-advanced clock shared across threads.
+//!   Used by the figure-regeneration harnesses so 30-minute workload
+//!   replays (e.g. the HACC traces of §4.3.1) complete in milliseconds and
+//!   produce bit-identical series run-to-run.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Monotonic nanoseconds since the clock's epoch.
+pub type Nanos = u64;
+
+/// Number of nanoseconds in one second, as used throughout the crate.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// A monotonic time source.
+///
+/// Implementations must be cheap to clone (handles share state) and safe to
+/// read from many threads.
+pub trait Clock: Send + Sync + 'static {
+    /// Current time in nanoseconds since this clock's epoch.
+    fn now(&self) -> Nanos;
+
+    /// Block (or virtually advance) until `deadline`.
+    ///
+    /// For a real clock this sleeps; for a virtual clock this jumps the
+    /// clock forward. Returns the time observed after waking.
+    fn wait_until(&self, deadline: Nanos) -> Nanos;
+}
+
+/// Wall-clock time source based on [`Instant`].
+#[derive(Clone, Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// Create a clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Nanos {
+        self.epoch.elapsed().as_nanos() as Nanos
+    }
+
+    fn wait_until(&self, deadline: Nanos) -> Nanos {
+        let now = self.now();
+        if deadline > now {
+            std::thread::sleep(Duration::from_nanos(deadline - now));
+        }
+        self.now()
+    }
+}
+
+/// A deterministic, manually advanced clock.
+///
+/// `wait_until` advances the clock instead of sleeping, which turns any
+/// timer-driven experiment into a discrete-event simulation: a 30-minute
+/// monitoring run finishes as fast as the CPU can drain the timer queue.
+///
+/// Cloned handles share the same underlying time.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Create a virtual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.now.fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Set the clock to an absolute time. Panics if this would move time
+    /// backwards (the clock is monotonic by contract).
+    pub fn set(&self, t: Nanos) {
+        let prev = self.now.swap(t, Ordering::SeqCst);
+        assert!(t >= prev, "VirtualClock must not move backwards: {prev} -> {t}");
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Nanos {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn wait_until(&self, deadline: Nanos) -> Nanos {
+        // Monotonic max: never move backwards if another thread already
+        // advanced past the deadline.
+        let mut cur = self.now.load(Ordering::SeqCst);
+        while cur < deadline {
+            match self.now.compare_exchange(cur, deadline, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return deadline,
+                Err(actual) => cur = actual,
+            }
+        }
+        cur
+    }
+}
+
+/// A clock handle that can wrap either implementation, letting services be
+/// built once and driven in real or virtual time.
+#[derive(Clone)]
+pub enum AnyClock {
+    /// Wall-clock time.
+    Real(RealClock),
+    /// Simulated time.
+    Virtual(VirtualClock),
+}
+
+impl AnyClock {
+    /// The virtual clock inside, if any.
+    pub fn as_virtual(&self) -> Option<&VirtualClock> {
+        match self {
+            AnyClock::Virtual(v) => Some(v),
+            AnyClock::Real(_) => None,
+        }
+    }
+}
+
+impl Clock for AnyClock {
+    fn now(&self) -> Nanos {
+        match self {
+            AnyClock::Real(c) => c.now(),
+            AnyClock::Virtual(c) => c.now(),
+        }
+    }
+
+    fn wait_until(&self, deadline: Nanos) -> Nanos {
+        match self {
+            AnyClock::Real(c) => c.wait_until(deadline),
+            AnyClock::Virtual(c) => c.wait_until(deadline),
+        }
+    }
+}
+
+impl std::fmt::Debug for AnyClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyClock::Real(_) => write!(f, "AnyClock::Real(t={})", self.now()),
+            AnyClock::Virtual(_) => write!(f, "AnyClock::Virtual(t={})", self.now()),
+        }
+    }
+}
+
+/// Converts a [`Duration`] to [`Nanos`], saturating at `u64::MAX`.
+pub fn duration_to_nanos(d: Duration) -> Nanos {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A tiny stopwatch used by the anatomy instrumentation (Figure 4) to
+/// attribute time to named phases of vertex work.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: RwLock<Vec<(String, u64)>>,
+}
+
+impl PhaseTimer {
+    /// Create an empty phase timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `nanos` of time against phase `name`.
+    pub fn record(&self, name: &str, nanos: u64) {
+        let mut phases = self.phases.write();
+        if let Some(entry) = phases.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += nanos;
+        } else {
+            phases.push((name.to_string(), nanos));
+        }
+    }
+
+    /// Run `f`, attributing its wall time to phase `name`.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Total recorded time across all phases.
+    pub fn total(&self) -> u64 {
+        self.phases.read().iter().map(|(_, t)| *t).sum()
+    }
+
+    /// Snapshot of `(phase, nanos, fraction_of_total)` rows, ordered by
+    /// descending time.
+    pub fn breakdown(&self) -> Vec<(String, u64, f64)> {
+        let phases = self.phases.read();
+        let total: u64 = phases.iter().map(|(_, t)| *t).sum();
+        let mut rows: Vec<(String, u64, f64)> = phases
+            .iter()
+            .map(|(n, t)| (n.clone(), *t, if total == 0 { 0.0 } else { *t as f64 / total as f64 }))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn real_clock_wait_until_reaches_deadline() {
+        let c = RealClock::new();
+        let target = c.now() + 2_000_000; // 2ms
+        let after = c.wait_until(target);
+        assert!(after >= target);
+    }
+
+    #[test]
+    fn virtual_clock_starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn virtual_clock_advance() {
+        let c = VirtualClock::new();
+        c.advance(Duration::from_secs(3));
+        assert_eq!(c.now(), 3 * NANOS_PER_SEC);
+    }
+
+    #[test]
+    fn virtual_clock_wait_until_jumps() {
+        let c = VirtualClock::new();
+        let t = c.wait_until(500);
+        assert_eq!(t, 500);
+        assert_eq!(c.now(), 500);
+    }
+
+    #[test]
+    fn virtual_clock_wait_until_past_deadline_is_noop() {
+        let c = VirtualClock::new();
+        c.set(1000);
+        let t = c.wait_until(500);
+        assert_eq!(t, 1000);
+        assert_eq!(c.now(), 1000);
+    }
+
+    #[test]
+    fn virtual_clock_shared_between_clones() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_nanos(42));
+        assert_eq!(b.now(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not move backwards")]
+    fn virtual_clock_set_backwards_panics() {
+        let c = VirtualClock::new();
+        c.set(10);
+        c.set(5);
+    }
+
+    #[test]
+    fn any_clock_dispatches() {
+        let v = VirtualClock::new();
+        let any = AnyClock::Virtual(v.clone());
+        v.advance(Duration::from_nanos(7));
+        assert_eq!(any.now(), 7);
+        assert!(any.as_virtual().is_some());
+        let real = AnyClock::Real(RealClock::new());
+        assert!(real.as_virtual().is_none());
+    }
+
+    #[test]
+    fn phase_timer_accumulates_and_orders() {
+        let pt = PhaseTimer::new();
+        pt.record("hook", 975);
+        pt.record("publish", 18);
+        pt.record("hook", 25);
+        let rows = pt.breakdown();
+        assert_eq!(rows[0].0, "hook");
+        assert_eq!(rows[0].1, 1000);
+        assert!((rows[0].2 - 1000.0 / 1018.0).abs() < 1e-12);
+        assert_eq!(pt.total(), 1018);
+    }
+
+    #[test]
+    fn phase_timer_times_closures() {
+        let pt = PhaseTimer::new();
+        let v = pt.time("work", || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(pt.total() > 0);
+    }
+
+    #[test]
+    fn duration_to_nanos_saturates() {
+        assert_eq!(duration_to_nanos(Duration::from_nanos(5)), 5);
+        assert_eq!(duration_to_nanos(Duration::MAX), u64::MAX);
+    }
+}

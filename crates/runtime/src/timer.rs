@@ -1,0 +1,368 @@
+//! Timer queues.
+//!
+//! Two interchangeable implementations of the same [`TimerQueue`] trait:
+//!
+//! * [`TimerHeap`] — a binary min-heap keyed by deadline. O(log n)
+//!   insert/pop, minimal constant factors, the default for Apollo services
+//!   (a node hosts tens of hooks, not millions).
+//! * [`TimerWheel`] — a hierarchical hashed timer wheel (à la Varghese &
+//!   Lauck, as used by libuv-like event loops and kernels). O(1) insert,
+//!   O(slots) cascade. Included both as the faithful libuv analogue and as
+//!   an ablation target (`ablation_queue` bench compares them).
+//!
+//! Both are plain data structures; thread-safety is layered on by the
+//! [`crate::event_loop::EventLoop`].
+
+use crate::time::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier for a scheduled timer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryId(pub u64);
+
+/// An expired timer popped from a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expired {
+    /// The entry that expired.
+    pub id: EntryId,
+    /// The deadline it was scheduled for (not the pop time).
+    pub deadline: Nanos,
+}
+
+/// Common interface of the timer queues.
+pub trait TimerQueue {
+    /// Schedule `id` to fire at `deadline`. Re-inserting an id that is
+    /// already queued is allowed and yields two independent expirations
+    /// (cancellation is handled a level up, in the event loop).
+    fn insert(&mut self, id: EntryId, deadline: Nanos);
+
+    /// Pop every entry with `deadline <= now`, in deadline order.
+    fn pop_expired(&mut self, now: Nanos, out: &mut Vec<Expired>);
+
+    /// Earliest pending deadline, if any.
+    fn next_deadline(&self) -> Option<Nanos>;
+
+    /// Number of pending entries.
+    fn len(&self) -> usize;
+
+    /// True when no entries are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-heap implementation
+// ---------------------------------------------------------------------------
+
+/// Min-heap timer queue.
+#[derive(Debug, Default)]
+pub struct TimerHeap {
+    // Reverse for a min-heap; ties broken by EntryId for determinism.
+    heap: BinaryHeap<Reverse<(Nanos, EntryId)>>,
+}
+
+impl TimerHeap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TimerQueue for TimerHeap {
+    fn insert(&mut self, id: EntryId, deadline: Nanos) {
+        self.heap.push(Reverse((deadline, id)));
+    }
+
+    fn pop_expired(&mut self, now: Nanos, out: &mut Vec<Expired>) {
+        while let Some(Reverse((deadline, id))) = self.heap.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            self.heap.pop();
+            out.push(Expired { id, deadline });
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse((d, _))| *d)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical hashed timer wheel
+// ---------------------------------------------------------------------------
+
+const WHEEL_BITS: u32 = 6; // 64 slots per level
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+const WHEEL_LEVELS: usize = 8; // covers 2^48 ticks
+/// Tick resolution of the wheel in nanoseconds (1 µs).
+pub const WHEEL_TICK_NANOS: Nanos = 1_000;
+
+/// Hierarchical hashed timer wheel with 1 µs resolution.
+///
+/// Level `l` covers deadlines `[64^l, 64^(l+1))` ticks ahead; expiring a
+/// slot at level > 0 cascades its entries back down. Far deadlines beyond
+/// the top level park in an overflow list.
+#[derive(Debug)]
+pub struct TimerWheel {
+    levels: Vec<Vec<Vec<(EntryId, Nanos)>>>,
+    /// Current tick (deadline / WHEEL_TICK_NANOS), already expired.
+    current_tick: u64,
+    overflow: Vec<(EntryId, Nanos)>,
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimerWheel {
+    /// Create a wheel positioned at tick 0.
+    pub fn new() -> Self {
+        Self {
+            levels: (0..WHEEL_LEVELS)
+                .map(|_| (0..WHEEL_SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            current_tick: 0,
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn tick_of(deadline: Nanos) -> u64 {
+        deadline / WHEEL_TICK_NANOS
+    }
+
+    /// Place an entry in the right level/slot for its deadline tick, given
+    /// the wheel's current tick.
+    fn place(&mut self, id: EntryId, deadline: Nanos) {
+        let tick = Self::tick_of(deadline).max(self.current_tick);
+        let delta = tick - self.current_tick;
+        // Find level such that delta < 64^(level+1).
+        let mut level = 0usize;
+        let mut span = WHEEL_SLOTS as u64;
+        while level < WHEEL_LEVELS && delta >= span {
+            level += 1;
+            span = span.saturating_mul(WHEEL_SLOTS as u64);
+            if span == u64::MAX {
+                break;
+            }
+        }
+        if level >= WHEEL_LEVELS {
+            self.overflow.push((id, deadline));
+            return;
+        }
+        let slot_width = (WHEEL_SLOTS as u64).pow(level as u32);
+        let slot = ((tick / slot_width) % WHEEL_SLOTS as u64) as usize;
+        self.levels[level][slot].push((id, deadline));
+    }
+}
+
+impl TimerQueue for TimerWheel {
+    fn insert(&mut self, id: EntryId, deadline: Nanos) {
+        self.len += 1;
+        self.place(id, deadline);
+    }
+
+    fn pop_expired(&mut self, now: Nanos, out: &mut Vec<Expired>) {
+        let target_tick = Self::tick_of(now);
+        let start = out.len();
+        while self.current_tick <= target_tick {
+            // When crossing a level boundary, cascade the next-level slot
+            // down FIRST, so entries due exactly now land in the level-0
+            // slot before it is drained.
+            let mut tick = self.current_tick;
+            let mut level = 1usize;
+            while level < WHEEL_LEVELS && tick.is_multiple_of(WHEEL_SLOTS as u64) {
+                tick /= WHEEL_SLOTS as u64;
+                let slot = (tick % WHEEL_SLOTS as u64) as usize;
+                let entries: Vec<_> = self.levels[level][slot].drain(..).collect();
+                for (id, deadline) in entries {
+                    // Re-place relative to the new current tick; entries
+                    // due now land in level 0 and are drained below.
+                    self.place(id, deadline);
+                }
+                level += 1;
+            }
+            // Expire the level-0 slot for current_tick.
+            let slot0 = (self.current_tick % WHEEL_SLOTS as u64) as usize;
+            for (id, deadline) in self.levels[0][slot0].drain(..) {
+                out.push(Expired { id, deadline });
+                self.len -= 1;
+            }
+            if self.current_tick == target_tick {
+                break;
+            }
+            self.current_tick += 1;
+        }
+        self.current_tick = target_tick;
+        // Retry overflow entries that may now fit in the wheel.
+        if !self.overflow.is_empty() {
+            let pending: Vec<_> = self.overflow.drain(..).collect();
+            for (id, deadline) in pending {
+                if Self::tick_of(deadline) <= target_tick {
+                    out.push(Expired { id, deadline });
+                    self.len -= 1;
+                } else {
+                    self.place(id, deadline);
+                }
+            }
+        }
+        // Deadline order within the batch.
+        out[start..].sort_by_key(|e| (e.deadline, e.id));
+    }
+
+    fn next_deadline(&self) -> Option<Nanos> {
+        let mut best: Option<Nanos> = None;
+        for level in &self.levels {
+            for slot in level {
+                for (_, d) in slot {
+                    best = Some(best.map_or(*d, |b| b.min(*d)));
+                }
+            }
+        }
+        for (_, d) in &self.overflow {
+            best = Some(best.map_or(*d, |b| b.min(*d)));
+        }
+        best
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<Q: TimerQueue>(q: &mut Q, now: Nanos) -> Vec<Expired> {
+        let mut out = Vec::new();
+        q.pop_expired(now, &mut out);
+        out
+    }
+
+    fn exercise_basic<Q: TimerQueue>(mut q: Q) {
+        assert!(q.is_empty());
+        q.insert(EntryId(1), 5_000);
+        q.insert(EntryId(2), 2_000);
+        q.insert(EntryId(3), 9_000);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_deadline(), Some(2_000));
+
+        let fired = drain(&mut q, 5_000);
+        assert_eq!(
+            fired.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![EntryId(2), EntryId(1)]
+        );
+        assert_eq!(q.len(), 1);
+
+        let fired = drain(&mut q, 100_000);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].id, EntryId(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_basic() {
+        exercise_basic(TimerHeap::new());
+    }
+
+    #[test]
+    fn wheel_basic() {
+        exercise_basic(TimerWheel::new());
+    }
+
+    #[test]
+    fn heap_nothing_expired_before_deadline() {
+        let mut q = TimerHeap::new();
+        q.insert(EntryId(1), 10_000);
+        assert!(drain(&mut q, 9_999).is_empty());
+        assert_eq!(drain(&mut q, 10_000).len(), 1);
+    }
+
+    #[test]
+    fn wheel_nothing_expired_before_deadline() {
+        let mut q = TimerWheel::new();
+        q.insert(EntryId(1), 10_000);
+        assert!(drain(&mut q, 9_000).is_empty());
+        assert_eq!(drain(&mut q, 10_000).len(), 1);
+    }
+
+    #[test]
+    fn wheel_far_future_cascades() {
+        let mut q = TimerWheel::new();
+        // ~70ms ahead: lives at level >= 2, must cascade correctly.
+        let deadline = 70_000_000;
+        q.insert(EntryId(7), deadline);
+        assert!(drain(&mut q, deadline - WHEEL_TICK_NANOS).is_empty());
+        let fired = drain(&mut q, deadline);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].deadline, deadline);
+    }
+
+    #[test]
+    fn wheel_overflow_far_deadline() {
+        let mut q = TimerWheel::new();
+        // Beyond 64^8 ticks: lands in overflow.
+        let deadline = u64::MAX / 2;
+        q.insert(EntryId(9), deadline);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_deadline(), Some(deadline));
+        assert!(drain(&mut q, 1_000_000).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn deadline_ties_are_deterministic() {
+        let mut h = TimerHeap::new();
+        h.insert(EntryId(2), 100);
+        h.insert(EntryId(1), 100);
+        let fired = drain(&mut h, 100);
+        assert_eq!(fired.iter().map(|e| e.id).collect::<Vec<_>>(), vec![EntryId(1), EntryId(2)]);
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_random_workload() {
+        // Deterministic LCG so the test needs no external crate.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        let mut heap = TimerHeap::new();
+        let mut wheel = TimerWheel::new();
+        let mut deadlines = Vec::new();
+        for i in 0..500u64 {
+            let d = (next() % 50_000_000) / WHEEL_TICK_NANOS * WHEEL_TICK_NANOS;
+            heap.insert(EntryId(i), d);
+            wheel.insert(EntryId(i), d);
+            deadlines.push(d);
+        }
+        let mut now = 0;
+        let mut h_total = 0;
+        let mut w_total = 0;
+        while now < 60_000_000 {
+            now += 1_000_000;
+            let h = drain(&mut heap, now);
+            let w = drain(&mut wheel, now);
+            assert_eq!(
+                h.iter().map(|e| (e.deadline, e.id)).collect::<Vec<_>>(),
+                w.iter().map(|e| (e.deadline, e.id)).collect::<Vec<_>>(),
+                "divergence at now={now}"
+            );
+            h_total += h.len();
+            w_total += w.len();
+        }
+        assert_eq!(h_total, 500);
+        assert_eq!(w_total, 500);
+    }
+}

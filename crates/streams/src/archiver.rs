@@ -1,0 +1,256 @@
+//! The per-vertex Archiver.
+//!
+//! §3.1: each Fact and Insight vertex "holds a dedicated, in-memory queue
+//! and Archiver … and stores the queue in a log". When the in-memory queue
+//! evicts under retention pressure, evicted entries land here and stay
+//! readable by ID range — the Query Executor "parses the queue (or the
+//! persisted log for evicted entries)".
+//!
+//! The log is segmented: a closed segment is an immutable sorted run of
+//! entries, which keeps range reads a binary search per segment. The log
+//! can optionally be persisted to and reloaded from a file for durability.
+
+use crate::entry::Entry;
+use crate::id::StreamId;
+use parking_lot::RwLock;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Number of entries per closed segment.
+const SEGMENT_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Segments {
+    /// Closed, immutable segments in ID order.
+    closed: Vec<Vec<Entry>>,
+    /// The open segment receiving appends.
+    open: Vec<Entry>,
+}
+
+/// An append-only archival log of evicted stream entries.
+#[derive(Debug, Default)]
+pub struct ArchiveLog {
+    segments: RwLock<Segments>,
+}
+
+impl ArchiveLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry. IDs must arrive in strictly increasing order (the
+    /// stream evicts oldest-first, so this holds by construction).
+    ///
+    /// # Panics
+    /// Panics if `entry.id` is not greater than the last archived ID; the
+    /// stream layer guarantees ordering, so a violation is a logic bug.
+    pub fn append(&self, entry: Entry) {
+        let mut seg = self.segments.write();
+        let last = seg.open.last().map(|e| e.id).or_else(|| {
+            seg.closed.last().and_then(|s| s.last()).map(|e| e.id)
+        });
+        if let Some(last) = last {
+            assert!(entry.id > last, "archive append out of order: {} after {last}", entry.id);
+        }
+        seg.open.push(entry);
+        if seg.open.len() >= SEGMENT_CAPACITY {
+            let full = std::mem::take(&mut seg.open);
+            seg.closed.push(full);
+        }
+    }
+
+    /// Total number of archived entries.
+    pub fn len(&self) -> usize {
+        let seg = self.segments.read();
+        seg.closed.iter().map(Vec::len).sum::<usize>() + seg.open.len()
+    }
+
+    /// True when nothing has been archived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest archived ID, if any.
+    pub fn last_id(&self) -> Option<StreamId> {
+        let seg = self.segments.read();
+        seg.open
+            .last()
+            .map(|e| e.id)
+            .or_else(|| seg.closed.last().and_then(|s| s.last()).map(|e| e.id))
+    }
+
+    /// All entries with `start <= id <= end`, in ID order, appended to `out`.
+    pub fn range_into(&self, start: StreamId, end: StreamId, out: &mut Vec<Entry>) {
+        if start > end {
+            return;
+        }
+        let seg = self.segments.read();
+        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice())) {
+            if run.is_empty() {
+                continue;
+            }
+            // Skip runs entirely outside the range.
+            if run.last().is_some_and(|e| e.id < start) || run[0].id > end {
+                continue;
+            }
+            let lo = run.partition_point(|e| e.id < start);
+            let hi = run.partition_point(|e| e.id <= end);
+            out.extend_from_slice(&run[lo..hi]);
+        }
+    }
+
+    /// Convenience wrapper over [`ArchiveLog::range_into`].
+    pub fn range(&self, start: StreamId, end: StreamId) -> Vec<Entry> {
+        let mut out = Vec::new();
+        self.range_into(start, end, &mut out);
+        out
+    }
+
+    /// Persist the whole log to `path` as length-prefixed frames.
+    pub fn persist(&self, path: &Path) -> std::io::Result<()> {
+        let seg = self.segments.read();
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice())) {
+            for e in run {
+                w.write_all(&e.id.ms.to_le_bytes())?;
+                w.write_all(&e.id.seq.to_le_bytes())?;
+                w.write_all(&(e.payload.len() as u32).to_le_bytes())?;
+                w.write_all(&e.payload)?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Load a log previously written by [`ArchiveLog::persist`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let log = ArchiveLog::new();
+        let mut r = BufReader::new(std::fs::File::open(path)?);
+        loop {
+            let mut head = [0u8; 20];
+            match r.read_exact(&mut head) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+            let ms = u64::from_le_bytes(head[0..8].try_into().unwrap());
+            let seq = u64::from_le_bytes(head[8..16].try_into().unwrap());
+            let len = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload)?;
+            log.append(Entry::new(StreamId::new(ms, seq), payload));
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ms: u64, v: u8) -> Entry {
+        Entry::new(StreamId::new(ms, 0), vec![v])
+    }
+
+    #[test]
+    fn append_and_range() {
+        let log = ArchiveLog::new();
+        for i in 0..100 {
+            log.append(e(i, i as u8));
+        }
+        assert_eq!(log.len(), 100);
+        let got = log.range(StreamId::new(10, 0), StreamId::new(19, 0));
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].id.ms, 10);
+        assert_eq!(got[9].id.ms, 19);
+    }
+
+    #[test]
+    fn range_spanning_segments() {
+        let log = ArchiveLog::new();
+        let n = SEGMENT_CAPACITY * 2 + 100;
+        for i in 0..n {
+            log.append(e(i as u64, 0));
+        }
+        let start = StreamId::new(SEGMENT_CAPACITY as u64 - 5, 0);
+        let end = StreamId::new(SEGMENT_CAPACITY as u64 + 5, 0);
+        let got = log.range(start, end);
+        assert_eq!(got.len(), 11);
+        assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn empty_range_and_inverted_range() {
+        let log = ArchiveLog::new();
+        log.append(e(5, 0));
+        assert!(log.range(StreamId::new(6, 0), StreamId::new(9, 0)).is_empty());
+        assert!(log.range(StreamId::new(9, 0), StreamId::new(6, 0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_append_panics() {
+        let log = ArchiveLog::new();
+        log.append(e(5, 0));
+        log.append(e(4, 0));
+    }
+
+    #[test]
+    fn last_id_tracks() {
+        let log = ArchiveLog::new();
+        assert_eq!(log.last_id(), None);
+        log.append(e(3, 0));
+        assert_eq!(log.last_id(), Some(StreamId::new(3, 0)));
+    }
+
+    #[test]
+    fn persist_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("apollo-archive-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let log = ArchiveLog::new();
+        for i in 0..500 {
+            log.append(Entry::new(StreamId::new(i, 1), vec![(i % 251) as u8; 3]));
+        }
+        log.persist(&path).unwrap();
+        let loaded = ArchiveLog::load(&path).unwrap();
+        assert_eq!(loaded.len(), 500);
+        assert_eq!(
+            loaded.range(StreamId::MIN, StreamId::MAX),
+            log.range(StreamId::MIN, StreamId::MAX)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn range_matches_naive_filter(
+            ms_values in proptest::collection::btree_set(0u64..10_000, 0..300),
+            start in 0u64..10_000,
+            len in 0u64..10_000,
+        ) {
+            let log = ArchiveLog::new();
+            let all: Vec<Entry> = ms_values
+                .iter()
+                .map(|&ms| Entry::new(StreamId::new(ms, 0), vec![]))
+                .collect();
+            for e in &all {
+                log.append(e.clone());
+            }
+            let end = start.saturating_add(len);
+            let got = log.range(StreamId::new(start, 0), StreamId::new(end, 0));
+            let expected: Vec<Entry> = all
+                .iter()
+                .filter(|e| e.id.ms >= start && e.id.ms <= end)
+                .cloned()
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

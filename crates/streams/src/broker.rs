@@ -1,0 +1,569 @@
+//! Pub-Sub fan-out over streams.
+//!
+//! The [`Broker`] is SCoRe's communication fabric: every vertex owns a
+//! topic (backed by a [`Stream`]); downstream vertices either **subscribe**
+//! (push: each new entry is delivered over a channel — how Insight vertices
+//! consume Facts, flow ③/④ of Figure 1b) or **pull** the latest value /
+//! a timestamp range on demand (how the Query Executor and middleware
+//! clients read, flow ⑥).
+//!
+//! Consumer groups provide exactly-once-per-group delivery with explicit
+//! acknowledgement, modelled on Redis Streams' `XGROUP`/`XREADGROUP`/`XACK`
+//! subset.
+
+use crate::entry::Entry;
+use crate::id::StreamId;
+use crate::stream::{Stream, StreamConfig};
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Unique identifier for a subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+struct Subscriber {
+    id: SubscriptionId,
+    tx: Sender<Entry>,
+}
+
+/// Per-group delivery state.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Next undelivered position (entries <= cursor were delivered).
+    cursor: Option<StreamId>,
+    /// Delivered but unacknowledged:
+    /// id -> (consumer, delivery count, delivered_at_ms).
+    pending: HashMap<StreamId, (String, u32, u64)>,
+}
+
+/// A named consumer group over one topic.
+pub struct ConsumerGroup {
+    topic: Arc<Topic>,
+    name: String,
+}
+
+struct Topic {
+    stream: Stream,
+    subscribers: Mutex<Vec<Subscriber>>,
+    groups: Mutex<HashMap<String, GroupState>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A push subscription delivering every entry published after the
+/// subscription was created.
+pub struct Subscription {
+    id: SubscriptionId,
+    topic: Arc<Topic>,
+    rx: Receiver<Entry>,
+}
+
+impl Subscription {
+    /// Receive the next entry, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Entry> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Option<Entry> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain everything currently buffered.
+    pub fn drain(&self) -> Vec<Entry> {
+        let mut out = Vec::new();
+        while let Some(e) = self.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Entries buffered but not yet received.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.topic.subscribers.lock().retain(|s| s.id != self.id);
+    }
+}
+
+/// `XINFO STREAM`-style statistics for one topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicInfo {
+    /// Topic name.
+    pub name: String,
+    /// Entries in the live window.
+    pub window_len: usize,
+    /// Entries spilled to the archive.
+    pub archived_len: usize,
+    /// Entries ever published.
+    pub published: u64,
+    /// Subscribers dropped after disconnecting.
+    pub dropped_subscribers: u64,
+    /// Live push subscribers.
+    pub subscribers: usize,
+    /// Registered consumer groups.
+    pub consumer_groups: usize,
+    /// Most recent ID.
+    pub last_id: Option<StreamId>,
+    /// Approximate window memory.
+    pub memory_bytes: usize,
+}
+
+/// The pub-sub broker: a namespace of topics.
+pub struct Broker {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    default_config: StreamConfig,
+    next_sub_id: AtomicU64,
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Self::new(StreamConfig::default())
+    }
+}
+
+impl Broker {
+    /// Create a broker whose topics use `default_config` retention.
+    pub fn new(default_config: StreamConfig) -> Self {
+        Self { topics: RwLock::new(HashMap::new()), default_config, next_sub_id: AtomicU64::new(1) }
+    }
+
+    fn topic(&self, name: &str) -> Arc<Topic> {
+        if let Some(t) = self.topics.read().get(name) {
+            return Arc::clone(t);
+        }
+        let mut topics = self.topics.write();
+        Arc::clone(topics.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Topic {
+                stream: Stream::new(name, self.default_config.clone()),
+                subscribers: Mutex::new(Vec::new()),
+                groups: Mutex::new(HashMap::new()),
+                published: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            })
+        }))
+    }
+
+    /// Topic names currently registered.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True when a topic exists (has been published or subscribed to).
+    pub fn has_topic(&self, name: &str) -> bool {
+        self.topics.read().contains_key(name)
+    }
+
+    /// Remove a topic and all its state. Existing subscriptions stop
+    /// receiving. Returns whether the topic existed.
+    pub fn remove_topic(&self, name: &str) -> bool {
+        self.topics.write().remove(name).is_some()
+    }
+
+    /// Publish a payload on `topic` at millisecond timestamp `ms`.
+    /// Appends to the topic's stream and fans out to all subscribers.
+    pub fn publish(&self, topic: &str, ms: u64, payload: impl Into<Bytes>) -> StreamId {
+        let t = self.topic(topic);
+        let payload = payload.into();
+        let id = t.stream.append(ms, payload.clone());
+        t.published.fetch_add(1, Ordering::Relaxed);
+        let entry = Entry::new(id, payload);
+        let mut subs = t.subscribers.lock();
+        subs.retain(|s| match s.tx.send(entry.clone()) {
+            Ok(()) => true,
+            Err(_) => {
+                t.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        });
+        id
+    }
+
+    /// Subscribe to a topic; receives entries published from now on.
+    pub fn subscribe(&self, topic: &str) -> Subscription {
+        let t = self.topic(topic);
+        let (tx, rx) = channel::unbounded();
+        let id = SubscriptionId(self.next_sub_id.fetch_add(1, Ordering::Relaxed));
+        t.subscribers.lock().push(Subscriber { id, tx });
+        Subscription { id, topic: t, rx }
+    }
+
+    /// The latest entry on a topic (pull path).
+    pub fn latest(&self, topic: &str) -> Option<Entry> {
+        self.topics.read().get(topic).and_then(|t| t.stream.last())
+    }
+
+    /// Range-read a topic by ID (archive + window).
+    pub fn range(&self, topic: &str, start: StreamId, end: StreamId) -> Vec<Entry> {
+        self.topics
+            .read()
+            .get(topic)
+            .map(|t| t.stream.range(start, end))
+            .unwrap_or_default()
+    }
+
+    /// Range-read a topic by millisecond timestamp.
+    pub fn range_by_time(&self, topic: &str, start_ms: u64, end_ms: u64) -> Vec<Entry> {
+        self.topics
+            .read()
+            .get(topic)
+            .map(|t| t.stream.range_by_time(start_ms, end_ms))
+            .unwrap_or_default()
+    }
+
+    /// Entries ever published on a topic (including archived).
+    pub fn topic_len(&self, topic: &str) -> usize {
+        self.topics.read().get(topic).map(|t| t.stream.total_len()).unwrap_or(0)
+    }
+
+    /// Approximate memory footprint of all topic windows (Figure 5's
+    /// memory-overhead accounting).
+    pub fn approx_memory_bytes(&self) -> usize {
+        self.topics.read().values().map(|t| t.stream.approx_memory_bytes()).sum()
+    }
+
+    /// `XINFO`-style statistics for one topic, if it exists.
+    pub fn topic_info(&self, topic: &str) -> Option<TopicInfo> {
+        let t = Arc::clone(self.topics.read().get(topic)?);
+        let subscribers = t.subscribers.lock().len();
+        let consumer_groups = t.groups.lock().len();
+        Some(TopicInfo {
+            name: topic.to_string(),
+            window_len: t.stream.len(),
+            archived_len: t.stream.archive().len(),
+            published: t.published.load(Ordering::Relaxed),
+            dropped_subscribers: t.dropped.load(Ordering::Relaxed),
+            subscribers,
+            consumer_groups,
+            last_id: t.stream.last_id(),
+            memory_bytes: t.stream.approx_memory_bytes(),
+        })
+    }
+
+    /// Statistics for every topic, sorted by name.
+    pub fn info(&self) -> Vec<TopicInfo> {
+        let mut out: Vec<TopicInfo> =
+            self.topic_names().iter().filter_map(|n| self.topic_info(n)).collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Create (or fetch) a consumer group positioned at the current end of
+    /// the topic — it sees only entries published after creation.
+    pub fn consumer_group(&self, topic: &str, group: &str) -> ConsumerGroup {
+        let t = self.topic(topic);
+        {
+            let mut groups = t.groups.lock();
+            let last = t.stream.last_id();
+            groups.entry(group.to_string()).or_insert_with(|| GroupState { cursor: last, pending: HashMap::new() });
+        }
+        ConsumerGroup { topic: t, name: group.to_string() }
+    }
+}
+
+impl ConsumerGroup {
+    /// Read up to `count` new (never-delivered) entries on behalf of
+    /// `consumer`. Delivered entries become pending until acknowledged.
+    pub fn read_new(&self, consumer: &str, count: usize) -> Vec<Entry> {
+        self.read_new_at(consumer, count, 0)
+    }
+
+    /// [`ConsumerGroup::read_new`] with an explicit delivery timestamp
+    /// (ms), which [`ConsumerGroup::auto_claim`] uses for idle detection.
+    pub fn read_new_at(&self, consumer: &str, count: usize, now_ms: u64) -> Vec<Entry> {
+        let mut groups = self.topic.groups.lock();
+        let state = groups.get_mut(&self.name).expect("group exists");
+        let entries = self.topic.stream.read_after(state.cursor, count);
+        for e in &entries {
+            state.cursor = Some(e.id);
+            state.pending.insert(e.id, (consumer.to_string(), 1, now_ms));
+        }
+        entries
+    }
+
+    /// Acknowledge an entry; removes it from the pending list. Returns
+    /// whether it was pending.
+    pub fn ack(&self, id: StreamId) -> bool {
+        let mut groups = self.topic.groups.lock();
+        let state = groups.get_mut(&self.name).expect("group exists");
+        state.pending.remove(&id).is_some()
+    }
+
+    /// Pending (delivered, unacknowledged) entry IDs with their consumer
+    /// and delivery count, in ID order.
+    pub fn pending(&self) -> Vec<(StreamId, String, u32)> {
+        let groups = self.topic.groups.lock();
+        let state = groups.get(&self.name).expect("group exists");
+        let mut out: Vec<_> = state
+            .pending
+            .iter()
+            .map(|(id, (c, n, _))| (*id, c.clone(), *n))
+            .collect();
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Reassign a pending entry to another consumer (failure recovery),
+    /// bumping its delivery count. Returns the entry if it was pending.
+    pub fn claim(&self, id: StreamId, new_consumer: &str) -> Option<Entry> {
+        let mut groups = self.topic.groups.lock();
+        let state = groups.get_mut(&self.name).expect("group exists");
+        let slot = state.pending.get_mut(&id)?;
+        slot.0 = new_consumer.to_string();
+        slot.1 += 1;
+        drop(groups);
+        self.topic.stream.range(id, id).into_iter().next()
+    }
+
+    /// Reassign every pending entry idle for at least `min_idle_ms` to
+    /// `new_consumer` (the `XAUTOCLAIM` analogue: a supervisor sweeping
+    /// work away from crashed insight builders). Returns the reclaimed
+    /// entries, oldest first.
+    pub fn auto_claim(&self, new_consumer: &str, now_ms: u64, min_idle_ms: u64) -> Vec<Entry> {
+        let stale: Vec<StreamId> = {
+            let mut groups = self.topic.groups.lock();
+            let state = groups.get_mut(&self.name).expect("group exists");
+            let mut ids: Vec<StreamId> = state
+                .pending
+                .iter()
+                .filter(|(_, (owner, _, delivered_ms))| {
+                    owner != new_consumer && now_ms.saturating_sub(*delivered_ms) >= min_idle_ms
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            ids.sort_unstable();
+            for id in &ids {
+                let slot = state.pending.get_mut(id).expect("just listed");
+                slot.0 = new_consumer.to_string();
+                slot.1 += 1;
+                slot.2 = now_ms;
+            }
+            ids
+        };
+        stale
+            .into_iter()
+            .filter_map(|id| self.topic.stream.range(id, id).into_iter().next())
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker").field("topics", &self.topics.read().len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_subscribe_delivers_in_order() {
+        let b = Broker::default();
+        let sub = b.subscribe("cpu");
+        for i in 0..10u64 {
+            b.publish("cpu", i, vec![i as u8]);
+        }
+        let got = sub.drain();
+        assert_eq!(got.len(), 10);
+        assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn subscriber_sees_only_post_subscription_entries() {
+        let b = Broker::default();
+        b.publish("t", 1, vec![1]);
+        let sub = b.subscribe("t");
+        b.publish("t", 2, vec![2]);
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload[0], 2);
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_every_entry() {
+        let b = Broker::default();
+        let subs: Vec<_> = (0..5).map(|_| b.subscribe("t")).collect();
+        for i in 0..20u64 {
+            b.publish("t", i, vec![]);
+        }
+        for s in &subs {
+            assert_eq!(s.drain().len(), 20);
+        }
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned() {
+        let b = Broker::default();
+        let sub = b.subscribe("t");
+        drop(sub);
+        // Publishing after drop must not panic and must prune.
+        b.publish("t", 1, vec![]);
+        let t = b.topic("t");
+        assert_eq!(t.subscribers.lock().len(), 0);
+    }
+
+    #[test]
+    fn latest_and_range_pull_paths() {
+        let b = Broker::default();
+        for i in 0..5u64 {
+            b.publish("t", i * 10, vec![i as u8]);
+        }
+        assert_eq!(b.latest("t").unwrap().payload[0], 4);
+        assert_eq!(b.range_by_time("t", 10, 30).len(), 3);
+        assert!(b.latest("missing").is_none());
+        assert!(b.range_by_time("missing", 0, 100).is_empty());
+    }
+
+    #[test]
+    fn consumer_group_exactly_once_and_ack() {
+        let b = Broker::default();
+        let g = b.consumer_group("t", "g1");
+        for i in 0..6u64 {
+            b.publish("t", i, vec![i as u8]);
+        }
+        let first = g.read_new("c1", 4);
+        assert_eq!(first.len(), 4);
+        let second = g.read_new("c2", 10);
+        assert_eq!(second.len(), 2, "no redelivery of consumed entries");
+        assert_eq!(g.pending().len(), 6);
+        assert!(g.ack(first[0].id));
+        assert!(!g.ack(first[0].id), "double-ack reports false");
+        assert_eq!(g.pending().len(), 5);
+    }
+
+    #[test]
+    fn consumer_group_starts_at_end_of_topic() {
+        let b = Broker::default();
+        b.publish("t", 1, vec![]);
+        let g = b.consumer_group("t", "g");
+        assert!(g.read_new("c", 10).is_empty());
+        b.publish("t", 2, vec![]);
+        assert_eq!(g.read_new("c", 10).len(), 1);
+    }
+
+    #[test]
+    fn auto_claim_reclaims_only_idle_entries() {
+        let b = Broker::default();
+        let g = b.consumer_group("t", "g");
+        for i in 0..4u64 {
+            b.publish("t", i, vec![i as u8]);
+        }
+        // Two old deliveries to a, two fresh ones to b.
+        let _old = g.read_new_at("worker-a", 2, 1_000);
+        let _fresh = g.read_new_at("worker-b", 2, 9_000);
+        // Sweep at t=10s with 5s idle threshold: only a's are stale.
+        let reclaimed = g.auto_claim("supervisor", 10_000, 5_000);
+        assert_eq!(reclaimed.len(), 2);
+        assert!(reclaimed.windows(2).all(|w| w[0].id < w[1].id));
+        let pending = g.pending();
+        let owners: Vec<&str> = pending.iter().map(|(_, c, _)| c.as_str()).collect();
+        assert_eq!(owners.iter().filter(|o| **o == "supervisor").count(), 2);
+        assert_eq!(owners.iter().filter(|o| **o == "worker-b").count(), 2);
+        // Re-sweeping immediately reclaims nothing (idle clocks reset).
+        assert!(g.auto_claim("supervisor", 10_000, 5_000).is_empty());
+    }
+
+    #[test]
+    fn claim_reassigns_pending_entry() {
+        let b = Broker::default();
+        let g = b.consumer_group("t", "g");
+        b.publish("t", 5, vec![7]);
+        let got = g.read_new("worker-a", 1);
+        let id = got[0].id;
+        let reclaimed = g.claim(id, "worker-b").expect("entry still pending");
+        assert_eq!(reclaimed.payload[0], 7);
+        let pending = g.pending();
+        assert_eq!(pending[0].1, "worker-b");
+        assert_eq!(pending[0].2, 2, "delivery count bumped");
+        assert!(g.claim(StreamId::new(999, 0), "x").is_none());
+    }
+
+    #[test]
+    fn independent_groups_independent_cursors() {
+        let b = Broker::default();
+        let g1 = b.consumer_group("t", "g1");
+        let g2 = b.consumer_group("t", "g2");
+        b.publish("t", 1, vec![]);
+        assert_eq!(g1.read_new("c", 10).len(), 1);
+        assert_eq!(g2.read_new("c", 10).len(), 1, "each group gets its own copy");
+    }
+
+    #[test]
+    fn remove_topic() {
+        let b = Broker::default();
+        b.publish("t", 1, vec![]);
+        assert!(b.has_topic("t"));
+        assert!(b.remove_topic("t"));
+        assert!(!b.has_topic("t"));
+        assert!(!b.remove_topic("t"));
+        assert_eq!(b.topic_len("t"), 0);
+    }
+
+    #[test]
+    fn topic_info_reports_stats() {
+        let b = Broker::new(StreamConfig::bounded(4));
+        assert!(b.topic_info("t").is_none());
+        let _sub = b.subscribe("t");
+        b.consumer_group("t", "g");
+        for i in 0..10u64 {
+            b.publish("t", i, vec![0u8; 8]);
+        }
+        let info = b.topic_info("t").expect("exists");
+        assert_eq!(info.window_len, 4, "bounded window");
+        assert_eq!(info.archived_len, 6, "evicted to archive");
+        assert_eq!(info.published, 10);
+        assert_eq!(info.subscribers, 1);
+        assert_eq!(info.consumer_groups, 1);
+        assert_eq!(info.last_id.unwrap().ms, 9);
+        assert!(info.memory_bytes > 0);
+        let all = b.info();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], info);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_publish() {
+        let b = Arc::new(Broker::default());
+        let sub = b.subscribe("t");
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            b2.publish("t", 1, vec![42]);
+        });
+        let got = sub.recv_timeout(Duration::from_secs(5)).expect("entry arrives");
+        assert_eq!(got.payload[0], 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_publishers_no_loss() {
+        let b = Arc::new(Broker::default());
+        let sub = b.subscribe("t");
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    b.publish("t", t * 10_000 + i, vec![]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sub.drain().len(), 4000);
+        assert_eq!(b.topic_len("t"), 4000);
+    }
+}

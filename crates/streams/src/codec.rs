@@ -1,0 +1,178 @@
+//! Wire encoding of telemetry records.
+//!
+//! Apollo stores Information as the tuple *"(timestamp, fact/insight,
+//! predicted/measured(0/1))"* (§3.1). [`Record`] is that tuple; it encodes
+//! to a fixed 17-byte frame:
+//!
+//! ```text
+//! [ timestamp_ns: u64 LE ][ value: f64 LE ][ provenance: u8 ]
+//! ```
+//!
+//! Fixed-size framing keeps publish hot paths allocation-free and makes the
+//! 16 B metric-size of the Figure 6 throughput tests realistic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// How a record's value was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Value read from the resource by a monitor hook.
+    Measured,
+    /// Value forecast by the Delphi model between polls.
+    Predicted,
+}
+
+/// One telemetry record: the `(timestamp, value, predicted/measured)` tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Nanoseconds since the service epoch.
+    pub timestamp_ns: u64,
+    /// The fact or insight value.
+    pub value: f64,
+    /// Measured by a hook, or predicted by Delphi.
+    pub provenance: Provenance,
+}
+
+/// Encoded size of a [`Record`] in bytes.
+pub const RECORD_WIRE_SIZE: usize = 17;
+
+/// Error decoding a [`Record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than [`RECORD_WIRE_SIZE`].
+    Truncated {
+        /// Bytes available.
+        got: usize,
+    },
+    /// Provenance byte was neither 0 nor 1.
+    BadProvenance(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { got } => {
+                write!(f, "record truncated: got {got} bytes, need {RECORD_WIRE_SIZE}")
+            }
+            DecodeError::BadProvenance(b) => write!(f, "bad provenance byte {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Record {
+    /// A measured record.
+    pub fn measured(timestamp_ns: u64, value: f64) -> Self {
+        Self { timestamp_ns, value, provenance: Provenance::Measured }
+    }
+
+    /// A Delphi-predicted record.
+    pub fn predicted(timestamp_ns: u64, value: f64) -> Self {
+        Self { timestamp_ns, value, provenance: Provenance::Predicted }
+    }
+
+    /// True when this record was measured (not predicted).
+    pub fn is_measured(&self) -> bool {
+        self.provenance == Provenance::Measured
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(RECORD_WIRE_SIZE);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encode onto the end of `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.timestamp_ns);
+        buf.put_f64_le(self.value);
+        buf.put_u8(match self.provenance {
+            Provenance::Measured => 1,
+            Provenance::Predicted => 0,
+        });
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < RECORD_WIRE_SIZE {
+            return Err(DecodeError::Truncated { got: buf.len() });
+        }
+        let timestamp_ns = buf.get_u64_le();
+        let value = buf.get_f64_le();
+        let provenance = match buf.get_u8() {
+            1 => Provenance::Measured,
+            0 => Provenance::Predicted,
+            b => return Err(DecodeError::BadProvenance(b)),
+        };
+        Ok(Self { timestamp_ns, value, provenance })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_measured() {
+        let r = Record::measured(123_456_789, 42.5);
+        let enc = r.encode();
+        assert_eq!(enc.len(), RECORD_WIRE_SIZE);
+        assert_eq!(Record::decode(&enc).unwrap(), r);
+    }
+
+    #[test]
+    fn round_trip_predicted() {
+        let r = Record::predicted(7, -0.25);
+        assert_eq!(Record::decode(&r.encode()).unwrap(), r);
+        assert!(!r.is_measured());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let r = Record::measured(1, 2.0).encode();
+        let err = Record::decode(&r[..RECORD_WIRE_SIZE - 1]).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { got: 16 });
+    }
+
+    #[test]
+    fn bad_provenance_errors() {
+        let mut raw = Record::measured(1, 2.0).encode().to_vec();
+        raw[16] = 9;
+        assert_eq!(Record::decode(&raw).unwrap_err(), DecodeError::BadProvenance(9));
+    }
+
+    #[test]
+    fn special_float_values_round_trip() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::MIN, f64::MAX, 0.0, -0.0] {
+            let r = Record::measured(0, v);
+            assert_eq!(Record::decode(&r.encode()).unwrap().value.to_bits(), v.to_bits());
+        }
+        let nan = Record::measured(0, f64::NAN);
+        assert!(Record::decode(&nan.encode()).unwrap().value.is_nan());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(ts in any::<u64>(), v in any::<f64>(), measured in any::<bool>()) {
+            let r = if measured { Record::measured(ts, v) } else { Record::predicted(ts, v) };
+            let d = Record::decode(&r.encode()).unwrap();
+            prop_assert_eq!(d.timestamp_ns, r.timestamp_ns);
+            prop_assert_eq!(d.provenance, r.provenance);
+            prop_assert_eq!(d.value.to_bits(), r.value.to_bits());
+        }
+
+        #[test]
+        fn decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Record::decode(&raw);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Stream entry identifiers.
+//!
+//! Mirrors Redis Streams IDs: a 64-bit millisecond timestamp plus a 64-bit
+//! sequence number, written `ms-seq`, totally ordered, unique per stream.
+//! Facts are "ordered by timestamp, making them linearizable and removing
+//! the need for a priority queue" (§3.1) — the ID embeds that timestamp.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A stream entry ID: `(milliseconds, sequence)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamId {
+    /// Millisecond timestamp component.
+    pub ms: u64,
+    /// Sequence number disambiguating entries within one millisecond.
+    pub seq: u64,
+}
+
+impl StreamId {
+    /// The smallest possible ID (`0-0`).
+    pub const MIN: StreamId = StreamId { ms: 0, seq: 0 };
+    /// The largest possible ID.
+    pub const MAX: StreamId = StreamId { ms: u64::MAX, seq: u64::MAX };
+
+    /// Construct an ID from components.
+    pub const fn new(ms: u64, seq: u64) -> Self {
+        Self { ms, seq }
+    }
+
+    /// The ID immediately after `self`, or `None` at the maximum.
+    pub fn successor(self) -> Option<StreamId> {
+        match self.seq.checked_add(1) {
+            Some(seq) => Some(StreamId { ms: self.ms, seq }),
+            None => self.ms.checked_add(1).map(|ms| StreamId { ms, seq: 0 }),
+        }
+    }
+
+    /// Next ID to assign after `self` for an entry at `ms`: same-millisecond
+    /// appends bump the sequence, later milliseconds reset it.
+    pub fn next_for(self, ms: u64) -> StreamId {
+        if ms > self.ms {
+            StreamId { ms, seq: 0 }
+        } else {
+            // Clock went backwards or stayed: stay monotonic.
+            StreamId { ms: self.ms, seq: self.seq + 1 }
+        }
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.ms, self.seq)
+    }
+}
+
+/// Error parsing a [`StreamId`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIdError(pub String);
+
+impl fmt::Display for ParseIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid stream id: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseIdError {}
+
+impl FromStr for StreamId {
+    type Err = ParseIdError;
+
+    /// Parse `ms-seq`; a bare `ms` means `ms-0` (Redis convention).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseIdError(s.to_string());
+        match s.split_once('-') {
+            Some((ms, seq)) => Ok(StreamId {
+                ms: ms.parse().map_err(|_| bad())?,
+                seq: seq.parse().map_err(|_| bad())?,
+            }),
+            None => Ok(StreamId { ms: s.parse().map_err(|_| bad())?, seq: 0 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(StreamId::new(1, 0) < StreamId::new(2, 0));
+        assert!(StreamId::new(1, 5) < StreamId::new(2, 0));
+        assert!(StreamId::new(1, 0) < StreamId::new(1, 1));
+        assert_eq!(StreamId::new(3, 3), StreamId::new(3, 3));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let id = StreamId::new(1234, 56);
+        assert_eq!(id.to_string(), "1234-56");
+        assert_eq!("1234-56".parse::<StreamId>().unwrap(), id);
+    }
+
+    #[test]
+    fn bare_ms_parses_with_zero_seq() {
+        assert_eq!("99".parse::<StreamId>().unwrap(), StreamId::new(99, 0));
+    }
+
+    #[test]
+    fn invalid_parse_errors() {
+        assert!("abc".parse::<StreamId>().is_err());
+        assert!("1-".parse::<StreamId>().is_err());
+        assert!("-1".parse::<StreamId>().is_err());
+        assert!("1-2-3".parse::<StreamId>().is_err());
+    }
+
+    #[test]
+    fn successor_bumps_seq_then_ms() {
+        assert_eq!(StreamId::new(5, 7).successor(), Some(StreamId::new(5, 8)));
+        assert_eq!(StreamId::new(5, u64::MAX).successor(), Some(StreamId::new(6, 0)));
+        assert_eq!(StreamId::MAX.successor(), None);
+    }
+
+    #[test]
+    fn next_for_is_monotonic_even_with_clock_skew() {
+        let last = StreamId::new(100, 3);
+        assert_eq!(last.next_for(101), StreamId::new(101, 0));
+        assert_eq!(last.next_for(100), StreamId::new(100, 4));
+        // Clock going backwards must not produce a smaller ID.
+        assert_eq!(last.next_for(50), StreamId::new(100, 4));
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        assert!(StreamId::MIN < StreamId::new(0, 1));
+        assert!(StreamId::new(u64::MAX, u64::MAX - 1) < StreamId::MAX);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn parse_display_round_trip(ms in any::<u64>(), seq in any::<u64>()) {
+            let id = StreamId::new(ms, seq);
+            prop_assert_eq!(id.to_string().parse::<StreamId>().unwrap(), id);
+        }
+
+        #[test]
+        fn next_for_strictly_increases(ms in any::<u64>(), seq in 0u64..u64::MAX, new_ms in any::<u64>()) {
+            let last = StreamId::new(ms, seq);
+            let next = last.next_for(new_ms);
+            prop_assert!(next > last);
+        }
+
+        #[test]
+        fn successor_is_strictly_greater(ms in any::<u64>(), seq in any::<u64>()) {
+            let id = StreamId::new(ms, seq);
+            if let Some(s) = id.successor() {
+                prop_assert!(s > id);
+            } else {
+                prop_assert_eq!(id, StreamId::MAX);
+            }
+        }
+    }
+}

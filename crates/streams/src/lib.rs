@@ -1,0 +1,39 @@
+//! # apollo-streams
+//!
+//! An in-memory, append-only, ID-ordered stream log with publish/subscribe
+//! delivery — the substrate standing in for **Redis Streams** in the
+//! original Apollo (HPDC '21, §3.2.1: *"Redis Streams for maintaining
+//! telemetry data in a queue and providing the Pub-Sub communication
+//! paradigm"*).
+//!
+//! Apollo uses only a small, well-defined subset of Redis Streams, all of
+//! which is implemented here with matching semantics:
+//!
+//! * **Append** with monotonically increasing `ms-seq` IDs
+//!   ([`id::StreamId`], auto-generated or explicit).
+//! * **Range reads** by ID/timestamp (`XRANGE` analogue) — the
+//!   timestamp-based indexing the Query Executor relies on.
+//! * **Tail reads** (`XREAD` analogue): blocking and non-blocking reads of
+//!   entries after a cursor.
+//! * **Retention** (`MAXLEN` analogue) with eviction into an
+//!   [`archiver::ArchiveLog`] — the per-vertex *Archiver* of §3.1 that
+//!   "stores the queue in a log"; evicted entries remain range-readable.
+//! * **Pub-Sub fan-out** ([`broker::Broker`]): subscribers receive new
+//!   entries over channels; consumer groups provide exactly-once-per-group
+//!   delivery with acknowledgement.
+//! * **Typed telemetry codec** ([`codec`]): the `(timestamp, value,
+//!   predicted/measured)` fact tuple of §3.1, encoded with `bytes`.
+
+pub mod archiver;
+pub mod broker;
+pub mod codec;
+pub mod entry;
+pub mod id;
+pub mod stream;
+
+pub use archiver::ArchiveLog;
+pub use broker::{Broker, ConsumerGroup, Subscription};
+pub use codec::Record;
+pub use entry::Entry;
+pub use id::StreamId;
+pub use stream::{Stream, StreamConfig};

@@ -1,0 +1,405 @@
+//! The in-memory stream log.
+//!
+//! A [`Stream`] is the "dedicated, in-memory queue" each SCoRe vertex holds
+//! (§3.1). Entries are ID-ordered; the hot window lives in a `VecDeque`,
+//! and entries evicted by retention spill into the vertex's
+//! [`ArchiveLog`]. Range reads transparently stitch the archive and the
+//! live window together, which is exactly how the Query Executor "parses
+//! the queue (or the persisted log for evicted entries) using
+//! timestamp-based indexing".
+
+use crate::archiver::ArchiveLog;
+use crate::entry::Entry;
+use crate::id::StreamId;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+
+/// Retention configuration for a [`Stream`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Maximum entries kept in memory (`MAXLEN` analogue). `None` keeps
+    /// everything in memory.
+    pub max_len: Option<usize>,
+    /// Spill evicted entries into the archive (vs. dropping them).
+    pub archive_evicted: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self { max_len: Some(65_536), archive_evicted: true }
+    }
+}
+
+impl StreamConfig {
+    /// Keep everything in memory, never evict.
+    pub fn unbounded() -> Self {
+        Self { max_len: None, archive_evicted: false }
+    }
+
+    /// Keep at most `n` entries in memory, archiving evictions.
+    pub fn bounded(n: usize) -> Self {
+        Self { max_len: Some(n), archive_evicted: true }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Window {
+    entries: VecDeque<Entry>,
+    last_id: Option<StreamId>,
+}
+
+/// Error appending an explicit-ID entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdNotIncreasing {
+    /// The rejected ID.
+    pub offered: StreamId,
+    /// The stream's current last ID.
+    pub last: StreamId,
+}
+
+impl std::fmt::Display for IdNotIncreasing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "entry id {} must exceed last id {}", self.offered, self.last)
+    }
+}
+
+impl std::error::Error for IdNotIncreasing {}
+
+/// An append-only, ID-ordered stream with bounded in-memory retention.
+#[derive(Debug)]
+pub struct Stream {
+    name: String,
+    config: StreamConfig,
+    window: RwLock<Window>,
+    archive: ArchiveLog,
+}
+
+impl Stream {
+    /// Create a stream with the given retention config.
+    pub fn new(name: impl Into<String>, config: StreamConfig) -> Self {
+        Self { name: name.into(), config, window: RwLock::new(Window::default()), archive: ArchiveLog::new() }
+    }
+
+    /// Create a stream with default retention.
+    pub fn with_defaults(name: impl Into<String>) -> Self {
+        Self::new(name, StreamConfig::default())
+    }
+
+    /// Stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append with an auto-assigned ID derived from `ms` (monotonic even if
+    /// `ms` goes backwards). Returns the assigned ID.
+    pub fn append(&self, ms: u64, payload: impl Into<Bytes>) -> StreamId {
+        let mut w = self.window.write();
+        let id = match w.last_id {
+            Some(last) => last.next_for(ms),
+            None => StreamId::new(ms, 0),
+        };
+        self.push_locked(&mut w, Entry::new(id, payload));
+        id
+    }
+
+    /// Append an entry with an explicit ID, which must exceed the last ID.
+    pub fn append_entry(&self, entry: Entry) -> Result<StreamId, IdNotIncreasing> {
+        let mut w = self.window.write();
+        if let Some(last) = w.last_id {
+            if entry.id <= last {
+                return Err(IdNotIncreasing { offered: entry.id, last });
+            }
+        }
+        let id = entry.id;
+        self.push_locked(&mut w, entry);
+        Ok(id)
+    }
+
+    fn push_locked(&self, w: &mut Window, entry: Entry) {
+        w.last_id = Some(entry.id);
+        w.entries.push_back(entry);
+        if let Some(max) = self.config.max_len {
+            while w.entries.len() > max {
+                let evicted = w.entries.pop_front().expect("non-empty");
+                if self.config.archive_evicted {
+                    self.archive.append(evicted);
+                }
+            }
+        }
+    }
+
+    /// Number of entries currently in the in-memory window.
+    pub fn len(&self) -> usize {
+        self.window.read().entries.len()
+    }
+
+    /// True when the in-memory window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries ever appended and retained (window + archive).
+    pub fn total_len(&self) -> usize {
+        self.len() + self.archive.len()
+    }
+
+    /// The last assigned ID, if any entry was ever appended.
+    pub fn last_id(&self) -> Option<StreamId> {
+        self.window.read().last_id
+    }
+
+    /// The most recent entry, if the window is non-empty.
+    pub fn last(&self) -> Option<Entry> {
+        self.window.read().entries.back().cloned()
+    }
+
+    /// The archive holding evicted entries.
+    pub fn archive(&self) -> &ArchiveLog {
+        &self.archive
+    }
+
+    /// All entries with `start <= id <= end` in ID order, stitching the
+    /// archive (older) and the live window (newer) together.
+    pub fn range(&self, start: StreamId, end: StreamId) -> Vec<Entry> {
+        let mut out = Vec::new();
+        if start > end {
+            return out;
+        }
+        self.archive.range_into(start, end, &mut out);
+        let w = self.window.read();
+        let entries = &w.entries;
+        let lo = partition_point_deque(entries, |e| e.id < start);
+        let hi = partition_point_deque(entries, |e| e.id <= end);
+        out.extend(entries.iter().skip(lo).take(hi - lo).cloned());
+        out
+    }
+
+    /// All in-memory entries strictly after `cursor` (or from the start
+    /// when `None`), up to `count`.
+    pub fn read_after(&self, cursor: Option<StreamId>, count: usize) -> Vec<Entry> {
+        let w = self.window.read();
+        let entries = &w.entries;
+        let lo = match cursor {
+            Some(c) => partition_point_deque(entries, |e| e.id <= c),
+            None => 0,
+        };
+        entries.iter().skip(lo).take(count).cloned().collect()
+    }
+
+    /// Approximate bytes of memory held by the in-memory window: payload
+    /// bytes plus per-entry bookkeeping (ID + Bytes handle). Archive
+    /// segments are excluded (they model the spill log). Used by the
+    /// Figure 5 memory-overhead report.
+    pub fn approx_memory_bytes(&self) -> usize {
+        let w = self.window.read();
+        let per_entry = std::mem::size_of::<Entry>();
+        w.entries.iter().map(|e| e.payload.len() + per_entry).sum()
+    }
+
+    /// Entries in the range whose embedded millisecond timestamp lies in
+    /// `[start_ms, end_ms]` — the timestamp index used by query execution.
+    pub fn range_by_time(&self, start_ms: u64, end_ms: u64) -> Vec<Entry> {
+        self.range(StreamId::new(start_ms, 0), StreamId::new(end_ms, u64::MAX))
+    }
+}
+
+/// `slice::partition_point` for a `VecDeque`, using O(1) indexing.
+fn partition_point_deque<T>(deque: &VecDeque<T>, pred: impl Fn(&T) -> bool) -> usize {
+    let mut lo = 0usize;
+    let mut hi = deque.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(&deque[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotonic_ids() {
+        let s = Stream::with_defaults("t");
+        let a = s.append(10, vec![1]);
+        let b = s.append(10, vec![2]);
+        let c = s.append(11, vec![3]);
+        let d = s.append(5, vec![4]); // clock skew backwards
+        assert_eq!(a, StreamId::new(10, 0));
+        assert_eq!(b, StreamId::new(10, 1));
+        assert_eq!(c, StreamId::new(11, 0));
+        assert_eq!(d, StreamId::new(11, 1));
+        assert_eq!(s.last_id(), Some(d));
+    }
+
+    #[test]
+    fn explicit_append_rejects_non_increasing() {
+        let s = Stream::with_defaults("t");
+        s.append_entry(Entry::new(StreamId::new(5, 0), vec![])).unwrap();
+        let err = s.append_entry(Entry::new(StreamId::new(5, 0), vec![])).unwrap_err();
+        assert_eq!(err.offered, StreamId::new(5, 0));
+        assert!(s.append_entry(Entry::new(StreamId::new(5, 1), vec![])).is_ok());
+    }
+
+    #[test]
+    fn range_reads_window() {
+        let s = Stream::with_defaults("t");
+        for i in 0..50u64 {
+            s.append(i, vec![i as u8]);
+        }
+        let got = s.range(StreamId::new(10, 0), StreamId::new(14, u64::MAX));
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].payload[0], 10);
+    }
+
+    #[test]
+    fn retention_evicts_to_archive_and_range_stitches() {
+        let s = Stream::new("t", StreamConfig::bounded(10));
+        for i in 0..100u64 {
+            s.append(i, vec![i as u8]);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.archive().len(), 90);
+        assert_eq!(s.total_len(), 100);
+        // Range spanning archive and window.
+        let got = s.range(StreamId::new(85, 0), StreamId::new(95, u64::MAX));
+        assert_eq!(got.len(), 11);
+        assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(got[0].payload[0], 85);
+    }
+
+    #[test]
+    fn retention_without_archive_drops() {
+        let s = Stream::new("t", StreamConfig { max_len: Some(5), archive_evicted: false });
+        for i in 0..20u64 {
+            s.append(i, vec![]);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.archive().len(), 0);
+        assert_eq!(s.total_len(), 5);
+    }
+
+    #[test]
+    fn read_after_cursor() {
+        let s = Stream::with_defaults("t");
+        let mut ids = Vec::new();
+        for i in 0..10u64 {
+            ids.push(s.append(i, vec![]));
+        }
+        let got = s.read_after(Some(ids[4]), 3);
+        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), ids[5..8].to_vec());
+        let all = s.read_after(None, usize::MAX);
+        assert_eq!(all.len(), 10);
+        let none = s.read_after(Some(ids[9]), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn range_by_time_selects_ms_window() {
+        let s = Stream::with_defaults("t");
+        for ms in [100u64, 100, 200, 300, 300, 400] {
+            s.append(ms, vec![]);
+        }
+        assert_eq!(s.range_by_time(200, 300).len(), 3);
+        assert_eq!(s.range_by_time(0, 99).len(), 0);
+        assert_eq!(s.range_by_time(100, 400).len(), 6);
+    }
+
+    #[test]
+    fn last_and_empty() {
+        let s = Stream::with_defaults("t");
+        assert!(s.is_empty());
+        assert!(s.last().is_none());
+        s.append(1, vec![9]);
+        assert_eq!(s.last().unwrap().payload[0], 9);
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let s = Stream::new("t", StreamConfig::unbounded());
+        for i in 0..200_000u64 {
+            s.append(i / 100, Bytes::new());
+        }
+        assert_eq!(s.len(), 200_000);
+        assert_eq!(s.archive().len(), 0);
+    }
+
+    #[test]
+    fn concurrent_appenders_preserve_monotonicity() {
+        let s = std::sync::Arc::new(Stream::with_defaults("t"));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for i in 0..1000u64 {
+                    ids.push(s.append(t * 1000 + i, Bytes::new()));
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<StreamId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let unique: std::collections::HashSet<_> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "ids must be unique");
+        all.sort_unstable();
+        let stored = s.read_after(None, usize::MAX);
+        assert!(stored.windows(2).all(|w| w[0].id < w[1].id));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// With a bounded window, range over everything must still return
+        /// every appended entry exactly once in order (archive + window).
+        #[test]
+        fn no_entry_lost_under_retention(
+            n in 1usize..500,
+            max_len in 1usize..64,
+            ms_step in prop::collection::vec(0u64..3, 1..500),
+        ) {
+            let s = Stream::new("t", StreamConfig::bounded(max_len));
+            let mut appended = Vec::new();
+            let mut ms = 0u64;
+            for i in 0..n {
+                ms += ms_step[i % ms_step.len()];
+                appended.push(s.append(ms, vec![]));
+            }
+            let got = s.range(StreamId::MIN, StreamId::MAX);
+            prop_assert_eq!(got.len(), n);
+            let ids: Vec<StreamId> = got.iter().map(|e| e.id).collect();
+            prop_assert_eq!(ids, appended);
+        }
+
+        /// Arbitrary sub-ranges agree with a naive filter over the full log.
+        #[test]
+        fn subrange_agrees_with_naive(
+            n in 1usize..300,
+            max_len in 1usize..32,
+            a in 0u64..400,
+            b in 0u64..400,
+        ) {
+            let s = Stream::new("t", StreamConfig::bounded(max_len));
+            for i in 0..n {
+                s.append(i as u64, vec![]);
+            }
+            let (start, end) = (StreamId::new(a.min(b), 0), StreamId::new(a.max(b), u64::MAX));
+            let got: Vec<StreamId> = s.range(start, end).iter().map(|e| e.id).collect();
+            let naive: Vec<StreamId> = s
+                .range(StreamId::MIN, StreamId::MAX)
+                .iter()
+                .map(|e| e.id)
+                .filter(|id| *id >= start && *id <= end)
+                .collect();
+            prop_assert_eq!(got, naive);
+        }
+    }
+}

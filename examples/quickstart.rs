@@ -1,0 +1,69 @@
+//! Quickstart: monitor a device's capacity, derive an insight, query it.
+//!
+//! This is the smallest end-to-end Apollo pipeline: two Fact vertices
+//! polling device capacities, one Insight vertex aggregating them (the
+//! Figure 2 use case), and a middleware-style SQL query against the AQE.
+//!
+//! Run: `cargo run --release -p apollo-bench --example quickstart`
+
+use apollo_cluster::cluster::SimCluster;
+use apollo_cluster::device::DeviceKind;
+use apollo_cluster::metrics::{DeviceMetric, MetricKind};
+use apollo_core::service::{Apollo, FactVertexSpec, InsightVertexSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A small simulated cluster: 2 compute nodes (NVMe each).
+    let cluster = SimCluster::ares_scaled(2, 0);
+
+    // Apollo on a virtual clock: deterministic and instant.
+    let mut apollo = Apollo::new_virtual();
+
+    // One Fact vertex per NVMe, polling remaining capacity every second.
+    let mut capacity_topics = Vec::new();
+    for (node, device) in cluster.devices() {
+        let topic = format!("node{node}/nvme/remaining_capacity");
+        capacity_topics.push(topic.clone());
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                topic,
+                Arc::new(DeviceMetric::new(device, MetricKind::RemainingCapacity)),
+                Duration::from_secs(1),
+            ))
+            .expect("register fact vertex");
+    }
+
+    // The Figure 2 insight: total space available across the cluster.
+    apollo
+        .register_insight(InsightVertexSpec::sum_of(
+            "cluster/total_capacity",
+            capacity_topics.clone(),
+            Duration::from_secs(1),
+        ))
+        .expect("register insight vertex");
+
+    // Simulate some application writes, then let Apollo observe them.
+    let nvme = &cluster.tier(DeviceKind::Nvme)[0];
+    nvme.write(0, 10_000_000_000).expect("write 10 GB");
+    apollo.run_for(Duration::from_secs(5));
+
+    // Middleware-style resource query (Algorithm 4.4.1).
+    let sql = format!(
+        "SELECT MAX(Timestamp), metric FROM cluster/total_capacity \
+         UNION SELECT MAX(Timestamp), metric FROM {}",
+        capacity_topics[0]
+    );
+    let result = apollo.query(&sql).expect("query");
+
+    println!("Query: {sql}\n");
+    for row in &result.rows {
+        println!("  {:<36} t={:>6}ms  value={:.1} GB", row.table, row.timestamp_ms, row.value / 1e9);
+    }
+
+    let total = result.rows[0].value;
+    let expected = 2.0 * 250e9 - 10e9;
+    assert_eq!(total, expected, "insight must reflect the write");
+    println!("\nTotal cluster capacity: {:.1} GB (10 GB consumed, as expected)", total / 1e9);
+    println!("Hook calls so far: {}", apollo.total_hook_calls());
+}

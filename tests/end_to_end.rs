@@ -1,0 +1,194 @@
+//! Cross-crate integration: the full Apollo pipeline over a simulated
+//! cluster — fact vertices, chained insights, AQE queries, retention
+//! spill into the archive, and the live (real-clock) service mode.
+
+use apollo_adaptive::controller::{AimdParams, ChangeMode};
+use apollo_cluster::cluster::SimCluster;
+use apollo_cluster::device::DeviceKind;
+use apollo_cluster::metrics::{DeviceMetric, MetricKind, TraceSource};
+use apollo_cluster::series::TimeSeries;
+use apollo_cluster::workloads::hacc::{HaccConfig, HaccWorkload};
+use apollo_core::service::{Apollo, FactVertexSpec, InsightVertexSpec};
+use apollo_runtime::event_loop::EventLoop;
+use apollo_streams::StreamConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NS: u64 = 1_000_000_000;
+
+#[test]
+fn cluster_monitoring_pipeline_with_chained_insights() {
+    let cluster = SimCluster::ares_scaled(4, 2);
+    let mut apollo = Apollo::new_virtual();
+
+    // Facts: capacity per NVMe device.
+    let mut topics = Vec::new();
+    for (node, device) in cluster.devices() {
+        if device.spec.kind != DeviceKind::Nvme {
+            continue;
+        }
+        let topic = format!("node{node}/capacity");
+        topics.push(topic.clone());
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                topic,
+                Arc::new(DeviceMetric::new(device, MetricKind::RemainingCapacity)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+    }
+
+    // Two-layer insight chain: per-tier sum -> GB conversion.
+    apollo
+        .register_insight(InsightVertexSpec::sum_of(
+            "tier/nvme/total",
+            topics,
+            Duration::from_millis(500),
+        ))
+        .unwrap();
+    apollo
+        .register_insight(InsightVertexSpec::new(
+            "tier/nvme/total_gb",
+            vec!["tier/nvme/total".into()],
+            Duration::from_millis(500),
+            |i| i.value("tier/nvme/total").map(|v| v / 1e9),
+        ))
+        .unwrap();
+
+    assert_eq!(apollo.graph().height(), 2);
+    assert_eq!(apollo.graph().hamming_distance("tier/nvme/total_gb"), 2);
+
+    cluster.tier(DeviceKind::Nvme)[0].write(0, 50_000_000_000).unwrap();
+    apollo.run_for(Duration::from_secs(5));
+
+    let gb = apollo.query("SELECT MAX(Timestamp), metric FROM tier/nvme/total_gb").unwrap();
+    assert_eq!(gb.rows[0].value, 4.0 * 250.0 - 50.0);
+
+    // Aggregates over history work through the same engine.
+    let count = apollo.query("SELECT COUNT(*) FROM tier/nvme/total_gb").unwrap();
+    assert!(count.rows[0].value >= 1.0);
+}
+
+#[test]
+fn retention_spill_remains_queryable() {
+    // Tiny in-memory window: most records must be served from the
+    // archive (the "persisted log for evicted entries" path).
+    let mut apollo = Apollo::with_config(EventLoop::new_virtual(), StreamConfig::bounded(8));
+    let trace =
+        TimeSeries::from_points((0..600u64).map(|i| (i * NS, i as f64)).collect());
+    apollo
+        .register_fact(FactVertexSpec::fixed(
+            "m",
+            Arc::new(TraceSource::new("m", trace)),
+            Duration::from_secs(1),
+        ))
+        .unwrap();
+    apollo.run_for(Duration::from_secs(599));
+
+    let all = apollo.query("SELECT metric FROM m").unwrap();
+    assert_eq!(all.rows.len(), 599, "archive + window must cover all records");
+
+    // A range entirely inside the archived region.
+    let old = apollo
+        .query("SELECT metric FROM m WHERE Timestamp BETWEEN 10000 AND 20000")
+        .unwrap();
+    assert_eq!(old.rows.len(), 11);
+    assert_eq!(old.rows[0].value, 10.0);
+
+    let avg = apollo
+        .query("SELECT AVG(metric) FROM m WHERE Timestamp BETWEEN 1000 AND 3000")
+        .unwrap();
+    assert_eq!(avg.rows[0].value, 2.0);
+}
+
+#[test]
+fn adaptive_interval_saves_hook_calls_on_real_workload() {
+    // Regular HACC trace: AIMD should need far fewer hook calls than 1s
+    // polling while catching every capacity level eventually.
+    let workload = HaccWorkload::generate(HaccConfig::regular().with_duration_s(600));
+    let mut apollo = Apollo::new_virtual();
+    apollo
+        .register_fact(FactVertexSpec::complex_aimd(
+            "cap",
+            Arc::new(TraceSource::new("cap", workload.capacity_trace())),
+            AimdParams {
+                threshold: 1_000.0,
+                change_mode: ChangeMode::Absolute,
+                ..AimdParams::default()
+            },
+            10,
+        ))
+        .unwrap();
+    apollo.run_for(Duration::from_secs(600));
+
+    let calls = apollo.total_hook_calls();
+    assert!(calls < 600, "adaptive polling must beat 1s polling: {calls} calls");
+    assert!(calls > 10, "but it must still poll: {calls} calls");
+
+    let latest = apollo.query("SELECT MAX(Timestamp), metric FROM cap").unwrap();
+    let truth = workload.capacity_trace().value_at(600 * NS).unwrap();
+    let err = (latest.rows[0].value - truth).abs();
+    assert!(
+        err <= 5.0 * 38_000.0,
+        "latest view within a few writes of truth (err {err} bytes)"
+    );
+}
+
+#[test]
+fn live_service_serves_concurrent_queries() {
+    let mut apollo = Apollo::new_real();
+    let trace = TimeSeries::from_points(
+        (0..10_000u64).map(|i| (i * 1_000_000, i as f64)).collect(),
+    );
+    apollo
+        .register_fact(FactVertexSpec::fixed(
+            "m",
+            Arc::new(TraceSource::new("m", trace)),
+            Duration::from_millis(1),
+        ))
+        .unwrap();
+    let handle = apollo.spawn();
+
+    // Wait for data.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.query("SELECT MAX(Timestamp), metric FROM m").is_err() {
+        assert!(std::time::Instant::now() < deadline, "no data within 5s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Concurrent middleware clients.
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..50 {
+                    let out = handle.query("SELECT MAX(Timestamp), metric FROM m").unwrap();
+                    assert_eq!(out.rows.len(), 1);
+                }
+            });
+        }
+    });
+
+    let apollo = handle.stop();
+    assert!(apollo.total_hook_calls() > 0);
+}
+
+#[test]
+fn pubsub_fanout_to_middleware_subscriber() {
+    // A middleware service subscribing directly to a fact topic sees
+    // every published record, in order.
+    let mut apollo = Apollo::new_virtual();
+    let trace =
+        TimeSeries::from_points((0..20u64).map(|i| (i * NS, i as f64)).collect());
+    apollo
+        .register_fact(FactVertexSpec::fixed(
+            "m",
+            Arc::new(TraceSource::new("m", trace)),
+            Duration::from_secs(1),
+        ))
+        .unwrap();
+    let sub = apollo.broker().subscribe("m");
+    apollo.run_for(Duration::from_secs(19));
+    let got = sub.drain();
+    assert_eq!(got.len(), 19);
+    assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+}

@@ -1,0 +1,140 @@
+//! Integration of the middleware engines with a *real* Apollo service:
+//! the placement engine consumes capacity facts produced by Apollo fact
+//! vertices polling the actual target devices — monitoring staleness and
+//! all — rather than an oracle.
+
+use apollo_cluster::metrics::{DeviceMetric, MetricKind};
+use apollo_cluster::workloads::apps::vpic;
+use apollo_core::service::{Apollo, FactVertexSpec};
+use apollo_middleware::placement::{PlacementEngine, PlacementPolicy};
+use apollo_middleware::prefetch::{PrefetchEngine, PrefetchPolicy};
+use apollo_middleware::targets::TargetSet;
+use apollo_middleware::view::{ApolloView, BlindView};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wire an Apollo service monitoring every target of a `TargetSet`.
+fn monitor_targets(targets: &TargetSet) -> Apollo {
+    let mut apollo = Apollo::new_virtual();
+    for device in &targets.targets {
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                ApolloView::capacity_topic(device.name()),
+                Arc::new(DeviceMetric::new(Arc::clone(device), MetricKind::RemainingCapacity)),
+                Duration::from_secs(1),
+            ))
+            .expect("register capacity fact");
+    }
+    apollo
+}
+
+#[test]
+fn placement_engine_reads_live_apollo_facts() {
+    let targets = TargetSet::paper_hierarchy();
+    let mut apollo = monitor_targets(&targets);
+    // Initial poll so facts exist before the first step.
+    apollo.run_for(Duration::from_secs(1));
+
+    let view = ApolloView::new(apollo.broker());
+    let mut engine =
+        PlacementEngine::new(targets, PlacementPolicy::ApolloAware, Box::new(view));
+
+    // Between application steps, Apollo's monitoring runs (1 s interval).
+    let apollo = std::cell::RefCell::new(apollo);
+    let ops = vpic(2560); // 1.31 TB, overflows the 1.096 TB fast tier
+    let report = engine.run_with(&ops, |_step, _t| {
+        apollo.borrow_mut().run_for(Duration::from_secs(1));
+    });
+
+    assert!(report.bytes_fast > 0, "fast tiers absorbed data");
+    assert!(report.bytes_pfs > 0, "overflow reached the PFS");
+    // The monitored view is one step stale at worst; the engine's local
+    // decrementing snapshot keeps stalls rare.
+    let stall_rate = report.stalls as f64 / ops.len() as f64;
+    assert!(stall_rate < 0.05, "stall rate {stall_rate} too high for monitored view");
+}
+
+#[test]
+fn monitored_view_beats_blind_round_robin() {
+    let ops = vpic(512);
+
+    let rr_report = {
+        let targets = TargetSet::paper_hierarchy();
+        let mut engine =
+            PlacementEngine::new(targets, PlacementPolicy::RoundRobin, Box::new(BlindView::default()));
+        engine.run(&ops)
+    };
+
+    let apollo_report = {
+        let targets = TargetSet::paper_hierarchy();
+        let mut apollo = monitor_targets(&targets);
+        apollo.run_for(Duration::from_secs(1));
+        let view = ApolloView::new(apollo.broker());
+        let mut engine =
+            PlacementEngine::new(targets, PlacementPolicy::ApolloAware, Box::new(view));
+        let apollo = std::cell::RefCell::new(apollo);
+        engine.run_with(&ops, |_s, _t| {
+            apollo.borrow_mut().run_for(Duration::from_secs(1));
+        })
+    };
+
+    assert!(
+        apollo_report.io_time_s < rr_report.io_time_s,
+        "monitored placement ({:.1}s) must beat blind round-robin ({:.1}s)",
+        apollo_report.io_time_s,
+        rr_report.io_time_s
+    );
+    assert!(apollo_report.query_overhead_fraction() < 0.01, "paper: <1% query overhead");
+}
+
+#[test]
+fn stale_facts_degrade_gracefully() {
+    // Monitoring that never re-polls (one initial sample) gives the
+    // engine a maximally stale view; the engine must still complete and
+    // fall back to flush/PFS paths rather than panic.
+    let targets = TargetSet::paper_hierarchy();
+    let mut apollo = monitor_targets(&targets);
+    apollo.run_for(Duration::from_secs(1)); // one sample, never again
+
+    let view = ApolloView::new(apollo.broker());
+    let mut engine =
+        PlacementEngine::new(targets, PlacementPolicy::ApolloAware, Box::new(view));
+    let ops = vpic(512);
+    let report = engine.run(&ops); // no monitoring callback at all
+
+    let total = apollo_cluster::workloads::apps::total_bytes(&ops);
+    assert!(report.total_bytes() >= total, "every byte still lands somewhere");
+}
+
+#[test]
+fn prefetch_engine_reads_live_apollo_facts() {
+    use apollo_cluster::device::{Device, DeviceSpec};
+    use apollo_cluster::workloads::apps::montage;
+
+    // Tight caches: 4 × 200 MB for 64-proc Montage (640 MB/step).
+    let mut targets = Vec::new();
+    for i in 0..4 {
+        let mut spec = DeviceSpec::nvme_250g();
+        spec.capacity_bytes = 200_000_000;
+        targets.push(Arc::new(Device::new(format!("cache{i}"), spec)));
+    }
+    let mut pfs_spec = DeviceSpec::pfs();
+    pfs_spec.read_bw = 3.2e9;
+    let caches = TargetSet::new(targets, Arc::new(Device::new("pfs", pfs_spec)));
+
+    let mut apollo = monitor_targets(&caches);
+    apollo.run_for(Duration::from_secs(1));
+    let view = ApolloView::new(apollo.broker());
+    let mut engine = PrefetchEngine::new(caches, PrefetchPolicy::ApolloAware, Box::new(view), 4);
+
+    let apollo = std::cell::RefCell::new(apollo);
+    let ops = montage(64);
+    let report = engine.run_with(&ops, |_s, _t| {
+        apollo.borrow_mut().run_for(Duration::from_secs(1));
+    });
+
+    assert_eq!(report.evictions, 0, "capacity-aware staging never evicts");
+    assert!(report.bytes_fast > 0, "some reads served from cache");
+    let total = apollo_cluster::workloads::apps::total_bytes(&ops);
+    assert_eq!(report.total_bytes(), total, "every read served somewhere");
+}

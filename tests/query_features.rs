@@ -1,0 +1,125 @@
+//! AQE feature integration: the §2 query transformations — aggregation,
+//! filtering, ordering — exercised end-to-end through a live Apollo
+//! service.
+
+use apollo_cluster::metrics::TraceSource;
+use apollo_cluster::series::TimeSeries;
+use apollo_core::service::{Apollo, FactVertexSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NS: u64 = 1_000_000_000;
+
+/// Service monitoring a sawtooth metric (values 0..10 repeating).
+fn sawtooth_service() -> Apollo {
+    let mut apollo = Apollo::new_virtual();
+    let trace =
+        TimeSeries::from_points((0..120u64).map(|i| (i * NS, (i % 10) as f64)).collect());
+    apollo
+        .register_fact(FactVertexSpec::fixed(
+            "saw",
+            Arc::new(TraceSource::new("saw", trace)),
+            Duration::from_secs(1),
+        ))
+        .unwrap();
+    apollo.run_for(Duration::from_secs(119));
+    apollo
+}
+
+#[test]
+fn order_by_metric_desc_with_limit_finds_peaks() {
+    let apollo = sawtooth_service();
+    let out = apollo
+        .query("SELECT metric FROM saw ORDER BY metric DESC LIMIT 3")
+        .unwrap();
+    assert_eq!(out.rows.len(), 3);
+    assert!(out.rows.iter().all(|r| r.value == 9.0), "{:?}", out.rows);
+}
+
+#[test]
+fn order_by_metric_asc() {
+    let apollo = sawtooth_service();
+    let out = apollo.query("SELECT metric FROM saw ORDER BY metric ASC LIMIT 2").unwrap();
+    assert_eq!(out.rows.iter().map(|r| r.value).collect::<Vec<_>>(), vec![0.0, 0.0]);
+}
+
+#[test]
+fn order_by_timestamp_desc_returns_newest_first() {
+    let apollo = sawtooth_service();
+    let out = apollo
+        .query("SELECT metric FROM saw ORDER BY Timestamp DESC LIMIT 5")
+        .unwrap();
+    assert_eq!(out.rows.len(), 5);
+    assert!(
+        out.rows.windows(2).all(|w| w[0].timestamp_ms >= w[1].timestamp_ms),
+        "{:?}",
+        out.rows
+    );
+}
+
+#[test]
+fn limit_without_order_truncates_in_time_order() {
+    let apollo = sawtooth_service();
+    let out = apollo.query("SELECT metric FROM saw LIMIT 4").unwrap();
+    assert_eq!(out.rows.len(), 4);
+    assert!(out.rows.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
+}
+
+#[test]
+fn filter_and_order_compose() {
+    let apollo = sawtooth_service();
+    // Window covering one sawtooth period, top value inside it.
+    let out = apollo
+        .query(
+            "SELECT metric FROM saw WHERE Timestamp BETWEEN 20000 AND 29000 \
+             ORDER BY metric DESC LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].value, 9.0);
+    assert!((20_000..=29_000).contains(&out.rows[0].timestamp_ms));
+}
+
+#[test]
+fn union_of_ordered_arms_keeps_arm_grouping() {
+    let mut apollo = Apollo::new_virtual();
+    for (name, base) in [("a", 0.0), ("b", 100.0)] {
+        let trace = TimeSeries::from_points(
+            (0..10u64).map(|i| (i * NS, base + i as f64)).collect(),
+        );
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                name,
+                Arc::new(TraceSource::new(name, trace)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+    }
+    apollo.run_for(Duration::from_secs(9));
+    let out = apollo
+        .query(
+            "SELECT metric FROM a ORDER BY metric DESC LIMIT 2 \
+             UNION SELECT metric FROM b ORDER BY metric DESC LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(out.rows.len(), 4);
+    assert_eq!(out.rows[0].table, "a");
+    assert_eq!(out.rows[2].table, "b");
+    assert!(out.rows[0].value >= out.rows[1].value);
+    assert!(out.rows[2].value >= out.rows[3].value);
+}
+
+#[test]
+fn aggregates_with_filters_end_to_end() {
+    let apollo = sawtooth_service();
+    let avg = apollo
+        .query("SELECT AVG(metric) FROM saw WHERE Timestamp BETWEEN 0 AND 9000")
+        .unwrap();
+    assert!((avg.rows[0].value - 5.0).abs() < 1e-9, "first poll lands at t=1s, so the window holds 1..=9");
+    let count = apollo.query("SELECT COUNT(*) FROM saw").unwrap();
+    assert_eq!(count.rows[0].value, 119.0);
+    let sum = apollo
+        .query("SELECT SUM(metric) FROM saw WHERE Timestamp BETWEEN 0 AND 9000")
+        .unwrap();
+    assert_eq!(sum.rows[0].value, 45.0);
+}
