@@ -237,8 +237,7 @@ mod tests {
         // cost". Capacity changes are absolute (bytes), so the controllers
         // run in Absolute mode with a threshold below one write.
         use apollo_cluster::workloads::hacc::{HaccConfig, HaccWorkload};
-        let reference =
-            HaccWorkload::generate(HaccConfig::irregular(11)).reference_trace_1s();
+        let reference = HaccWorkload::generate(HaccConfig::irregular(11)).reference_trace_1s();
         let p = AimdParams {
             threshold: 1_000.0,
             change_mode: crate::controller::ChangeMode::Absolute,

@@ -22,9 +22,7 @@ use std::time::Duration;
 const NS: u64 = 1_000_000_000;
 
 fn trace(change_every: u64, len: u64) -> TimeSeries {
-    TimeSeries::from_points(
-        (0..len).map(|i| (i * NS, (i / change_every) as f64)).collect(),
-    )
+    TimeSeries::from_points((0..len).map(|i| (i * NS, (i / change_every) as f64)).collect())
 }
 
 fn bench_change_filter(c: &mut Criterion) {
@@ -176,12 +174,7 @@ fn bench_polling_vs_event_driven(c: &mut Criterion) {
         b.iter(|| {
             let device = Arc::new(Device::new("d", DeviceSpec::nvme_250g()));
             let broker = Arc::new(Broker::new(StreamConfig::bounded(8192)));
-            let v = EventFactVertex::attach(
-                "cap",
-                &device,
-                EventMetric::RemainingCapacity,
-                broker,
-            );
+            let v = EventFactVertex::attach("cap", &device, EventMetric::RemainingCapacity, broker);
             for i in 0..WRITES {
                 device.write(i * NS / 10, 10_000).unwrap();
             }

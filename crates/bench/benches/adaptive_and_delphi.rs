@@ -13,11 +13,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn params() -> AimdParams {
-    AimdParams {
-        threshold: 1_000.0,
-        change_mode: ChangeMode::Absolute,
-        ..AimdParams::default()
-    }
+    AimdParams { threshold: 1_000.0, change_mode: ChangeMode::Absolute, ..AimdParams::default() }
 }
 
 fn bench_controller_decision(c: &mut Criterion) {

@@ -66,7 +66,9 @@ fn bench_history_size(c: &mut Criterion) {
         let ldms = seeded_ldms(1, rows);
         group.bench_with_input(BenchmarkId::new("apollo_latest", rows), &broker, |b, broker| {
             let engine = QueryEngine::new(broker);
-            b.iter(|| engine.execute_sql("SELECT MAX(Timestamp), metric FROM node_0_metric").unwrap());
+            b.iter(|| {
+                engine.execute_sql("SELECT MAX(Timestamp), metric FROM node_0_metric").unwrap()
+            });
         });
         group.bench_with_input(BenchmarkId::new("ldms_scan", rows), &ldms, |b, ldms| {
             b.iter(|| ldms.query_latest(&["node_0_metric"]).unwrap());

@@ -67,9 +67,7 @@ fn bench_pull_latest(c: &mut Criterion) {
         broker.publish("t", i, Record::measured(i * 1_000_000, i as f64).encode());
     }
     group.bench_function("latest", |b| b.iter(|| broker.latest("t")));
-    group.bench_function("range_100", |b| {
-        b.iter(|| broker.range_by_time("t", 5_000, 5_099))
-    });
+    group.bench_function("range_100", |b| b.iter(|| broker.range_by_time("t", 5_000, 5_099)));
     group.finish();
 }
 

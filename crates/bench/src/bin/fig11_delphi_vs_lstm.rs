@@ -50,10 +50,7 @@ fn main() {
     report.note("delphi_train_s", delphi_train_s);
     report.note("paper_delphi_params", "50 (14 trainable); ~15 min training");
     report.note("paper_lstm_params", 71_851);
-    report.note(
-        "lstm_paper_scale_params",
-        LstmModel::paper_baseline(5, 0).param_count() as u64,
-    );
+    report.note("lstm_paper_scale_params", LstmModel::paper_baseline(5, 0).param_count() as u64);
 
     let mut delphi_rmse = Series::new("delphi_rmse_norm");
     let mut lstm_rmse = Series::new("lstm_rmse_norm");
@@ -67,8 +64,16 @@ fn main() {
 
     println!(
         "\n{:<22}{:>12}{:>9}{:>12}{:>12}{:>9}{:>12}{:>12}{:>12}{:>12}",
-        "metric", "delphi_rmse", "d_r2", "d_inf_ns", "lstm_rmse", "l_r2", "l_inf_ns", "l_train_s",
-        "cnn_rmse", "c_inf_ns"
+        "metric",
+        "delphi_rmse",
+        "d_r2",
+        "d_inf_ns",
+        "lstm_rmse",
+        "l_r2",
+        "l_inf_ns",
+        "l_train_s",
+        "cnn_rmse",
+        "c_inf_ns"
     );
 
     let dataset = fio::dataset(TRAIN, TEST, 11);
@@ -116,9 +121,17 @@ fn main() {
         lstm_train_time.push(x, l_train_s);
     }
 
-    for s in
-        [delphi_rmse, lstm_rmse, delphi_r2, lstm_r2, delphi_inf, lstm_inf, lstm_train_time, cnn_rmse, cnn_inf]
-    {
+    for s in [
+        delphi_rmse,
+        lstm_rmse,
+        delphi_r2,
+        lstm_r2,
+        delphi_inf,
+        lstm_inf,
+        lstm_train_time,
+        cnn_rmse,
+        cnn_inf,
+    ] {
         report.add_series(s);
     }
     report.note("cnn_params", CnnModel::new(5, 3, 16, 0).param_count() as u64);

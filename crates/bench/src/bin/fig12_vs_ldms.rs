@@ -13,10 +13,10 @@
 //! Run: `cargo run --release -p apollo-bench --bin fig12_vs_ldms`
 
 use apollo_bench::report::{Report, Series};
+use apollo_cluster::device::DeviceKind;
 use apollo_cluster::metrics::{MetricSource, TraceSource};
 use apollo_cluster::series::TimeSeries;
 use apollo_cluster::workloads::fio::{self, SarMetric};
-use apollo_cluster::device::DeviceKind;
 use apollo_core::service::{Apollo, FactVertexSpec};
 use apollo_ldms::{LdmsConfig, LdmsService};
 use std::sync::Arc;
@@ -87,7 +87,12 @@ fn build_ldms(nodes: u32, per_node: usize) -> LdmsService {
 /// Build the Algorithm 4.4.1 resource query over `complexity` tables
 /// spread across nodes.
 fn resource_query_tables(all_tables: &[String], complexity: usize) -> Vec<&str> {
-    all_tables.iter().step_by((all_tables.len() / complexity).max(1)).take(complexity).map(String::as_str).collect()
+    all_tables
+        .iter()
+        .step_by((all_tables.len() / complexity).max(1))
+        .take(complexity)
+        .map(String::as_str)
+        .collect()
 }
 
 fn apollo_query_latency(apollo: &Apollo, tables: &[&str]) -> f64 {
@@ -174,8 +179,12 @@ fn main() {
     // LDMS per-sampler work: samples × the same modelled 0.5 ms hook cost.
     let ldms_work_ns = ldms.total_samples() * 500_000;
     let overhead = apollo_work_ns as f64 / ldms_work_ns as f64 - 1.0;
-    println!("(c) overhead: apollo work {:.1} ms vs ldms {:.1} ms  ({:+.1}%)",
-        apollo_work_ns as f64 / 1e6, ldms_work_ns as f64 / 1e6, overhead * 100.0);
+    println!(
+        "(c) overhead: apollo work {:.1} ms vs ldms {:.1} ms  ({:+.1}%)",
+        apollo_work_ns as f64 / 1e6,
+        ldms_work_ns as f64 / 1e6,
+        overhead * 100.0
+    );
     println!("    (paper: Apollo ≈ +7% overhead for 3.5x lower latency)");
     report_c.note("apollo_work_ms", apollo_work_ns as f64 / 1e6);
     report_c.note("ldms_work_ms", ldms_work_ns as f64 / 1e6);

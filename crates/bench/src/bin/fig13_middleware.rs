@@ -21,9 +21,9 @@ use apollo_cluster::workloads::apps::{bdcats, montage, vpic};
 use apollo_middleware::placement::{PlacementEngine, PlacementPolicy};
 use apollo_middleware::prefetch::{PrefetchEngine, PrefetchPolicy};
 use apollo_middleware::replication::{ReplicationEngine, ReplicationPolicy, ReplicationSet};
+use apollo_middleware::report::SimReport;
 use apollo_middleware::targets::TargetSet;
 use apollo_middleware::view::{ApolloView, BlindView, CapacityView};
-use apollo_middleware::report::SimReport;
 use apollo_streams::codec::Record;
 use apollo_streams::{Broker, StreamConfig};
 use std::sync::Arc;
@@ -55,7 +55,8 @@ fn fig13a_placement() {
     println!("\n(a) HDPE + VPIC-IO ({} procs, 32MB x 16 steps)", PROCS);
 
     let mut results: Vec<(&str, SimReport)> = Vec::new();
-    for policy in [PlacementPolicy::PfsOnly, PlacementPolicy::RoundRobin, PlacementPolicy::ApolloAware]
+    for policy in
+        [PlacementPolicy::PfsOnly, PlacementPolicy::RoundRobin, PlacementPolicy::ApolloAware]
     {
         let targets = TargetSet::paper_hierarchy();
         let broker = Arc::new(Broker::new(StreamConfig::default()));

@@ -31,7 +31,10 @@ fn main() {
         for kind in
             [MetricKind::RemainingCapacity, MetricKind::QueueDepth, MetricKind::RealBandwidth]
         {
-            let name = format!("node{node}/{}", format_args!("{}/{}", device.spec.kind.label(), kind.label()));
+            let name = format!(
+                "node{node}/{}",
+                format_args!("{}/{}", device.spec.kind.label(), kind.label())
+            );
             if kind == MetricKind::RemainingCapacity {
                 capacity_topics.push(name.clone());
             }
@@ -112,7 +115,10 @@ fn main() {
     println!("    IOR application I/O : {:>10.2} ms", app_work_ns as f64 / 1e6);
     println!("    Apollo CPU share    : {:>10.2} %   (paper: 13.32%)", apollo_share);
     println!("(b) Memory");
-    println!("    Apollo queues (run) : {:>10.2} MB  (paper: ~57 MB process footprint)", mem as f64 / 1e6);
+    println!(
+        "    Apollo queues (run) : {:>10.2} MB  (paper: ~57 MB process footprint)",
+        mem as f64 / 1e6
+    );
     println!("    Retention ceiling   : {:>10.2} MB  (all windows full)", saturated as f64 / 1e6);
     println!(
         "    Fraction of node RAM: {:>10.4} %   (paper: <0.1%)",

@@ -37,7 +37,11 @@ fn publish_scaling() {
                 let payload = payload.clone();
                 s.spawn(move || {
                     for i in 0..events_per_thread {
-                        broker.publish("queue", u64::from(t) * events_per_thread + i, payload.clone());
+                        broker.publish(
+                            "queue",
+                            u64::from(t) * events_per_thread + i,
+                            payload.clone(),
+                        );
                     }
                 });
             }
@@ -71,9 +75,7 @@ fn subscribe_scaling() {
                 s.spawn(move || {
                     let mut got = 0u64;
                     while got < events {
-                        if let Some(_e) =
-                            sub.recv_timeout(std::time::Duration::from_secs(10))
-                        {
+                        if let Some(_e) = sub.recv_timeout(std::time::Duration::from_secs(10)) {
                             got += 1;
                         } else {
                             break;

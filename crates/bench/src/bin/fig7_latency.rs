@@ -14,10 +14,10 @@
 //!
 //! Run: `cargo run --release -p apollo-bench --bin fig7_latency`
 
-use apollo_bench::report::{Report, Series};
-use apollo_core::vertex::{FactVertex, InsightInputs, InsightVertex};
 use apollo_adaptive::controller::FixedInterval;
+use apollo_bench::report::{Report, Series};
 use apollo_cluster::metrics::ConstSource;
+use apollo_core::vertex::{FactVertex, InsightInputs, InsightVertex};
 use apollo_streams::{Broker, StreamConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -94,8 +94,7 @@ fn hamming_scaling() {
     for layers in [1u32, 2, 4, 8, 16, 32] {
         let broker = Arc::new(Broker::new(StreamConfig::bounded(4096)));
         // 32 hook vertices at the base.
-        let facts: Vec<FactVertex> =
-            (0..32).map(|i| fact(&broker, format!("hook{i}"))).collect();
+        let facts: Vec<FactVertex> = (0..32).map(|i| fact(&broker, format!("hook{i}"))).collect();
         let base_inputs: Vec<String> = (0..32).map(|i| format!("hook{i}")).collect();
 
         let mut chain: Vec<InsightVertex> = Vec::new();

@@ -40,7 +40,10 @@ fn main() {
     let mut acc_series = Series::new("accuracy");
     let mut cost_series = Series::new("cost");
 
-    println!("\n{:<12}{:<16}{:>10}{:>10}{:>12}", "workload", "policy", "accuracy", "cost", "hook calls");
+    println!(
+        "\n{:<12}{:<16}{:>10}{:>10}{:>12}",
+        "workload", "policy", "accuracy", "cost", "hook calls"
+    );
     println!("{}", "-".repeat(62));
 
     let mut idx = 0.0;
@@ -79,10 +82,8 @@ fn main() {
     let mut idx2 = 0.0;
     for threshold in [100.0, 1_000.0, 10_000.0, 40_000.0] {
         for factor in [1.5, 2.0, 4.0] {
-            let mut ctl = ComplexAimd::new(
-                AimdParams { threshold, decrease_factor: factor, ..params() },
-                10,
-            );
+            let mut ctl =
+                ComplexAimd::new(AimdParams { threshold, decrease_factor: factor, ..params() }, 10);
             let out = evaluate(&mut ctl, &sweep_ref);
             println!("{threshold:<12}{factor:<10}{:>10.4}{:>10.4}", out.accuracy, out.cost);
             report.note(

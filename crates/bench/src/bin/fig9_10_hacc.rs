@@ -44,8 +44,7 @@ fn main() {
         ("fig10", "regular", HaccConfig::regular()),
     ] {
         let reference = HaccWorkload::generate(config).reference_trace_1s();
-        let mut report =
-            Report::new(fig, format!("Apollo on {workload_name} HACC-IO"));
+        let mut report = Report::new(fig, format!("Apollo on {workload_name} HACC-IO"));
 
         // (a) capacity over time, per configuration.
         let mut baseline = FixedInterval::new(Duration::from_secs(1));
@@ -60,8 +59,7 @@ fn main() {
         // Tolerance: a prediction counts as a match when it lands within
         // ~12.5 kB of the true capacity (5e-8 of 250 GB) — less than one
         // HACC write, so hold-last errors cannot sneak in.
-        let with_delphi =
-            evaluate_with_forecaster(&mut adaptive2, &mut delphi, &reference, 5e-8);
+        let with_delphi = evaluate_with_forecaster(&mut adaptive2, &mut delphi, &reference, 5e-8);
 
         println!("\n== {fig} ({workload_name}) ==");
         println!(

@@ -39,10 +39,18 @@ fn main() {
     report.note("interference_nvme", interference);
 
     let fs = insights::fs_performance(&cluster, DeviceKind::Nvme);
-    row(3, "FS Performance (NVMe tier)", format!(
-        "compression={} block={}B raid={} devices={} maxbw={:.1}GB/s",
-        fs.compression, fs.block_size, fs.raid_level, fs.n_devices, fs.max_bw / 1e9
-    ));
+    row(
+        3,
+        "FS Performance (NVMe tier)",
+        format!(
+            "compression={} block={}B raid={} devices={} maxbw={:.1}GB/s",
+            fs.compression,
+            fs.block_size,
+            fs.raid_level,
+            fs.n_devices,
+            fs.max_bw / 1e9
+        ),
+    );
     report.note("fs_nvme_devices", fs.n_devices as u64);
 
     let hot = insights::block_hotness(nvme, 3);
@@ -63,16 +71,20 @@ fn main() {
     row(8, "Device Degradation Rate (HDD)", format!("{deg:.3e} health/block"));
 
     let avail = insights::node_availability(&cluster, now);
-    row(9, "Node Availability List", format!(
-        "{} online (node 40 down: {})",
-        avail.online.len(),
-        !avail.online.contains(&40)
-    ));
+    row(
+        9,
+        "Node Availability List",
+        format!("{} online (node 40 down: {})", avail.online.len(), !avail.online.contains(&40)),
+    );
     report.note("online_nodes", avail.online.len() as u64);
 
     for kind in [DeviceKind::Nvme, DeviceKind::Ssd, DeviceKind::Hdd] {
         let rem = insights::tier_remaining_capacity(&cluster, kind);
-        row(10, &format!("Tier Remaining Capacity ({})", kind.label()), format!("{:.3} TB", rem as f64 / 1e12));
+        row(
+            10,
+            &format!("Tier Remaining Capacity ({})", kind.label()),
+            format!("{:.3} TB", rem as f64 / 1e12),
+        );
         report.note(format!("tier_remaining_{}", kind.label()), rem as f64 / 1e12);
     }
 
@@ -89,15 +101,19 @@ fn main() {
     row(14, "Energy/Transfer (NVMe device)", format!("{dev_energy:.3}"));
 
     let allocs = insights::allocation_characteristics(&cluster, now);
-    row(15, "Allocation Characteristics", format!(
-        "{} job(s); {}: nodes={} procs={:?} r={}GiB w={}GiB",
-        allocs.len(),
-        allocs[0].job_name,
-        allocs[0].n_nodes,
-        allocs[0].proc_distribution,
-        allocs[0].bytes_read >> 30,
-        allocs[0].bytes_written >> 30,
-    ));
+    row(
+        15,
+        "Allocation Characteristics",
+        format!(
+            "{} job(s); {}: nodes={} procs={:?} r={}GiB w={}GiB",
+            allocs.len(),
+            allocs[0].job_name,
+            allocs[0].n_nodes,
+            allocs[0].proc_distribution,
+            allocs[0].bytes_read >> 30,
+            allocs[0].bytes_written >> 30,
+        ),
+    );
 
     report.finish("row", "value");
 }

@@ -122,9 +122,7 @@ pub fn results_dir() -> PathBuf {
     match std::env::var("CARGO_MANIFEST_DIR") {
         // Under cargo: CARGO_MANIFEST_DIR = crates/bench; the workspace
         // root is two levels up.
-        Ok(manifest) => {
-            PathBuf::from(manifest).join("../../bench_results").components().collect()
-        }
+        Ok(manifest) => PathBuf::from(manifest).join("../../bench_results").components().collect(),
         // Direct binary invocation: relative to the working directory.
         Err(_) => PathBuf::from("bench_results"),
     }

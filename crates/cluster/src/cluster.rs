@@ -60,10 +60,7 @@ impl SimCluster {
 
     /// Every device in the cluster, with its hosting node id.
     pub fn devices(&self) -> Vec<(u32, Arc<Device>)> {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.devices().into_iter().map(move |d| (n.id(), d)))
-            .collect()
+        self.nodes.iter().flat_map(|n| n.devices().into_iter().map(move |d| (n.id(), d))).collect()
     }
 
     /// Every device of a given kind (a storage *tier*).
@@ -181,9 +178,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate node id")]
     fn builder_rejects_duplicate_ids() {
-        ClusterBuilder::new()
-            .node(Node::ares_compute(1))
-            .node(Node::ares_compute(1))
-            .build();
+        ClusterBuilder::new().node(Node::ares_compute(1)).node(Node::ares_compute(1)).build();
     }
 }

@@ -1,0 +1,354 @@
+//! Deterministic fault injection for metric sources.
+//!
+//! The paper pitches Apollo as an *always-on* observer of storage
+//! resources; on a real cluster the observed resources (and the hooks
+//! reading them) fail far more often than the observer is allowed to. This
+//! module provides the test substrate for that claim: a [`FaultPlan`]
+//! schedules failure windows over **virtual time**, and a [`FlakySource`]
+//! wraps any [`MetricSource`] to act them out — error bursts, corrupt
+//! values, latency spikes, and hard hangs.
+//!
+//! Everything is seeded and driven by the caller's clock, so a fault
+//! scenario replays bit-identically: the same seed produces the same
+//! windows, the same corrupt values, and therefore the same vertex health
+//! transitions and published records on every run.
+
+use crate::metrics::{MetricError, MetricSource};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What kind of failure a window injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Every sample in the window fails with [`MetricError::Unavailable`].
+    ErrorBurst,
+    /// Every sample in the window fails with [`MetricError::Corrupt`],
+    /// carrying a seeded garbage value.
+    Corrupt,
+    /// Samples succeed but cost `sample_cost + extra` (a slow hook, e.g. a
+    /// congested `/proc` read or RPC retransmit).
+    LatencySpike(Duration),
+    /// Samples never return within any reasonable deadline: the modelled
+    /// cost becomes effectively infinite, which a supervised vertex
+    /// classifies as a per-poll timeout. (Virtual time cannot advance
+    /// mid-call, so a hang is expressed through cost, not blocking.)
+    Hang,
+}
+
+/// One failure window over virtual time: `[start_ns, end_ns)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Window start (inclusive), ns of virtual time.
+    pub start_ns: u64,
+    /// Window end (exclusive), ns of virtual time.
+    pub end_ns: u64,
+    /// The failure injected inside the window.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// A window over `[start, end)` given as durations from time zero.
+    pub fn new(start: Duration, end: Duration, kind: FaultKind) -> Self {
+        Self { start_ns: start.as_nanos() as u64, end_ns: end.as_nanos() as u64, kind }
+    }
+
+    /// Whether `now_ns` falls inside this window.
+    pub fn contains(&self, now_ns: u64) -> bool {
+        self.start_ns <= now_ns && now_ns < self.end_ns
+    }
+}
+
+/// A schedule of failure windows.
+///
+/// Build one explicitly with [`FaultPlan::with_window`], or generate a
+/// randomized-but-reproducible schedule with [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Append a failure window.
+    pub fn with_window(mut self, window: FaultWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Generate a reproducible schedule of faults over `[0, horizon)`:
+    /// roughly one window per `mean_gap`, each lasting up to
+    /// `max_window`, with the kind drawn uniformly. Same seed, horizon
+    /// and parameters ⇒ same plan.
+    pub fn seeded(seed: u64, horizon: Duration, mean_gap: Duration, max_window: Duration) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon_ns = horizon.as_nanos() as u64;
+        let gap_ns = (mean_gap.as_nanos() as u64).max(1);
+        let max_len_ns = (max_window.as_nanos() as u64).max(1);
+        let mut windows = Vec::new();
+        let mut t = rng.random_range(0..gap_ns.max(2));
+        while t < horizon_ns {
+            let len = rng.random_range(1..=max_len_ns);
+            let kind = match rng.random_range(0u32..4) {
+                0 => FaultKind::ErrorBurst,
+                1 => FaultKind::Corrupt,
+                2 => FaultKind::LatencySpike(Duration::from_nanos(
+                    rng.random_range(1_000_000u64..50_000_000),
+                )),
+                _ => FaultKind::Hang,
+            };
+            windows.push(FaultWindow { start_ns: t, end_ns: (t + len).min(horizon_ns), kind });
+            t = t.saturating_add(len).saturating_add(rng.random_range(1..=gap_ns));
+        }
+        Self { windows }
+    }
+
+    /// The scheduled windows, in insertion/time order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The window (if any) active at `now_ns`. The first matching window
+    /// wins, so overlapping explicit windows have deterministic priority.
+    pub fn active_at(&self, now_ns: u64) -> Option<&FaultWindow> {
+        self.windows.iter().find(|w| w.contains(now_ns))
+    }
+}
+
+/// The modelled cost of a hung sample: far beyond any sane poll deadline,
+/// so a supervised vertex always classifies it as a timeout.
+pub const HANG_COST: Duration = Duration::from_secs(3600);
+
+/// Wraps a [`MetricSource`] and injects the faults scheduled by a
+/// [`FaultPlan`].
+///
+/// `sample` consults the plan at the sampled virtual time; `sample_cost`
+/// reports the cost of the **most recent** sample (vertices call `sample`
+/// then `sample_cost`, so the pair describes one coherent poll).
+pub struct FlakySource {
+    inner: Arc<dyn MetricSource>,
+    plan: FaultPlan,
+    /// Seed for corrupt-value generation; mixed with the sample time so
+    /// corruption is deterministic per (seed, now_ns).
+    seed: u64,
+    /// now_ns of the most recent `sample` call, so `sample_cost` can
+    /// reflect the window that was active during it.
+    last_sampled_at: AtomicU64,
+    faults_injected: AtomicU64,
+}
+
+impl FlakySource {
+    /// Wrap `inner`, injecting faults per `plan`. `seed` only drives the
+    /// garbage values of `Corrupt` windows.
+    pub fn new(inner: Arc<dyn MetricSource>, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            seed,
+            last_sampled_at: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of samples that hit an `ErrorBurst` or `Corrupt` window.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// The fault plan driving this source.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl MetricSource for FlakySource {
+    fn sample(&self, now_ns: u64) -> Result<f64, MetricError> {
+        self.last_sampled_at.store(now_ns, Ordering::Relaxed);
+        match self.plan.active_at(now_ns).map(|w| w.kind) {
+            Some(FaultKind::ErrorBurst) => {
+                // The real hook was never reached; still burn a sample on
+                // the inner counter so cost accounting sees the attempt.
+                let _ = self.inner.sample(now_ns);
+                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                Err(MetricError::Unavailable)
+            }
+            Some(FaultKind::Corrupt) => {
+                let _ = self.inner.sample(now_ns);
+                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                // Deterministic garbage keyed on (seed, now_ns).
+                let mut rng = StdRng::seed_from_u64(self.seed ^ now_ns);
+                Err(MetricError::Corrupt(rng.random_range(-1.0e18..1.0e18)))
+            }
+            Some(FaultKind::LatencySpike(_)) | Some(FaultKind::Hang) | None => {
+                self.inner.sample(now_ns)
+            }
+        }
+    }
+
+    fn sample_cost(&self) -> Duration {
+        let at = self.last_sampled_at.load(Ordering::Relaxed);
+        match self.plan.active_at(at).map(|w| w.kind) {
+            Some(FaultKind::LatencySpike(extra)) => self.inner.sample_cost() + extra,
+            Some(FaultKind::Hang) => HANG_COST,
+            _ => self.inner.sample_cost(),
+        }
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn samples_taken(&self) -> u64 {
+        self.inner.samples_taken()
+    }
+}
+
+/// A source that panics on every sample — exercises the event loop's
+/// callback isolation (a buggy hook must not take the service down).
+pub struct PanicSource {
+    name: String,
+}
+
+impl PanicSource {
+    /// Create a source that panics when sampled.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl MetricSource for PanicSource {
+    fn sample(&self, _now_ns: u64) -> Result<f64, MetricError> {
+        panic!("PanicSource {:?} sampled", self.name)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn samples_taken(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ConstSource;
+
+    fn flaky(plan: FaultPlan) -> FlakySource {
+        FlakySource::new(Arc::new(ConstSource::new("c", 5.0)), plan, 42)
+    }
+
+    #[test]
+    fn no_plan_passes_through() {
+        let s = flaky(FaultPlan::none());
+        assert_eq!(s.sample(0), Ok(5.0));
+        assert_eq!(s.sample_cost(), Duration::from_micros(500));
+        assert_eq!(s.faults_injected(), 0);
+        assert_eq!(s.name(), "c");
+    }
+
+    #[test]
+    fn error_burst_window_fails_inside_only() {
+        let plan = FaultPlan::none().with_window(FaultWindow::new(
+            Duration::from_secs(2),
+            Duration::from_secs(4),
+            FaultKind::ErrorBurst,
+        ));
+        let s = flaky(plan);
+        const NS: u64 = 1_000_000_000;
+        assert_eq!(s.sample(NS), Ok(5.0));
+        assert_eq!(s.sample(2 * NS), Err(MetricError::Unavailable));
+        assert_eq!(s.sample(3 * NS), Err(MetricError::Unavailable));
+        assert_eq!(s.sample(4 * NS), Ok(5.0), "end is exclusive");
+        assert_eq!(s.faults_injected(), 2);
+    }
+
+    #[test]
+    fn corrupt_values_are_deterministic_per_time() {
+        let plan = || {
+            FaultPlan::none().with_window(FaultWindow::new(
+                Duration::ZERO,
+                Duration::from_secs(10),
+                FaultKind::Corrupt,
+            ))
+        };
+        let a = flaky(plan());
+        let b = flaky(plan());
+        let (Err(MetricError::Corrupt(va)), Err(MetricError::Corrupt(vb))) =
+            (a.sample(7), b.sample(7))
+        else {
+            panic!("expected corrupt errors");
+        };
+        assert_eq!(va.to_bits(), vb.to_bits(), "same seed+time ⇒ same garbage");
+        let Err(MetricError::Corrupt(vc)) = a.sample(8) else { panic!() };
+        assert_ne!(va.to_bits(), vc.to_bits(), "different time ⇒ different garbage");
+    }
+
+    #[test]
+    fn latency_spike_and_hang_shape_sample_cost() {
+        const NS: u64 = 1_000_000_000;
+        let plan = FaultPlan::none()
+            .with_window(FaultWindow::new(
+                Duration::from_secs(1),
+                Duration::from_secs(2),
+                FaultKind::LatencySpike(Duration::from_millis(40)),
+            ))
+            .with_window(FaultWindow::new(
+                Duration::from_secs(3),
+                Duration::from_secs(4),
+                FaultKind::Hang,
+            ));
+        let s = flaky(plan);
+        assert_eq!(s.sample(0), Ok(5.0));
+        assert_eq!(s.sample_cost(), Duration::from_micros(500));
+        assert_eq!(s.sample(NS), Ok(5.0), "latency spike still returns a value");
+        assert_eq!(s.sample_cost(), Duration::from_millis(40) + Duration::from_micros(500));
+        assert_eq!(s.sample(3 * NS), Ok(5.0));
+        assert_eq!(s.sample_cost(), HANG_COST);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let mk = || {
+            FaultPlan::seeded(
+                9,
+                Duration::from_secs(600),
+                Duration::from_secs(60),
+                Duration::from_secs(20),
+            )
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.windows(), b.windows());
+        assert!(!a.windows().is_empty(), "600s at ~60s mean gap yields windows");
+        let horizon = Duration::from_secs(600).as_nanos() as u64;
+        for w in a.windows() {
+            assert!(w.start_ns < w.end_ns);
+            assert!(w.end_ns <= horizon);
+        }
+        // Windows are disjoint and ordered by construction.
+        for pair in a.windows().windows(2) {
+            assert!(pair[0].end_ns <= pair[1].start_ns);
+        }
+        // A different seed gives a different plan.
+        let c = FaultPlan::seeded(
+            10,
+            Duration::from_secs(600),
+            Duration::from_secs(60),
+            Duration::from_secs(20),
+        );
+        assert_ne!(a.windows(), c.windows());
+    }
+
+    #[test]
+    #[should_panic(expected = "PanicSource")]
+    fn panic_source_panics() {
+        let _ = PanicSource::new("boom").sample(0);
+    }
+}

@@ -23,6 +23,9 @@
 //!   and Delphi evaluations.
 //! * [`metrics`] — `MetricSource` abstraction: live device/node metrics
 //!   and trace replays (the "synthetic monitoring hook" of §4.3.1).
+//! * [`fault`] — deterministic fault injection: seeded `FaultPlan`
+//!   schedules of error bursts, corrupt values, latency spikes and hangs,
+//!   acted out by a `FlakySource` wrapper over any metric source.
 //! * [`workloads`] — generators for every workload in the evaluation:
 //!   HACC-IO capacity traces (regular/irregular, §4.3.1 parameters),
 //!   IOR-style load, FIO/SAR-style device metric traces (Fig 11), and the
@@ -31,6 +34,7 @@
 pub mod allocation;
 pub mod cluster;
 pub mod device;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -39,7 +43,8 @@ pub mod workloads;
 
 pub use cluster::{ClusterBuilder, SimCluster};
 pub use device::{Device, DeviceKind, DeviceSpec};
-pub use metrics::{MetricKind, MetricSource};
+pub use fault::{FaultKind, FaultPlan, FaultWindow, FlakySource, PanicSource};
+pub use metrics::{MetricError, MetricKind, MetricSource};
 pub use network::Network;
 pub use node::{Node, NodeRole};
 pub use series::TimeSeries;

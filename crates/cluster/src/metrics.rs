@@ -19,6 +19,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Why a sample could not be taken.
+///
+/// Real monitor hooks fail: `/proc` reads hit EIO on a dying disk, RPC
+/// probes time out, counters wrap or return garbage. Sources surface those
+/// conditions here; the vertex supervision layer in `apollo-core` decides
+/// how to react (retry, back off, quarantine, publish last-known-stale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricError {
+    /// The resource could not be reached at all (EIO, ENOENT, RPC refused).
+    Unavailable,
+    /// The hook did not answer within its deadline; carries the observed
+    /// (modelled) latency.
+    Timeout(Duration),
+    /// The hook answered, but the value failed validation; carries the
+    /// rejected raw value.
+    Corrupt(f64),
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::Unavailable => write!(f, "metric source unavailable"),
+            MetricError::Timeout(d) => write!(f, "metric sample timed out after {d:?}"),
+            MetricError::Corrupt(v) => write!(f, "metric sample corrupt (raw value {v})"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
 /// The kinds of low-level metrics Apollo's fact vertices collect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MetricKind {
@@ -68,7 +98,12 @@ impl MetricKind {
 /// A pollable metric.
 pub trait MetricSource: Send + Sync {
     /// Sample the metric at simulated time `now_ns`.
-    fn sample(&self, now_ns: u64) -> f64;
+    ///
+    /// Returns [`MetricError`] when the resource cannot be read; callers
+    /// own the retry/backoff/staleness policy. Passing a metric kind the
+    /// source cannot serve (e.g. a node kind to a [`DeviceMetric`]) is a
+    /// programmer error and panics.
+    fn sample(&self, now_ns: u64) -> Result<f64, MetricError>;
 
     /// The modelled cost of taking one sample (charged to the monitor
     /// hook phase). Defaults to the ~0.5 ms a syscall-and-parse hook like
@@ -99,9 +134,9 @@ impl DeviceMetric {
 }
 
 impl MetricSource for DeviceMetric {
-    fn sample(&self, now_ns: u64) -> f64 {
+    fn sample(&self, now_ns: u64) -> Result<f64, MetricError> {
         self.count.fetch_add(1, Ordering::Relaxed);
-        match self.kind {
+        Ok(match self.kind {
             MetricKind::RemainingCapacity => self.device.remaining_bytes() as f64,
             MetricKind::UsedCapacity => self.device.used_bytes() as f64,
             MetricKind::QueueDepth => self.device.queue_depth() as f64,
@@ -114,7 +149,7 @@ impl MetricSource for DeviceMetric {
             MetricKind::CpuLoad | MetricKind::RamUsed => {
                 panic!("{:?} is a node metric, not a device metric", self.kind)
             }
-        }
+        })
     }
 
     fn name(&self) -> String {
@@ -141,14 +176,14 @@ impl NodeMetric {
 }
 
 impl MetricSource for NodeMetric {
-    fn sample(&self, now_ns: u64) -> f64 {
+    fn sample(&self, now_ns: u64) -> Result<f64, MetricError> {
         self.count.fetch_add(1, Ordering::Relaxed);
-        match self.kind {
+        Ok(match self.kind {
             MetricKind::CpuLoad => self.node.cpu_load(),
             MetricKind::RamUsed => self.node.ram_used() as f64,
             MetricKind::PowerDraw => self.node.power_w(now_ns),
             other => panic!("{other:?} is not a node metric"),
-        }
+        })
     }
 
     fn name(&self) -> String {
@@ -171,7 +206,12 @@ pub struct TraceSource {
 impl TraceSource {
     /// Create a trace-replay source.
     pub fn new(name: impl Into<String>, series: TimeSeries) -> Self {
-        Self { name: name.into(), series, count: AtomicU64::new(0), cost: Duration::from_micros(500) }
+        Self {
+            name: name.into(),
+            series,
+            count: AtomicU64::new(0),
+            cost: Duration::from_micros(500),
+        }
     }
 
     /// Override the modelled per-sample cost.
@@ -187,11 +227,12 @@ impl TraceSource {
 }
 
 impl MetricSource for TraceSource {
-    fn sample(&self, now_ns: u64) -> f64 {
+    fn sample(&self, now_ns: u64) -> Result<f64, MetricError> {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.series
+        Ok(self
+            .series
             .value_at(now_ns)
-            .unwrap_or_else(|| self.series.points().first().map(|&(_, v)| v).unwrap_or(0.0))
+            .unwrap_or_else(|| self.series.points().first().map(|&(_, v)| v).unwrap_or(0.0)))
     }
 
     fn sample_cost(&self) -> Duration {
@@ -222,9 +263,9 @@ impl ConstSource {
 }
 
 impl MetricSource for ConstSource {
-    fn sample(&self, _now_ns: u64) -> f64 {
+    fn sample(&self, _now_ns: u64) -> Result<f64, MetricError> {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.value
+        Ok(self.value)
     }
 
     fn name(&self) -> String {
@@ -246,9 +287,9 @@ mod tests {
     fn device_metric_samples_capacity() {
         let d = Arc::new(Device::new("n0/nvme0", DeviceSpec::nvme_250g()));
         let m = DeviceMetric::new(Arc::clone(&d), MetricKind::RemainingCapacity);
-        let before = m.sample(0);
+        let before = m.sample(0).unwrap();
         d.write(0, 1_000_000).unwrap();
-        let after = m.sample(0);
+        let after = m.sample(0).unwrap();
         assert_eq!(before - after, 1_000_000.0);
         assert_eq!(m.samples_taken(), 2);
         assert_eq!(m.name(), "n0/nvme0/remaining_capacity");
@@ -257,15 +298,15 @@ mod tests {
     #[test]
     fn device_metric_health_and_queue() {
         let d = Arc::new(Device::new("d", DeviceSpec::hdd_1t()));
-        assert_eq!(DeviceMetric::new(Arc::clone(&d), MetricKind::DeviceHealth).sample(0), 1.0);
-        assert_eq!(DeviceMetric::new(Arc::clone(&d), MetricKind::QueueDepth).sample(0), 0.0);
+        assert_eq!(DeviceMetric::new(Arc::clone(&d), MetricKind::DeviceHealth).sample(0), Ok(1.0));
+        assert_eq!(DeviceMetric::new(Arc::clone(&d), MetricKind::QueueDepth).sample(0), Ok(0.0));
     }
 
     #[test]
     #[should_panic(expected = "node metric")]
     fn device_metric_rejects_node_kinds() {
         let d = Arc::new(Device::new("d", DeviceSpec::nvme_250g()));
-        DeviceMetric::new(d, MetricKind::CpuLoad).sample(0);
+        let _ = DeviceMetric::new(d, MetricKind::CpuLoad).sample(0);
     }
 
     #[test]
@@ -273,7 +314,7 @@ mod tests {
         let n = Arc::new(Node::new(3, NodeRole::Compute, 40, 0));
         n.set_cpu_load(0.25);
         let m = NodeMetric::new(Arc::clone(&n), MetricKind::CpuLoad);
-        assert!((m.sample(0) - 0.25).abs() < 1e-9);
+        assert!((m.sample(0).unwrap() - 0.25).abs() < 1e-9);
         assert_eq!(m.name(), "node3/cpu_load");
     }
 
@@ -281,9 +322,9 @@ mod tests {
     fn trace_source_replays_step_function() {
         let series = TimeSeries::from_points(vec![(0, 10.0), (100, 20.0)]);
         let t = TraceSource::new("hacc", series);
-        assert_eq!(t.sample(0), 10.0);
-        assert_eq!(t.sample(50), 10.0);
-        assert_eq!(t.sample(100), 20.0);
+        assert_eq!(t.sample(0), Ok(10.0));
+        assert_eq!(t.sample(50), Ok(10.0));
+        assert_eq!(t.sample(100), Ok(20.0));
         assert_eq!(t.samples_taken(), 3);
     }
 
@@ -291,21 +332,21 @@ mod tests {
     fn trace_source_before_start_returns_first() {
         let series = TimeSeries::from_points(vec![(100, 42.0)]);
         let t = TraceSource::new("x", series);
-        assert_eq!(t.sample(0), 42.0);
+        assert_eq!(t.sample(0), Ok(42.0));
     }
 
     #[test]
     fn trace_source_custom_cost() {
         let t = TraceSource::new("x", TimeSeries::new()).with_cost(Duration::from_millis(2));
         assert_eq!(t.sample_cost(), Duration::from_millis(2));
-        assert_eq!(t.sample(0), 0.0, "empty trace samples zero");
+        assert_eq!(t.sample(0), Ok(0.0), "empty trace samples zero");
     }
 
     #[test]
     fn const_source() {
         let c = ConstSource::new("k", 7.5);
-        assert_eq!(c.sample(0), 7.5);
-        assert_eq!(c.sample(1_000_000), 7.5);
+        assert_eq!(c.sample(0), Ok(7.5));
+        assert_eq!(c.sample(1_000_000), Ok(7.5));
         assert_eq!(c.samples_taken(), 2);
         assert_eq!(c.name(), "k");
     }

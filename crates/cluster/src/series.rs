@@ -144,11 +144,7 @@ impl TimeSeries {
         if self.is_empty() {
             return f64::NAN;
         }
-        self.points
-            .iter()
-            .zip(&other.points)
-            .map(|(&(_, a), &(_, b))| (a - b).abs())
-            .sum::<f64>()
+        self.points.iter().zip(&other.points).map(|(&(_, a), &(_, b))| (a - b).abs()).sum::<f64>()
             / self.len() as f64
     }
 
@@ -161,12 +157,8 @@ impl TimeSeries {
         if self.is_empty() {
             return f64::NAN;
         }
-        let se: f64 = self
-            .points
-            .iter()
-            .zip(&other.points)
-            .map(|(&(_, a), &(_, b))| (a - b) * (a - b))
-            .sum();
+        let se: f64 =
+            self.points.iter().zip(&other.points).map(|(&(_, a), &(_, b))| (a - b) * (a - b)).sum();
         (se / self.len() as f64).sqrt()
     }
 
@@ -179,14 +171,14 @@ impl TimeSeries {
         assert_eq!(self.len(), other.len(), "r2 requires equal-length series");
         let mean = self.mean();
         let ss_tot: f64 = self.points.iter().map(|&(_, v)| (v - mean) * (v - mean)).sum();
-        let ss_res: f64 = self
-            .points
-            .iter()
-            .zip(&other.points)
-            .map(|(&(_, a), &(_, b))| (a - b) * (a - b))
-            .sum();
+        let ss_res: f64 =
+            self.points.iter().zip(&other.points).map(|(&(_, a), &(_, b))| (a - b) * (a - b)).sum();
         if ss_tot == 0.0 {
-            if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY }
+            if ss_res == 0.0 {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            }
         } else {
             1.0 - ss_res / ss_tot
         }
@@ -234,8 +226,7 @@ impl TimeSeries {
     /// Load a CSV capture from a file.
     pub fn load_csv(path: &std::path::Path) -> std::io::Result<TimeSeries> {
         let raw = std::fs::read_to_string(path)?;
-        Self::from_csv(&raw)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_csv(&raw).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Min-max normalize values into [0, 1]. Constant series map to 0.5.

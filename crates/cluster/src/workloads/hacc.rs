@@ -206,7 +206,7 @@ mod tests {
         let w = HaccWorkload::generate(HaccConfig::regular().with_duration_s(60));
         let r = w.reference_trace_1s();
         assert_eq!(r.len(), 61); // t=0..=60 inclusive
-        // Value at 4s is still initial; at 5s the first write landed.
+                                 // Value at 4s is still initial; at 5s the first write landed.
         assert_eq!(r.points()[4].1, 250_000_000_000.0);
         assert_eq!(r.points()[5].1, 250_000_000_000.0 - 38_000.0);
     }

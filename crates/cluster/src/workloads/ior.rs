@@ -68,7 +68,7 @@ pub fn generate(config: &IorConfig) -> Vec<IorEvent> {
             let mut phase_end = phase_start;
             for rank in 0..config.procs {
                 // Ranks start with a small random skew, like real MPI jobs.
-                let skew = rng.random_range(0..10_000_000);
+                let skew = rng.random_range(0u64..10_000_000);
                 let mut t = phase_start + skew;
                 for _ in 0..chunks {
                     events.push(IorEvent { at_ns: t, rank, write, bytes: config.transfer_size });
@@ -144,9 +144,8 @@ mod tests {
         let events = generate(&small());
         // There must exist at least one gap >= compute_gap between
         // consecutive events (the phase boundary).
-        let has_gap = events
-            .windows(2)
-            .any(|w| w[1].at_ns - w[0].at_ns >= (1.0 * NS as f64) as u64);
+        let has_gap =
+            events.windows(2).any(|w| w[1].at_ns - w[0].at_ns >= (1.0 * NS as f64) as u64);
         assert!(has_gap, "expected a compute-phase gap in the schedule");
     }
 }

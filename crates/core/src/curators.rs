@@ -133,8 +133,9 @@ mod tests {
     use std::sync::Arc;
 
     /// Deploy facts + the curated vertex over one busy NVMe, drive, query.
-    fn harness(build: impl FnOnce(&str, &str, &apollo_cluster::device::Device) -> InsightVertexSpec)
-    -> (Apollo, Arc<apollo_cluster::device::Device>) {
+    fn harness(
+        build: impl FnOnce(&str, &str, &apollo_cluster::device::Device) -> InsightVertexSpec,
+    ) -> (Apollo, Arc<apollo_cluster::device::Device>) {
         let cluster = SimCluster::ares_scaled(1, 0);
         let device = cluster.tier(DeviceKind::Nvme)[0].clone();
         let mut apollo = Apollo::new_virtual();

@@ -100,10 +100,7 @@ impl MonitoringPlan {
                     .entry(metric.label().to_string())
                     .or_default()
                     .push(topic.clone());
-                per_tier_metric
-                    .entry((device.spec.kind, metric.label()))
-                    .or_default()
-                    .push(topic);
+                per_tier_metric.entry((device.spec.kind, metric.label())).or_default().push(topic);
             }
         }
 

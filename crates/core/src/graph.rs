@@ -141,11 +141,7 @@ impl ScoreGraph {
     /// Hamming distance of a vertex from the farthest source below it
     /// (0 for facts).
     pub fn hamming_distance(&self, name: &str) -> usize {
-        fn depth(
-            g: &ScoreGraph,
-            v: &str,
-            memo: &mut HashMap<String, usize>,
-        ) -> usize {
+        fn depth(g: &ScoreGraph, v: &str, memo: &mut HashMap<String, usize>) -> usize {
             if let Some(&d) = memo.get(v) {
                 return d;
             }
@@ -176,12 +172,7 @@ impl ScoreGraph {
     pub fn topo_order(&self) -> Vec<String> {
         let mut order = Vec::with_capacity(self.len());
         let mut visited = HashSet::new();
-        fn visit(
-            g: &ScoreGraph,
-            v: &str,
-            visited: &mut HashSet<String>,
-            order: &mut Vec<String>,
-        ) {
+        fn visit(g: &ScoreGraph, v: &str, visited: &mut HashSet<String>, order: &mut Vec<String>) {
             if visited.contains(v) {
                 return;
             }
@@ -221,10 +212,9 @@ impl ScoreGraph {
                 for i in ins {
                     match colors.get(i).copied() {
                         Some(Color::Gray) => return true,
-                        Some(Color::White)
-                            if dfs(g, i, colors) => {
-                                return true;
-                            }
+                        Some(Color::White) if dfs(g, i, colors) => {
+                            return true;
+                        }
                         _ => {}
                     }
                 }
@@ -317,8 +307,7 @@ mod tests {
     fn topo_order_respects_dependencies() {
         let g = chain(5);
         let order = g.topo_order();
-        let pos: HashMap<&String, usize> =
-            order.iter().enumerate().map(|(i, v)| (v, i)).collect();
+        let pos: HashMap<&String, usize> = order.iter().enumerate().map(|(i, v)| (v, i)).collect();
         assert!(pos[&"fact".to_string()] < pos[&"i1".to_string()]);
         assert!(pos[&"i4".to_string()] < pos[&"i5".to_string()]);
         assert_eq!(order.len(), 6);

@@ -85,17 +85,18 @@ impl EventFactVertex {
         while let Ok(e) = self.events.try_recv() {
             n += 1;
             // Reads don't move capacity; skip them for capacity metrics.
-            if e.kind == IoEventKind::Read
-                && !matches!(self.metric, EventMetric::TransferSize)
-            {
+            if e.kind == IoEventKind::Read && !matches!(self.metric, EventMetric::TransferSize) {
                 continue;
             }
             let ts = if e.timestamp_ns == 0 { fallback_now_ns } else { e.timestamp_ns };
             let value = self.value_of(&e);
             let mut last = self.last_published.lock();
             if last.is_none_or(|prev| prev != value) {
-                self.broker
-                    .publish(&self.name, ts / 1_000_000, Record::measured(ts, value).encode());
+                self.broker.publish(
+                    &self.name,
+                    ts / 1_000_000,
+                    Record::measured(ts, value).encode(),
+                );
                 self.published.fetch_add(1, Ordering::Relaxed);
                 *last = Some(value);
             }
@@ -209,7 +210,7 @@ mod tests {
         }
         event_vertex.pump(0);
         // Polling at 5s would see exactly one post-burst state.
-        let polled = poller.sample(5 * NS);
+        let polled = poller.sample(5 * NS).unwrap();
 
         assert_eq!(event_vertex.published(), 10, "every change captured");
         assert_eq!(poller.samples_taken(), 1, "polling cost");

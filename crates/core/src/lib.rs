@@ -15,6 +15,10 @@
 //!   Delphi predictor, and vertex scheduling: [`hook::DelphiForecaster`]
 //!   implements the adaptive evaluation's `Forecaster` over a trained
 //!   Delphi stack.
+//! * [`health`] — per-vertex supervision: the `Healthy → Degraded →
+//!   Quarantined` state machine, bounded retry with exponential backoff
+//!   and seeded jitter, and quarantine re-probing, so one failing monitor
+//!   hook degrades gracefully instead of poisoning the DAG.
 //! * [`graph`] — the SCoRe DAG: registration, cycle detection, height
 //!   (the Hamming-distance bound of §3.2.1's `O(p·h)` propagation cost)
 //!   and degree accounting for the Figure 7 experiments.
@@ -45,6 +49,7 @@
 pub mod curators;
 pub mod deploy;
 pub mod graph;
+pub mod health;
 pub mod hook;
 pub mod kprobe;
 pub mod service;
@@ -52,6 +57,7 @@ pub mod vertex;
 
 pub use deploy::{Deployment, MonitoringPlan};
 pub use graph::ScoreGraph;
+pub use health::{HealthMonitor, HealthState, SupervisorConfig};
 pub use hook::DelphiForecaster;
 pub use kprobe::EventFactVertex;
 pub use service::{Apollo, ApolloHandle, FactVertexSpec, InsightVertexSpec};

@@ -16,8 +16,11 @@
 //!   wall clock until the returned [`ApolloHandle`] is stopped.
 
 use crate::graph::{GraphError, ScoreGraph};
+use crate::health::{HealthState, SupervisorConfig};
 use crate::vertex::{FactVertex, InsightInputs, InsightVertex};
-use apollo_adaptive::controller::{AimdParams, ComplexAimd, FixedInterval, IntervalController, SimpleAimd};
+use apollo_adaptive::controller::{
+    AimdParams, ComplexAimd, FixedInterval, IntervalController, SimpleAimd,
+};
 use apollo_cluster::metrics::MetricSource;
 use apollo_delphi::predictor::OnlinePredictor;
 use apollo_delphi::stack::Delphi;
@@ -50,6 +53,8 @@ pub struct FactVertexSpec {
     pub publish_on_change_only: bool,
     /// Optional Delphi prediction between polls.
     pub prediction: Option<PredictionSpec>,
+    /// Supervision policy; `None` uses [`SupervisorConfig::default`].
+    pub supervision: Option<SupervisorConfig>,
 }
 
 impl FactVertexSpec {
@@ -61,6 +66,7 @@ impl FactVertexSpec {
             controller: Box::new(FixedInterval::new(every)),
             publish_on_change_only: true,
             prediction: None,
+            supervision: None,
         }
     }
 
@@ -76,6 +82,7 @@ impl FactVertexSpec {
             controller: Box::new(SimpleAimd::new(params)),
             publish_on_change_only: true,
             prediction: None,
+            supervision: None,
         }
     }
 
@@ -92,6 +99,7 @@ impl FactVertexSpec {
             controller: Box::new(ComplexAimd::new(params, window)),
             publish_on_change_only: true,
             prediction: None,
+            supervision: None,
         }
     }
 
@@ -106,7 +114,28 @@ impl FactVertexSpec {
         self.publish_on_change_only = false;
         self
     }
+
+    /// Use an explicit supervision policy (timeouts, retries, backoff,
+    /// quarantine thresholds) instead of the default.
+    pub fn with_supervision(mut self, config: SupervisorConfig) -> Self {
+        self.supervision = Some(config);
+        self
+    }
 }
+
+/// FNV-1a hash of a vertex name, mixed into the supervision jitter seed so
+/// a fleet of identically configured vertices desynchronizes its backoff.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An insight builder: folds the latest inputs into a derived value.
+pub type InsightBuilder = Box<dyn FnMut(&InsightInputs) -> Option<f64> + Send>;
 
 /// Specification of an Insight vertex to register.
 pub struct InsightVertexSpec {
@@ -115,7 +144,7 @@ pub struct InsightVertexSpec {
     /// Input topics (facts and/or other insights).
     pub inputs: Vec<String>,
     /// The insight builder.
-    pub builder: Box<dyn FnMut(&InsightInputs) -> Option<f64> + Send>,
+    pub builder: InsightBuilder,
     /// How often the vertex drains its subscriptions and recomputes.
     pub cadence: Duration,
     /// Modelled producer→vertex network latency (vertices are distinct
@@ -209,12 +238,15 @@ impl Apollo {
     pub fn register_fact(&mut self, spec: FactVertexSpec) -> Result<Arc<FactVertex>, GraphError> {
         self.graph.add_fact(&spec.name)?;
         let initial = spec.controller.current_interval();
-        let vertex = Arc::new(FactVertex::new(
+        let mut supervision = spec.supervision.unwrap_or_default();
+        supervision.seed ^= name_seed(&spec.name);
+        let vertex = Arc::new(FactVertex::supervised(
             spec.name,
             spec.source,
             spec.controller,
             Arc::clone(&self.broker),
             spec.publish_on_change_only,
+            supervision,
         ));
         let clock = self.el.clock().clone();
         let last_poll = Arc::new(AtomicU64::new(0));
@@ -254,8 +286,7 @@ impl Apollo {
             handles.push(self.el.add_timer(every, move |_ctl| {
                 let now = clock.now();
                 // Only predict when the latest record is stale.
-                if now.saturating_sub(last_poll.load(Ordering::SeqCst)) >= every.as_nanos() as u64
-                {
+                if now.saturating_sub(last_poll.load(Ordering::SeqCst)) >= every.as_nanos() as u64 {
                     if let Some(v) = predictor.lock().predict_and_advance() {
                         vertex.publish_predicted(now, v);
                     }
@@ -356,12 +387,16 @@ impl Apollo {
             facts_suppressed: self.facts.iter().map(|f| f.suppressed()).sum(),
             insights_published: self.insights.iter().map(|i| i.published()).sum(),
             insight_recomputes: self.insights.iter().map(|i| i.recomputes()).sum(),
+            facts_stale: self.facts.iter().map(|f| f.stale_published()).sum(),
+            poll_failures: self.facts.iter().map(|f| f.failures()).sum(),
+            callback_panics: self.el.callback_panics(),
             memory_bytes: self.approx_memory_bytes(),
             vertex_intervals: self
                 .facts
                 .iter()
                 .map(|f| (f.name().to_string(), f.current_interval()))
                 .collect(),
+            vertex_health: self.facts.iter().map(|f| (f.name().to_string(), f.health())).collect(),
         }
     }
 
@@ -417,10 +452,18 @@ pub struct ServiceStats {
     pub insights_published: u64,
     /// Insight builder invocations.
     pub insight_recomputes: u64,
+    /// Stale (last-known-value) records published during hook outages.
+    pub facts_stale: u64,
+    /// Polls that failed after exhausting retries.
+    pub poll_failures: u64,
+    /// Timer callbacks that panicked (each retires only its own timer).
+    pub callback_panics: u64,
     /// Approximate queue memory.
     pub memory_bytes: usize,
     /// Current polling interval per fact vertex.
     pub vertex_intervals: Vec<(String, Duration)>,
+    /// Supervision state per fact vertex.
+    pub vertex_health: Vec<(String, HealthState)>,
 }
 
 impl ServiceStats {
@@ -559,11 +602,7 @@ mod tests {
     #[test]
     fn changing_trace_produces_history_for_range_queries() {
         let mut apollo = Apollo::new_virtual();
-        let series = TimeSeries::from_points(vec![
-            (0, 100.0),
-            (3 * NS, 90.0),
-            (6 * NS, 80.0),
-        ]);
+        let series = TimeSeries::from_points(vec![(0, 100.0), (3 * NS, 90.0), (6 * NS, 80.0)]);
         apollo
             .register_fact(FactVertexSpec::fixed(
                 "cap",
@@ -635,6 +674,71 @@ mod tests {
     }
 
     #[test]
+    fn faulty_source_degrades_without_stopping_the_service() {
+        use apollo_cluster::fault::{FaultKind, FaultPlan, FaultWindow, FlakySource};
+        let mut apollo = Apollo::new_virtual();
+        let plan = FaultPlan::none().with_window(FaultWindow::new(
+            Duration::from_secs(3),
+            Duration::from_secs(6),
+            FaultKind::ErrorBurst,
+        ));
+        let src = FlakySource::new(Arc::new(ConstSource::new("c", 5.0)), plan, 7);
+        apollo
+            .register_fact(FactVertexSpec::fixed("cap", Arc::new(src), Duration::from_secs(1)))
+            .unwrap();
+        let healthy = apollo
+            .register_fact(FactVertexSpec::fixed(
+                "other",
+                Arc::new(ConstSource::new("o", 1.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(30));
+        let stats = apollo.stats();
+        assert!(stats.poll_failures >= 1, "failures recorded: {stats:?}");
+        assert!(stats.facts_stale >= 1, "stale records published: {stats:?}");
+        // The sibling vertex was untouched and the flaky one recovered.
+        assert_eq!(healthy.hook_calls(), 30);
+        assert!(
+            stats.vertex_health.iter().all(|(_, h)| *h == HealthState::Healthy),
+            "all recovered: {stats:?}"
+        );
+        // Stale records are queryable alongside measured ones.
+        let out = apollo.query("SELECT MAX(Timestamp), metric FROM cap").unwrap();
+        assert_eq!(out.rows[0].value, 5.0);
+    }
+
+    #[test]
+    fn panicking_hook_does_not_kill_sibling_vertices() {
+        use apollo_cluster::fault::PanicSource;
+        let mut apollo = Apollo::new_virtual();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "bad",
+                Arc::new(PanicSource::new("boom")),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        let good = apollo
+            .register_fact(FactVertexSpec::fixed(
+                "good",
+                Arc::new(ConstSource::new("g", 2.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        apollo.run_for(Duration::from_secs(10));
+        std::panic::set_hook(hook);
+        assert_eq!(apollo.stats().callback_panics, 1);
+        assert_eq!(good.hook_calls(), 10, "sibling kept its schedule");
+        assert_eq!(
+            apollo.query("SELECT MAX(Timestamp), metric FROM good").unwrap().rows[0].value,
+            2.0
+        );
+    }
+
+    #[test]
     fn link_delay_adds_per_hop_propagation_latency() {
         // fact -> i1 -> i2, each hop costing 2s of network latency: a
         // fact value born at t reaches i2's queue only after both hops
@@ -651,15 +755,10 @@ mod tests {
         for (name, input) in [("i1", "f"), ("i2", "i1")] {
             apollo
                 .register_insight(
-                    InsightVertexSpec::new(
-                        name,
-                        vec![input.into()],
-                        Duration::from_secs(1),
-                        {
-                            let input = input.to_string();
-                            move |i: &InsightInputs| i.value(&input)
-                        },
-                    )
+                    InsightVertexSpec::new(name, vec![input.into()], Duration::from_secs(1), {
+                        let input = input.to_string();
+                        move |i: &InsightInputs| i.value(&input)
+                    })
                     .with_link_delay(Duration::from_secs(2)),
                 )
                 .unwrap();

@@ -14,8 +14,9 @@
 //! Both vertex types are instrumented with a [`PhaseTimer`] so the share
 //! of time spent in each internal component can be reported (Figure 4).
 
+use crate::health::{HealthMonitor, HealthState, SupervisorConfig};
 use apollo_adaptive::controller::IntervalController;
-use apollo_cluster::metrics::MetricSource;
+use apollo_cluster::metrics::{MetricError, MetricSource};
 use apollo_runtime::time::PhaseTimer;
 use apollo_streams::codec::Record;
 use apollo_streams::{Broker, Subscription};
@@ -48,18 +49,42 @@ pub struct FactVertex {
     last_published: parking_lot::Mutex<Option<f64>>,
     published: AtomicU64,
     suppressed: AtomicU64,
+    failures: AtomicU64,
+    retries: AtomicU64,
+    stale_published: AtomicU64,
+    health: parking_lot::Mutex<HealthMonitor>,
     /// When false (ablation), every sample publishes even if unchanged.
     publish_on_change_only: bool,
 }
 
 impl FactVertex {
-    /// Create a fact vertex publishing to topic `name`.
+    /// Create a fact vertex publishing to topic `name`, supervised with
+    /// the default [`SupervisorConfig`].
     pub fn new(
         name: impl Into<String>,
         source: Arc<dyn MetricSource>,
         controller: Box<dyn IntervalController>,
         broker: Arc<Broker>,
         publish_on_change_only: bool,
+    ) -> Self {
+        Self::supervised(
+            name,
+            source,
+            controller,
+            broker,
+            publish_on_change_only,
+            SupervisorConfig::default(),
+        )
+    }
+
+    /// [`FactVertex::new`] with an explicit supervision policy.
+    pub fn supervised(
+        name: impl Into<String>,
+        source: Arc<dyn MetricSource>,
+        controller: Box<dyn IntervalController>,
+        broker: Arc<Broker>,
+        publish_on_change_only: bool,
+        supervision: SupervisorConfig,
     ) -> Self {
         Self {
             name: name.into(),
@@ -70,6 +95,10 @@ impl FactVertex {
             last_published: parking_lot::Mutex::new(None),
             published: AtomicU64::new(0),
             suppressed: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            stale_published: AtomicU64::new(0),
+            health: parking_lot::Mutex::new(HealthMonitor::new(supervision)),
             publish_on_change_only,
         }
     }
@@ -79,16 +108,44 @@ impl FactVertex {
         &self.name
     }
 
-    /// Execute one monitoring cycle at time `now_ns`: sample, build,
-    /// maybe publish. Returns the interval until the next cycle.
+    /// Execute one monitoring cycle at time `now_ns`: sample (with bounded
+    /// retry and timeout classification), build, maybe publish. Returns the
+    /// interval until the next cycle — the controller's choice while
+    /// Healthy, a supervised backoff/probe interval otherwise.
     ///
     /// The monitor-hook phase is charged the modelled `sample_cost` of the
     /// source (a real hook does syscalls; a simulated one is a lookup), so
     /// anatomy fractions match a live deployment's shape.
     pub fn poll(&self, now_ns: u64) -> Duration {
-        // ① Monitor hook.
-        let value = self.timer.time(phases::MONITOR_HOOK, || self.source.sample(now_ns));
-        self.timer.record(phases::MONITOR_HOOK, self.source.sample_cost().as_nanos() as u64);
+        let (poll_timeout, max_retries) = {
+            let h = self.health.lock();
+            (h.config().poll_timeout, h.config().max_retries)
+        };
+
+        // ① Monitor hook. An attempt whose modelled cost exceeds the poll
+        // timeout counts as a timeout even though it returned a value: a
+        // live deployment would have abandoned the hook call.
+        let mut outcome: Result<f64, MetricError> = Err(MetricError::Unavailable);
+        for attempt in 0..=max_retries {
+            let sampled = self.timer.time(phases::MONITOR_HOOK, || self.source.sample(now_ns));
+            let cost = self.source.sample_cost();
+            self.timer.record(phases::MONITOR_HOOK, cost.as_nanos() as u64);
+            outcome = match sampled {
+                Ok(_) if cost > poll_timeout => Err(MetricError::Timeout(cost)),
+                other => other,
+            };
+            if outcome.is_ok() {
+                break;
+            }
+            if attempt < max_retries {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let value = match outcome {
+            Ok(v) => v,
+            Err(_) => return self.on_poll_failure(now_ns),
+        };
 
         // Fact builder.
         let record = self.timer.time(phases::BUILD, || Record::measured(now_ns, value).encode());
@@ -107,7 +164,26 @@ impl FactVertex {
         }
         drop(last);
 
+        self.health.lock().on_success();
         self.controller.lock().on_sample(value)
+    }
+
+    /// All retries exhausted: republish the last-known value marked stale
+    /// (downstream consumers see an explicit degraded signal, not silence),
+    /// advance the health machine, and let it pick the next interval.
+    fn on_poll_failure(&self, now_ns: u64) -> Duration {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(prev) = *self.last_published.lock() {
+            let record = self.timer.time(phases::BUILD, || Record::stale(now_ns, prev).encode());
+            self.timer.time(phases::PUBLISH, || {
+                self.broker.publish(&self.name, now_ns / 1_000_000, record);
+            });
+            self.stale_published.fetch_add(1, Ordering::Relaxed);
+        }
+        let normal = self.controller.lock().current_interval();
+        let mut health = self.health.lock();
+        health.on_failure();
+        health.next_interval(normal)
     }
 
     /// Publish a Delphi-predicted value between polls (flow ① with the
@@ -135,6 +211,31 @@ impl FactVertex {
         self.suppressed.load(Ordering::Relaxed)
     }
 
+    /// Polls that failed after exhausting all retries.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// In-poll retry attempts taken.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Stale (last-known-value) records published during outages.
+    pub fn stale_published(&self) -> u64 {
+        self.stale_published.load(Ordering::Relaxed)
+    }
+
+    /// Current supervision state of this vertex's hook.
+    pub fn health(&self) -> HealthState {
+        self.health.lock().state()
+    }
+
+    /// Times the vertex recovered from quarantine.
+    pub fn recoveries(&self) -> u64 {
+        self.health.lock().recoveries()
+    }
+
     /// Monitor-hook invocations (the monitoring *cost*).
     pub fn hook_calls(&self) -> u64 {
         self.source.samples_taken()
@@ -157,6 +258,7 @@ impl std::fmt::Debug for FactVertex {
             .field("name", &self.name)
             .field("published", &self.published())
             .field("suppressed", &self.suppressed())
+            .field("health", &self.health())
             .finish()
     }
 }
@@ -301,7 +403,8 @@ impl InsightVertex {
         if let Some(v) = value {
             let mut last = self.last_published.lock();
             if last.is_none_or(|prev| prev != v) {
-                let record = self.timer.time(phases::BUILD, || Record::measured(now_ns, v).encode());
+                let record =
+                    self.timer.time(phases::BUILD, || Record::measured(now_ns, v).encode());
                 self.timer.time(phases::PUBLISH, || {
                     self.broker.publish(&self.name, now_ns / 1_000_000, record);
                 });
@@ -342,6 +445,7 @@ impl std::fmt::Debug for InsightVertex {
 mod tests {
     use super::*;
     use apollo_adaptive::controller::FixedInterval;
+    use apollo_cluster::fault::{FaultKind, FaultPlan, FaultWindow, FlakySource};
     use apollo_cluster::metrics::{ConstSource, TraceSource};
     use apollo_cluster::series::TimeSeries;
     use apollo_streams::StreamConfig;
@@ -357,7 +461,8 @@ mod tests {
     #[test]
     fn fact_vertex_publishes_measured_records() {
         let b = broker();
-        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), true);
+        let v =
+            FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), true);
         let next = v.poll(1_000_000_000);
         assert_eq!(next, Duration::from_secs(1));
         let entry = b.latest("cap").unwrap();
@@ -371,7 +476,8 @@ mod tests {
     #[test]
     fn change_filter_suppresses_duplicates() {
         let b = broker();
-        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), true);
+        let v =
+            FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), true);
         for i in 0..5 {
             v.poll(i * 1_000_000_000 + 1);
         }
@@ -383,7 +489,13 @@ mod tests {
     #[test]
     fn publish_always_ablation() {
         let b = broker();
-        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 7.0)), fixed(1), b.clone(), false);
+        let v = FactVertex::new(
+            "cap",
+            Arc::new(ConstSource::new("c", 7.0)),
+            fixed(1),
+            b.clone(),
+            false,
+        );
         for i in 0..5 {
             v.poll(i * 1_000_000_000 + 1);
         }
@@ -424,7 +536,8 @@ mod tests {
     #[test]
     fn predicted_records_are_marked() {
         let b = broker();
-        let v = FactVertex::new("cap", Arc::new(ConstSource::new("c", 1.0)), fixed(1), b.clone(), true);
+        let v =
+            FactVertex::new("cap", Arc::new(ConstSource::new("c", 1.0)), fixed(1), b.clone(), true);
         v.publish_predicted(5_000_000, 3.5);
         let r = Record::decode(&b.latest("cap").unwrap().payload).unwrap();
         assert!(!r.is_measured());
@@ -434,8 +547,10 @@ mod tests {
     #[test]
     fn insight_vertex_aggregates_inputs() {
         let b = broker();
-        let fact_a = FactVertex::new("a", Arc::new(ConstSource::new("a", 10.0)), fixed(1), b.clone(), true);
-        let fact_b = FactVertex::new("b", Arc::new(ConstSource::new("b", 32.0)), fixed(1), b.clone(), true);
+        let fact_a =
+            FactVertex::new("a", Arc::new(ConstSource::new("a", 10.0)), fixed(1), b.clone(), true);
+        let fact_b =
+            FactVertex::new("b", Arc::new(ConstSource::new("b", 32.0)), fixed(1), b.clone(), true);
         let insight = InsightVertex::new(
             "total",
             vec!["a".into(), "b".into()],
@@ -455,12 +570,8 @@ mod tests {
     #[test]
     fn insight_pump_without_input_is_noop() {
         let b = broker();
-        let insight = InsightVertex::new(
-            "i",
-            vec!["missing".into()],
-            Box::new(|_| Some(1.0)),
-            b.clone(),
-        );
+        let insight =
+            InsightVertex::new("i", vec!["missing".into()], Box::new(|_| Some(1.0)), b.clone());
         assert!(!insight.pump(1));
         assert_eq!(insight.published(), 0);
         assert_eq!(insight.recomputes(), 0);
@@ -469,7 +580,8 @@ mod tests {
     #[test]
     fn insight_change_filter() {
         let b = broker();
-        let fact = FactVertex::new("a", Arc::new(ConstSource::new("a", 5.0)), fixed(1), b.clone(), false);
+        let fact =
+            FactVertex::new("a", Arc::new(ConstSource::new("a", 5.0)), fixed(1), b.clone(), false);
         let insight = InsightVertex::new(
             "i",
             vec!["a".into()],
@@ -487,7 +599,8 @@ mod tests {
     #[test]
     fn insights_can_chain() {
         let b = broker();
-        let fact = FactVertex::new("f", Arc::new(ConstSource::new("f", 2.0)), fixed(1), b.clone(), true);
+        let fact =
+            FactVertex::new("f", Arc::new(ConstSource::new("f", 2.0)), fixed(1), b.clone(), true);
         let mid = InsightVertex::new(
             "mid",
             vec!["f".into()],
@@ -508,9 +621,86 @@ mod tests {
     }
 
     #[test]
+    fn failed_polls_publish_stale_records() {
+        const NS: u64 = 1_000_000_000;
+        let b = broker();
+        let plan = FaultPlan::none().with_window(FaultWindow::new(
+            Duration::from_secs(2),
+            Duration::from_secs(4),
+            FaultKind::ErrorBurst,
+        ));
+        let src = FlakySource::new(Arc::new(ConstSource::new("c", 7.0)), plan, 1);
+        let v = FactVertex::new("cap", Arc::new(src), fixed(1), b.clone(), true);
+        v.poll(NS);
+        assert_eq!(v.health(), HealthState::Healthy);
+        v.poll(2 * NS);
+        assert_eq!(v.failures(), 1);
+        assert_eq!(v.retries(), 2, "default config retries twice in-poll");
+        assert_eq!(v.stale_published(), 1);
+        assert_eq!(v.health(), HealthState::Degraded);
+        let r = Record::decode(&b.latest("cap").unwrap().payload).unwrap();
+        assert!(r.is_stale());
+        assert_eq!(r.value, 7.0, "stale record carries the last-known value");
+        // Recovery: outside the window a single success re-heals.
+        v.poll(4 * NS);
+        assert_eq!(v.health(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn hang_is_classified_as_timeout() {
+        const NS: u64 = 1_000_000_000;
+        let b = broker();
+        let plan = FaultPlan::none().with_window(FaultWindow::new(
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+            FaultKind::Hang,
+        ));
+        let src = FlakySource::new(Arc::new(ConstSource::new("c", 7.0)), plan, 1);
+        let v = FactVertex::new("cap", Arc::new(src), fixed(1), b, true);
+        v.poll(NS);
+        assert_eq!(v.failures(), 1, "a hung sample still counts as a failed poll");
+        assert_eq!(v.health(), HealthState::Degraded);
+        assert_eq!(v.stale_published(), 0, "no last-known value to republish yet");
+    }
+
+    #[test]
+    fn persistent_failure_quarantines_then_recovers() {
+        const NS: u64 = 1_000_000_000;
+        let b = broker();
+        let plan = FaultPlan::none().with_window(FaultWindow::new(
+            Duration::from_secs(1),
+            Duration::from_secs(3),
+            FaultKind::ErrorBurst,
+        ));
+        let src = FlakySource::new(Arc::new(ConstSource::new("c", 7.0)), plan, 1);
+        let cfg = SupervisorConfig {
+            jitter_frac: 0.0,
+            degraded_after: 1,
+            quarantine_after: 2,
+            recovery_successes: 2,
+            ..SupervisorConfig::default()
+        };
+        let v = FactVertex::supervised("cap", Arc::new(src), fixed(1), b, true, cfg.clone());
+        let next = v.poll(NS);
+        assert_eq!(v.health(), HealthState::Degraded);
+        assert_eq!(next, cfg.backoff_base, "first backoff step is the base");
+        let next = v.poll(2 * NS);
+        assert_eq!(v.health(), HealthState::Quarantined);
+        assert_eq!(next, cfg.probe_interval, "quarantined vertices re-probe slowly");
+        // Two successful probes restore trust.
+        v.poll(3 * NS);
+        assert_eq!(v.health(), HealthState::Quarantined);
+        let next = v.poll(4 * NS);
+        assert_eq!(v.health(), HealthState::Healthy);
+        assert_eq!(v.recoveries(), 1);
+        assert_eq!(next, Duration::from_secs(1), "controller interval resumes");
+    }
+
+    #[test]
     fn fresh_records_visible_to_builder() {
         let b = broker();
-        let fact = FactVertex::new("f", Arc::new(ConstSource::new("f", 1.0)), fixed(1), b.clone(), false);
+        let fact =
+            FactVertex::new("f", Arc::new(ConstSource::new("f", 1.0)), fixed(1), b.clone(), false);
         let insight = InsightVertex::new(
             "count",
             vec!["f".into()],

@@ -118,12 +118,11 @@ impl CnnModel {
         // Head gradients (flat index i = c*out_len + t).
         let out_len = self.conv.out_len(window.len());
         let mut d_fm = vec![0.0; fm.len()];
-        for i in 0..fm.len() {
-            d_fm[i] = dpred * self.head_w.data()[i];
+        for (d, w) in d_fm.iter_mut().zip(self.head_w.data()) {
+            *d = dpred * w;
         }
-        for i in 0..fm.len() {
-            let g = dpred * fm.data()[i];
-            self.head_w.data_mut()[i] -= lr * g;
+        for (w, v) in self.head_w.data_mut().iter_mut().zip(fm.data()) {
+            *w -= lr * dpred * v;
         }
         self.head_b -= lr * dpred;
 
@@ -136,14 +135,14 @@ impl CnnModel {
                 let relu_grad = if pre.get(c, t) > 0.0 { 1.0 } else { 0.0 };
                 let dz = d_fm[idx] * relu_grad;
                 d_bias += dz;
-                for k in 0..self.conv.kernel {
-                    d_w[k] += dz * window[t + k];
+                for (k, d) in d_w.iter_mut().enumerate() {
+                    *d += dz * window[t + k];
                 }
             }
             self.conv.bias[c] -= lr * d_bias;
-            for k in 0..self.conv.kernel {
+            for (k, d) in d_w.iter().enumerate() {
                 let cur = self.conv.weights.get(c, k);
-                self.conv.weights.set(c, k, cur - lr * d_w[k]);
+                self.conv.weights.set(c, k, cur - lr * d);
             }
         }
         err * err

@@ -67,7 +67,8 @@ impl Feature {
 
     /// Generate `n` values of this feature, deterministic per seed.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed ^ (*self as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (*self as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
         let mut out = Vec::with_capacity(n);
         match self {
             Feature::Constant => {
@@ -218,10 +219,8 @@ mod tests {
     #[test]
     fn seasonal_oscillates() {
         let v = Feature::Seasonal.generate(200, 2);
-        let crossings = v
-            .windows(2)
-            .filter(|w| (w[0] - 0.5).signum() != (w[1] - 0.5).signum())
-            .count();
+        let crossings =
+            v.windows(2).filter(|w| (w[0] - 0.5).signum() != (w[1] - 0.5).signum()).count();
         assert!(crossings > 5, "seasonal must cross its level repeatedly");
     }
 

@@ -23,9 +23,9 @@ fn sigmoid(x: f64) -> f64 {
 
 /// Cached per-timestep state for BPTT.
 struct StepCache {
-    x: Matrix,        // 1×in
-    h_prev: Matrix,   // 1×h
-    c_prev: Matrix,   // 1×h
+    x: Matrix,      // 1×in
+    h_prev: Matrix, // 1×h
+    c_prev: Matrix, // 1×h
     i: Matrix,
     f: Matrix,
     o: Matrix,
@@ -85,17 +85,12 @@ impl LstmModel {
 
     fn gate_slices(&self, z: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
         let h = self.hidden;
-        let take = |lo: usize| {
-            Matrix::from_fn(1, h, |_, c| z.get(0, lo + c))
-        };
+        let take = |lo: usize| Matrix::from_fn(1, h, |_, c| z.get(0, lo + c));
         (take(0), take(h), take(2 * h), take(3 * h))
     }
 
     fn step(&self, x: &Matrix, h_prev: &Matrix, c_prev: &Matrix) -> StepCache {
-        let z = x
-            .matmul(&self.wx)
-            .add(&h_prev.matmul(&self.wh))
-            .add_row_broadcast(&self.b);
+        let z = x.matmul(&self.wx).add(&h_prev.matmul(&self.wh)).add_row_broadcast(&self.b);
         let (zi, zf, zo, zg) = self.gate_slices(&z);
         let i = zi.map(sigmoid);
         let f = zf.map(sigmoid);

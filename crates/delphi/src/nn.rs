@@ -108,9 +108,7 @@ impl Dense {
 
     /// Forward pass without caching (inference).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.weights)
-            .add_row_broadcast(&self.bias)
-            .map(|v| self.activation.apply(v))
+        x.matmul(&self.weights).add_row_broadcast(&self.bias).map(|v| self.activation.apply(v))
     }
 
     /// Backward pass: given `dL/dy`, applies the SGD update (if trainable)

@@ -170,7 +170,7 @@ mod tests {
         p.observe(1.0);
         p.observe(2.0);
         p.observe(10.0); // evicts 1.0; window now [2, 10]
-        // normalized [0,1], mean 0.5 -> 2 + 0.5*8 = 6
+                         // normalized [0,1], mean 0.5 -> 2 + 0.5*8 = 6
         assert_eq!(p.predict_next(), Some(6.0));
     }
 

@@ -74,8 +74,7 @@ impl FeatureModel {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for inst in 0..INSTANCES {
-            let series =
-                feature.generate(per as usize, config.seed.wrapping_add(inst * 7919));
+            let series = feature.generate(per as usize, config.seed.wrapping_add(inst * 7919));
             let (mut xi, mut yi) = windows(&series, config.window);
             xs.append(&mut xi);
             ys.append(&mut yi);
@@ -128,10 +127,8 @@ impl Delphi {
         // Build the combiner training set: feature-model outputs -> truth.
         let mixed = mixed_dataset(config.combiner_samples, config.seed.wrapping_add(1));
         let (xs, ys) = windows(&mixed, config.window);
-        let stacked: Vec<Vec<f64>> = xs
-            .iter()
-            .map(|w| features.iter().map(|m| m.predict(w)).collect())
-            .collect();
+        let stacked: Vec<Vec<f64>> =
+            xs.iter().map(|w| features.iter().map(|m| m.predict(w)).collect()).collect();
         let x = to_matrix(&stacked);
         let y = Matrix::from_vec(ys.len(), 1, ys);
 
@@ -211,11 +208,7 @@ impl Delphi {
     /// realized "confidence" after training.
     pub fn combiner_weights(&self) -> Vec<(Feature, f64)> {
         let w = &self.combiner.layers()[0].weights;
-        self.features
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (m.feature, w.get(i, 0)))
-            .collect()
+        self.features.iter().enumerate().map(|(i, m)| (m.feature, w.get(i, 0))).collect()
     }
 }
 

@@ -93,7 +93,11 @@ impl Matrix {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul dims: {}x{} × {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dims: {}x{} × {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {

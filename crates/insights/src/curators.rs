@@ -341,7 +341,10 @@ mod tests {
         let c = SimCluster::ares_scaled(2, 0);
         let fs = fs_performance(&c, DeviceKind::Nvme);
         assert_eq!(fs.n_devices, 2);
-        assert_eq!(fs.max_bw, 2.0 * DeviceSpec::nvme_250g().read_bw + 2.0 * DeviceSpec::nvme_250g().write_bw);
+        assert_eq!(
+            fs.max_bw,
+            2.0 * DeviceSpec::nvme_250g().read_bw + 2.0 * DeviceSpec::nvme_250g().write_bw
+        );
         assert_eq!(fs.block_size, 4096);
     }
 

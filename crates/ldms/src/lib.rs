@@ -118,7 +118,11 @@ impl LdmsService {
         let retention = self.config.retention_rows;
         self.el.add_timer(self.config.interval, move |_| {
             let now = clock.now();
-            let value = source.sample(now);
+            // LDMS has no retry/staleness machinery (that asymmetry is part
+            // of the comparison): a failed sample is simply a missing row.
+            let Ok(value) = source.sample(now) else {
+                return TimerAction::Continue;
+            };
             samples.fetch_add(1, Ordering::Relaxed);
             let mut store = store.lock();
             let rows = store.tables.entry(name.clone()).or_default();

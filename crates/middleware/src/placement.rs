@@ -59,11 +59,7 @@ impl PlacementEngine {
     /// Run a write workload, invoking `on_step(step, sim_time_s)` before
     /// each application step (the harness uses this to let Apollo re-poll
     /// capacities so the view stays as fresh as the monitoring interval).
-    pub fn run_with(
-        &mut self,
-        ops: &[IoOp],
-        mut on_step: impl FnMut(u32, f64),
-    ) -> SimReport {
+    pub fn run_with(&mut self, ops: &[IoOp], mut on_step: impl FnMut(u32, f64)) -> SimReport {
         let mut report = SimReport::default();
         let mut ops_iter = ops.iter().peekable();
         while ops_iter.peek().is_some() {
@@ -200,9 +196,7 @@ mod tests {
     fn engine(policy: PlacementPolicy) -> PlacementEngine {
         let targets = TargetSet::paper_hierarchy();
         let view: Box<dyn CapacityView> = match policy {
-            PlacementPolicy::ApolloAware => {
-                Box::new(OracleView::new(targets.targets.clone()))
-            }
+            PlacementPolicy::ApolloAware => Box::new(OracleView::new(targets.targets.clone())),
             _ => Box::new(BlindView::default()),
         };
         PlacementEngine::new(targets, policy, view)

@@ -185,7 +185,8 @@ impl ReplicationEngine {
                         report.bytes_fast += op.bytes;
                     }
                     Some(Placement::Pfs) | None => {
-                        report.stalls += u64::from(self.placements.get(&(op.step, op.proc)).is_none());
+                        report.stalls +=
+                            u64::from(!self.placements.contains_key(&(op.step, op.proc)));
                         let e = traffic.entry(self.pfs.name().to_string()).or_default();
                         e.0 += op.bytes;
                         e.1 += 1;
@@ -239,9 +240,7 @@ impl ReplicationEngine {
                 // prefer capacity when nothing fits.
                 let viable: Vec<usize> =
                     (0..self.sets.len()).filter(|&i| snap[i] >= op.bytes).collect();
-                let pick = viable
-                    .into_iter()
-                    .min_by_key(|&i| self.sets[i].latency);
+                let pick = viable.into_iter().min_by_key(|&i| self.sets[i].latency);
                 if let Some(i) = pick {
                     snap[i] = snap[i].saturating_sub(op.bytes);
                 }

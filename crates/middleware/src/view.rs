@@ -159,11 +159,7 @@ mod tests {
         // The fact says 10 000 bytes remain even after the device filled —
         // exactly the staleness the engines must tolerate.
         let broker = Arc::new(Broker::new(StreamConfig::default()));
-        broker.publish(
-            "t/remaining_capacity",
-            1,
-            Record::measured(1_000_000, 10_000.0).encode(),
-        );
+        broker.publish("t/remaining_capacity", 1, Record::measured(1_000_000, 10_000.0).encode());
         let view = ApolloView::new(broker);
         assert_eq!(view.remaining("t"), Some(10_000));
     }

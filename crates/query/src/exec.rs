@@ -9,7 +9,7 @@
 //! evicted entries) using timestamp-based indexing").
 
 use crate::ast::{Aggregate, OrderBy, Query, Select};
-use apollo_streams::codec::Record;
+use apollo_streams::codec::{Provenance, Record};
 use apollo_streams::Broker;
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +23,10 @@ pub struct Row {
     pub timestamp_ms: u64,
     /// The value (record value, or aggregate result).
     pub value: f64,
+    /// How the underlying record's value was obtained (measured,
+    /// predicted, or a stale republication during a hook outage).
+    /// `None` for aggregate rows, which blend many records.
+    pub provenance: Option<Provenance>,
 }
 
 /// Error executing a query.
@@ -99,6 +103,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
                     table: table.clone(),
                     timestamp_ms: r.timestamp_ns / 1_000_000,
                     value: r.value,
+                    provenance: Some(r.provenance),
                 }])
             }
             Aggregate::All => {
@@ -110,6 +115,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
                         table: table.clone(),
                         timestamp_ms: r.timestamp_ns / 1_000_000,
                         value: r.value,
+                        provenance: Some(r.provenance),
                     })
                     .collect();
                 match select.order {
@@ -138,14 +144,12 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
                 let value = match agg {
                     Aggregate::Max => values.fold(f64::NEG_INFINITY, f64::max),
                     Aggregate::Min => values.fold(f64::INFINITY, f64::min),
-                    Aggregate::Avg => {
-                        values.sum::<f64>() / records.len() as f64
-                    }
+                    Aggregate::Avg => values.sum::<f64>() / records.len() as f64,
                     Aggregate::Sum => values.sum(),
                     Aggregate::Count => records.len() as f64,
                     Aggregate::Latest | Aggregate::All => unreachable!("handled above"),
                 };
-                Ok(vec![Row { table: table.clone(), timestamp_ms: ts, value }])
+                Ok(vec![Row { table: table.clone(), timestamp_ms: ts, value, provenance: None }])
             }
         }
     }
@@ -161,8 +165,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
         if query.selects.is_empty() {
             return Ok(QueryResult { rows: vec![] });
         }
-        let heavy_arms =
-            query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
+        let heavy_arms = query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
         if query.selects.len() == 1 || heavy_arms == 0 {
             let mut rows = Vec::new();
             for s in &query.selects {
@@ -171,11 +174,8 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
             return Ok(QueryResult { rows });
         }
         let results: Vec<Result<Vec<Row>, ExecError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = query
-                .selects
-                .iter()
-                .map(|s| scope.spawn(move || self.run_select(s)))
-                .collect();
+            let handles: Vec<_> =
+                query.selects.iter().map(|s| scope.spawn(move || self.run_select(s))).collect();
             handles.into_iter().map(|h| h.join().expect("select worker panicked")).collect()
         });
         let mut rows = Vec::new();
@@ -195,8 +195,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
     /// `EXPLAIN` surface): one line per arm plus the chosen execution
     /// strategy.
     pub fn explain(&self, query: &Query) -> String {
-        let heavy_arms =
-            query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
+        let heavy_arms = query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
         let strategy = if query.selects.len() <= 1 || heavy_arms == 0 {
             "inline (indexed tail-reads)"
         } else {
@@ -221,8 +220,11 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
             };
             let order = s.order.map(|o| format!(", order {o:?}")).unwrap_or_default();
             let limit = s.limit.map(|n| format!(", limit {n}")).unwrap_or_default();
-            out.push_str(&format!("  arm {i}: {} — {access}{filter}{order}{limit}
-", s.table));
+            out.push_str(&format!(
+                "  arm {i}: {} — {access}{filter}{order}{limit}
+",
+                s.table
+            ));
         }
         out
     }
@@ -276,7 +278,31 @@ mod tests {
         let b = seeded_broker();
         let engine = QueryEngine::new(&b);
         let out = engine.execute_sql("SELECT MAX(Timestamp), metric FROM capacity").unwrap();
-        assert_eq!(out.rows, vec![Row { table: "capacity".into(), timestamp_ms: 400, value: 40.0 }]);
+        assert_eq!(
+            out.rows,
+            vec![Row {
+                table: "capacity".into(),
+                timestamp_ms: 400,
+                value: 40.0,
+                provenance: Some(Provenance::Measured),
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_records_surface_their_provenance() {
+        let b = Broker::new(StreamConfig::default());
+        b.publish("t", 1, Record::measured(1_000_000, 9.0).encode());
+        b.publish("t", 2, Record::stale(2_000_000, 9.0).encode());
+        let engine = QueryEngine::new(&b);
+        let out = engine.execute_sql("SELECT MAX(Timestamp), metric FROM t").unwrap();
+        assert_eq!(out.rows[0].provenance, Some(Provenance::Stale));
+        let all = engine.execute_sql("SELECT metric FROM t").unwrap();
+        assert_eq!(all.rows[0].provenance, Some(Provenance::Measured));
+        assert_eq!(all.rows[1].provenance, Some(Provenance::Stale));
+        // Aggregates blend records and carry no single provenance.
+        let avg = engine.execute_sql("SELECT AVG(metric) FROM t").unwrap();
+        assert_eq!(avg.rows[0].provenance, None);
     }
 
     #[test]
@@ -298,10 +324,22 @@ mod tests {
     fn aggregates() {
         let b = seeded_broker();
         let engine = QueryEngine::new(&b);
-        assert_eq!(engine.execute_sql("SELECT MAX(metric) FROM capacity").unwrap().rows[0].value, 40.0);
-        assert_eq!(engine.execute_sql("SELECT MIN(metric) FROM capacity").unwrap().rows[0].value, 10.0);
-        assert_eq!(engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap().rows[0].value, 25.0);
-        assert_eq!(engine.execute_sql("SELECT SUM(metric) FROM capacity").unwrap().rows[0].value, 100.0);
+        assert_eq!(
+            engine.execute_sql("SELECT MAX(metric) FROM capacity").unwrap().rows[0].value,
+            40.0
+        );
+        assert_eq!(
+            engine.execute_sql("SELECT MIN(metric) FROM capacity").unwrap().rows[0].value,
+            10.0
+        );
+        assert_eq!(
+            engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap().rows[0].value,
+            25.0
+        );
+        assert_eq!(
+            engine.execute_sql("SELECT SUM(metric) FROM capacity").unwrap().rows[0].value,
+            100.0
+        );
         assert_eq!(engine.execute_sql("SELECT COUNT(*) FROM capacity").unwrap().rows[0].value, 4.0);
     }
 

@@ -385,10 +385,22 @@ mod tests {
 
     #[test]
     fn parses_aggregates() {
-        assert_eq!(parse("SELECT MAX(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Max);
-        assert_eq!(parse("SELECT MIN(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Min);
-        assert_eq!(parse("SELECT AVG(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Avg);
-        assert_eq!(parse("SELECT SUM(metric) FROM t").unwrap().selects[0].aggregate, Aggregate::Sum);
+        assert_eq!(
+            parse("SELECT MAX(metric) FROM t").unwrap().selects[0].aggregate,
+            Aggregate::Max
+        );
+        assert_eq!(
+            parse("SELECT MIN(metric) FROM t").unwrap().selects[0].aggregate,
+            Aggregate::Min
+        );
+        assert_eq!(
+            parse("SELECT AVG(metric) FROM t").unwrap().selects[0].aggregate,
+            Aggregate::Avg
+        );
+        assert_eq!(
+            parse("SELECT SUM(metric) FROM t").unwrap().selects[0].aggregate,
+            Aggregate::Sum
+        );
         assert_eq!(parse("SELECT COUNT(*) FROM t").unwrap().selects[0].aggregate, Aggregate::Count);
         assert_eq!(parse("SELECT metric FROM t").unwrap().selects[0].aggregate, Aggregate::All);
     }

@@ -59,8 +59,7 @@ impl TimerControl {
     /// Re-program the interval used for the next re-arm. Clamped to at
     /// least 1ns to avoid a zero-interval spin.
     pub fn set_interval(&self, interval: Duration) {
-        self.interval
-            .store(duration_to_nanos(interval).max(1), Ordering::SeqCst);
+        self.interval.store(duration_to_nanos(interval).max(1), Ordering::SeqCst);
     }
 
     /// Cancel the timer from outside the callback.
@@ -97,6 +96,9 @@ pub struct EventLoop<C: Clock = AnyClock> {
     next_id: u64,
     /// Expired-entry scratch buffer, reused across iterations.
     scratch: Vec<Expired>,
+    /// Callbacks that panicked (each kills only its own timer, never the
+    /// loop).
+    panics: u64,
 }
 
 impl EventLoop<AnyClock> {
@@ -120,6 +122,7 @@ impl<C: Clock> EventLoop<C> {
             timers: HashMap::new(),
             next_id: 1,
             scratch: Vec::new(),
+            panics: 0,
         }
     }
 
@@ -144,13 +147,14 @@ impl<C: Clock> EventLoop<C> {
             cancelled: AtomicBool::new(false),
             fires: AtomicU64::new(0),
         });
-        let deadline = self
-            .clock
-            .now()
-            .saturating_add(control.interval.load(Ordering::SeqCst));
+        let deadline = self.clock.now().saturating_add(control.interval.load(Ordering::SeqCst));
         self.timers.insert(
             id,
-            TimerSlot { control: Arc::clone(&control), callback: Box::new(callback), generation: 0 },
+            TimerSlot {
+                control: Arc::clone(&control),
+                callback: Box::new(callback),
+                generation: 0,
+            },
         );
         self.queue.lock().insert(EntryId(id.0), deadline);
         control
@@ -161,6 +165,13 @@ impl<C: Clock> EventLoop<C> {
         self.timers.len()
     }
 
+    /// Number of timer callbacks that have panicked. Each panic is caught
+    /// and unregisters only the offending timer; the loop and all other
+    /// timers keep running.
+    pub fn callback_panics(&self) -> u64 {
+        self.panics
+    }
+
     fn fire(&mut self, id: TimerId) {
         let Some(slot) = self.timers.get_mut(&id) else { return };
         if slot.control.is_cancelled() {
@@ -168,17 +179,25 @@ impl<C: Clock> EventLoop<C> {
             return;
         }
         slot.control.fires.fetch_add(1, Ordering::SeqCst);
-        let action = (slot.callback)(&slot.control);
+        // A panicking callback (buggy monitor hook, bad insight builder)
+        // must not take the whole service down: isolate it and retire the
+        // timer. The mutexes this crate hands out are non-poisoning, so
+        // state shared with other callbacks stays usable.
+        let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (slot.callback)(&slot.control)
+        }));
         match action {
-            TimerAction::Continue if !slot.control.is_cancelled() => {
+            Ok(TimerAction::Continue) if !slot.control.is_cancelled() => {
                 slot.generation += 1;
-                let next = self
-                    .clock
-                    .now()
-                    .saturating_add(slot.control.interval.load(Ordering::SeqCst));
+                let next =
+                    self.clock.now().saturating_add(slot.control.interval.load(Ordering::SeqCst));
                 self.queue.lock().insert(EntryId(id.0), next);
             }
-            _ => {
+            Ok(_) => {
+                self.timers.remove(&id);
+            }
+            Err(_) => {
+                self.panics += 1;
                 self.timers.remove(&id);
             }
         }
@@ -345,6 +364,28 @@ mod tests {
     fn empty_loop_turn_returns_false() {
         let mut el = EventLoop::new_virtual();
         assert!(!el.turn());
+    }
+
+    #[test]
+    fn panicking_callback_is_isolated() {
+        let mut el = EventLoop::new_virtual();
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        el.add_timer(Duration::from_millis(2), |_| panic!("bad vertex"));
+        el.add_timer(Duration::from_millis(1), move |_| {
+            n2.fetch_add(1, Ordering::SeqCst);
+            TimerAction::Continue
+        });
+        // Quiet the default panic hook for the expected panic.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        el.run_for(Duration::from_millis(10));
+        std::panic::set_hook(hook);
+        // The panicking timer fired once, was retired, and the sibling
+        // kept its full schedule.
+        assert_eq!(el.callback_panics(), 1);
+        assert_eq!(el.timer_count(), 1);
+        assert_eq!(n.load(Ordering::SeqCst), 10);
     }
 
     #[test]

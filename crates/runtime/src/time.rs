@@ -214,7 +214,7 @@ impl PhaseTimer {
             .iter()
             .map(|(n, t)| (n.clone(), *t, if total == 0 { 0.0 } else { *t as f64 / total as f64 }))
             .collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
 }

@@ -259,10 +259,7 @@ mod tests {
         assert_eq!(q.next_deadline(), Some(2_000));
 
         let fired = drain(&mut q, 5_000);
-        assert_eq!(
-            fired.iter().map(|e| e.id).collect::<Vec<_>>(),
-            vec![EntryId(2), EntryId(1)]
-        );
+        assert_eq!(fired.iter().map(|e| e.id).collect::<Vec<_>>(), vec![EntryId(2), EntryId(1)]);
         assert_eq!(q.len(), 1);
 
         let fired = drain(&mut q, 100_000);

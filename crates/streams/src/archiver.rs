@@ -19,6 +19,10 @@ use std::path::Path;
 /// Number of entries per closed segment.
 const SEGMENT_CAPACITY: usize = 4096;
 
+/// Largest payload accepted when reloading a persisted log; anything
+/// bigger means the length prefix is garbage.
+const MAX_FRAME_BYTES: usize = 64 << 20;
+
 #[derive(Debug, Default)]
 struct Segments {
     /// Closed, immutable segments in ID order.
@@ -47,9 +51,11 @@ impl ArchiveLog {
     /// stream layer guarantees ordering, so a violation is a logic bug.
     pub fn append(&self, entry: Entry) {
         let mut seg = self.segments.write();
-        let last = seg.open.last().map(|e| e.id).or_else(|| {
-            seg.closed.last().and_then(|s| s.last()).map(|e| e.id)
-        });
+        let last = seg
+            .open
+            .last()
+            .map(|e| e.id)
+            .or_else(|| seg.closed.last().and_then(|s| s.last()).map(|e| e.id));
         if let Some(last) = last {
             assert!(entry.id > last, "archive append out of order: {} after {last}", entry.id);
         }
@@ -86,7 +92,8 @@ impl ArchiveLog {
             return;
         }
         let seg = self.segments.read();
-        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice())) {
+        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice()))
+        {
             if run.is_empty() {
                 continue;
             }
@@ -111,7 +118,8 @@ impl ArchiveLog {
     pub fn persist(&self, path: &Path) -> std::io::Result<()> {
         let seg = self.segments.read();
         let mut w = BufWriter::new(std::fs::File::create(path)?);
-        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice())) {
+        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice()))
+        {
             for e in run {
                 w.write_all(&e.id.ms.to_le_bytes())?;
                 w.write_all(&e.id.seq.to_le_bytes())?;
@@ -123,22 +131,36 @@ impl ArchiveLog {
     }
 
     /// Load a log previously written by [`ArchiveLog::persist`].
+    ///
+    /// A truncated or corrupt file yields `InvalidData` instead of
+    /// panicking, so a damaged archive cannot take the observer down.
     pub fn load(path: &Path) -> std::io::Result<Self> {
+        let corrupt =
+            |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         let log = ArchiveLog::new();
         let mut r = BufReader::new(std::fs::File::open(path)?);
         loop {
-            let mut head = [0u8; 20];
-            match r.read_exact(&mut head) {
+            let mut ms_b = [0u8; 8];
+            match r.read_exact(&mut ms_b) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
                 Err(e) => return Err(e),
             }
-            let ms = u64::from_le_bytes(head[0..8].try_into().unwrap());
-            let seq = u64::from_le_bytes(head[8..16].try_into().unwrap());
-            let len = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+            let mut seq_b = [0u8; 8];
+            let mut len_b = [0u8; 4];
+            r.read_exact(&mut seq_b)?;
+            r.read_exact(&mut len_b)?;
+            let id = StreamId::new(u64::from_le_bytes(ms_b), u64::from_le_bytes(seq_b));
+            let len = u32::from_le_bytes(len_b) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(corrupt("archive frame length exceeds sanity bound"));
+            }
+            if log.last_id().is_some_and(|last| id <= last) {
+                return Err(corrupt("archive frames out of ID order"));
+            }
             let mut payload = vec![0u8; len];
             r.read_exact(&mut payload)?;
-            log.append(Entry::new(StreamId::new(ms, seq), payload));
+            log.append(Entry::new(id, payload));
         }
         Ok(log)
     }

@@ -2,33 +2,242 @@
 //!
 //! The [`Broker`] is SCoRe's communication fabric: every vertex owns a
 //! topic (backed by a [`Stream`]); downstream vertices either **subscribe**
-//! (push: each new entry is delivered over a channel — how Insight vertices
-//! consume Facts, flow ③/④ of Figure 1b) or **pull** the latest value /
-//! a timestamp range on demand (how the Query Executor and middleware
-//! clients read, flow ⑥).
+//! (push: each new entry is delivered over a bounded queue — how Insight
+//! vertices consume Facts, flow ③/④ of Figure 1b) or **pull** the latest
+//! value / a timestamp range on demand (how the Query Executor and
+//! middleware clients read, flow ⑥).
 //!
 //! Consumer groups provide exactly-once-per-group delivery with explicit
 //! acknowledgement, modelled on Redis Streams' `XGROUP`/`XREADGROUP`/`XACK`
-//! subset.
+//! subset, extended with the failure-recovery surface a long-running
+//! observer needs:
+//!
+//! * **Reclamation** — [`ConsumerGroup::claim`] / [`ConsumerGroup::auto_claim`]
+//!   (the `XCLAIM`/`XAUTOCLAIM` analogues) move pending entries away from
+//!   dead consumers.
+//! * **Dead-lettering** — an entry whose delivery count would exceed the
+//!   broker's `max_deliveries` is poison (its consumer keeps crashing on
+//!   it); instead of being redelivered forever it is routed to the topic's
+//!   dead-letter stream, readable via [`Broker::dead_letters`].
+//! * **Backpressure** — subscriber queues are bounded; a
+//!   [`BackpressurePolicy`] decides whether a slow subscriber blocks the
+//!   publisher, loses its oldest entries, or is disconnected.
 
 use crate::entry::Entry;
 use crate::id::StreamId;
 use crate::stream::{Stream, StreamConfig};
 use bytes::Bytes;
-use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Unique identifier for a subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriptionId(u64);
 
+/// Error operating on a consumer group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The group no longer exists on the topic (deleted while a handle
+    /// was still live).
+    UnknownGroup {
+        /// Topic the group belonged to.
+        topic: String,
+        /// The missing group name.
+        group: String,
+    },
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::UnknownGroup { topic, group } => {
+                write!(f, "consumer group {group:?} does not exist on topic {topic:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// What a publisher does when a subscriber's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the publisher until the subscriber drains. Lossless, but ties
+    /// publisher progress to the slowest subscriber — only sensible in
+    /// live (multi-threaded) mode; under a single-threaded virtual clock
+    /// it would deadlock.
+    Block,
+    /// Drop the subscriber's oldest buffered entry to make room. The
+    /// subscriber keeps up with the newest data at the price of gaps
+    /// (which it can detect via [`Subscription::dropped_entries`]).
+    DropOldest,
+    /// Disconnect the subscriber. It can still drain what was buffered,
+    /// then receives nothing more; the publisher never stalls and never
+    /// drops data for healthy subscribers.
+    DisconnectSlow,
+}
+
+/// Options for [`Broker::subscribe_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubscribeOptions {
+    /// Queue capacity (entries buffered between publish and receive).
+    pub capacity: usize,
+    /// What happens when the queue is full.
+    pub policy: BackpressurePolicy,
+}
+
+impl Default for SubscribeOptions {
+    fn default() -> Self {
+        Self { capacity: 65_536, policy: BackpressurePolicy::DropOldest }
+    }
+}
+
+/// Outcome of pushing one entry to one subscriber.
+enum SendOutcome {
+    Delivered,
+    /// Delivered, but the subscriber's oldest buffered entry was dropped.
+    DroppedOldest,
+    /// The subscriber was disconnected (policy, or receiver gone).
+    Gone,
+}
+
+#[derive(Debug, Default)]
+struct SubQueueState {
+    buf: VecDeque<Entry>,
+    /// Receiver side dropped.
+    closed: bool,
+    /// Kicked by [`BackpressurePolicy::DisconnectSlow`].
+    disconnected: bool,
+    /// Entries discarded by [`BackpressurePolicy::DropOldest`].
+    dropped: u64,
+}
+
+/// A bounded MPSC queue between the publisher and one subscriber.
+///
+/// Built on `std::sync` primitives (the workspace `parking_lot` has no
+/// condvar); lock poisoning is ignored — the state is a plain buffer and
+/// stays coherent even if a holder panicked.
+struct SubQueue {
+    state: std::sync::Mutex<SubQueueState>,
+    not_empty: std::sync::Condvar,
+    not_full: std::sync::Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+}
+
+impl SubQueue {
+    fn new(opts: SubscribeOptions) -> Self {
+        Self {
+            state: std::sync::Mutex::new(SubQueueState::default()),
+            not_empty: std::sync::Condvar::new(),
+            not_full: std::sync::Condvar::new(),
+            capacity: opts.capacity.max(1),
+            policy: opts.policy,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SubQueueState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn push(&self, entry: Entry) -> SendOutcome {
+        let mut st = self.lock();
+        if st.closed || st.disconnected {
+            return SendOutcome::Gone;
+        }
+        if st.buf.len() >= self.capacity {
+            match self.policy {
+                BackpressurePolicy::Block => {
+                    while st.buf.len() >= self.capacity && !st.closed {
+                        st = self
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    if st.closed {
+                        return SendOutcome::Gone;
+                    }
+                }
+                BackpressurePolicy::DropOldest => {
+                    st.buf.pop_front();
+                    st.dropped += 1;
+                    st.buf.push_back(entry);
+                    self.not_empty.notify_all();
+                    return SendOutcome::DroppedOldest;
+                }
+                BackpressurePolicy::DisconnectSlow => {
+                    st.disconnected = true;
+                    // Wake a blocked receiver so it observes the disconnect.
+                    self.not_empty.notify_all();
+                    return SendOutcome::Gone;
+                }
+            }
+        }
+        st.buf.push_back(entry);
+        self.not_empty.notify_all();
+        SendOutcome::Delivered
+    }
+
+    fn try_pop(&self) -> Option<Entry> {
+        let mut st = self.lock();
+        let e = st.buf.pop_front();
+        if e.is_some() {
+            self.not_full.notify_all();
+        }
+        e
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<Entry> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(e) = st.buf.pop_front() {
+                self.not_full.notify_all();
+                return Some(e);
+            }
+            if st.disconnected {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, res) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+            if res.timed_out() && st.buf.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        self.not_full.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    fn is_disconnected(&self) -> bool {
+        self.lock().disconnected
+    }
+}
+
 struct Subscriber {
     id: SubscriptionId,
-    tx: Sender<Entry>,
+    queue: Arc<SubQueue>,
 }
 
 /// Per-group delivery state.
@@ -49,29 +258,36 @@ pub struct ConsumerGroup {
 
 struct Topic {
     stream: Stream,
+    /// Poison entries routed off the hot path after exceeding the
+    /// delivery cap.
+    dead: Stream,
     subscribers: Mutex<Vec<Subscriber>>,
     groups: Mutex<HashMap<String, GroupState>>,
     published: AtomicU64,
     dropped: AtomicU64,
+    dropped_entries: AtomicU64,
+    dead_lettered: AtomicU64,
+    /// Shared with the owning broker (0 = unlimited).
+    max_deliveries: Arc<AtomicU32>,
 }
 
 /// A push subscription delivering every entry published after the
-/// subscription was created.
+/// subscription was created, through a bounded queue.
 pub struct Subscription {
     id: SubscriptionId,
     topic: Arc<Topic>,
-    rx: Receiver<Entry>,
+    queue: Arc<SubQueue>,
 }
 
 impl Subscription {
     /// Receive the next entry, blocking up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Entry> {
-        self.rx.recv_timeout(timeout).ok()
+        self.queue.pop_timeout(timeout)
     }
 
     /// Receive without blocking.
     pub fn try_recv(&self) -> Option<Entry> {
-        self.rx.try_recv().ok()
+        self.queue.try_pop()
     }
 
     /// Drain everything currently buffered.
@@ -85,12 +301,25 @@ impl Subscription {
 
     /// Entries buffered but not yet received.
     pub fn backlog(&self) -> usize {
-        self.rx.len()
+        self.queue.len()
+    }
+
+    /// Entries this subscriber lost to [`BackpressurePolicy::DropOldest`].
+    pub fn dropped_entries(&self) -> u64 {
+        self.queue.dropped()
+    }
+
+    /// Whether this subscriber was disconnected by
+    /// [`BackpressurePolicy::DisconnectSlow`]. Buffered entries can still
+    /// be drained; nothing new arrives.
+    pub fn is_disconnected(&self) -> bool {
+        self.queue.is_disconnected()
     }
 }
 
 impl Drop for Subscription {
     fn drop(&mut self) {
+        self.queue.close();
         self.topic.subscribers.lock().retain(|s| s.id != self.id);
     }
 }
@@ -108,6 +337,10 @@ pub struct TopicInfo {
     pub published: u64,
     /// Subscribers dropped after disconnecting.
     pub dropped_subscribers: u64,
+    /// Entries dropped from slow subscribers' queues (DropOldest).
+    pub dropped_entries: u64,
+    /// Poison entries routed to the dead-letter stream.
+    pub dead_lettered: u64,
     /// Live push subscribers.
     pub subscribers: usize,
     /// Registered consumer groups.
@@ -123,6 +356,8 @@ pub struct Broker {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     default_config: StreamConfig,
     next_sub_id: AtomicU64,
+    /// Delivery cap before a pending entry is dead-lettered (0 = never).
+    max_deliveries: Arc<AtomicU32>,
 }
 
 impl Default for Broker {
@@ -134,7 +369,30 @@ impl Default for Broker {
 impl Broker {
     /// Create a broker whose topics use `default_config` retention.
     pub fn new(default_config: StreamConfig) -> Self {
-        Self { topics: RwLock::new(HashMap::new()), default_config, next_sub_id: AtomicU64::new(1) }
+        Self {
+            topics: RwLock::new(HashMap::new()),
+            default_config,
+            next_sub_id: AtomicU64::new(1),
+            max_deliveries: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// Cap consumer-group deliveries: an entry delivered (or claimed)
+    /// `n` times without acknowledgement is routed to the topic's
+    /// dead-letter stream instead of being handed out again.
+    pub fn with_max_deliveries(self, n: u32) -> Self {
+        self.max_deliveries.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Update the delivery cap at runtime (0 disables dead-lettering).
+    pub fn set_max_deliveries(&self, n: u32) {
+        self.max_deliveries.store(n, Ordering::Relaxed);
+    }
+
+    /// The current delivery cap (0 = unlimited).
+    pub fn max_deliveries(&self) -> u32 {
+        self.max_deliveries.load(Ordering::Relaxed)
     }
 
     fn topic(&self, name: &str) -> Arc<Topic> {
@@ -145,10 +403,14 @@ impl Broker {
         Arc::clone(topics.entry(name.to_string()).or_insert_with(|| {
             Arc::new(Topic {
                 stream: Stream::new(name, self.default_config.clone()),
+                dead: Stream::new(format!("{name}::dead"), self.default_config.clone()),
                 subscribers: Mutex::new(Vec::new()),
                 groups: Mutex::new(HashMap::new()),
                 published: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                dropped_entries: AtomicU64::new(0),
+                dead_lettered: AtomicU64::new(0),
+                max_deliveries: Arc::clone(&self.max_deliveries),
             })
         }))
     }
@@ -172,7 +434,8 @@ impl Broker {
     }
 
     /// Publish a payload on `topic` at millisecond timestamp `ms`.
-    /// Appends to the topic's stream and fans out to all subscribers.
+    /// Appends to the topic's stream and fans out to all subscribers,
+    /// applying each subscriber's backpressure policy.
     pub fn publish(&self, topic: &str, ms: u64, payload: impl Into<Bytes>) -> StreamId {
         let t = self.topic(topic);
         let payload = payload.into();
@@ -180,9 +443,13 @@ impl Broker {
         t.published.fetch_add(1, Ordering::Relaxed);
         let entry = Entry::new(id, payload);
         let mut subs = t.subscribers.lock();
-        subs.retain(|s| match s.tx.send(entry.clone()) {
-            Ok(()) => true,
-            Err(_) => {
+        subs.retain(|s| match s.queue.push(entry.clone()) {
+            SendOutcome::Delivered => true,
+            SendOutcome::DroppedOldest => {
+                t.dropped_entries.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            SendOutcome::Gone => {
                 t.dropped.fetch_add(1, Ordering::Relaxed);
                 false
             }
@@ -190,13 +457,19 @@ impl Broker {
         id
     }
 
-    /// Subscribe to a topic; receives entries published from now on.
+    /// Subscribe to a topic with default options (bounded queue,
+    /// drop-oldest backpressure); receives entries published from now on.
     pub fn subscribe(&self, topic: &str) -> Subscription {
+        self.subscribe_with(topic, SubscribeOptions::default())
+    }
+
+    /// Subscribe with an explicit queue capacity and backpressure policy.
+    pub fn subscribe_with(&self, topic: &str, opts: SubscribeOptions) -> Subscription {
         let t = self.topic(topic);
-        let (tx, rx) = channel::unbounded();
+        let queue = Arc::new(SubQueue::new(opts));
         let id = SubscriptionId(self.next_sub_id.fetch_add(1, Ordering::Relaxed));
-        t.subscribers.lock().push(Subscriber { id, tx });
-        Subscription { id, topic: t, rx }
+        t.subscribers.lock().push(Subscriber { id, queue: Arc::clone(&queue) });
+        Subscription { id, topic: t, queue }
     }
 
     /// The latest entry on a topic (pull path).
@@ -206,11 +479,7 @@ impl Broker {
 
     /// Range-read a topic by ID (archive + window).
     pub fn range(&self, topic: &str, start: StreamId, end: StreamId) -> Vec<Entry> {
-        self.topics
-            .read()
-            .get(topic)
-            .map(|t| t.stream.range(start, end))
-            .unwrap_or_default()
+        self.topics.read().get(topic).map(|t| t.stream.range(start, end)).unwrap_or_default()
     }
 
     /// Range-read a topic by millisecond timestamp.
@@ -225,6 +494,15 @@ impl Broker {
     /// Entries ever published on a topic (including archived).
     pub fn topic_len(&self, topic: &str) -> usize {
         self.topics.read().get(topic).map(|t| t.stream.total_len()).unwrap_or(0)
+    }
+
+    /// The poison entries dead-lettered off a topic, oldest first.
+    pub fn dead_letters(&self, topic: &str) -> Vec<Entry> {
+        self.topics
+            .read()
+            .get(topic)
+            .map(|t| t.dead.range(StreamId::MIN, StreamId::MAX))
+            .unwrap_or_default()
     }
 
     /// Approximate memory footprint of all topic windows (Figure 5's
@@ -244,6 +522,8 @@ impl Broker {
             archived_len: t.stream.archive().len(),
             published: t.published.load(Ordering::Relaxed),
             dropped_subscribers: t.dropped.load(Ordering::Relaxed),
+            dropped_entries: t.dropped_entries.load(Ordering::Relaxed),
+            dead_lettered: t.dead_lettered.load(Ordering::Relaxed),
             subscribers,
             consumer_groups,
             last_id: t.stream.last_id(),
@@ -266,74 +546,124 @@ impl Broker {
         {
             let mut groups = t.groups.lock();
             let last = t.stream.last_id();
-            groups.entry(group.to_string()).or_insert_with(|| GroupState { cursor: last, pending: HashMap::new() });
+            groups
+                .entry(group.to_string())
+                .or_insert_with(|| GroupState { cursor: last, pending: HashMap::new() });
         }
         ConsumerGroup { topic: t, name: group.to_string() }
+    }
+
+    /// Delete a consumer group (`XGROUP DESTROY` analogue), discarding its
+    /// cursor and pending entries. Live [`ConsumerGroup`] handles start
+    /// returning [`GroupError::UnknownGroup`]. Returns whether it existed.
+    pub fn delete_group(&self, topic: &str, group: &str) -> bool {
+        self.topics
+            .read()
+            .get(topic)
+            .map(|t| t.groups.lock().remove(group).is_some())
+            .unwrap_or(false)
     }
 }
 
 impl ConsumerGroup {
+    fn unknown(&self) -> GroupError {
+        GroupError::UnknownGroup {
+            topic: self.topic.stream.name().to_string(),
+            group: self.name.clone(),
+        }
+    }
+
+    /// Route a poison entry to the topic's dead-letter stream. The
+    /// original payload and millisecond timestamp are preserved; the
+    /// dead-letter stream assigns its own (monotonic) sequence, since
+    /// poison entries from concurrent groups can arrive out of ID order.
+    fn dead_letter(&self, id: StreamId) {
+        if let Some(e) = self.topic.stream.range(id, id).into_iter().next() {
+            self.topic.dead.append(e.id.ms, e.payload);
+            self.topic.dead_lettered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Read up to `count` new (never-delivered) entries on behalf of
     /// `consumer`. Delivered entries become pending until acknowledged.
-    pub fn read_new(&self, consumer: &str, count: usize) -> Vec<Entry> {
+    pub fn read_new(&self, consumer: &str, count: usize) -> Result<Vec<Entry>, GroupError> {
         self.read_new_at(consumer, count, 0)
     }
 
     /// [`ConsumerGroup::read_new`] with an explicit delivery timestamp
     /// (ms), which [`ConsumerGroup::auto_claim`] uses for idle detection.
-    pub fn read_new_at(&self, consumer: &str, count: usize, now_ms: u64) -> Vec<Entry> {
+    pub fn read_new_at(
+        &self,
+        consumer: &str,
+        count: usize,
+        now_ms: u64,
+    ) -> Result<Vec<Entry>, GroupError> {
         let mut groups = self.topic.groups.lock();
-        let state = groups.get_mut(&self.name).expect("group exists");
+        let state = groups.get_mut(&self.name).ok_or_else(|| self.unknown())?;
         let entries = self.topic.stream.read_after(state.cursor, count);
         for e in &entries {
             state.cursor = Some(e.id);
             state.pending.insert(e.id, (consumer.to_string(), 1, now_ms));
         }
-        entries
+        Ok(entries)
     }
 
     /// Acknowledge an entry; removes it from the pending list. Returns
-    /// whether it was pending.
-    pub fn ack(&self, id: StreamId) -> bool {
+    /// whether it was pending (acknowledging an unknown or already-acked
+    /// id is not an error — it reports `false`, like `XACK` returning 0).
+    pub fn ack(&self, id: StreamId) -> Result<bool, GroupError> {
         let mut groups = self.topic.groups.lock();
-        let state = groups.get_mut(&self.name).expect("group exists");
-        state.pending.remove(&id).is_some()
+        let state = groups.get_mut(&self.name).ok_or_else(|| self.unknown())?;
+        Ok(state.pending.remove(&id).is_some())
     }
 
     /// Pending (delivered, unacknowledged) entry IDs with their consumer
     /// and delivery count, in ID order.
-    pub fn pending(&self) -> Vec<(StreamId, String, u32)> {
+    pub fn pending(&self) -> Result<Vec<(StreamId, String, u32)>, GroupError> {
         let groups = self.topic.groups.lock();
-        let state = groups.get(&self.name).expect("group exists");
-        let mut out: Vec<_> = state
-            .pending
-            .iter()
-            .map(|(id, (c, n, _))| (*id, c.clone(), *n))
-            .collect();
+        let state = groups.get(&self.name).ok_or_else(|| self.unknown())?;
+        let mut out: Vec<_> =
+            state.pending.iter().map(|(id, (c, n, _))| (*id, c.clone(), *n)).collect();
         out.sort_by_key(|(id, _, _)| *id);
-        out
+        Ok(out)
     }
 
     /// Reassign a pending entry to another consumer (failure recovery),
-    /// bumping its delivery count. Returns the entry if it was pending.
-    pub fn claim(&self, id: StreamId, new_consumer: &str) -> Option<Entry> {
+    /// bumping its delivery count. Returns the entry if it was pending
+    /// and still deliverable; a claim that would exceed the broker's
+    /// `max_deliveries` dead-letters the entry and returns `None`.
+    pub fn claim(&self, id: StreamId, new_consumer: &str) -> Result<Option<Entry>, GroupError> {
+        let max = self.topic.max_deliveries.load(Ordering::Relaxed);
         let mut groups = self.topic.groups.lock();
-        let state = groups.get_mut(&self.name).expect("group exists");
-        let slot = state.pending.get_mut(&id)?;
+        let state = groups.get_mut(&self.name).ok_or_else(|| self.unknown())?;
+        let Some(slot) = state.pending.get_mut(&id) else { return Ok(None) };
+        if max > 0 && slot.1 >= max {
+            state.pending.remove(&id);
+            drop(groups);
+            self.dead_letter(id);
+            return Ok(None);
+        }
         slot.0 = new_consumer.to_string();
         slot.1 += 1;
         drop(groups);
-        self.topic.stream.range(id, id).into_iter().next()
+        Ok(self.topic.stream.range(id, id).into_iter().next())
     }
 
     /// Reassign every pending entry idle for at least `min_idle_ms` to
     /// `new_consumer` (the `XAUTOCLAIM` analogue: a supervisor sweeping
-    /// work away from crashed insight builders). Returns the reclaimed
-    /// entries, oldest first.
-    pub fn auto_claim(&self, new_consumer: &str, now_ms: u64, min_idle_ms: u64) -> Vec<Entry> {
-        let stale: Vec<StreamId> = {
+    /// work away from crashed insight builders). Entries whose delivery
+    /// count would exceed the broker's `max_deliveries` are dead-lettered
+    /// instead of reclaimed. Returns the reclaimed entries, oldest first.
+    pub fn auto_claim(
+        &self,
+        new_consumer: &str,
+        now_ms: u64,
+        min_idle_ms: u64,
+    ) -> Result<Vec<Entry>, GroupError> {
+        let max = self.topic.max_deliveries.load(Ordering::Relaxed);
+        let (reclaimed, poison) = {
             let mut groups = self.topic.groups.lock();
-            let state = groups.get_mut(&self.name).expect("group exists");
+            let state = groups.get_mut(&self.name).ok_or_else(|| self.unknown())?;
             let mut ids: Vec<StreamId> = state
                 .pending
                 .iter()
@@ -343,18 +673,29 @@ impl ConsumerGroup {
                 .map(|(id, _)| *id)
                 .collect();
             ids.sort_unstable();
-            for id in &ids {
-                let slot = state.pending.get_mut(id).expect("just listed");
-                slot.0 = new_consumer.to_string();
-                slot.1 += 1;
-                slot.2 = now_ms;
+            let mut reclaimed = Vec::new();
+            let mut poison = Vec::new();
+            for id in ids {
+                let Some(slot) = state.pending.get_mut(&id) else { continue };
+                if max > 0 && slot.1 >= max {
+                    state.pending.remove(&id);
+                    poison.push(id);
+                } else {
+                    slot.0 = new_consumer.to_string();
+                    slot.1 += 1;
+                    slot.2 = now_ms;
+                    reclaimed.push(id);
+                }
             }
-            ids
+            (reclaimed, poison)
         };
-        stale
+        for id in poison {
+            self.dead_letter(id);
+        }
+        Ok(reclaimed
             .into_iter()
             .filter_map(|id| self.topic.stream.range(id, id).into_iter().next())
-            .collect()
+            .collect())
     }
 }
 
@@ -433,14 +774,42 @@ mod tests {
         for i in 0..6u64 {
             b.publish("t", i, vec![i as u8]);
         }
-        let first = g.read_new("c1", 4);
+        let first = g.read_new("c1", 4).unwrap();
         assert_eq!(first.len(), 4);
-        let second = g.read_new("c2", 10);
+        let second = g.read_new("c2", 10).unwrap();
         assert_eq!(second.len(), 2, "no redelivery of consumed entries");
-        assert_eq!(g.pending().len(), 6);
-        assert!(g.ack(first[0].id));
-        assert!(!g.ack(first[0].id), "double-ack reports false");
-        assert_eq!(g.pending().len(), 5);
+        assert_eq!(g.pending().unwrap().len(), 6);
+        assert!(g.ack(first[0].id).unwrap());
+        assert!(!g.ack(first[0].id).unwrap(), "double-ack reports false");
+        assert_eq!(g.pending().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn ack_of_never_delivered_id_reports_false() {
+        let b = Broker::default();
+        let g = b.consumer_group("t", "g");
+        b.publish("t", 1, vec![]);
+        assert!(!g.ack(StreamId::new(999, 0)).unwrap());
+        // Nothing was delivered yet, so nothing is pending either.
+        assert!(g.pending().unwrap().is_empty());
+    }
+
+    #[test]
+    fn deleted_group_surfaces_typed_error() {
+        let b = Broker::default();
+        let g = b.consumer_group("t", "g");
+        b.publish("t", 1, vec![]);
+        assert!(b.delete_group("t", "g"));
+        assert!(!b.delete_group("t", "g"), "second delete reports absence");
+        let err = g.read_new("c", 1).unwrap_err();
+        assert_eq!(err, GroupError::UnknownGroup { topic: "t".into(), group: "g".into() });
+        assert!(g.ack(StreamId::new(1, 0)).is_err());
+        assert!(g.pending().is_err());
+        assert!(g.claim(StreamId::new(1, 0), "x").is_err());
+        assert!(g.auto_claim("x", 0, 0).is_err());
+        // Recreating the group starts fresh at the end of the topic.
+        let g2 = b.consumer_group("t", "g");
+        assert!(g2.read_new("c", 10).unwrap().is_empty());
     }
 
     #[test]
@@ -448,9 +817,9 @@ mod tests {
         let b = Broker::default();
         b.publish("t", 1, vec![]);
         let g = b.consumer_group("t", "g");
-        assert!(g.read_new("c", 10).is_empty());
+        assert!(g.read_new("c", 10).unwrap().is_empty());
         b.publish("t", 2, vec![]);
-        assert_eq!(g.read_new("c", 10).len(), 1);
+        assert_eq!(g.read_new("c", 10).unwrap().len(), 1);
     }
 
     #[test]
@@ -461,18 +830,18 @@ mod tests {
             b.publish("t", i, vec![i as u8]);
         }
         // Two old deliveries to a, two fresh ones to b.
-        let _old = g.read_new_at("worker-a", 2, 1_000);
-        let _fresh = g.read_new_at("worker-b", 2, 9_000);
+        let _old = g.read_new_at("worker-a", 2, 1_000).unwrap();
+        let _fresh = g.read_new_at("worker-b", 2, 9_000).unwrap();
         // Sweep at t=10s with 5s idle threshold: only a's are stale.
-        let reclaimed = g.auto_claim("supervisor", 10_000, 5_000);
+        let reclaimed = g.auto_claim("supervisor", 10_000, 5_000).unwrap();
         assert_eq!(reclaimed.len(), 2);
         assert!(reclaimed.windows(2).all(|w| w[0].id < w[1].id));
-        let pending = g.pending();
+        let pending = g.pending().unwrap();
         let owners: Vec<&str> = pending.iter().map(|(_, c, _)| c.as_str()).collect();
         assert_eq!(owners.iter().filter(|o| **o == "supervisor").count(), 2);
         assert_eq!(owners.iter().filter(|o| **o == "worker-b").count(), 2);
         // Re-sweeping immediately reclaims nothing (idle clocks reset).
-        assert!(g.auto_claim("supervisor", 10_000, 5_000).is_empty());
+        assert!(g.auto_claim("supervisor", 10_000, 5_000).unwrap().is_empty());
     }
 
     #[test]
@@ -480,14 +849,55 @@ mod tests {
         let b = Broker::default();
         let g = b.consumer_group("t", "g");
         b.publish("t", 5, vec![7]);
-        let got = g.read_new("worker-a", 1);
+        let got = g.read_new("worker-a", 1).unwrap();
         let id = got[0].id;
-        let reclaimed = g.claim(id, "worker-b").expect("entry still pending");
+        let reclaimed = g.claim(id, "worker-b").unwrap().expect("entry still pending");
         assert_eq!(reclaimed.payload[0], 7);
-        let pending = g.pending();
+        let pending = g.pending().unwrap();
         assert_eq!(pending[0].1, "worker-b");
         assert_eq!(pending[0].2, 2, "delivery count bumped");
-        assert!(g.claim(StreamId::new(999, 0), "x").is_none());
+        assert!(g.claim(StreamId::new(999, 0), "x").unwrap().is_none());
+    }
+
+    #[test]
+    fn poison_entry_dead_letters_after_max_deliveries() {
+        let b = Broker::default().with_max_deliveries(2);
+        let g = b.consumer_group("t", "g");
+        b.publish("t", 5, vec![9]);
+        b.publish("t", 6, vec![1]);
+        let got = g.read_new("worker-a", 2).unwrap(); // delivery 1
+        let poison = got[0].id;
+        assert!(g.claim(poison, "worker-b").unwrap().is_some(), "delivery 2 allowed");
+        // A third delivery would exceed the cap: dead-lettered instead.
+        assert!(g.claim(poison, "worker-c").unwrap().is_none());
+        let dead = b.dead_letters("t");
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].payload[0], 9);
+        assert_eq!(dead[0].id.ms, 5, "original timestamp preserved");
+        // Off the pending list; the healthy sibling entry is untouched.
+        let pending = g.pending().unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, got[1].id);
+        let info = b.topic_info("t").unwrap();
+        assert_eq!(info.dead_lettered, 1);
+    }
+
+    #[test]
+    fn auto_claim_dead_letters_poison_and_reclaims_rest() {
+        let b = Broker::default().with_max_deliveries(2);
+        let g = b.consumer_group("t", "g");
+        for i in 0..3u64 {
+            b.publish("t", i, vec![i as u8]);
+        }
+        let got = g.read_new_at("worker-a", 3, 0).unwrap();
+        // Burn the first entry's deliveries via claim.
+        assert!(g.claim(got[0].id, "worker-a").unwrap().is_some()); // delivery 2 (= cap)
+                                                                    // Sweep: entry 0 exceeds the cap → dead-letter; 1 and 2 reclaimed.
+        let reclaimed = g.auto_claim("supervisor", 10_000, 1_000).unwrap();
+        assert_eq!(reclaimed.len(), 2);
+        assert_eq!(reclaimed[0].id, got[1].id);
+        assert_eq!(b.dead_letters("t").len(), 1);
+        assert_eq!(g.pending().unwrap().len(), 2);
     }
 
     #[test]
@@ -496,8 +906,8 @@ mod tests {
         let g1 = b.consumer_group("t", "g1");
         let g2 = b.consumer_group("t", "g2");
         b.publish("t", 1, vec![]);
-        assert_eq!(g1.read_new("c", 10).len(), 1);
-        assert_eq!(g2.read_new("c", 10).len(), 1, "each group gets its own copy");
+        assert_eq!(g1.read_new("c", 10).unwrap().len(), 1);
+        assert_eq!(g2.read_new("c", 10).unwrap().len(), 1, "each group gets its own copy");
     }
 
     #[test]
@@ -526,6 +936,8 @@ mod tests {
         assert_eq!(info.published, 10);
         assert_eq!(info.subscribers, 1);
         assert_eq!(info.consumer_groups, 1);
+        assert_eq!(info.dead_lettered, 0);
+        assert_eq!(info.dropped_entries, 0);
         assert_eq!(info.last_id.unwrap().ms, 9);
         assert!(info.memory_bytes > 0);
         let all = b.info();
@@ -545,6 +957,74 @@ mod tests {
         let got = sub.recv_timeout(Duration::from_secs(5)).expect("entry arrives");
         assert_eq!(got.payload[0], 42);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn drop_oldest_keeps_newest_entries() {
+        let b = Broker::default();
+        let sub = b.subscribe_with(
+            "t",
+            SubscribeOptions { capacity: 4, policy: BackpressurePolicy::DropOldest },
+        );
+        for i in 0..10u64 {
+            b.publish("t", i, vec![i as u8]);
+        }
+        let got = sub.drain();
+        assert_eq!(got.len(), 4);
+        let values: Vec<u8> = got.iter().map(|e| e.payload[0]).collect();
+        assert_eq!(values, vec![6, 7, 8, 9], "oldest dropped, newest kept");
+        assert_eq!(sub.dropped_entries(), 6);
+        assert_eq!(b.topic_info("t").unwrap().dropped_entries, 6);
+        assert!(!sub.is_disconnected());
+        // The topic's stream itself lost nothing.
+        assert_eq!(b.topic_len("t"), 10);
+    }
+
+    #[test]
+    fn disconnect_slow_kicks_subscriber_but_keeps_buffer() {
+        let b = Broker::default();
+        let sub = b.subscribe_with(
+            "t",
+            SubscribeOptions { capacity: 2, policy: BackpressurePolicy::DisconnectSlow },
+        );
+        for i in 0..5u64 {
+            b.publish("t", i, vec![i as u8]);
+        }
+        assert!(sub.is_disconnected());
+        // Buffered entries drain; nothing new arrives.
+        let got = sub.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload[0], 0);
+        assert!(sub.recv_timeout(Duration::from_millis(10)).is_none());
+        let info = b.topic_info("t").unwrap();
+        assert_eq!(info.subscribers, 0, "publisher pruned the slow subscriber");
+        assert_eq!(info.dropped_subscribers, 1);
+    }
+
+    #[test]
+    fn block_policy_is_lossless_with_live_consumer() {
+        let b = Arc::new(Broker::default());
+        let sub = b.subscribe_with(
+            "t",
+            SubscribeOptions { capacity: 1, policy: BackpressurePolicy::Block },
+        );
+        let b2 = Arc::clone(&b);
+        let publisher = std::thread::spawn(move || {
+            for i in 0..50u64 {
+                b2.publish("t", i, vec![i as u8]);
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 50 {
+            if let Some(e) = sub.recv_timeout(Duration::from_secs(5)) {
+                got.push(e);
+            } else {
+                panic!("timed out with {} entries", got.len());
+            }
+        }
+        publisher.join().unwrap();
+        assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(sub.dropped_entries(), 0);
     }
 
     #[test]

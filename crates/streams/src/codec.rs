@@ -21,6 +21,10 @@ pub enum Provenance {
     Measured,
     /// Value forecast by the Delphi model between polls.
     Predicted,
+    /// Last-known value republished while the hook is failing: the vertex
+    /// could not take a fresh sample, so consumers (insights, AQE) see the
+    /// previous value explicitly marked as stale rather than silence.
+    Stale,
 }
 
 /// One telemetry record: the `(timestamp, value, predicted/measured)` tuple.
@@ -45,7 +49,7 @@ pub enum DecodeError {
         /// Bytes available.
         got: usize,
     },
-    /// Provenance byte was neither 0 nor 1.
+    /// Provenance byte was not 0 (predicted), 1 (measured) or 2 (stale).
     BadProvenance(u8),
 }
 
@@ -73,9 +77,19 @@ impl Record {
         Self { timestamp_ns, value, provenance: Provenance::Predicted }
     }
 
-    /// True when this record was measured (not predicted).
+    /// A stale record: a last-known value republished during a hook outage.
+    pub fn stale(timestamp_ns: u64, value: f64) -> Self {
+        Self { timestamp_ns, value, provenance: Provenance::Stale }
+    }
+
+    /// True when this record was measured (not predicted or stale).
     pub fn is_measured(&self) -> bool {
         self.provenance == Provenance::Measured
+    }
+
+    /// True when this record is a stale republication.
+    pub fn is_stale(&self) -> bool {
+        self.provenance == Provenance::Stale
     }
 
     /// Encode into a fresh buffer.
@@ -92,6 +106,7 @@ impl Record {
         buf.put_u8(match self.provenance {
             Provenance::Measured => 1,
             Provenance::Predicted => 0,
+            Provenance::Stale => 2,
         });
     }
 
@@ -105,6 +120,7 @@ impl Record {
         let provenance = match buf.get_u8() {
             1 => Provenance::Measured,
             0 => Provenance::Predicted,
+            2 => Provenance::Stale,
             b => return Err(DecodeError::BadProvenance(b)),
         };
         Ok(Self { timestamp_ns, value, provenance })
@@ -128,6 +144,15 @@ mod tests {
         let r = Record::predicted(7, -0.25);
         assert_eq!(Record::decode(&r.encode()).unwrap(), r);
         assert!(!r.is_measured());
+    }
+
+    #[test]
+    fn round_trip_stale() {
+        let r = Record::stale(99, 1.5);
+        let d = Record::decode(&r.encode()).unwrap();
+        assert_eq!(d, r);
+        assert!(d.is_stale());
+        assert!(!d.is_measured());
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //!   [`archiver::ArchiveLog`] — the per-vertex *Archiver* of §3.1 that
 //!   "stores the queue in a log"; evicted entries remain range-readable.
 //! * **Pub-Sub fan-out** ([`broker::Broker`]): subscribers receive new
-//!   entries over channels; consumer groups provide exactly-once-per-group
-//!   delivery with acknowledgement.
+//!   entries over bounded queues with explicit [`broker::BackpressurePolicy`];
+//!   consumer groups provide exactly-once-per-group delivery with
+//!   acknowledgement, idle-entry reclamation (`XAUTOCLAIM` analogue), and
+//!   dead-lettering of poison entries past a delivery cap.
 //! * **Typed telemetry codec** ([`codec`]): the `(timestamp, value,
-//!   predicted/measured)` fact tuple of §3.1, encoded with `bytes`.
+//!   provenance)` fact tuple of §3.1 — measured, predicted, or stale
+//!   (last-known-value republished during an outage) — encoded with `bytes`.
 
 pub mod archiver;
 pub mod broker;
@@ -32,8 +35,11 @@ pub mod id;
 pub mod stream;
 
 pub use archiver::ArchiveLog;
-pub use broker::{Broker, ConsumerGroup, Subscription};
-pub use codec::Record;
+pub use broker::{
+    BackpressurePolicy, Broker, ConsumerGroup, GroupError, SubscribeOptions, Subscription,
+    TopicInfo,
+};
+pub use codec::{Provenance, Record};
 pub use entry::Entry;
 pub use id::StreamId;
 pub use stream::{Stream, StreamConfig};

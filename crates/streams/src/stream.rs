@@ -78,7 +78,12 @@ pub struct Stream {
 impl Stream {
     /// Create a stream with the given retention config.
     pub fn new(name: impl Into<String>, config: StreamConfig) -> Self {
-        Self { name: name.into(), config, window: RwLock::new(Window::default()), archive: ArchiveLog::new() }
+        Self {
+            name: name.into(),
+            config,
+            window: RwLock::new(Window::default()),
+            archive: ArchiveLog::new(),
+        }
     }
 
     /// Create a stream with default retention.
@@ -121,7 +126,7 @@ impl Stream {
         w.entries.push_back(entry);
         if let Some(max) = self.config.max_len {
             while w.entries.len() > max {
-                let evicted = w.entries.pop_front().expect("non-empty");
+                let Some(evicted) = w.entries.pop_front() else { break };
                 if self.config.archive_evicted {
                     self.archive.append(evicted);
                 }

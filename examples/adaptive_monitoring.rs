@@ -41,7 +41,10 @@ fn main() {
 
     let mut fixed = FixedInterval::new(Duration::from_secs(1));
     let base = evaluate(&mut fixed, &reference);
-    println!("{:<24}{:>10.4}{:>10.4}{:>12}", "fixed-1s (ideal)", base.accuracy, base.cost, base.hook_calls);
+    println!(
+        "{:<24}{:>10.4}{:>10.4}{:>12}",
+        "fixed-1s (ideal)", base.accuracy, base.cost, base.hook_calls
+    );
 
     let mut aimd = ComplexAimd::new(params.clone(), 10);
     let adaptive = evaluate(&mut aimd, &reference);

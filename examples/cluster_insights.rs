@@ -107,11 +107,9 @@ fn main() {
 
     // Sanity: the NVMe tier insight reflects the 32 writes (1+2+…+32 GB).
     let expected = 32.0 * 250e9 - (1..=32u64).sum::<u64>() as f64 * 1e9;
-    let got = apollo
-        .query("SELECT MAX(Timestamp), metric FROM tier/nvme/remaining")
-        .unwrap()
-        .rows[0]
-        .value;
+    let got = apollo.query("SELECT MAX(Timestamp), metric FROM tier/nvme/remaining").unwrap().rows
+        [0]
+    .value;
     assert_eq!(got, expected);
     println!("\nNVMe tier insight matches ground truth ({:.3} TB).", got / 1e12);
 }

@@ -70,10 +70,7 @@ fn main() {
     let evented = broker.range_by_time("cap/events", 0, u64::MAX);
 
     println!("Bursty workload: 24 writes of 10 MB in 3 sub-second bursts\n");
-    println!(
-        "{:<16}{:>14}{:>16}{:>18}",
-        "path", "hook calls", "facts captured", "states observed"
-    );
+    println!("{:<16}{:>14}{:>16}{:>18}", "path", "hook calls", "facts captured", "states observed");
     println!(
         "{:<16}{:>14}{:>16}{:>18}",
         "polling (1s)",
@@ -81,17 +78,11 @@ fn main() {
         polled.len(),
         polled.len()
     );
-    println!(
-        "{:<16}{:>14}{:>16}{:>18}",
-        "event-driven", 0, evented.len(), evented.len()
-    );
+    println!("{:<16}{:>14}{:>16}{:>18}", "event-driven", 0, evented.len(), evented.len());
 
     let last_polled = Record::decode(&polled.last().unwrap().payload).unwrap();
     let last_evented = Record::decode(&evented.last().unwrap().payload).unwrap();
-    assert_eq!(
-        last_polled.value, last_evented.value,
-        "both paths agree on the final state"
-    );
+    assert_eq!(last_polled.value, last_evented.value, "both paths agree on the final state");
     assert_eq!(evented.len(), 24, "every write captured");
     assert!(polled.len() < evented.len(), "polling smears the bursts");
 

@@ -24,7 +24,10 @@ fn main() {
         ops.len(),
         apollo_cluster::workloads::apps::total_bytes(&ops) as f64 / 1e9
     );
-    println!("{:<14}{:>12}{:>9}{:>9}{:>12}{:>12}", "policy", "io_time(s)", "stalls", "flushes", "fast(GB)", "pfs(GB)");
+    println!(
+        "{:<14}{:>12}{:>9}{:>9}{:>12}{:>12}",
+        "policy", "io_time(s)", "stalls", "flushes", "fast(GB)", "pfs(GB)"
+    );
     println!("{}", "-".repeat(68));
 
     let mut times = std::collections::HashMap::new();

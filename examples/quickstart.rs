@@ -58,7 +58,12 @@ fn main() {
 
     println!("Query: {sql}\n");
     for row in &result.rows {
-        println!("  {:<36} t={:>6}ms  value={:.1} GB", row.table, row.timestamp_ms, row.value / 1e9);
+        println!(
+            "  {:<36} t={:>6}ms  value={:.1} GB",
+            row.table,
+            row.timestamp_ms,
+            row.value / 1e9
+        );
     }
 
     let total = result.rows[0].value;

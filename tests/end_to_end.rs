@@ -74,8 +74,7 @@ fn retention_spill_remains_queryable() {
     // Tiny in-memory window: most records must be served from the
     // archive (the "persisted log for evicted entries" path).
     let mut apollo = Apollo::with_config(EventLoop::new_virtual(), StreamConfig::bounded(8));
-    let trace =
-        TimeSeries::from_points((0..600u64).map(|i| (i * NS, i as f64)).collect());
+    let trace = TimeSeries::from_points((0..600u64).map(|i| (i * NS, i as f64)).collect());
     apollo
         .register_fact(FactVertexSpec::fixed(
             "m",
@@ -89,15 +88,12 @@ fn retention_spill_remains_queryable() {
     assert_eq!(all.rows.len(), 599, "archive + window must cover all records");
 
     // A range entirely inside the archived region.
-    let old = apollo
-        .query("SELECT metric FROM m WHERE Timestamp BETWEEN 10000 AND 20000")
-        .unwrap();
+    let old = apollo.query("SELECT metric FROM m WHERE Timestamp BETWEEN 10000 AND 20000").unwrap();
     assert_eq!(old.rows.len(), 11);
     assert_eq!(old.rows[0].value, 10.0);
 
-    let avg = apollo
-        .query("SELECT AVG(metric) FROM m WHERE Timestamp BETWEEN 1000 AND 3000")
-        .unwrap();
+    let avg =
+        apollo.query("SELECT AVG(metric) FROM m WHERE Timestamp BETWEEN 1000 AND 3000").unwrap();
     assert_eq!(avg.rows[0].value, 2.0);
 }
 
@@ -128,18 +124,14 @@ fn adaptive_interval_saves_hook_calls_on_real_workload() {
     let latest = apollo.query("SELECT MAX(Timestamp), metric FROM cap").unwrap();
     let truth = workload.capacity_trace().value_at(600 * NS).unwrap();
     let err = (latest.rows[0].value - truth).abs();
-    assert!(
-        err <= 5.0 * 38_000.0,
-        "latest view within a few writes of truth (err {err} bytes)"
-    );
+    assert!(err <= 5.0 * 38_000.0, "latest view within a few writes of truth (err {err} bytes)");
 }
 
 #[test]
 fn live_service_serves_concurrent_queries() {
     let mut apollo = Apollo::new_real();
-    let trace = TimeSeries::from_points(
-        (0..10_000u64).map(|i| (i * 1_000_000, i as f64)).collect(),
-    );
+    let trace =
+        TimeSeries::from_points((0..10_000u64).map(|i| (i * 1_000_000, i as f64)).collect());
     apollo
         .register_fact(FactVertexSpec::fixed(
             "m",
@@ -177,8 +169,7 @@ fn pubsub_fanout_to_middleware_subscriber() {
     // A middleware service subscribing directly to a fact topic sees
     // every published record, in order.
     let mut apollo = Apollo::new_virtual();
-    let trace =
-        TimeSeries::from_points((0..20u64).map(|i| (i * NS, i as f64)).collect());
+    let trace = TimeSeries::from_points((0..20u64).map(|i| (i * NS, i as f64)).collect());
     apollo
         .register_fact(FactVertexSpec::fixed(
             "m",

@@ -76,26 +76,26 @@ fn consumer_crash_recovery_via_consumer_group_claim() {
     }
 
     // Worker A takes the batch, then "crashes" before acking.
-    let taken = group.read_new("worker-a", 5);
+    let taken = group.read_new("worker-a", 5).unwrap();
     assert_eq!(taken.len(), 5);
 
     // Supervisor reassigns the pending work to worker B.
-    let pending = group.pending();
+    let pending = group.pending().unwrap();
     assert_eq!(pending.len(), 5);
     for (id, owner, _) in &pending {
         assert_eq!(owner, "worker-a");
-        let entry = group.claim(*id, "worker-b").expect("still pending");
+        let entry = group.claim(*id, "worker-b").unwrap().expect("still pending");
         assert_eq!(entry.id, *id);
     }
     // B processes and acks everything.
-    for (id, _, _) in group.pending() {
-        assert!(group.ack(id));
+    for (id, _, _) in group.pending().unwrap() {
+        assert!(group.ack(id).unwrap());
     }
-    assert!(group.pending().is_empty());
+    assert!(group.pending().unwrap().is_empty());
 
     // New work flows normally afterwards.
     broker.publish("facts", 9, vec![9]);
-    assert_eq!(group.read_new("worker-b", 10).len(), 1);
+    assert_eq!(group.read_new("worker-b", 10).unwrap().len(), 1);
 }
 
 #[test]
@@ -126,10 +126,8 @@ fn offline_node_stops_contributing_to_cluster_load_insight() {
             Duration::from_secs(1),
             move |inputs| {
                 let online = c2.online_nodes();
-                let vals: Vec<f64> = online
-                    .iter()
-                    .filter_map(|n| inputs.value(&format!("node{n}/cpu")))
-                    .collect();
+                let vals: Vec<f64> =
+                    online.iter().filter_map(|n| inputs.value(&format!("node{n}/cpu"))).collect();
                 (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
             },
         ))

@@ -36,8 +36,7 @@ fn placement_engine_reads_live_apollo_facts() {
     apollo.run_for(Duration::from_secs(1));
 
     let view = ApolloView::new(apollo.broker());
-    let mut engine =
-        PlacementEngine::new(targets, PlacementPolicy::ApolloAware, Box::new(view));
+    let mut engine = PlacementEngine::new(targets, PlacementPolicy::ApolloAware, Box::new(view));
 
     // Between application steps, Apollo's monitoring runs (1 s interval).
     let apollo = std::cell::RefCell::new(apollo);
@@ -60,8 +59,11 @@ fn monitored_view_beats_blind_round_robin() {
 
     let rr_report = {
         let targets = TargetSet::paper_hierarchy();
-        let mut engine =
-            PlacementEngine::new(targets, PlacementPolicy::RoundRobin, Box::new(BlindView::default()));
+        let mut engine = PlacementEngine::new(
+            targets,
+            PlacementPolicy::RoundRobin,
+            Box::new(BlindView::default()),
+        );
         engine.run(&ops)
     };
 
@@ -97,8 +99,7 @@ fn stale_facts_degrade_gracefully() {
     apollo.run_for(Duration::from_secs(1)); // one sample, never again
 
     let view = ApolloView::new(apollo.broker());
-    let mut engine =
-        PlacementEngine::new(targets, PlacementPolicy::ApolloAware, Box::new(view));
+    let mut engine = PlacementEngine::new(targets, PlacementPolicy::ApolloAware, Box::new(view));
     let ops = vpic(512);
     let report = engine.run(&ops); // no monitoring callback at all
 

@@ -189,10 +189,8 @@ fn bounded_window_serves_full_history() {
     use apollo_runtime::event_loop::EventLoop;
     use apollo_streams::StreamConfig;
 
-    let mut apollo =
-        Apollo::with_config(EventLoop::new_virtual(), StreamConfig::bounded(16));
-    let trace =
-        TimeSeries::from_points((0..500u64).map(|t| (t * NS, t as f64)).collect());
+    let mut apollo = Apollo::with_config(EventLoop::new_virtual(), StreamConfig::bounded(16));
+    let trace = TimeSeries::from_points((0..500u64).map(|t| (t * NS, t as f64)).collect());
     apollo
         .register_fact(FactVertexSpec::fixed(
             "m",

@@ -13,8 +13,7 @@ const NS: u64 = 1_000_000_000;
 /// Service monitoring a sawtooth metric (values 0..10 repeating).
 fn sawtooth_service() -> Apollo {
     let mut apollo = Apollo::new_virtual();
-    let trace =
-        TimeSeries::from_points((0..120u64).map(|i| (i * NS, (i % 10) as f64)).collect());
+    let trace = TimeSeries::from_points((0..120u64).map(|i| (i * NS, (i % 10) as f64)).collect());
     apollo
         .register_fact(FactVertexSpec::fixed(
             "saw",
@@ -29,9 +28,7 @@ fn sawtooth_service() -> Apollo {
 #[test]
 fn order_by_metric_desc_with_limit_finds_peaks() {
     let apollo = sawtooth_service();
-    let out = apollo
-        .query("SELECT metric FROM saw ORDER BY metric DESC LIMIT 3")
-        .unwrap();
+    let out = apollo.query("SELECT metric FROM saw ORDER BY metric DESC LIMIT 3").unwrap();
     assert_eq!(out.rows.len(), 3);
     assert!(out.rows.iter().all(|r| r.value == 9.0), "{:?}", out.rows);
 }
@@ -46,15 +43,9 @@ fn order_by_metric_asc() {
 #[test]
 fn order_by_timestamp_desc_returns_newest_first() {
     let apollo = sawtooth_service();
-    let out = apollo
-        .query("SELECT metric FROM saw ORDER BY Timestamp DESC LIMIT 5")
-        .unwrap();
+    let out = apollo.query("SELECT metric FROM saw ORDER BY Timestamp DESC LIMIT 5").unwrap();
     assert_eq!(out.rows.len(), 5);
-    assert!(
-        out.rows.windows(2).all(|w| w[0].timestamp_ms >= w[1].timestamp_ms),
-        "{:?}",
-        out.rows
-    );
+    assert!(out.rows.windows(2).all(|w| w[0].timestamp_ms >= w[1].timestamp_ms), "{:?}", out.rows);
 }
 
 #[test]
@@ -84,9 +75,8 @@ fn filter_and_order_compose() {
 fn union_of_ordered_arms_keeps_arm_grouping() {
     let mut apollo = Apollo::new_virtual();
     for (name, base) in [("a", 0.0), ("b", 100.0)] {
-        let trace = TimeSeries::from_points(
-            (0..10u64).map(|i| (i * NS, base + i as f64)).collect(),
-        );
+        let trace =
+            TimeSeries::from_points((0..10u64).map(|i| (i * NS, base + i as f64)).collect());
         apollo
             .register_fact(FactVertexSpec::fixed(
                 name,
@@ -112,14 +102,15 @@ fn union_of_ordered_arms_keeps_arm_grouping() {
 #[test]
 fn aggregates_with_filters_end_to_end() {
     let apollo = sawtooth_service();
-    let avg = apollo
-        .query("SELECT AVG(metric) FROM saw WHERE Timestamp BETWEEN 0 AND 9000")
-        .unwrap();
-    assert!((avg.rows[0].value - 5.0).abs() < 1e-9, "first poll lands at t=1s, so the window holds 1..=9");
+    let avg =
+        apollo.query("SELECT AVG(metric) FROM saw WHERE Timestamp BETWEEN 0 AND 9000").unwrap();
+    assert!(
+        (avg.rows[0].value - 5.0).abs() < 1e-9,
+        "first poll lands at t=1s, so the window holds 1..=9"
+    );
     let count = apollo.query("SELECT COUNT(*) FROM saw").unwrap();
     assert_eq!(count.rows[0].value, 119.0);
-    let sum = apollo
-        .query("SELECT SUM(metric) FROM saw WHERE Timestamp BETWEEN 0 AND 9000")
-        .unwrap();
+    let sum =
+        apollo.query("SELECT SUM(metric) FROM saw WHERE Timestamp BETWEEN 0 AND 9000").unwrap();
     assert_eq!(sum.rows[0].value, 45.0);
 }

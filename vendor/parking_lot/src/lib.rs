@@ -1,0 +1,156 @@
+//! Offline vendored shim for the `parking_lot` API surface this workspace
+//! uses, implemented over `std::sync`.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors the handful of third-party APIs it consumes (see
+//! `vendor/` at the workspace root). Like the real `parking_lot`, these
+//! locks do **not** poison: a panic while the lock is held (e.g. a vertex
+//! callback unwinding through `catch_unwind` isolation) leaves the lock
+//! usable, which the fault-tolerance layer relies on.
+
+use std::sync::{self, PoisonError};
+
+/// A mutual-exclusion lock that ignores poisoning.
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex { .. }")
+    }
+}
+
+/// A reader-writer lock that ignores poisoning.
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Shared-read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn mutex_survives_panic_while_held() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::panic::catch_unwind(move || {
+            let _g = m2.lock();
+            panic!("poisoning attempt");
+        });
+        // parking_lot semantics: no poisoning, lock stays usable.
+        *m.lock() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -1,0 +1,474 @@
+//! Offline vendored shim of the `proptest` API surface this workspace uses:
+//! the [`proptest!`] macro, [`Strategy`] (numeric ranges, tuples, string
+//! patterns, `prop_map`), [`any`], and `collection::{vec, btree_map,
+//! btree_set}`.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: each generated test runs a fixed number of cases drawn from a
+//! deterministic RNG seeded from the test's name, so failures reproduce
+//! run-over-run. That retains the "fuzz the invariant" value the workspace's
+//! property tests rely on while staying dependency-free for offline builds.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG (SplitMix64) driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (e.g. the generated test's name) so each
+    /// test gets a distinct but reproducible stream.
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_strategy_float!(f32, f64);
+
+/// A `&str` strategy is treated as a length-bounded arbitrary-string pattern
+/// (the workspace only uses `".{0,200}"`). The full regex language is not
+/// interpreted; we extract the `{lo,hi}` length bound if present and emit
+/// strings mixing ASCII, unicode, and control characters — the adversarial
+/// input shape a parser-robustness property wants.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_len_bounds(self).unwrap_or((0, 64));
+        let len = lo + rng.below(hi - lo + 1);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.next_u64() % 10 {
+                // Mostly printable ASCII…
+                0..=6 => (b' ' + (rng.next_u64() % 95) as u8) as char,
+                // …some whitespace/control…
+                7 => ['\n', '\t', '\r', '\0'][rng.below(4)],
+                // …and some multi-byte unicode.
+                _ => char::from_u32(0x00A1 + (rng.next_u64() % 0x2000) as u32).unwrap_or('¿'),
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+fn parse_len_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.find('{')?;
+    let close = pattern[open..].find('}')? + open;
+    let inner = &pattern[open + 1..close];
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!((A, B), (A, B, C), (A, B, C, D));
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // From raw bits: exercises NaN, infinities, and subnormals too.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for "any value of type `T`".
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// An inclusive-of-lo, exclusive-of-hi collection size specification.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below(self.hi - self.lo)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Collection strategies (`vec`, `btree_map`, `btree_set`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Strategy for `Vec<E>` with element strategy `elem` and a size spec.
+    pub fn vec<E: Strategy>(elem: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<E> {
+        elem: E,
+        size: SizeRange,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`. The size spec is a target; if the key
+    /// space is too small to reach it, the map is as large as achievable.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 64 + 64 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeSet<E>`; same size semantics as [`btree_map`].
+    pub fn btree_set<E: Strategy>(elem: E, size: impl Into<SizeRange>) -> BTreeSetStrategy<E>
+    where
+        E::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<E> {
+        elem: E,
+        size: SizeRange,
+    }
+
+    impl<E: Strategy> Strategy for BTreeSetStrategy<E>
+    where
+        E::Value: Ord,
+    {
+        type Value = BTreeSet<E::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<E::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 64 + 64 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Declare property tests. Each generated `#[test]` runs a fixed number of
+/// deterministic cases (no shrinking in this offline shim).
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0u32..64 {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assert within a property test (no early-exit machinery in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Everything a property-test module wants in scope.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access in the style of `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Ranges produce in-bounds values; tuples and collections compose.
+        #[test]
+        fn ranges_in_bounds(
+            x in 0u64..100,
+            f in -1.5f64..1.5,
+            pair in (any::<bool>(), 1u64..10),
+            items in crate::collection::vec(0u8..4, 0..16),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.5..1.5).contains(&f));
+            prop_assert!((1..10).contains(&pair.1));
+            prop_assert!(items.len() < 16);
+            prop_assert!(items.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn btree_collections_hit_min_size(
+            m in crate::collection::btree_map(0u64..1000, 0f64..1.0, 1..50),
+            s in crate::collection::btree_set(0u64..10_000, 0..300),
+        ) {
+            prop_assert!(!m.is_empty());
+            prop_assert!(m.len() < 50);
+            prop_assert!(s.len() < 300);
+        }
+
+        #[test]
+        fn string_pattern_respects_len(input in ".{0,200}") {
+            prop_assert!(input.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0u64..10).prop_map(|v| v * 2);
+        let mut rng = TestRng::deterministic("map");
+        for _ in 0..32 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn determinism_same_label_same_stream() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline vendored shim of the `serde` surface this workspace uses: the
+//! `Serialize`/`Deserialize` marker traits and (behind the `derive` feature)
+//! the derive macros. The workspace only *derives* these traits — it never
+//! calls serializer methods on the derived types — so marker traits suffice
+//! for an offline build.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline vendored no-op derive macros for `Serialize`/`Deserialize`.
+//!
+//! The workspace derives these traits on config/report structs but never
+//! invokes the generated impls directly — the only serialization performed
+//! is via `serde_json::json!` value construction in `crates/bench`. Emitting
+//! no impl at all therefore type-checks everywhere the real derive would,
+//! without needing `syn`/`quote` in an offline build.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
