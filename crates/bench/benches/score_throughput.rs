@@ -43,6 +43,31 @@ fn bench_publish(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ≤5 % bound of the observability layer: publishing through a fully
+/// instrumented broker (per-topic counters, latency histogram, backlog
+/// gauge) vs a broker wired to a no-op registry (the disabled handles
+/// compile down to a couple of never-taken branches).
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish_instrumentation");
+    group.throughput(Throughput::Elements(1));
+    let payload = vec![0u8; 16];
+    for (label, registry) in [
+        ("noop_registry", apollo_obs::Registry::noop()),
+        ("enabled_registry", apollo_obs::Registry::new()),
+    ] {
+        group.bench_function(label, |b| {
+            let broker = Broker::new(StreamConfig::bounded(65_536));
+            broker.instrument(&registry);
+            let mut ms = 0u64;
+            b.iter(|| {
+                ms += 1;
+                broker.publish("t", ms, payload.clone())
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_metric_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("publish_metric_size");
     for size in [16usize, 64, 256, 1024, 4096] {
@@ -97,6 +122,7 @@ fn bench_multithread_publish(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_publish,
+    bench_instrumentation_overhead,
     bench_metric_sizes,
     bench_pull_latest,
     bench_multithread_publish

@@ -109,6 +109,9 @@ fn main() {
     report.note("hook_calls", apollo.total_hook_calls());
     report.note("paper_apollo_cpu_pct", 13.32);
     report.note("paper_memory_mb", 57.0);
+    // Self-observation: the run's own counters/histograms ride along in
+    // the JSON, so overhead numbers are auditable after the fact.
+    report.attach_metrics(&apollo.metrics_snapshot());
 
     println!("\n(a) CPU breakdown");
     println!("    Apollo vertices work: {:>10.2} ms", apollo_work_ns as f64 / 1e6);

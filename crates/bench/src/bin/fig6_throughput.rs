@@ -10,6 +10,7 @@
 //! Run: `cargo run --release -p apollo-bench --bin fig6_throughput`
 
 use apollo_bench::report::{Report, Series};
+use apollo_obs::Registry;
 use apollo_streams::{Broker, StreamConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,9 +27,13 @@ fn publish_scaling() {
     let mut report = Report::new("fig6a", "publish throughput vs client threads (16B events)");
     let mut series = Series::new("events_per_sec");
     let events_per_thread = 50_000u64;
+    // One registry across all thread counts: the saved metrics are the
+    // whole experiment's publish/drop accounting.
+    let registry = Registry::new();
 
     for threads in [1u32, 2, 4, 8, 16, 24, 32, 40] {
         let broker = Arc::new(Broker::new(StreamConfig::bounded(65_536)));
+        broker.instrument(&registry);
         let payload = vec![0u8; EVENT_BYTES];
         let start = Instant::now();
         std::thread::scope(|s| {
@@ -55,6 +60,7 @@ fn publish_scaling() {
     report.add_series(series);
     report.note("event_bytes", EVENT_BYTES as u64);
     report.note("paper_peak", "≈70K events/s at 16 threads, degrading beyond");
+    report.attach_metrics(&registry.snapshot());
     report.finish("client threads", "events/s");
 }
 
@@ -62,9 +68,11 @@ fn subscribe_scaling() {
     let mut report = Report::new("fig6b", "subscribe throughput vs subscriber count");
     let mut series = Series::new("delivered_events_per_sec");
     let events = 16_000u64;
+    let registry = Registry::new();
 
     for nodes in [1u32, 2, 4, 8, 16, 32] {
         let broker = Arc::new(Broker::new(StreamConfig::bounded(65_536)));
+        broker.instrument(&registry);
         let delivered = Arc::new(AtomicU64::new(0));
         let start = Instant::now();
         std::thread::scope(|s| {
@@ -100,5 +108,6 @@ fn subscribe_scaling() {
     report.add_series(series);
     report.note("events_published", events);
     report.note("paper_shape", "scales to 32 nodes without significant slowdown");
+    report.attach_metrics(&registry.snapshot());
     report.finish("subscriber nodes", "deliveries/s");
 }

@@ -18,6 +18,7 @@ use apollo_adaptive::controller::FixedInterval;
 use apollo_bench::report::{Report, Series};
 use apollo_cluster::metrics::ConstSource;
 use apollo_core::vertex::{FactVertex, InsightInputs, InsightVertex};
+use apollo_obs::Registry;
 use apollo_streams::{Broker, StreamConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,9 +41,11 @@ fn fact(broker: &Arc<Broker>, name: String) -> FactVertex {
 fn degree_scaling() {
     let mut report = Report::new("fig7a", "pull latency vs node degree (40 fact curators/node)");
     let mut series = Series::new("latency_us");
+    let registry = Registry::new();
 
     for nodes in [1u32, 2, 4, 8, 16] {
         let broker = Arc::new(Broker::new(StreamConfig::bounded(4096)));
+        broker.instrument(&registry);
         let mut facts = Vec::new();
         let mut inputs = Vec::new();
         for n in 0..nodes {
@@ -59,6 +62,7 @@ fn degree_scaling() {
             Box::new(move |i: &InsightInputs| i.all_present(&expected).then(|| i.sum())),
             Arc::clone(&broker),
         );
+        insight.instrument(&registry);
 
         // Warm: one round of polls + pump.
         let mut t_ns = 1_000_000_000u64;
@@ -84,15 +88,18 @@ fn degree_scaling() {
     }
     report.add_series(series);
     report.note("paper_shape", "latency rises with degree then hits an upper bound");
+    report.attach_metrics(&registry.snapshot());
     report.finish("nodes (x40 curators)", "latency (us)");
 }
 
 fn hamming_scaling() {
     let mut report = Report::new("fig7b", "pull latency vs Hamming distance (insight layers)");
     let mut series = Series::new("latency_us");
+    let registry = Registry::new();
 
     for layers in [1u32, 2, 4, 8, 16, 32] {
         let broker = Arc::new(Broker::new(StreamConfig::bounded(4096)));
+        broker.instrument(&registry);
         // 32 hook vertices at the base.
         let facts: Vec<FactVertex> = (0..32).map(|i| fact(&broker, format!("hook{i}"))).collect();
         let base_inputs: Vec<String> = (0..32).map(|i| format!("hook{i}")).collect();
@@ -104,12 +111,14 @@ fn hamming_scaling() {
             } else {
                 (format!("layer{l}"), vec![format!("layer{}", l - 1)])
             };
-            chain.push(InsightVertex::new(
+            let v = InsightVertex::new(
                 name,
                 inputs,
                 Box::new(|i: &InsightInputs| Some(i.sum())),
                 Arc::clone(&broker),
-            ));
+            );
+            v.instrument(&registry);
+            chain.push(v);
         }
         let top = format!("layer{}", layers - 1);
 
@@ -145,5 +154,6 @@ fn hamming_scaling() {
     }
     report.add_series(series);
     report.note("paper_shape", "latency grows with distance; spike at the maximum");
+    report.attach_metrics(&registry.snapshot());
     report.finish("insight layers (Hamming distance)", "latency (us)");
 }

@@ -34,6 +34,7 @@ pub struct Report {
     title: String,
     series: Vec<Series>,
     notes: Vec<(String, Value)>,
+    metrics: Option<Value>,
 }
 
 impl Report {
@@ -44,7 +45,15 @@ impl Report {
             title: title.into(),
             series: Vec::new(),
             notes: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach an `apollo_obs` metrics snapshot; it lands under the
+    /// `"metrics"` key of the saved JSON, so every figure carries the
+    /// self-observation counters of the run that produced it.
+    pub fn attach_metrics(&mut self, snapshot: &apollo_obs::Snapshot) {
+        self.metrics = Some(snapshot.to_value());
     }
 
     /// Add a series.
@@ -93,7 +102,7 @@ impl Report {
         let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.experiment));
-        let body = json!({
+        let mut map = match json!({
             "experiment": self.experiment,
             "title": self.title,
             "notes": self.notes.iter().cloned().collect::<serde_json::Map<String, Value>>(),
@@ -101,7 +110,14 @@ impl Report {
                 "name": s.name,
                 "points": s.points,
             })).collect::<Vec<_>>(),
-        });
+        }) {
+            Value::Object(m) => m,
+            _ => unreachable!("json! object literal"),
+        };
+        if let Some(m) = &self.metrics {
+            map.insert("metrics".to_string(), m.clone());
+        }
+        let body = Value::Object(map);
         let mut f = std::fs::File::create(&path)?;
         f.write_all(serde_json::to_string_pretty(&body)?.as_bytes())?;
         f.write_all(b"\n")?;
@@ -147,6 +163,20 @@ mod tests {
         assert_eq!(v["experiment"], "test_report_roundtrip");
         assert_eq!(v["notes"]["nodes"], 4);
         assert_eq!(v["series"][0]["points"][1][1], 4.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn attached_metrics_land_in_saved_json() {
+        let registry = apollo_obs::Registry::new();
+        registry.counter("test.events").add(7);
+        let mut r = Report::new("test_report_metrics", "unit test");
+        r.attach_metrics(&registry.snapshot());
+        let path = r.save().unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&raw).unwrap();
+        let events = v.get_path("metrics").get_path("counters").get_path("test.events");
+        assert_eq!(events.as_u64(), Some(7));
         std::fs::remove_file(path).ok();
     }
 

@@ -25,7 +25,12 @@
 //! * [`service`] — [`service::Apollo`]: owns the broker, the event loop,
 //!   and the vertex registry; runs deterministically on a virtual clock
 //!   (`run_for`) or live on a background thread (`spawn`); answers AQE
-//!   queries (`query`).
+//!   queries (`query`). Every subsystem reports into a shared
+//!   `apollo_obs::Registry` (`metrics`/`metrics_snapshot`).
+//! * [`selfobs`] — self-SCoRe: [`selfobs::deploy_self_observer`]
+//!   republishes Apollo's own internals (broker memory, stream depth,
+//!   poll p99, quarantine count) as Fact vertices queryable through the
+//!   AQE.
 //!
 //! ```
 //! use apollo_core::service::{Apollo, FactVertexSpec};
@@ -52,6 +57,7 @@ pub mod graph;
 pub mod health;
 pub mod hook;
 pub mod kprobe;
+pub mod selfobs;
 pub mod service;
 pub mod vertex;
 
@@ -60,5 +66,6 @@ pub use graph::ScoreGraph;
 pub use health::{HealthMonitor, HealthState, SupervisorConfig};
 pub use hook::DelphiForecaster;
 pub use kprobe::EventFactVertex;
+pub use selfobs::{deploy_self_observer, SELF_TOPICS};
 pub use service::{Apollo, ApolloHandle, FactVertexSpec, InsightVertexSpec};
 pub use vertex::{FactVertex, InsightInputs, InsightVertex};

@@ -24,6 +24,7 @@ use apollo_adaptive::controller::{
 use apollo_cluster::metrics::MetricSource;
 use apollo_delphi::predictor::OnlinePredictor;
 use apollo_delphi::stack::Delphi;
+use apollo_obs::Registry;
 use apollo_query::exec::{ExecSqlError, QueryEngine, QueryResult};
 use apollo_runtime::event_loop::{EventLoop, TimerAction};
 use apollo_runtime::time::{AnyClock, Clock};
@@ -194,6 +195,8 @@ pub struct Apollo {
     insights: Vec<Arc<InsightVertex>>,
     /// Timer handles per vertex, so runtime unregistration can cancel.
     timers: std::collections::HashMap<String, Vec<Arc<apollo_runtime::event_loop::TimerControl>>>,
+    /// The self-observation metrics registry every subsystem reports into.
+    registry: Registry,
 }
 
 impl Apollo {
@@ -207,21 +210,47 @@ impl Apollo {
         Self::with_config(EventLoop::new_real(), StreamConfig::default())
     }
 
-    /// Service with explicit loop and stream retention config.
+    /// Service with explicit loop and stream retention config, observed
+    /// by a fresh enabled metrics registry.
     pub fn with_config(el: EventLoop<AnyClock>, streams: StreamConfig) -> Self {
+        Self::with_registry(el, streams, Registry::new())
+    }
+
+    /// [`Apollo::with_config`] with an explicit metrics registry. Pass
+    /// [`Registry::noop`] to strip self-observation down to a handful of
+    /// never-taken branches (the ≤5 % overhead bound of the bench suite).
+    pub fn with_registry(
+        mut el: EventLoop<AnyClock>,
+        streams: StreamConfig,
+        registry: Registry,
+    ) -> Self {
+        let broker = Arc::new(Broker::new(streams));
+        el.instrument(&registry);
+        broker.instrument(&registry);
         Self {
-            broker: Arc::new(Broker::new(streams)),
+            broker,
             el,
             graph: ScoreGraph::new(),
             facts: Vec::new(),
             insights: Vec::new(),
             timers: std::collections::HashMap::new(),
+            registry,
         }
     }
 
     /// The pub-sub fabric (for subscribing middleware).
     pub fn broker(&self) -> Arc<Broker> {
         Arc::clone(&self.broker)
+    }
+
+    /// The metrics registry all subsystems report into.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Point-in-time view of every registered counter/gauge/histogram.
+    pub fn metrics_snapshot(&self) -> apollo_obs::Snapshot {
+        self.registry.snapshot()
     }
 
     /// The DAG topology.
@@ -248,6 +277,7 @@ impl Apollo {
             spec.publish_on_change_only,
             supervision,
         ));
+        vertex.instrument(&self.registry);
         let clock = self.el.clock().clone();
         let last_poll = Arc::new(AtomicU64::new(0));
 
@@ -329,6 +359,7 @@ impl Apollo {
             Arc::clone(&self.broker),
             spec.link_delay,
         ));
+        vertex.instrument(&self.registry);
         let clock = self.el.clock().clone();
         let handle = {
             let vertex = Arc::clone(&vertex);
@@ -357,9 +388,10 @@ impl Apollo {
         self.el.run_for(d);
     }
 
-    /// Execute an AQE query.
+    /// Execute an AQE query (instrumented: `query.executed`,
+    /// `query.arm_ns`, `query.arm_errors`).
     pub fn query(&self, sql: &str) -> Result<QueryResult, ExecSqlError> {
-        QueryEngine::new(self.broker.as_ref()).execute_sql(sql)
+        QueryEngine::with_metrics(self.broker.as_ref(), &self.registry).execute_sql(sql)
     }
 
     /// Approximate memory held by all SCoRe queues (Figure 5).
@@ -770,6 +802,61 @@ mod tests {
         apollo.run_for(Duration::from_secs(6));
         let later = apollo.query("SELECT MAX(Timestamp), metric FROM i2").unwrap().rows[0].value;
         assert_eq!(later, 2.0, "value arrives after both link delays elapse");
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_every_layer() {
+        let mut apollo = Apollo::new_virtual();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 5.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo
+            .register_insight(InsightVertexSpec::sum_of(
+                "sum",
+                vec!["cap".into()],
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(10));
+        apollo.query("SELECT MAX(Timestamp), metric FROM cap").unwrap();
+        let snap = apollo.metrics_snapshot();
+        // Runtime layer: timer fires.
+        assert!(snap.counter("runtime.timer.fires") >= 20, "{snap:?}");
+        // Streams layer: publishes.
+        assert!(snap.counter("streams.published_total") >= 2);
+        // Core layer: per-vertex poll latency + suppression.
+        assert!(snap.histograms.contains_key("core.vertex.cap.poll_ns"));
+        assert!(snap.histograms.contains_key("core.vertex.sum.pump_ns"));
+        assert_eq!(snap.counter("core.vertex.cap.suppressed"), 9);
+        // Query layer.
+        assert_eq!(snap.counter("query.executed"), 1);
+        // And the whole thing survives a JSON round-trip.
+        let json = snap.to_json();
+        assert_eq!(apollo_obs::Snapshot::from_json(&json).unwrap(), snap);
+    }
+
+    #[test]
+    fn noop_registry_disables_self_observation() {
+        let mut apollo = Apollo::with_registry(
+            EventLoop::new_virtual(),
+            StreamConfig::default(),
+            Registry::noop(),
+        );
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 5.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(5));
+        apollo.query("SELECT MAX(Timestamp), metric FROM cap").unwrap();
+        let snap = apollo.metrics_snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty(), "{snap:?}");
     }
 
     #[test]

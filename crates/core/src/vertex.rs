@@ -22,7 +22,7 @@ use apollo_streams::codec::Record;
 use apollo_streams::{Broker, Subscription};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Phase labels used by the anatomy instrumentation.
@@ -37,6 +37,38 @@ pub mod phases {
     pub const CONSUME: &str = "consume";
     /// Everything else (thread management, insight computation).
     pub const OTHER: &str = "other";
+}
+
+/// Numeric encoding of a [`HealthState`] for gauge export.
+fn health_code(state: HealthState) -> f64 {
+    match state {
+        HealthState::Healthy => 0.0,
+        HealthState::Degraded => 1.0,
+        HealthState::Quarantined => 2.0,
+    }
+}
+
+/// Pre-resolved instrument handles for a fact vertex.
+struct FactObs {
+    /// This vertex's poll wall-clock latency (`core.vertex.<name>.poll_ns`).
+    poll_ns: apollo_obs::Histogram,
+    /// Fleet-wide poll latency (`score.poll_ns`) — the p99 the
+    /// self-observer republishes as a fact.
+    poll_ns_all: apollo_obs::Histogram,
+    /// Samples suppressed by the change filter.
+    suppressed: apollo_obs::Counter,
+    /// Health state changes (any direction).
+    health_transitions: apollo_obs::Counter,
+    /// Current health state (0 healthy, 1 degraded, 2 quarantined).
+    health_state: apollo_obs::Gauge,
+}
+
+/// Pre-resolved instrument handles for an insight vertex.
+struct InsightObs {
+    /// This vertex's pump wall-clock latency (`core.vertex.<name>.pump_ns`).
+    pump_ns: apollo_obs::Histogram,
+    /// Fleet-wide pump latency (`score.pump_ns`).
+    pump_ns_all: apollo_obs::Histogram,
 }
 
 /// A Fact Vertex: monitor hook + fact builder + fact queue.
@@ -55,6 +87,7 @@ pub struct FactVertex {
     health: parking_lot::Mutex<HealthMonitor>,
     /// When false (ablation), every sample publishes even if unchanged.
     publish_on_change_only: bool,
+    obs: OnceLock<FactObs>,
 }
 
 impl FactVertex {
@@ -100,7 +133,28 @@ impl FactVertex {
             stale_published: AtomicU64::new(0),
             health: parking_lot::Mutex::new(HealthMonitor::new(supervision)),
             publish_on_change_only,
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attach metric instruments: per-vertex poll latency
+    /// (`core.vertex.<name>.poll_ns`), fleet-wide poll latency
+    /// (`score.poll_ns`), change-filter suppression and health-transition
+    /// counters, and a health-state gauge. A disabled registry leaves the
+    /// vertex uninstrumented (not even the `Instant` reads run).
+    /// Idempotent; the first call wins.
+    pub fn instrument(&self, registry: &apollo_obs::Registry) {
+        if !registry.enabled() {
+            return;
+        }
+        let _ = self.obs.set(FactObs {
+            poll_ns: registry.histogram(&format!("core.vertex.{}.poll_ns", self.name)),
+            poll_ns_all: registry.histogram("score.poll_ns"),
+            suppressed: registry.counter(&format!("core.vertex.{}.suppressed", self.name)),
+            health_transitions: registry
+                .counter(&format!("core.vertex.{}.health_transitions", self.name)),
+            health_state: registry.gauge(&format!("core.vertex.{}.health_state", self.name)),
+        });
     }
 
     /// Topic / table name of this vertex's queue.
@@ -117,6 +171,22 @@ impl FactVertex {
     /// source (a real hook does syscalls; a simulated one is a lookup), so
     /// anatomy fractions match a live deployment's shape.
     pub fn poll(&self, now_ns: u64) -> Duration {
+        let Some(obs) = self.obs.get() else { return self.poll_inner(now_ns) };
+        let before = self.health.lock().state();
+        let start = std::time::Instant::now();
+        let next = self.poll_inner(now_ns);
+        let dur = start.elapsed().as_nanos() as u64;
+        obs.poll_ns.observe(dur);
+        obs.poll_ns_all.observe(dur);
+        let after = self.health.lock().state();
+        if after != before {
+            obs.health_transitions.inc();
+        }
+        obs.health_state.set(health_code(after));
+        next
+    }
+
+    fn poll_inner(&self, now_ns: u64) -> Duration {
         let (poll_timeout, max_retries) = {
             let h = self.health.lock();
             (h.config().poll_timeout, h.config().max_retries)
@@ -161,6 +231,9 @@ impl FactVertex {
             *last = Some(value);
         } else {
             self.suppressed.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.obs.get() {
+                obs.suppressed.inc();
+            }
         }
         drop(last);
 
@@ -310,6 +383,7 @@ pub struct InsightVertex {
     link_delay_ms: u64,
     /// Entries received but not yet network-visible.
     in_flight: parking_lot::Mutex<Vec<(String, Record)>>,
+    obs: OnceLock<InsightObs>,
 }
 
 impl InsightVertex {
@@ -348,7 +422,22 @@ impl InsightVertex {
             recomputes: AtomicU64::new(0),
             link_delay_ms: link_delay.as_millis() as u64,
             in_flight: parking_lot::Mutex::new(Vec::new()),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attach metric instruments: per-vertex pump latency
+    /// (`core.vertex.<name>.pump_ns`) and the fleet-wide `score.pump_ns`
+    /// histogram. A disabled registry leaves the vertex uninstrumented.
+    /// Idempotent; the first call wins.
+    pub fn instrument(&self, registry: &apollo_obs::Registry) {
+        if !registry.enabled() {
+            return;
+        }
+        let _ = self.obs.set(InsightObs {
+            pump_ns: registry.histogram(&format!("core.vertex.{}.pump_ns", self.name)),
+            pump_ns_all: registry.histogram("score.pump_ns"),
+        });
     }
 
     /// Topic / table name of this vertex's insight queue.
@@ -365,6 +454,16 @@ impl InsightVertex {
     /// insight, publish when it changed. Returns true when something new
     /// was consumed.
     pub fn pump(&self, now_ns: u64) -> bool {
+        let Some(obs) = self.obs.get() else { return self.pump_inner(now_ns) };
+        let start = std::time::Instant::now();
+        let consumed = self.pump_inner(now_ns);
+        let dur = start.elapsed().as_nanos() as u64;
+        obs.pump_ns.observe(dur);
+        obs.pump_ns_all.observe(dur);
+        consumed
+    }
+
+    fn pump_inner(&self, now_ns: u64) -> bool {
         let mut state = self.state.lock();
         state.fresh.clear();
         let consumed = self.timer.time(phases::CONSUME, || {

@@ -1,0 +1,34 @@
+//! Self-observation substrate for the Apollo observer.
+//!
+//! Apollo's headline claim (paper Fig. 5–7) is that full-fidelity storage
+//! monitoring can ride along at negligible cost. To defend that claim the
+//! reproduction must be able to measure *its own* hot paths — the timer
+//! dispatch loop, the broker fan-out, vertex polling, and query execution —
+//! without perturbing them. This crate provides that substrate:
+//!
+//! * [`Registry`] — a named family of lock-cheap instruments. Handles are
+//!   resolved once (a map lookup under a short `RwLock`) and then updated
+//!   with plain atomic operations; the hot path never touches the registry
+//!   map again.
+//! * [`Counter`] / [`Gauge`] — single `AtomicU64` cells (gauges store f64
+//!   bits).
+//! * [`Histogram`] — fixed upper-bound buckets with atomic per-bucket
+//!   counts, built for nanosecond latencies; quantiles are estimated from
+//!   the bucket upper bounds.
+//! * [`Tracer`] / [`Span`] — lightweight span tracing for the
+//!   publish → propagate → query pipeline: a bounded ring buffer of recent
+//!   [`SpanRecord`]s plus a per-span-name latency histogram in the registry.
+//!
+//! Every instrument carries an `enabled` flag captured at construction. A
+//! registry built with [`Registry::noop`] hands out disabled handles whose
+//! update methods compile down to a branch on an immutable bool — this is
+//! what the `score_throughput` bench compares against to keep the measured
+//! instrumentation overhead ≤ 5%.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, DEFAULT_LATENCY_BOUNDS_NS,
+};
+pub use trace::{Span, SpanRecord, Tracer};

@@ -1,0 +1,149 @@
+//! Lightweight span tracing for the publish → propagate → query pipeline.
+//!
+//! A [`Tracer`] keeps a bounded ring buffer of the most recent completed
+//! spans (for debugging and post-mortem inspection) and folds every span's
+//! duration into a `span.<name>` histogram in the shared [`Registry`] (for
+//! aggregate latency analysis). A [`Span`] is an RAII guard: it starts
+//! timing on creation and records on drop.
+//!
+//! Hot paths that cannot afford the per-span name lookup should resolve a
+//! [`crate::Histogram`] handle once instead; the tracer is meant for the
+//! pipeline's stage boundaries, not per-record inner loops.
+
+use crate::{Histogram, Registry};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A completed span, as retained in the tracer's ring buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `"publish"`, `"propagate"`, `"query"`.
+    pub name: &'static str,
+    /// Start offset in nanoseconds since the tracer was created.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    enabled: bool,
+    epoch: Instant,
+    cap: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    registry: Registry,
+}
+
+/// Bounded recorder of pipeline spans. Cloning shares the ring buffer.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    inner: std::sync::Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer feeding `registry`, retaining at most `cap` recent spans.
+    /// Disabled (all spans no-ops) when the registry is a no-op registry.
+    pub fn new(registry: &Registry, cap: usize) -> Self {
+        Self {
+            inner: std::sync::Arc::new(TracerInner {
+                enabled: registry.enabled(),
+                epoch: Instant::now(),
+                cap: cap.max(1),
+                ring: Mutex::new(VecDeque::new()),
+                registry: registry.clone(),
+            }),
+        }
+    }
+
+    /// Start a span; it records itself when dropped.
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.inner.enabled {
+            return Span { tracer: None, name, start: None };
+        }
+        Span { tracer: Some(self.clone()), name, start: Some(Instant::now()) }
+    }
+
+    /// Pre-resolve the duration histogram for `name` (`span.<name>`), for
+    /// call sites hot enough that the per-span map lookup matters.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner.registry.histogram(&format!("span.{name}"))
+    }
+
+    /// The most recent completed spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    fn record(&self, name: &'static str, start: Instant) {
+        let inner = &*self.inner;
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let start_ns = start.duration_since(inner.epoch).as_nanos() as u64;
+        inner.registry.histogram(&format!("span.{name}")).observe(dur_ns);
+        let mut ring = inner.ring.lock();
+        if ring.len() == inner.cap {
+            ring.pop_front();
+        }
+        ring.push_back(SpanRecord { name, start_ns, dur_ns });
+    }
+}
+
+/// RAII timing guard returned by [`Tracer::span`].
+#[derive(Debug)]
+pub struct Span {
+    tracer: Option<Tracer>,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(t), Some(s)) = (self.tracer.take(), self.start.take()) {
+            t.record(self.name, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_land_in_ring_and_histogram() {
+        let reg = Registry::new();
+        let tracer = Tracer::new(&reg, 4);
+        for _ in 0..6 {
+            let _s = tracer.span("publish");
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 4, "ring is bounded");
+        assert!(recent.iter().all(|r| r.name == "publish"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["span.publish"].count, 6);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_spans_in_order() {
+        let reg = Registry::new();
+        let tracer = Tracer::new(&reg, 8);
+        {
+            let _a = tracer.span("propagate");
+        }
+        {
+            let _b = tracer.span("query");
+        }
+        let names: Vec<_> = tracer.recent().iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["propagate", "query"]);
+    }
+
+    #[test]
+    fn noop_tracer_records_nothing() {
+        let reg = Registry::noop();
+        let tracer = Tracer::new(&reg, 4);
+        {
+            let _s = tracer.span("publish");
+        }
+        assert!(tracer.recent().is_empty());
+        assert_eq!(reg.snapshot().histograms.len(), 0);
+    }
+}

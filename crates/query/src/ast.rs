@@ -48,6 +48,12 @@ pub struct Select {
     pub order: Option<OrderBy>,
     /// Optional row limit.
     pub limit: Option<usize>,
+    /// Include stale republications (last-known values re-published during
+    /// a hook outage) in scan aggregates. Off by default: a stale record
+    /// repeats an already-counted measurement, so blending it into
+    /// `AVG`/`SUM`/`MIN`/`MAX`/`COUNT` double-counts the outage value.
+    /// Surface syntax: a trailing `INCLUDE STALE` clause.
+    pub include_stale: bool,
 }
 
 /// A full query: one or more SELECTs combined by UNION.
@@ -79,6 +85,7 @@ impl Query {
                     time_range: None,
                     order: None,
                     limit: None,
+                    include_stale: false,
                 })
                 .collect(),
         }

@@ -13,6 +13,17 @@ use apollo_streams::codec::{Provenance, Record};
 use apollo_streams::Broker;
 use serde::{Deserialize, Serialize};
 
+/// Provenance breakdown of the records a scan aggregate looked at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateCounts {
+    /// Records actually measured by a monitor hook.
+    pub measured: u64,
+    /// Records produced by a Delphi prediction.
+    pub predicted: u64,
+    /// Stale last-known-value republications (hook outage).
+    pub stale: u64,
+}
+
 /// One result row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Row {
@@ -27,13 +38,20 @@ pub struct Row {
     /// predicted, or a stale republication during a hook outage).
     /// `None` for aggregate rows, which blend many records.
     pub provenance: Option<Provenance>,
+    /// For scan-aggregate rows: how many measured/predicted/stale records
+    /// the scanned window held (regardless of whether stale ones were
+    /// aggregated). `None` for record rows and `Latest`.
+    pub counts: Option<AggregateCounts>,
 }
 
 /// Error executing a query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecError {
     /// The table does not exist or holds no records.
     EmptyTable(String),
+    /// Every record in the scanned window is a stale republication and the
+    /// query did not opt in via `INCLUDE STALE`.
+    StaleOnly(String),
     /// A stored payload failed to decode as a telemetry record.
     Corrupt(String),
 }
@@ -42,6 +60,11 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::EmptyTable(t) => write!(f, "table {t:?} is empty or missing"),
+            ExecError::StaleOnly(t) => write!(
+                f,
+                "table {t:?} holds only stale records in the queried window \
+                 (add INCLUDE STALE to aggregate them)"
+            ),
             ExecError::Corrupt(t) => write!(f, "corrupt record in table {t:?}"),
         }
     }
@@ -49,11 +72,26 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A UNION arm that failed while its siblings succeeded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmError {
+    /// Zero-based arm index in source order.
+    pub arm: usize,
+    /// Why the arm produced no rows.
+    pub error: ExecError,
+}
+
 /// Result of a full query: per-arm rows, flattened in source order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryResult {
     /// All rows from all UNION arms.
     pub rows: Vec<Row>,
+    /// Arms of a multi-arm union that failed (empty table, all-stale
+    /// window, …). A dashboard-style union keeps the healthy arms' rows;
+    /// the failures are surfaced here instead of poisoning the whole
+    /// query. Always empty for single-SELECT queries, which still return
+    /// `Err` directly.
+    pub arm_errors: Vec<ArmError>,
 }
 
 /// Supplies table data to the executor.
@@ -78,15 +116,50 @@ impl TableProvider for Broker {
     }
 }
 
+/// Pre-resolved instrument handles for query execution.
+struct QueryObs {
+    /// Queries executed.
+    queries: apollo_obs::Counter,
+    /// Wall-clock latency of each UNION arm (`query.arm_ns`).
+    arm_ns: apollo_obs::Histogram,
+    /// Arms that returned an error.
+    arm_errors: apollo_obs::Counter,
+}
+
 /// The Apollo Query Engine.
 pub struct QueryEngine<'a, P: TableProvider> {
     provider: &'a P,
+    obs: Option<QueryObs>,
 }
 
 impl<'a, P: TableProvider> QueryEngine<'a, P> {
     /// Create an engine over a provider.
     pub fn new(provider: &'a P) -> Self {
-        Self { provider }
+        Self { provider, obs: None }
+    }
+
+    /// Create an engine that records per-arm execution latency
+    /// (`query.arm_ns`), executed-query and arm-error counters into
+    /// `registry`. A disabled registry yields an uninstrumented engine.
+    pub fn with_metrics(provider: &'a P, registry: &apollo_obs::Registry) -> Self {
+        let obs = registry.enabled().then(|| QueryObs {
+            queries: registry.counter("query.executed"),
+            arm_ns: registry.histogram("query.arm_ns"),
+            arm_errors: registry.counter("query.arm_errors"),
+        });
+        Self { provider, obs }
+    }
+
+    /// [`QueryEngine::run_select`] with per-arm latency accounting.
+    fn timed_select(&self, select: &Select) -> Result<Vec<Row>, ExecError> {
+        let Some(obs) = &self.obs else { return self.run_select(select) };
+        let start = std::time::Instant::now();
+        let result = self.run_select(select);
+        obs.arm_ns.observe(start.elapsed().as_nanos() as u64);
+        if result.is_err() {
+            obs.arm_errors.inc();
+        }
+        result
     }
 
     /// Execute one SELECT arm.
@@ -104,6 +177,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
                     timestamp_ms: r.timestamp_ns / 1_000_000,
                     value: r.value,
                     provenance: Some(r.provenance),
+                    counts: None,
                 }])
             }
             Aggregate::All => {
@@ -116,6 +190,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
                         timestamp_ms: r.timestamp_ns / 1_000_000,
                         value: r.value,
                         provenance: Some(r.provenance),
+                        counts: None,
                     })
                     .collect();
                 match select.order {
@@ -139,17 +214,58 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
                 if records.is_empty() {
                     return Err(ExecError::EmptyTable(table.clone()));
                 }
-                let ts = records.iter().map(|r| r.timestamp_ns / 1_000_000).max().unwrap_or(0);
-                let values = records.iter().map(|r| r.value);
+                // Stale republications repeat the last measured value during
+                // a hook outage; aggregating them would double-count the
+                // outage value, so they are excluded unless the query opts
+                // in via INCLUDE STALE. The full split is reported either
+                // way in `Row::counts`.
+                let counts = AggregateCounts {
+                    measured: records
+                        .iter()
+                        .filter(|r| r.provenance == Provenance::Measured)
+                        .count() as u64,
+                    predicted: records
+                        .iter()
+                        .filter(|r| r.provenance == Provenance::Predicted)
+                        .count() as u64,
+                    stale: records.iter().filter(|r| r.is_stale()).count() as u64,
+                };
+                let included: Vec<&Record> =
+                    records.iter().filter(|r| select.include_stale || !r.is_stale()).collect();
+                if agg == Aggregate::Count {
+                    // COUNT reports how many records the aggregate policy
+                    // admits; an all-stale window is an honest zero (with
+                    // the split alongside), not an error.
+                    let ts = records.iter().map(|r| r.timestamp_ns / 1_000_000).max().unwrap_or(0);
+                    return Ok(vec![Row {
+                        table: table.clone(),
+                        timestamp_ms: ts,
+                        value: included.len() as f64,
+                        provenance: None,
+                        counts: Some(counts),
+                    }]);
+                }
+                if included.is_empty() {
+                    return Err(ExecError::StaleOnly(table.clone()));
+                }
+                let ts = included.iter().map(|r| r.timestamp_ns / 1_000_000).max().unwrap_or(0);
+                let values = included.iter().map(|r| r.value);
                 let value = match agg {
                     Aggregate::Max => values.fold(f64::NEG_INFINITY, f64::max),
                     Aggregate::Min => values.fold(f64::INFINITY, f64::min),
-                    Aggregate::Avg => values.sum::<f64>() / records.len() as f64,
+                    Aggregate::Avg => values.sum::<f64>() / included.len() as f64,
                     Aggregate::Sum => values.sum(),
-                    Aggregate::Count => records.len() as f64,
-                    Aggregate::Latest | Aggregate::All => unreachable!("handled above"),
+                    Aggregate::Count | Aggregate::Latest | Aggregate::All => {
+                        unreachable!("handled above")
+                    }
                 };
-                Ok(vec![Row { table: table.clone(), timestamp_ms: ts, value, provenance: None }])
+                Ok(vec![Row {
+                    table: table.clone(),
+                    timestamp_ms: ts,
+                    value,
+                    provenance: None,
+                    counts: Some(counts),
+                }])
             }
         }
     }
@@ -161,28 +277,46 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
     /// a thread spawn costs more than the read, so Latest-only unions run
     /// inline; unions containing scan aggregates (`AVG`, `COUNT`, range
     /// reads, …) fan out.
+    ///
+    /// Error semantics differ by arity. A single-SELECT query propagates
+    /// its arm's error as `Err`. A multi-arm union is a dashboard-style
+    /// fan-out over independent tables: one empty or all-stale arm must
+    /// not blank every other panel, so the union returns `Ok` with the
+    /// healthy arms' rows and the failed arms listed in
+    /// [`QueryResult::arm_errors`].
     pub fn execute(&self, query: &Query) -> Result<QueryResult, ExecError> {
+        if let Some(obs) = &self.obs {
+            obs.queries.inc();
+        }
         if query.selects.is_empty() {
-            return Ok(QueryResult { rows: vec![] });
+            return Ok(QueryResult { rows: vec![], arm_errors: vec![] });
+        }
+        if query.selects.len() == 1 {
+            let rows = self.timed_select(&query.selects[0])?;
+            return Ok(QueryResult { rows, arm_errors: vec![] });
         }
         let heavy_arms = query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
-        if query.selects.len() == 1 || heavy_arms == 0 {
-            let mut rows = Vec::new();
-            for s in &query.selects {
-                rows.extend(self.run_select(s)?);
-            }
-            return Ok(QueryResult { rows });
-        }
-        let results: Vec<Result<Vec<Row>, ExecError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                query.selects.iter().map(|s| scope.spawn(move || self.run_select(s))).collect();
-            handles.into_iter().map(|h| h.join().expect("select worker panicked")).collect()
-        });
+        let results: Vec<Result<Vec<Row>, ExecError>> = if heavy_arms == 0 {
+            query.selects.iter().map(|s| self.timed_select(s)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = query
+                    .selects
+                    .iter()
+                    .map(|s| scope.spawn(move || self.timed_select(s)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("select worker panicked")).collect()
+            })
+        };
         let mut rows = Vec::new();
-        for r in results {
-            rows.extend(r?);
+        let mut arm_errors = Vec::new();
+        for (arm, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(arm_rows) => rows.extend(arm_rows),
+                Err(error) => arm_errors.push(ArmError { arm, error }),
+            }
         }
-        Ok(QueryResult { rows })
+        Ok(QueryResult { rows, arm_errors })
     }
 
     /// Parse and execute in one call.
@@ -285,6 +419,7 @@ mod tests {
                 timestamp_ms: 400,
                 value: 40.0,
                 provenance: Some(Provenance::Measured),
+                counts: None,
             }]
         );
     }
@@ -374,16 +509,149 @@ mod tests {
     }
 
     #[test]
-    fn union_failure_propagates() {
+    fn union_keeps_healthy_arms_and_surfaces_failures() {
         let b = seeded_broker();
         let engine = QueryEngine::new(&b);
-        let err = engine
+        // Inline (latest-only) path.
+        let out = engine
             .execute_sql(
                 "SELECT MAX(Timestamp), metric FROM capacity \
                  UNION SELECT MAX(Timestamp), metric FROM missing",
             )
-            .unwrap_err();
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].table, "capacity");
+        assert_eq!(out.arm_errors.len(), 1);
+        assert_eq!(out.arm_errors[0].arm, 1);
+        assert!(matches!(&out.arm_errors[0].error, ExecError::EmptyTable(t) if t == "missing"));
+    }
+
+    #[test]
+    fn three_arm_union_with_one_empty_table() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        // Parallel (scan-aggregate) path: the empty middle arm must not
+        // blank the other two panels.
+        let out = engine
+            .execute_sql(
+                "SELECT AVG(metric) FROM capacity \
+                 UNION SELECT AVG(metric) FROM missing \
+                 UNION SELECT AVG(metric) FROM load",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].table, "capacity");
+        assert_eq!(out.rows[0].value, 25.0);
+        assert_eq!(out.rows[1].table, "load");
+        assert_eq!(out.rows[1].value, 10.0);
+        assert_eq!(out.arm_errors.len(), 1);
+        assert_eq!(out.arm_errors[0].arm, 1);
+        assert!(matches!(&out.arm_errors[0].error, ExecError::EmptyTable(t) if t == "missing"));
+    }
+
+    #[test]
+    fn single_select_still_errors_directly() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let err = engine.execute_sql("SELECT AVG(metric) FROM missing").unwrap_err();
         assert!(matches!(err, ExecSqlError::Exec(ExecError::EmptyTable(_))));
+    }
+
+    /// An outage window republishes the last measured value as stale
+    /// records; they must not move the aggregates.
+    fn outage_broker() -> Broker {
+        let b = Broker::new(StreamConfig::default());
+        for (i, v) in [10.0, 20.0, 30.0].iter().enumerate() {
+            let ts_ms = (i as u64 + 1) * 100;
+            b.publish("disk", ts_ms, Record::measured(ts_ms * 1_000_000, *v).encode());
+        }
+        // Hook outage: the last value (30.0) is republished as stale.
+        for i in 0..3u64 {
+            let ts_ms = 400 + i * 100;
+            b.publish("disk", ts_ms, Record::stale(ts_ms * 1_000_000, 30.0).encode());
+        }
+        b
+    }
+
+    #[test]
+    fn stale_republication_does_not_move_aggregates() {
+        let b = outage_broker();
+        let engine = QueryEngine::new(&b);
+        // Without the fix AVG would drift to 25.0 (stale 30s double-counted).
+        let avg = engine.execute_sql("SELECT AVG(metric) FROM disk").unwrap();
+        assert_eq!(avg.rows[0].value, 20.0);
+        assert_eq!(
+            avg.rows[0].counts,
+            Some(AggregateCounts { measured: 3, predicted: 0, stale: 3 })
+        );
+        // Aggregate timestamp comes from the included records only.
+        assert_eq!(avg.rows[0].timestamp_ms, 300);
+        let sum = engine.execute_sql("SELECT SUM(metric) FROM disk").unwrap();
+        assert_eq!(sum.rows[0].value, 60.0);
+        // COUNT reports the admitted records, with the split alongside.
+        let count = engine.execute_sql("SELECT COUNT(*) FROM disk").unwrap();
+        assert_eq!(count.rows[0].value, 3.0);
+        assert_eq!(
+            count.rows[0].counts,
+            Some(AggregateCounts { measured: 3, predicted: 0, stale: 3 })
+        );
+    }
+
+    #[test]
+    fn include_stale_opts_back_in() {
+        let b = outage_broker();
+        let engine = QueryEngine::new(&b);
+        let avg = engine.execute_sql("SELECT AVG(metric) FROM disk INCLUDE STALE").unwrap();
+        assert_eq!(avg.rows[0].value, 25.0);
+        let count = engine.execute_sql("SELECT COUNT(*) FROM disk INCLUDE STALE").unwrap();
+        assert_eq!(count.rows[0].value, 6.0);
+        assert_eq!(
+            count.rows[0].counts,
+            Some(AggregateCounts { measured: 3, predicted: 0, stale: 3 })
+        );
+    }
+
+    #[test]
+    fn all_stale_window_errors_unless_opted_in() {
+        let b = outage_broker();
+        let engine = QueryEngine::new(&b);
+        // Only the outage window: every record is stale.
+        let err = engine
+            .execute_sql("SELECT AVG(metric) FROM disk WHERE Timestamp BETWEEN 400 AND 600")
+            .unwrap_err();
+        assert!(matches!(err, ExecSqlError::Exec(ExecError::StaleOnly(t)) if t == "disk"));
+        // COUNT is an honest zero rather than an error.
+        let count = engine
+            .execute_sql("SELECT COUNT(*) FROM disk WHERE Timestamp BETWEEN 400 AND 600")
+            .unwrap();
+        assert_eq!(count.rows[0].value, 0.0);
+        assert_eq!(
+            count.rows[0].counts,
+            Some(AggregateCounts { measured: 0, predicted: 0, stale: 3 })
+        );
+        // Opting in restores the old blended behaviour.
+        let avg = engine
+            .execute_sql(
+                "SELECT AVG(metric) FROM disk WHERE Timestamp BETWEEN 400 AND 600 INCLUDE STALE",
+            )
+            .unwrap();
+        assert_eq!(avg.rows[0].value, 30.0);
+    }
+
+    #[test]
+    fn instrumented_engine_records_arm_latency_and_errors() {
+        let b = seeded_broker();
+        let registry = apollo_obs::Registry::new();
+        let engine = QueryEngine::with_metrics(&b, &registry);
+        engine
+            .execute_sql("SELECT AVG(metric) FROM capacity UNION SELECT AVG(metric) FROM missing")
+            .unwrap();
+        engine.execute_sql("SELECT MAX(Timestamp), metric FROM capacity").unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("query.executed"), 2);
+        assert_eq!(snap.counter("query.arm_errors"), 1);
+        let h = snap.histograms.get("query.arm_ns").expect("arm latency histogram");
+        assert_eq!(h.count, 3);
     }
 
     #[test]

@@ -331,6 +331,16 @@ impl Parser {
         Ok(Some(usize::try_from(n).map_err(|_| self.err("LIMIT too large"))?))
     }
 
+    /// include := INCLUDE STALE
+    fn include_stale_clause(&mut self) -> Result<bool, ParseError> {
+        if !self.peek_kw("include") {
+            return Ok(false);
+        }
+        self.expect_kw("include")?;
+        self.expect_kw("stale")?;
+        Ok(true)
+    }
+
     fn select(&mut self) -> Result<Select, ParseError> {
         self.expect_kw("select")?;
         let aggregate = self.selector()?;
@@ -339,7 +349,8 @@ impl Parser {
         let time_range = self.where_clause()?;
         let order = self.order_clause()?;
         let limit = self.limit_clause()?;
-        Ok(Select { aggregate, table, time_range, order, limit })
+        let include_stale = self.include_stale_clause()?;
+        Ok(Select { aggregate, table, time_range, order, limit, include_stale })
     }
 
     fn query(&mut self) -> Result<Query, ParseError> {
@@ -443,6 +454,24 @@ mod tests {
         let err = parse("SELECT BOGUS(metric) FROM t").unwrap_err();
         assert!(err.message.contains("unknown selector"), "{err}");
         assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn include_stale_clause_parses() {
+        let q = parse("SELECT AVG(metric) FROM t INCLUDE STALE").unwrap();
+        assert!(q.selects[0].include_stale);
+        let q = parse("SELECT AVG(metric) FROM t").unwrap();
+        assert!(!q.selects[0].include_stale);
+        // Clause order is fixed: after LIMIT, per-arm in a union.
+        let q = parse(
+            "SELECT COUNT(*) FROM a WHERE Timestamp >= 5 LIMIT 2 INCLUDE STALE \
+             UNION SELECT COUNT(*) FROM b",
+        )
+        .unwrap();
+        assert!(q.selects[0].include_stale);
+        assert!(!q.selects[1].include_stale);
+        // INCLUDE without STALE is an error.
+        assert!(parse("SELECT metric FROM t INCLUDE").is_err());
     }
 
     #[test]

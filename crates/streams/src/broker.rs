@@ -30,7 +30,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Unique identifier for a subscription.
@@ -263,12 +263,54 @@ struct Topic {
     dead: Stream,
     subscribers: Mutex<Vec<Subscriber>>,
     groups: Mutex<HashMap<String, GroupState>>,
-    published: AtomicU64,
+    /// Behind an `Arc` so [`Broker::instrument`] can export the same cell
+    /// as `streams.topic.<name>.published` without a second increment on
+    /// the publish hot path.
+    published: Arc<AtomicU64>,
     dropped: AtomicU64,
     dropped_entries: AtomicU64,
     dead_lettered: AtomicU64,
     /// Shared with the owning broker (0 = unlimited).
     max_deliveries: Arc<AtomicU32>,
+    /// Registry handles, set once by [`Broker::instrument`] (or at topic
+    /// creation on an instrumented broker). A plain atomic load on the
+    /// publish hot path when absent.
+    obs: OnceLock<TopicObs>,
+}
+
+/// Pre-resolved per-topic instrument handles. Each holds both the
+/// topic-scoped instrument and a clone of the broker-wide total, so the
+/// hot path and the dead-letter path never consult the registry maps.
+struct TopicObs {
+    dropped_entries: apollo_obs::Counter,
+    dropped_entries_total: apollo_obs::Counter,
+    dead_lettered: apollo_obs::Counter,
+    dead_lettered_total: apollo_obs::Counter,
+    dropped_subscribers_total: apollo_obs::Counter,
+    /// Deepest subscriber queue observed during the most recent publish.
+    backlog: apollo_obs::Gauge,
+}
+
+impl TopicObs {
+    fn new(registry: &apollo_obs::Registry, topic: &str, published: Arc<AtomicU64>) -> Self {
+        // The per-topic publish counter is backed by the atomic the
+        // publish path already increments, so exporting it is free.
+        let _ = registry.counter_backed_by(&format!("streams.topic.{topic}.published"), published);
+        Self {
+            dropped_entries: registry.counter(&format!("streams.topic.{topic}.dropped_entries")),
+            dropped_entries_total: registry.counter("streams.dropped_entries_total"),
+            dead_lettered: registry.counter(&format!("streams.topic.{topic}.dead_lettered")),
+            dead_lettered_total: registry.counter("streams.dead_lettered_total"),
+            dropped_subscribers_total: registry.counter("streams.dropped_subscribers_total"),
+            backlog: registry.gauge(&format!("streams.topic.{topic}.backlog")),
+        }
+    }
+}
+
+/// Broker-wide instrument handles (publish latency spans all topics).
+struct BrokerObs {
+    registry: apollo_obs::Registry,
+    publish_ns: apollo_obs::Histogram,
 }
 
 /// A push subscription delivering every entry published after the
@@ -349,6 +391,9 @@ pub struct TopicInfo {
     pub last_id: Option<StreamId>,
     /// Approximate window memory.
     pub memory_bytes: usize,
+    /// Auto-ID appends whose wall-clock `ms` regressed and were clamped
+    /// forward to keep IDs monotonic (see [`Stream::clock_regressions`]).
+    pub clock_regressions: u64,
 }
 
 /// The pub-sub broker: a namespace of topics.
@@ -356,8 +401,14 @@ pub struct Broker {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
     default_config: StreamConfig,
     next_sub_id: AtomicU64,
+    /// Lifetime publishes across all topics; behind an `Arc` so
+    /// [`Broker::instrument`] exports it as `streams.published_total`
+    /// without adding a conditional increment to the hot path.
+    published_total: Arc<AtomicU64>,
     /// Delivery cap before a pending entry is dead-lettered (0 = never).
     max_deliveries: Arc<AtomicU32>,
+    /// Set once by [`Broker::instrument`].
+    obs: OnceLock<BrokerObs>,
 }
 
 impl Default for Broker {
@@ -373,7 +424,30 @@ impl Broker {
             topics: RwLock::new(HashMap::new()),
             default_config,
             next_sub_id: AtomicU64::new(1),
+            published_total: Arc::new(AtomicU64::new(0)),
             max_deliveries: Arc::new(AtomicU32::new(0)),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Wire publish/fan-out into `registry`: per-topic publish, drop and
+    /// dead-letter counters plus a backlog gauge (`streams.topic.<name>.*`),
+    /// broker-wide totals, and a publish-latency histogram
+    /// (`streams.publish_ns`). Existing and future topics are both covered.
+    /// Idempotent; a disabled registry leaves the broker uninstrumented.
+    pub fn instrument(&self, registry: &apollo_obs::Registry) {
+        if !registry.enabled() {
+            return;
+        }
+        let _ = registry
+            .counter_backed_by("streams.published_total", Arc::clone(&self.published_total));
+        let _ = self.obs.set(BrokerObs {
+            registry: registry.clone(),
+            publish_ns: registry.histogram("streams.publish_ns"),
+        });
+        let registry = &self.obs.get().expect("just set").registry;
+        for (name, t) in self.topics.read().iter() {
+            let _ = t.obs.set(TopicObs::new(registry, name, Arc::clone(&t.published)));
         }
     }
 
@@ -395,22 +469,34 @@ impl Broker {
         self.max_deliveries.load(Ordering::Relaxed)
     }
 
+    /// Lifetime publishes across all topics (also exported to an
+    /// instrumented registry as `streams.published_total`).
+    pub fn published_total(&self) -> u64 {
+        self.published_total.load(Ordering::Relaxed)
+    }
+
     fn topic(&self, name: &str) -> Arc<Topic> {
         if let Some(t) = self.topics.read().get(name) {
             return Arc::clone(t);
         }
         let mut topics = self.topics.write();
         Arc::clone(topics.entry(name.to_string()).or_insert_with(|| {
+            let published = Arc::new(AtomicU64::new(0));
+            let obs = OnceLock::new();
+            if let Some(b) = self.obs.get() {
+                let _ = obs.set(TopicObs::new(&b.registry, name, Arc::clone(&published)));
+            }
             Arc::new(Topic {
                 stream: Stream::new(name, self.default_config.clone()),
                 dead: Stream::new(format!("{name}::dead"), self.default_config.clone()),
                 subscribers: Mutex::new(Vec::new()),
                 groups: Mutex::new(HashMap::new()),
-                published: AtomicU64::new(0),
+                published,
                 dropped: AtomicU64::new(0),
                 dropped_entries: AtomicU64::new(0),
                 dead_lettered: AtomicU64::new(0),
                 max_deliveries: Arc::clone(&self.max_deliveries),
+                obs,
             })
         }))
     }
@@ -436,24 +522,73 @@ impl Broker {
     /// Publish a payload on `topic` at millisecond timestamp `ms`.
     /// Appends to the topic's stream and fans out to all subscribers,
     /// applying each subscriber's backpressure policy.
+    ///
+    /// Delivery happens on a snapshot of the subscriber list taken under
+    /// the lock, with the lock *released* while queues are pushed — so a
+    /// subscriber blocked on a full [`BackpressurePolicy::Block`] queue
+    /// stalls only publishers of its own entry, never subscription churn
+    /// or healthy siblings of a concurrent publish.
     pub fn publish(&self, topic: &str, ms: u64, payload: impl Into<Bytes>) -> StreamId {
         let t = self.topic(topic);
+        let seq = t.published.fetch_add(1, Ordering::Relaxed);
+        self.published_total.fetch_add(1, Ordering::Relaxed);
+        let obs = self.obs.get();
+        // A clock read costs more than the rest of an uncontended publish,
+        // so the latency histogram samples 1-in-64 publishes; counters
+        // stay exact.
+        let start = match obs {
+            Some(_) if seq & 63 == 0 => Some(Instant::now()),
+            _ => None,
+        };
         let payload = payload.into();
         let id = t.stream.append(ms, payload.clone());
-        t.published.fetch_add(1, Ordering::Relaxed);
         let entry = Entry::new(id, payload);
-        let mut subs = t.subscribers.lock();
-        subs.retain(|s| match s.queue.push(entry.clone()) {
-            SendOutcome::Delivered => true,
-            SendOutcome::DroppedOldest => {
-                t.dropped_entries.fetch_add(1, Ordering::Relaxed);
-                true
+        let targets: Vec<(SubscriptionId, Arc<SubQueue>)> =
+            t.subscribers.lock().iter().map(|s| (s.id, Arc::clone(&s.queue))).collect();
+        let mut gone: Vec<SubscriptionId> = Vec::new();
+        for (sid, queue) in &targets {
+            match queue.push(entry.clone()) {
+                SendOutcome::Delivered => {}
+                SendOutcome::DroppedOldest => {
+                    t.dropped_entries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tobs) = t.obs.get() {
+                        tobs.dropped_entries.inc();
+                        tobs.dropped_entries_total.inc();
+                    }
+                }
+                SendOutcome::Gone => gone.push(*sid),
             }
-            SendOutcome::Gone => {
-                t.dropped.fetch_add(1, Ordering::Relaxed);
-                false
+        }
+        if !gone.is_empty() {
+            // Re-acquire briefly to prune; count only subscribers this call
+            // actually removed (a racing `Subscription::drop` may have
+            // already pruned itself).
+            let mut subs = t.subscribers.lock();
+            let before = subs.len();
+            subs.retain(|s| !gone.contains(&s.id));
+            let removed = (before - subs.len()) as u64;
+            drop(subs);
+            if removed > 0 {
+                t.dropped.fetch_add(removed, Ordering::Relaxed);
+                if let Some(tobs) = t.obs.get() {
+                    tobs.dropped_subscribers_total.add(removed);
+                }
             }
-        });
+        }
+        if let Some(obs) = obs {
+            // Publish counts ride `t.published` / `Broker::published_total`
+            // (exported via `counter_backed_by`), so the instrumented hot
+            // path adds only branches plus the 1-in-64 sample below.
+            if let Some(start) = start {
+                obs.publish_ns.observe(start.elapsed().as_nanos() as u64);
+                // The backlog gauge rides the same 1-in-64 sample: it is a
+                // point-in-time depth reading, not an exact count.
+                if let Some(tobs) = t.obs.get() {
+                    let deepest = targets.iter().map(|(_, q)| q.len()).max().unwrap_or(0);
+                    tobs.backlog.set(deepest as f64);
+                }
+            }
+        }
         id
     }
 
@@ -528,6 +663,7 @@ impl Broker {
             consumer_groups,
             last_id: t.stream.last_id(),
             memory_bytes: t.stream.approx_memory_bytes(),
+            clock_regressions: t.stream.clock_regressions(),
         })
     }
 
@@ -581,6 +717,10 @@ impl ConsumerGroup {
         if let Some(e) = self.topic.stream.range(id, id).into_iter().next() {
             self.topic.dead.append(e.id.ms, e.payload);
             self.topic.dead_lettered.fetch_add(1, Ordering::Relaxed);
+            if let Some(tobs) = self.topic.obs.get() {
+                tobs.dead_lettered.inc();
+                tobs.dead_lettered_total.inc();
+            }
         }
     }
 
@@ -1025,6 +1165,103 @@ mod tests {
         publisher.join().unwrap();
         assert!(got.windows(2).all(|w| w[0].id < w[1].id));
         assert_eq!(sub.dropped_entries(), 0);
+    }
+
+    #[test]
+    fn blocked_subscriber_does_not_stall_concurrent_publish() {
+        // Regression: delivery used to happen while holding the topic's
+        // subscriber list lock, so one subscriber blocked on a full
+        // `Block`-policy queue serialized every other publisher (they
+        // queued on the lock, not on their own entries). A publish must
+        // now reach healthy subscribers even while another publisher is
+        // parked on the slow subscriber's queue.
+        let b = Arc::new(Broker::default());
+        let ok = b.subscribe("t"); // healthy; registered first, delivered first
+        let blocked = b.subscribe_with(
+            "t",
+            SubscribeOptions { capacity: 1, policy: BackpressurePolicy::Block },
+        );
+        b.publish("t", 0, vec![0]); // fills the blocked subscriber's queue
+        assert_eq!(ok.recv_timeout(Duration::from_secs(5)).unwrap().payload[0], 0);
+
+        let b1 = Arc::clone(&b);
+        let p1 = std::thread::spawn(move || b1.publish("t", 1, vec![1]));
+        // p1 delivered to `ok` and is now parked in the blocked queue's
+        // push; once `ok` has entry 1 we know p1 is past the healthy leg.
+        assert_eq!(ok.recv_timeout(Duration::from_secs(5)).unwrap().payload[0], 1);
+
+        let b2 = Arc::clone(&b);
+        let p2 = std::thread::spawn(move || b2.publish("t", 2, vec![2]));
+        // The concurrent publish must reach the healthy subscriber promptly
+        // even though p1 is still blocked (the old code deadlocked here
+        // until the slow subscriber drained).
+        let got = ok
+            .recv_timeout(Duration::from_secs(5))
+            .expect("concurrent publish delayed by an unrelated blocked subscriber");
+        assert_eq!(got.payload[0], 2);
+        assert_eq!(blocked.backlog(), 1, "slow queue still full while others progressed");
+
+        // Unblock the parked publishers and let them finish.
+        drop(blocked); // closes the queue; blocked pushes observe Gone
+        p1.join().unwrap();
+        p2.join().unwrap();
+        assert_eq!(b.topic_len("t"), 3, "the stream itself lost nothing");
+    }
+
+    #[test]
+    fn instrumented_broker_exports_topic_metrics() {
+        let b = Broker::default();
+        b.publish("pre", 0, vec![]); // topic exists before instrumentation
+        let reg = apollo_obs::Registry::new();
+        b.instrument(&reg);
+        let sub = b.subscribe_with(
+            "pre",
+            SubscribeOptions { capacity: 2, policy: BackpressurePolicy::DropOldest },
+        );
+        for i in 1..=5u64 {
+            b.publish("pre", i, vec![]);
+        }
+        let snap = reg.snapshot();
+        // Publish counters are backed by the broker's lifetime counts, so
+        // the pre-instrumentation publish shows up too.
+        assert_eq!(snap.counter("streams.topic.pre.published"), 6);
+        assert_eq!(snap.counter("streams.published_total"), 6);
+        assert_eq!(b.published_total(), 6);
+        assert_eq!(snap.counter("streams.topic.pre.dropped_entries"), 3);
+        assert_eq!(snap.counter("streams.dropped_entries_total"), 3);
+        // Latency/backlog sample 1-in-64 publishes keyed on the topic's
+        // publish sequence; "pre"'s seq 0 predates instrumentation, so
+        // nothing sampled yet — the backlog gauge is registered but unset.
+        assert_eq!(snap.histograms["streams.publish_ns"].count, 0);
+        assert_eq!(snap.gauges["streams.topic.pre.backlog"], 0.0);
+        // Topics created after instrumentation are covered too, and their
+        // first publish (seq 0) lands a latency sample + backlog reading.
+        b.publish("post", 1, vec![]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("streams.topic.post.published"), 1);
+        assert_eq!(snap.counter("streams.published_total"), 7);
+        assert_eq!(snap.histograms["streams.publish_ns"].count, 1);
+        assert_eq!(snap.gauges["streams.topic.post.backlog"], 0.0);
+        drop(sub);
+    }
+
+    #[test]
+    fn uninstrumented_broker_exports_nothing() {
+        let b = Broker::default();
+        let reg = apollo_obs::Registry::noop();
+        b.instrument(&reg); // disabled registry: stays uninstrumented
+        b.publish("t", 1, vec![]);
+        assert_eq!(reg.snapshot(), apollo_obs::Snapshot::default());
+    }
+
+    #[test]
+    fn topic_info_surfaces_clock_regressions() {
+        let b = Broker::default();
+        b.publish("t", 100, vec![]);
+        b.publish("t", 40, vec![]); // wall clock stepped backwards
+        let info = b.topic_info("t").unwrap();
+        assert_eq!(info.clock_regressions, 1);
+        assert_eq!(info.last_id, Some(StreamId::new(100, 1)), "clamped forward");
     }
 
     #[test]

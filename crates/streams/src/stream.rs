@@ -14,6 +14,7 @@ use crate::id::StreamId;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Retention configuration for a [`Stream`].
 #[derive(Debug, Clone)]
@@ -73,6 +74,10 @@ pub struct Stream {
     config: StreamConfig,
     window: RwLock<Window>,
     archive: ArchiveLog,
+    /// Auto-ID appends whose `ms` was behind the last ID's ms-part (the
+    /// wall clock regressed); their IDs were clamped forward to stay
+    /// monotonic. See [`Stream::range_by_time`] for the contract.
+    clock_regressions: AtomicU64,
 }
 
 impl Stream {
@@ -83,6 +88,7 @@ impl Stream {
             config,
             window: RwLock::new(Window::default()),
             archive: ArchiveLog::new(),
+            clock_regressions: AtomicU64::new(0),
         }
     }
 
@@ -98,14 +104,33 @@ impl Stream {
 
     /// Append with an auto-assigned ID derived from `ms` (monotonic even if
     /// `ms` goes backwards). Returns the assigned ID.
+    ///
+    /// When `ms` is behind the last ID's ms-part (the wall clock regressed,
+    /// e.g. an NTP step), the ID is clamped forward to `last.ms` so the
+    /// stream stays strictly ordered. The entry is then *indexed* at the
+    /// clamped time, not at `ms` — [`Stream::clock_regressions`] counts how
+    /// often this happened, and [`Stream::range_by_time`] documents the
+    /// resulting lookup contract.
     pub fn append(&self, ms: u64, payload: impl Into<Bytes>) -> StreamId {
         let mut w = self.window.write();
         let id = match w.last_id {
-            Some(last) => last.next_for(ms),
+            Some(last) => {
+                if ms < last.ms {
+                    self.clock_regressions.fetch_add(1, Ordering::Relaxed);
+                }
+                last.next_for(ms)
+            }
             None => StreamId::new(ms, 0),
         };
         self.push_locked(&mut w, Entry::new(id, payload));
         id
+    }
+
+    /// Number of auto-ID appends that arrived with a regressed `ms` and had
+    /// their ID clamped forward (see [`Stream::append`]). A non-zero value
+    /// means ID time and wall time have diverged for some entries.
+    pub fn clock_regressions(&self) -> u64 {
+        self.clock_regressions.load(Ordering::Relaxed)
     }
 
     /// Append an entry with an explicit ID, which must exceed the last ID.
@@ -202,8 +227,19 @@ impl Stream {
         w.entries.iter().map(|e| e.payload.len() + per_entry).sum()
     }
 
-    /// Entries in the range whose embedded millisecond timestamp lies in
-    /// `[start_ms, end_ms]` — the timestamp index used by query execution.
+    /// Entries whose **assigned ID time** lies in `[start_ms, end_ms]` —
+    /// the timestamp index used by query execution.
+    ///
+    /// Contract: the index key is the ID's ms-part, which equals the `ms`
+    /// passed to [`Stream::append`] except when the clock regressed — then
+    /// the entry was clamped forward to the last ID's ms-part (never
+    /// dropped, never reordered), so it is found at (or just after) the
+    /// time of the entry it landed behind, not at its own wall time. A
+    /// window query therefore never silently loses a clamped entry that
+    /// overlaps the window's upper edge, and callers that need exact wall
+    /// time must carry it in the payload (as the `Record` codec's
+    /// `timestamp_ns` does). [`Stream::clock_regressions`] reports whether
+    /// any divergence exists.
     pub fn range_by_time(&self, start_ms: u64, end_ms: u64) -> Vec<Entry> {
         self.range(StreamId::new(start_ms, 0), StreamId::new(end_ms, u64::MAX))
     }
@@ -313,6 +349,47 @@ mod tests {
         assert_eq!(s.range_by_time(200, 300).len(), 3);
         assert_eq!(s.range_by_time(0, 99).len(), 0);
         assert_eq!(s.range_by_time(100, 400).len(), 6);
+    }
+
+    #[test]
+    fn clock_regression_clamps_ids_and_keeps_time_range_contract() {
+        // Regression for the clock-skew/time-range interaction: wall time
+        // regresses 100 -> 50 -> 60. Monotonic clamping must index both
+        // regressed entries at ms=100, count the regressions, and keep
+        // every entry reachable through range_by_time windows that respect
+        // the documented ID-time contract.
+        let s = Stream::with_defaults("t");
+        let a = s.append(100, vec![0]);
+        let b = s.append(50, vec![1]); // clock stepped backwards
+        let c = s.append(60, vec![2]); // still behind the clamped ms
+        assert_eq!(a, StreamId::new(100, 0));
+        assert_eq!(b, StreamId::new(100, 1), "regressed entry clamped forward");
+        assert_eq!(c, StreamId::new(100, 2));
+        assert_eq!(s.clock_regressions(), 2);
+
+        // Indexed at ID time: a window over the clamped time finds all
+        // three; a window over the regressed wall times finds none (the
+        // entries were clamped out of it, by contract).
+        assert_eq!(s.range_by_time(100, 100).len(), 3);
+        assert_eq!(s.range_by_time(40, 70).len(), 0);
+        // A window whose upper edge covers the clamp target never loses
+        // the clamped entries.
+        assert_eq!(s.range_by_time(40, 100).len(), 3);
+
+        // Once the clock recovers past the clamp point, appends resume
+        // normal wall-time indexing without further regressions.
+        let d = s.append(101, vec![3]);
+        assert_eq!(d, StreamId::new(101, 0));
+        assert_eq!(s.clock_regressions(), 2);
+        assert_eq!(s.range_by_time(101, 101).len(), 1);
+    }
+
+    #[test]
+    fn same_ms_append_is_not_a_regression() {
+        let s = Stream::with_defaults("t");
+        s.append(10, vec![]);
+        s.append(10, vec![]); // same ms: normal seq bump
+        assert_eq!(s.clock_regressions(), 0);
     }
 
     #[test]

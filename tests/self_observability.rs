@@ -1,0 +1,102 @@
+//! End-to-end self-observability: Apollo monitors a small cluster while
+//! the self-observer republishes the monitor's own internals as facts,
+//! and the AQE queries both sides — including the stale-skip aggregate
+//! semantics and the per-arm union error surface introduced alongside
+//! the metrics layer.
+
+use apollo_cluster::fault::{FaultKind, FaultPlan, FaultWindow, FlakySource};
+use apollo_cluster::metrics::ConstSource;
+use apollo_core::selfobs::{deploy_self_observer, SELF_TOPICS};
+use apollo_core::service::{Apollo, FactVertexSpec, InsightVertexSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn self_observer_facts_flow_through_aqe() {
+    let mut apollo = Apollo::new_virtual();
+    for (name, v) in [("node0/cap", 100.0), ("node1/cap", 60.0)] {
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                name,
+                Arc::new(ConstSource::new(name, v)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+    }
+    apollo
+        .register_insight(InsightVertexSpec::sum_of(
+            "cluster/total",
+            vec!["node0/cap".into(), "node1/cap".into()],
+            Duration::from_secs(1),
+        ))
+        .unwrap();
+    let observers = deploy_self_observer(&mut apollo, Duration::from_secs(5)).unwrap();
+    assert_eq!(observers.len(), SELF_TOPICS.len());
+
+    apollo.run_for(Duration::from_secs(60));
+
+    // The monitored cluster answers as before …
+    let total = apollo.query("SELECT MAX(Timestamp), metric FROM cluster/total").unwrap();
+    assert_eq!(total.rows[0].value, 160.0);
+
+    // … and the monitor's own internals answer through the same AQE.
+    let mem =
+        apollo.query("SELECT MAX(Timestamp), metric FROM apollo/self/broker_memory_bytes").unwrap();
+    assert!(mem.rows[0].value > 0.0);
+    let entries =
+        apollo.query("SELECT MAX(Timestamp), metric FROM apollo/self/stream_entries").unwrap();
+    assert!(entries.rows[0].value >= 3.0, "at least one record per monitored topic");
+    let p99 = apollo.query("SELECT MAX(Timestamp), metric FROM apollo/self/poll_p99_ns").unwrap();
+    assert!(p99.rows[0].value > 0.0, "instrumented polls feed score.poll_ns");
+    let quarantined = apollo
+        .query("SELECT MAX(Timestamp), metric FROM apollo/self/quarantined_vertices")
+        .unwrap();
+    assert_eq!(quarantined.rows[0].value, 0.0);
+
+    // A union across monitored and self topics works arm-by-arm.
+    let union = apollo
+        .query(
+            "SELECT MAX(Timestamp), metric FROM cluster/total \
+             UNION SELECT MAX(Timestamp), metric FROM apollo/self/facts_published \
+             UNION SELECT MAX(Timestamp), metric FROM not/a/topic",
+        )
+        .unwrap();
+    assert_eq!(union.rows.len(), 2, "healthy arms answer");
+    assert_eq!(union.arm_errors.len(), 1);
+    assert_eq!(union.arm_errors[0].arm, 2);
+
+    // The registry saw every layer of the run.
+    let snap = apollo.metrics_snapshot();
+    assert!(snap.counter("runtime.timer.fires") > 0);
+    assert!(snap.counter("streams.published_total") > 0);
+    assert!(snap.histograms.contains_key("score.poll_ns"));
+    assert!(snap.counter("query.executed") >= 6);
+    assert!(snap.counter("query.arm_errors") >= 1);
+}
+
+#[test]
+fn outage_is_visible_but_does_not_skew_aggregates() {
+    const POLL: Duration = Duration::from_secs(1);
+    let mut apollo = Apollo::new_virtual();
+    // A hook that fails between t=10s and t=20s, constant value 50.
+    let plan = FaultPlan::none().with_window(FaultWindow::new(
+        Duration::from_secs(10),
+        Duration::from_secs(20),
+        FaultKind::ErrorBurst,
+    ));
+    let src = FlakySource::new(Arc::new(ConstSource::new("c", 50.0)), plan, 3);
+    apollo.register_fact(FactVertexSpec::fixed("cap", Arc::new(src), POLL)).unwrap();
+    apollo.run_for(Duration::from_secs(30));
+
+    // Stale republications exist (the outage is visible to subscribers) …
+    let count = apollo.query("SELECT COUNT(*) FROM cap").unwrap();
+    let counts = count.rows[0].counts.expect("scan aggregates report provenance counts");
+    assert!(counts.stale >= 1, "outage produced stale records: {counts:?}");
+
+    // … but the default aggregate view is the measured signal only.
+    let avg = apollo.query("SELECT AVG(metric) FROM cap").unwrap();
+    assert_eq!(avg.rows[0].value, 50.0);
+    let with_stale = apollo.query("SELECT AVG(metric) FROM cap INCLUDE STALE").unwrap();
+    assert_eq!(with_stale.rows[0].value, 50.0, "stale repeats the same constant");
+    assert_eq!(count.rows[0].value as u64, counts.measured);
+}
