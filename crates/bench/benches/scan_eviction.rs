@@ -1,0 +1,107 @@
+//! Scans under retention pressure: the epoch-validated archive+window
+//! stitch, the one-pass `ScanBatch` decode, and the epoch-invalidated
+//! query scan cache — measured both on a settled log and against a
+//! concurrent eviction churn thread.
+//!
+//! Run: `cargo bench -p apollo-bench --bench scan_eviction`
+
+use apollo_query::{CachedBroker, QueryEngine, ScanCache};
+use apollo_streams::codec::Record;
+use apollo_streams::{Broker, StreamConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A topic whose window holds only `window` entries, so `rows - window`
+/// of them have been evicted into the archive: every range read must
+/// stitch across the eviction seam.
+fn seeded(rows: u64, window: usize) -> Broker {
+    let broker = Broker::new(StreamConfig::bounded(window));
+    for i in 0..rows {
+        broker.publish("node_0_metric", i, Record::measured(i * 1_000_000, i as f64).encode());
+    }
+    broker
+}
+
+fn bench_stitched_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stitched_range");
+    let broker = seeded(50_000, 64);
+    for span in [1_000u64, 10_000, 49_999] {
+        group.bench_with_input(BenchmarkId::new("range_by_time", span), &span, |b, &span| {
+            b.iter(|| broker.range_by_time("node_0_metric", 0, span));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_batch(c: &mut Criterion) {
+    // One pass (entries + decoded records) vs range + per-entry decode.
+    let mut group = c.benchmark_group("scan_batch");
+    let broker = seeded(50_000, 64);
+    group.bench_function("range_then_decode", |b| {
+        b.iter(|| {
+            broker
+                .range_by_time("node_0_metric", 0, 49_999)
+                .iter()
+                .filter_map(|e| Record::decode(&e.payload).ok())
+                .count()
+        });
+    });
+    group.bench_function("scan_batch_by_time", |b| {
+        b.iter(|| broker.scan_batch_by_time("node_0_metric", 0, 49_999).records.len());
+    });
+    group.finish();
+}
+
+fn bench_query_scan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_scan");
+    let broker = seeded(50_000, 64);
+    let sql = "SELECT AVG(metric) FROM node_0_metric WHERE Timestamp BETWEEN 0 AND 40000";
+    group.bench_function("uncached", |b| {
+        let engine = QueryEngine::new(&broker);
+        b.iter(|| engine.execute_sql(sql).unwrap());
+    });
+    group.bench_function("cached", |b| {
+        let cache = ScanCache::new();
+        let provider = CachedBroker::new(&broker, &cache);
+        let engine = QueryEngine::new(&provider);
+        engine.execute_sql(sql).unwrap(); // warm
+        b.iter(|| engine.execute_sql(sql).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_range_under_eviction(c: &mut Criterion) {
+    // A writer hammers the topic (every append evicts at this window
+    // size) while the benched scan stitches a settled prefix plus the
+    // racing seam — the epoch retry/fallback path under real churn.
+    let mut group = c.benchmark_group("range_under_eviction");
+    let broker = Arc::new(seeded(20_000, 64));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let broker = Arc::clone(&broker);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut ms = 20_000u64;
+            while !stop.load(Ordering::Acquire) {
+                broker.publish("node_0_metric", ms, Record::measured(ms, ms as f64).encode());
+                ms += 1;
+            }
+        })
+    };
+    group.bench_function("range_by_time", |b| {
+        b.iter(|| broker.range_by_time("node_0_metric", 0, 19_999));
+    });
+    group.finish();
+    stop.store(true, Ordering::Release);
+    writer.join().unwrap();
+}
+
+criterion_group!(
+    benches,
+    bench_stitched_range,
+    bench_scan_batch,
+    bench_query_scan_cache,
+    bench_range_under_eviction
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Scan-under-eviction throughput — the consistent-snapshot stitch and
+//! the epoch-invalidated query scan cache under retention pressure.
+//!
+//! A topic with a small bounded window (most entries evicted into the
+//! archive) is scanned through the AQE two ways: a plain
+//! per-query re-scan (`QueryEngine` over the raw `Broker`) and the
+//! epoch-cached provider (`CachedBroker` over a `ScanCache`). A second
+//! phase re-runs the stitched range read against a live writer so the
+//! epoch retry counters exercise the race path the interleaving test
+//! pins.
+//!
+//! Run: `cargo run --release -p apollo-bench --bin scan_eviction`
+
+use apollo_bench::report::{Report, Series};
+use apollo_query::{CachedBroker, QueryEngine, ScanCache};
+use apollo_streams::codec::Record;
+use apollo_streams::{Broker, StreamConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: u64 = 100_000;
+const WINDOW: usize = 256;
+const ITERS: u32 = 200;
+
+fn scans_per_sec<P: apollo_query::TableProvider>(provider: &P, sql: &str) -> f64 {
+    let engine = QueryEngine::new(provider);
+    engine.execute_sql(sql).expect("warm scan"); // warm caches / page in
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        engine.execute_sql(sql).expect("scan");
+    }
+    f64::from(ITERS) / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let registry = apollo_obs::Registry::new();
+    let broker = Arc::new(Broker::new(StreamConfig::bounded(WINDOW)));
+    broker.instrument(&registry);
+    for i in 0..ROWS {
+        broker.publish("node_0_metric", i, Record::measured(i * 1_000_000, i as f64).encode());
+    }
+    let cache = ScanCache::new();
+    cache.instrument(&registry);
+
+    let mut report = Report::new("scan_eviction", "Range-scan throughput under retention pressure");
+    let mut uncached = Series::new("uncached");
+    let mut cached = Series::new("cached");
+    let mut last_speedup = 0.0;
+    for span in [1_000u64, 10_000, ROWS - 1] {
+        let sql =
+            format!("SELECT AVG(metric) FROM node_0_metric WHERE Timestamp BETWEEN 0 AND {span}");
+        let plain = scans_per_sec(broker.as_ref(), &sql);
+        let provider = CachedBroker::new(broker.as_ref(), &cache);
+        let warm = scans_per_sec(&provider, &sql);
+        uncached.push(span as f64, plain);
+        cached.push(span as f64, warm);
+        last_speedup = warm / plain;
+    }
+    report.note("cache_speedup_full_span", last_speedup);
+    report.note("cache_hits", cache.hits());
+    report.note("cache_misses", cache.misses());
+
+    // Phase 2: the same stitched read while a writer keeps evicting —
+    // exercises the epoch retry / pessimistic-fallback path.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let broker = Arc::clone(&broker);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut ms = ROWS;
+            while !stop.load(Ordering::Acquire) {
+                broker.publish("node_0_metric", ms, Record::measured(ms, ms as f64).encode());
+                ms += 1;
+            }
+        })
+    };
+    let mut churn = Series::new("uncached_under_churn");
+    let t = Instant::now();
+    let mut scans = 0u32;
+    while t.elapsed().as_millis() < 500 {
+        broker.range_by_time("node_0_metric", 0, ROWS - 1);
+        scans += 1;
+    }
+    churn.push((ROWS - 1) as f64, f64::from(scans) / t.elapsed().as_secs_f64());
+    stop.store(true, Ordering::Release);
+    writer.join().unwrap();
+    let info = broker.topic_info("node_0_metric").expect("topic exists");
+    report.note("epoch_retries_under_churn", info.scan_epoch_retries);
+
+    report.add_series(uncached);
+    report.add_series(cached);
+    report.add_series(churn);
+    report.attach_metrics(&registry.snapshot());
+    report.finish("span_rows", "scans/sec");
+}

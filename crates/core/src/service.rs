@@ -25,7 +25,7 @@ use apollo_cluster::metrics::MetricSource;
 use apollo_delphi::predictor::OnlinePredictor;
 use apollo_delphi::stack::Delphi;
 use apollo_obs::Registry;
-use apollo_query::exec::{ExecSqlError, QueryEngine, QueryResult};
+use apollo_query::exec::{CachedBroker, ExecSqlError, QueryEngine, QueryResult, ScanCache};
 use apollo_runtime::event_loop::{EventLoop, TimerAction};
 use apollo_runtime::time::{AnyClock, Clock};
 use apollo_streams::{Broker, StreamConfig};
@@ -197,6 +197,9 @@ pub struct Apollo {
     timers: std::collections::HashMap<String, Vec<Arc<apollo_runtime::event_loop::TimerControl>>>,
     /// The self-observation metrics registry every subsystem reports into.
     registry: Registry,
+    /// Epoch-invalidated decoded-scan cache shared by every AQE query
+    /// (engines are per-call; the cache outlives them on the service).
+    scan_cache: ScanCache,
 }
 
 impl Apollo {
@@ -227,6 +230,8 @@ impl Apollo {
         let broker = Arc::new(Broker::new(streams));
         el.instrument(&registry);
         broker.instrument(&registry);
+        let scan_cache = ScanCache::new();
+        scan_cache.instrument(&registry);
         Self {
             broker,
             el,
@@ -235,6 +240,7 @@ impl Apollo {
             insights: Vec::new(),
             timers: std::collections::HashMap::new(),
             registry,
+            scan_cache,
         }
     }
 
@@ -389,9 +395,19 @@ impl Apollo {
     }
 
     /// Execute an AQE query (instrumented: `query.executed`,
-    /// `query.arm_ns`, `query.arm_errors`).
+    /// `query.arm_ns`, `query.arm_errors`). Range scans are served
+    /// through the service's epoch-invalidated decoded-scan cache
+    /// (`query.scan_cache.{hits,misses,invalidations}`): a repeat scan
+    /// of a topic whose content has not changed skips the stitch and the
+    /// per-payload decode entirely.
     pub fn query(&self, sql: &str) -> Result<QueryResult, ExecSqlError> {
-        QueryEngine::with_metrics(self.broker.as_ref(), &self.registry).execute_sql(sql)
+        let provider = CachedBroker::new(self.broker.as_ref(), &self.scan_cache);
+        QueryEngine::with_metrics(&provider, &self.registry).execute_sql(sql)
+    }
+
+    /// The shared decoded-scan cache behind [`Apollo::query`].
+    pub fn scan_cache(&self) -> &ScanCache {
+        &self.scan_cache
     }
 
     /// Approximate memory held by all SCoRe queues (Figure 5).
@@ -834,9 +850,47 @@ mod tests {
         assert_eq!(snap.counter("core.vertex.cap.suppressed"), 9);
         // Query layer.
         assert_eq!(snap.counter("query.executed"), 1);
+        // Scan-consistency layer: the decoded-scan cache counters and the
+        // per-topic epoch-retry/lag counters are all exported.
+        assert!(snap.counters.contains_key("query.scan_cache.hits"));
+        assert!(snap.counters.contains_key("query.scan_cache.misses"));
+        assert!(snap.counters.contains_key("query.scan_cache.invalidations"));
+        assert!(snap.counters.contains_key("streams.topic.cap.scan_epoch_retries"));
+        assert!(snap.counters.contains_key("streams.topic.cap.group_lagged"));
         // And the whole thing survives a JSON round-trip.
         let json = snap.to_json();
         assert_eq!(apollo_obs::Snapshot::from_json(&json).unwrap(), snap);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_scan_cache() {
+        let mut apollo = Apollo::new_virtual();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 5.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(5));
+        let first = apollo.query("SELECT AVG(metric) FROM cap").unwrap();
+        let second = apollo.query("SELECT AVG(metric) FROM cap").unwrap();
+        assert_eq!(first, second);
+        assert_eq!(apollo.scan_cache().misses(), 1);
+        assert_eq!(apollo.scan_cache().hits(), 1);
+        let snap = apollo.metrics_snapshot();
+        assert_eq!(snap.counter("query.scan_cache.hits"), 1);
+        assert_eq!(snap.counter("query.scan_cache.misses"), 1);
+        // New data invalidates: the next scan re-reads and sees it.
+        apollo.run_for(Duration::from_secs(1));
+        apollo.broker().publish(
+            "cap",
+            7_000,
+            apollo_streams::Record::measured(7 * 1_000_000_000, 11.0).encode(),
+        );
+        let third = apollo.query("SELECT MAX(metric) FROM cap").unwrap();
+        assert_eq!(third.rows[0].value, 11.0);
+        assert!(apollo.scan_cache().invalidations() >= 1);
     }
 
     #[test]

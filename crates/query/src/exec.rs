@@ -10,8 +10,12 @@
 
 use crate::ast::{Aggregate, OrderBy, Query, Select};
 use apollo_streams::codec::{Provenance, Record};
-use apollo_streams::Broker;
+use apollo_streams::{Broker, StreamId};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Provenance breakdown of the records a scan aggregate looked at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,10 +113,163 @@ impl TableProvider for Broker {
     }
 
     fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Vec<Record> {
-        Broker::range_by_time(self, table, start_ms, end_ms)
-            .iter()
-            .filter_map(|e| Record::decode(&e.payload).ok())
-            .collect()
+        // One consistent batched scan: decode happens inside the stream's
+        // snapshot pass instead of per entry here.
+        Broker::scan_batch_by_time(self, table, start_ms, end_ms).records
+    }
+}
+
+/// Scans kept before the cache wholesale-clears to re-admit the working
+/// set (simple bound, no LRU bookkeeping on the query hot path).
+const MAX_CACHED_SCANS: usize = 256;
+
+/// One cached decoded scan, tagged with the `(epoch, last_id)` snapshot
+/// key it was taken under.
+struct CachedScan {
+    epoch: u64,
+    last_id: Option<StreamId>,
+    records: Arc<Vec<Record>>,
+}
+
+/// An epoch-invalidated cache of decoded range scans, keyed by
+/// `(topic, start_ms, end_ms)`.
+///
+/// Validity invariant: a topic's `(eviction_epoch, last_id)` pair is
+/// unchanged **iff** the stream's content is unchanged — IDs are strictly
+/// monotonic, so a stable `last_id` rules out appends, and the epoch
+/// moves on every eviction (archiving or not). While the pair matches,
+/// the decoded records for any sub-range are byte-for-byte identical, so
+/// the query path can skip both the stitch and the per-payload decode.
+/// The pair is captured *inside* the scan's consistent snapshot
+/// ([`apollo_streams::ScanBatch`]), never re-read afterwards, so a racing
+/// append can only make the cache conservatively re-scan — never serve
+/// newer content under an older key.
+///
+/// The cache is shared across queries (it lives on the service, not the
+/// per-query engine) and is safe for the executor's parallel arms.
+#[derive(Default)]
+pub struct ScanCache {
+    scans: Mutex<HashMap<(String, u64, u64), CachedScan>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    invalidations: Arc<AtomicU64>,
+}
+
+impl ScanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Export the hit/miss/invalidation counters into `registry` as
+    /// `query.scan_cache.{hits,misses,invalidations}`, backed by the
+    /// cells the lookup path already increments (zero added cost).
+    pub fn instrument(&self, registry: &apollo_obs::Registry) {
+        if !registry.enabled() {
+            return;
+        }
+        let _ = registry.counter_backed_by("query.scan_cache.hits", Arc::clone(&self.hits));
+        let _ = registry.counter_backed_by("query.scan_cache.misses", Arc::clone(&self.misses));
+        let _ = registry
+            .counter_backed_by("query.scan_cache.invalidations", Arc::clone(&self.invalidations));
+    }
+
+    /// Range lookups served from the cache without touching the stream.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Range lookups that had to scan (no entry for the key).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached scans discarded because the topic's `(epoch, last_id)`
+    /// moved (an append or eviction changed the stream's content).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Cached scans currently held.
+    pub fn len(&self) -> usize {
+        self.scans.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(
+        &self,
+        key: &(String, u64, u64),
+        meta: (u64, Option<StreamId>),
+    ) -> Option<Arc<Vec<Record>>> {
+        let mut scans = self.scans.lock();
+        match scans.get(key) {
+            Some(c) if (c.epoch, c.last_id) == meta => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&c.records))
+            }
+            Some(_) => {
+                scans.remove(key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn store(&self, key: (String, u64, u64), scan: CachedScan) {
+        let mut scans = self.scans.lock();
+        if scans.len() >= MAX_CACHED_SCANS && !scans.contains_key(&key) {
+            scans.clear();
+        }
+        scans.insert(key, scan);
+    }
+}
+
+/// A [`TableProvider`] wrapping a [`Broker`] with a shared [`ScanCache`]:
+/// `latest` passes straight through (an O(1) tail-read is cheaper than
+/// any cache probe); `range` serves repeat scans of an unchanged topic
+/// from the decoded cache and otherwise takes one consistent
+/// [`Broker::scan_batch_by_time`], storing the result under the batch's
+/// own snapshot key.
+pub struct CachedBroker<'a> {
+    broker: &'a Broker,
+    cache: &'a ScanCache,
+}
+
+impl<'a> CachedBroker<'a> {
+    /// Wrap `broker` with `cache`.
+    pub fn new(broker: &'a Broker, cache: &'a ScanCache) -> Self {
+        Self { broker, cache }
+    }
+}
+
+impl TableProvider for CachedBroker<'_> {
+    fn latest(&self, table: &str) -> Option<Record> {
+        TableProvider::latest(self.broker, table)
+    }
+
+    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Vec<Record> {
+        let key = (table.to_string(), start_ms, end_ms);
+        let meta = self.broker.scan_meta(table);
+        if let Some(records) = self.cache.lookup(&key, meta) {
+            return records.as_ref().clone();
+        }
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let batch = self.broker.scan_batch_by_time(table, start_ms, end_ms);
+        let records = Arc::new(batch.records);
+        self.cache.store(
+            key,
+            CachedScan {
+                epoch: batch.epoch,
+                last_id: batch.last_id,
+                records: Arc::clone(&records),
+            },
+        );
+        records.as_ref().clone()
     }
 }
 
@@ -720,5 +877,118 @@ mod tests {
         let engine = QueryEngine::new(&b);
         let out = engine.execute(&Query { selects: vec![] }).unwrap();
         assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn cached_broker_returns_same_results_as_uncached() {
+        let b = outage_broker();
+        let cache = ScanCache::new();
+        let cached = CachedBroker::new(&b, &cache);
+        let plain = QueryEngine::new(&b);
+        let through_cache = QueryEngine::new(&cached);
+        for sql in [
+            "SELECT AVG(metric) FROM disk",
+            "SELECT metric FROM disk",
+            "SELECT COUNT(*) FROM disk INCLUDE STALE",
+            "SELECT MAX(Timestamp), metric FROM disk",
+            "SELECT AVG(metric) FROM disk WHERE Timestamp BETWEEN 100 AND 300",
+            "SELECT metric FROM missing",
+        ] {
+            // Twice through the cache (cold then warm) — both must match
+            // the uncached engine exactly.
+            assert_eq!(through_cache.execute_sql(sql).ok(), plain.execute_sql(sql).ok(), "{sql}");
+            assert_eq!(through_cache.execute_sql(sql).ok(), plain.execute_sql(sql).ok(), "{sql}");
+        }
+        assert!(cache.hits() > 0, "warm passes must have hit");
+    }
+
+    #[test]
+    fn scan_cache_hits_while_topic_unchanged() {
+        let b = seeded_broker();
+        let cache = ScanCache::new();
+        let cached = CachedBroker::new(&b, &cache);
+        let engine = QueryEngine::new(&cached);
+        engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap();
+        engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        // A different time window is a different key: its own miss.
+        engine
+            .execute_sql("SELECT AVG(metric) FROM capacity WHERE Timestamp BETWEEN 100 AND 200")
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(cache.invalidations(), 0);
+    }
+
+    #[test]
+    fn scan_cache_invalidates_on_append() {
+        let b = seeded_broker();
+        let cache = ScanCache::new();
+        let cached = CachedBroker::new(&b, &cache);
+        let engine = QueryEngine::new(&cached);
+        let before = engine.execute_sql("SELECT SUM(metric) FROM capacity").unwrap();
+        assert_eq!(before.rows[0].value, 100.0);
+        // New data moves last_id: the cached scan must not be served.
+        b.publish("capacity", 500, Record::measured(500_000_000, 60.0).encode());
+        let after = engine.execute_sql("SELECT SUM(metric) FROM capacity").unwrap();
+        assert_eq!(after.rows[0].value, 160.0, "stale cache entry served after append");
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn scan_cache_invalidates_on_archiveless_eviction() {
+        // archive_evicted=false drops entries on eviction: range content
+        // shrinks even though the data went nowhere readable. The epoch
+        // bump must still invalidate, or the cache would serve vanished
+        // records.
+        let b = Broker::new(StreamConfig { max_len: Some(2), archive_evicted: false });
+        for i in 0..2u64 {
+            b.publish("t", i, Record::measured(i * 1_000_000, i as f64).encode());
+        }
+        let cache = ScanCache::new();
+        let cached = CachedBroker::new(&b, &cache);
+        let engine = QueryEngine::new(&cached);
+        assert_eq!(engine.execute_sql("SELECT COUNT(*) FROM t").unwrap().rows[0].value, 2.0);
+        // Two more publishes evict the first two entirely.
+        for i in 2..4u64 {
+            b.publish("t", i, Record::measured(i * 1_000_000, i as f64).encode());
+        }
+        let out = engine.execute_sql("SELECT metric FROM t").unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].value, 2.0, "evicted records must be gone from cached scans");
+        let count = engine.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(count.rows[0].value, 2.0);
+        assert_eq!(cache.invalidations(), 1, "the COUNT re-scan displaced the stale entry");
+    }
+
+    #[test]
+    fn scan_cache_instruments_registry() {
+        let b = seeded_broker();
+        let cache = ScanCache::new();
+        let registry = apollo_obs::Registry::new();
+        cache.instrument(&registry);
+        let cached = CachedBroker::new(&b, &cache);
+        let engine = QueryEngine::new(&cached);
+        engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap();
+        engine.execute_sql("SELECT AVG(metric) FROM capacity").unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("query.scan_cache.hits"), 1);
+        assert_eq!(snap.counter("query.scan_cache.misses"), 1);
+        assert_eq!(snap.counter("query.scan_cache.invalidations"), 0);
+    }
+
+    #[test]
+    fn scan_cache_bounds_its_size() {
+        let b = Broker::new(StreamConfig::default());
+        b.publish("t", 1, Record::measured(1_000_000, 1.0).encode());
+        let cache = ScanCache::new();
+        let cached = CachedBroker::new(&b, &cache);
+        // Distinct windows → distinct keys; the cache must stay bounded.
+        for i in 0..600u64 {
+            TableProvider::range(&cached, "t", 0, i);
+        }
+        assert!(cache.len() <= 256, "cache grew past its bound: {}", cache.len());
     }
 }

@@ -28,5 +28,5 @@ pub mod exec;
 pub mod parser;
 
 pub use ast::{Aggregate, Query, Select};
-pub use exec::{QueryEngine, QueryResult, Row, TableProvider};
+pub use exec::{CachedBroker, QueryEngine, QueryResult, Row, ScanCache, TableProvider};
 pub use parser::{parse, ParseError};

@@ -107,6 +107,39 @@ impl ArchiveLog {
         }
     }
 
+    /// Like [`ArchiveLog::range_into`], but stops after appending at most
+    /// `max` entries — the consumer-group catch-up path wants the oldest
+    /// `max` lagged entries, not the whole archive tail.
+    pub fn range_limited_into(
+        &self,
+        start: StreamId,
+        end: StreamId,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) {
+        if start > end || max == 0 {
+            return;
+        }
+        let mut remaining = max;
+        let seg = self.segments.read();
+        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice()))
+        {
+            if remaining == 0 {
+                return;
+            }
+            if run.is_empty() {
+                continue;
+            }
+            if run.last().is_some_and(|e| e.id < start) || run[0].id > end {
+                continue;
+            }
+            let lo = run.partition_point(|e| e.id < start);
+            let hi = run.partition_point(|e| e.id <= end).min(lo + remaining);
+            out.extend_from_slice(&run[lo..hi]);
+            remaining -= hi - lo;
+        }
+    }
+
     /// Convenience wrapper over [`ArchiveLog::range_into`].
     pub fn range(&self, start: StreamId, end: StreamId) -> Vec<Entry> {
         let mut out = Vec::new();
@@ -199,6 +232,23 @@ mod tests {
         let got = log.range(start, end);
         assert_eq!(got.len(), 11);
         assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn range_limited_stops_at_max_across_segments() {
+        let log = ArchiveLog::new();
+        let n = SEGMENT_CAPACITY + 50;
+        for i in 0..n {
+            log.append(e(i as u64, 0));
+        }
+        let mut out = Vec::new();
+        log.range_limited_into(StreamId::new(10, 0), StreamId::MAX, SEGMENT_CAPACITY + 5, &mut out);
+        assert_eq!(out.len(), SEGMENT_CAPACITY + 5);
+        assert_eq!(out[0].id.ms, 10);
+        assert!(out.windows(2).all(|w| w[0].id < w[1].id));
+        let mut none = Vec::new();
+        log.range_limited_into(StreamId::MIN, StreamId::MAX, 0, &mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

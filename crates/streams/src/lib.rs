@@ -42,4 +42,4 @@ pub use broker::{
 pub use codec::{Provenance, Record};
 pub use entry::Entry;
 pub use id::StreamId;
-pub use stream::{Stream, StreamConfig};
+pub use stream::{ScanBatch, Stream, StreamConfig};

@@ -9,12 +9,14 @@
 //! timestamp-based indexing".
 
 use crate::archiver::ArchiveLog;
+use crate::codec::Record;
 use crate::entry::Entry;
 use crate::id::StreamId;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Retention configuration for a [`Stream`].
 #[derive(Debug, Clone)]
@@ -67,6 +69,25 @@ impl std::fmt::Display for IdNotIncreasing {
 
 impl std::error::Error for IdNotIncreasing {}
 
+/// A consistent scan over a stream: the entries of one atomic
+/// archive+window snapshot plus their payloads pre-decoded as telemetry
+/// [`Record`]s in the same pass — the batched read the query executor
+/// uses so a scan decodes each payload exactly once.
+#[derive(Debug, Clone)]
+pub struct ScanBatch {
+    /// The raw entries, in ID order.
+    pub entries: Vec<Entry>,
+    /// Decoded records in entry order; payloads that failed to decode are
+    /// skipped (and counted in `corrupt`).
+    pub records: Vec<Record>,
+    /// Payloads that were not valid [`Record`] frames.
+    pub corrupt: u64,
+    /// The stream's eviction epoch at the snapshot point.
+    pub epoch: u64,
+    /// The stream's last assigned ID at the snapshot point.
+    pub last_id: Option<StreamId>,
+}
+
 /// An append-only, ID-ordered stream with bounded in-memory retention.
 #[derive(Debug)]
 pub struct Stream {
@@ -78,7 +99,25 @@ pub struct Stream {
     /// wall clock regressed); their IDs were clamped forward to stay
     /// monotonic. See [`Stream::range_by_time`] for the contract.
     clock_regressions: AtomicU64,
+    /// Eviction epoch: bumped (under the window write lock, after the
+    /// evicted entries have landed in the archive) every time a push
+    /// evicts. Readers use it to detect an eviction racing an
+    /// archive+window stitch; caches use it as an invalidation key.
+    epoch: AtomicU64,
+    /// Optimistic range stitches that observed the epoch move mid-read
+    /// and retried. Behind an `Arc` so the broker can export the cell as
+    /// a metrics counter without a second increment on the read path.
+    scan_epoch_retries: Arc<AtomicU64>,
+    /// Entries served out of the archive by [`Stream::read_after`]: the
+    /// cursor (a consumer group's, in practice) trailed the live window
+    /// because retention evicted entries before they were delivered.
+    group_lagged: Arc<AtomicU64>,
 }
+
+/// Attempts [`Stream::range`] makes optimistically (archive scanned
+/// outside the window lock) before falling back to the pessimistic
+/// combined view that holds the window read lock across both reads.
+const RANGE_OPTIMISTIC_ATTEMPTS: usize = 2;
 
 impl Stream {
     /// Create a stream with the given retention config.
@@ -89,6 +128,9 @@ impl Stream {
             window: RwLock::new(Window::default()),
             archive: ArchiveLog::new(),
             clock_regressions: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            scan_epoch_retries: Arc::new(AtomicU64::new(0)),
+            group_lagged: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -113,6 +155,20 @@ impl Stream {
     /// resulting lookup contract.
     pub fn append(&self, ms: u64, payload: impl Into<Bytes>) -> StreamId {
         let mut w = self.window.write();
+        self.append_locked(&mut w, ms, payload.into())
+    }
+
+    /// Append many `(ms, payload)` records under a single window-lock
+    /// acquisition — the batched flush SCoRe vertices use to amortize
+    /// lock traffic. Equivalent to calling [`Stream::append`] per record
+    /// (same IDs, same eviction, same clock-regression accounting), but
+    /// with one lock round-trip for the whole batch.
+    pub fn append_batch(&self, records: impl IntoIterator<Item = (u64, Bytes)>) -> Vec<StreamId> {
+        let mut w = self.window.write();
+        records.into_iter().map(|(ms, payload)| self.append_locked(&mut w, ms, payload)).collect()
+    }
+
+    fn append_locked(&self, w: &mut Window, ms: u64, payload: Bytes) -> StreamId {
         let id = match w.last_id {
             Some(last) => {
                 if ms < last.ms {
@@ -122,7 +178,7 @@ impl Stream {
             }
             None => StreamId::new(ms, 0),
         };
-        self.push_locked(&mut w, Entry::new(id, payload));
+        self.push_locked(w, Entry::new(id, payload));
         id
     }
 
@@ -150,11 +206,21 @@ impl Stream {
         w.last_id = Some(entry.id);
         w.entries.push_back(entry);
         if let Some(max) = self.config.max_len {
+            let mut evicted_any = false;
             while w.entries.len() > max {
                 let Some(evicted) = w.entries.pop_front() else { break };
                 if self.config.archive_evicted {
                     self.archive.append(evicted);
                 }
+                evicted_any = true;
+            }
+            // The epoch moves only after the evicted entries are fully
+            // readable from the archive (still under the write lock): an
+            // optimistic reader that saw a stable epoch around its archive
+            // read is guaranteed the archive already held everything the
+            // window no longer does.
+            if evicted_any {
+                self.epoch.fetch_add(1, Ordering::Release);
             }
         }
     }
@@ -191,30 +257,163 @@ impl Stream {
 
     /// All entries with `start <= id <= end` in ID order, stitching the
     /// archive (older) and the live window (newer) together.
+    ///
+    /// The stitch observes an **atomic archive+window snapshot**: a
+    /// concurrent eviction can never move an entry out of the window
+    /// between the two reads, so a scan racing retention sees no gaps and
+    /// no duplicates. The fast path scans the archive outside the window
+    /// lock and validates the eviction epoch after acquiring it; if the
+    /// epoch moved mid-read the stitch retries (counted in
+    /// [`Stream::scan_epoch_retries`]) and, under sustained eviction
+    /// pressure, falls back to holding the window read lock across both
+    /// reads — evictions need the write lock, so that view is consistent
+    /// by construction.
     pub fn range(&self, start: StreamId, end: StreamId) -> Vec<Entry> {
+        self.range_with_meta(start, end).0
+    }
+
+    /// [`Stream::range`] plus the `(epoch, last_id)` pair observed at the
+    /// snapshot point — the invalidation key cache layers compare against
+    /// [`Stream::scan_meta`].
+    fn range_with_meta(
+        &self,
+        start: StreamId,
+        end: StreamId,
+    ) -> (Vec<Entry>, u64, Option<StreamId>) {
         let mut out = Vec::new();
         if start > end {
+            let w = self.window.read();
+            return (out, self.epoch.load(Ordering::Acquire), w.last_id);
+        }
+        for attempt in 0.. {
+            out.clear();
+            let optimistic = attempt < RANGE_OPTIMISTIC_ATTEMPTS;
+            let before = self.epoch.load(Ordering::Acquire);
+            if optimistic {
+                self.archive.range_into(start, end, &mut out);
+            }
+            let w = self.window.read();
+            let epoch = self.epoch.load(Ordering::Acquire);
+            if optimistic && epoch != before {
+                // An eviction landed between the archive read and the
+                // window lock: the window may have shed entries our
+                // archive pass never saw. Re-stitch.
+                drop(w);
+                self.scan_epoch_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if !optimistic {
+                // Pessimistic combined view: evictions take the window
+                // write lock, so the archive is frozen while we hold the
+                // read lock (lock order window -> archive matches the
+                // eviction path).
+                self.archive.range_into(start, end, &mut out);
+            }
+            let entries = &w.entries;
+            let lo = partition_point_deque(entries, |e| e.id < start);
+            let hi = partition_point_deque(entries, |e| e.id <= end);
+            out.extend(entries.iter().skip(lo).take(hi - lo).cloned());
+            return (out, epoch, w.last_id);
+        }
+        unreachable!("range loop always returns")
+    }
+
+    /// All entries strictly after `cursor` (or from the very beginning
+    /// when `None`), up to `count`, stitching the archive in front of the
+    /// live window when the cursor trails it — a consumer-group cursor
+    /// that fell behind retention is caught up from the archive instead
+    /// of silently skipping the evicted entries. Entries served from the
+    /// archive are counted in [`Stream::group_lagged`].
+    pub fn read_after(&self, cursor: Option<StreamId>, count: usize) -> Vec<Entry> {
+        let mut out = Vec::new();
+        if count == 0 {
             return out;
         }
-        self.archive.range_into(start, end, &mut out);
+        let start = match cursor {
+            None => StreamId::MIN,
+            Some(c) => match c.successor() {
+                Some(s) => s,
+                None => return out,
+            },
+        };
+        // Hold the window read lock across the archive read: evictions
+        // need the write lock, so the stitch is a consistent snapshot.
         let w = self.window.read();
-        let entries = &w.entries;
-        let lo = partition_point_deque(entries, |e| e.id < start);
-        let hi = partition_point_deque(entries, |e| e.id <= end);
-        out.extend(entries.iter().skip(lo).take(hi - lo).cloned());
+        if self.archive.last_id().is_some_and(|a| a >= start) {
+            self.archive.range_limited_into(start, StreamId::MAX, count, &mut out);
+            if !out.is_empty() {
+                self.group_lagged.fetch_add(out.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let remaining = count - out.len();
+        if remaining > 0 {
+            let entries = &w.entries;
+            let lo = partition_point_deque(entries, |e| e.id < start);
+            out.extend(entries.iter().skip(lo).take(remaining).cloned());
+        }
         out
     }
 
-    /// All in-memory entries strictly after `cursor` (or from the start
-    /// when `None`), up to `count`.
-    pub fn read_after(&self, cursor: Option<StreamId>, count: usize) -> Vec<Entry> {
+    /// The current eviction epoch: moves every time retention evicts at
+    /// least one entry. Stable epoch + stable [`Stream::last_id`] means
+    /// the stream's content is unchanged — the invalidation contract of
+    /// the query layer's decoded-window cache.
+    pub fn eviction_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// `(eviction_epoch, last_id)` read under one lock — the pair a cache
+    /// compares to decide whether a previous [`Stream::scan_batch`] is
+    /// still valid.
+    pub fn scan_meta(&self) -> (u64, Option<StreamId>) {
         let w = self.window.read();
-        let entries = &w.entries;
-        let lo = match cursor {
-            Some(c) => partition_point_deque(entries, |e| e.id <= c),
-            None => 0,
-        };
-        entries.iter().skip(lo).take(count).cloned().collect()
+        (self.epoch.load(Ordering::Acquire), w.last_id)
+    }
+
+    /// Optimistic range stitches that had to retry because an eviction
+    /// moved the epoch mid-read.
+    pub fn scan_epoch_retries(&self) -> u64 {
+        self.scan_epoch_retries.load(Ordering::Relaxed)
+    }
+
+    /// The retry counter cell, for zero-cost metrics export.
+    pub(crate) fn scan_epoch_retries_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.scan_epoch_retries)
+    }
+
+    /// Entries [`Stream::read_after`] served from the archive because the
+    /// caller's cursor trailed the live window (consumer-group lag under
+    /// retention pressure).
+    pub fn group_lagged(&self) -> u64 {
+        self.group_lagged.load(Ordering::Relaxed)
+    }
+
+    /// The lag counter cell, for zero-cost metrics export.
+    pub(crate) fn group_lagged_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.group_lagged)
+    }
+
+    /// Consistent range scan with the payloads decoded as telemetry
+    /// [`Record`]s in the same pass: entries, records, and the
+    /// `(epoch, last_id)` snapshot key in one call, so the query path
+    /// decodes each payload exactly once per cache generation.
+    pub fn scan_batch(&self, start: StreamId, end: StreamId) -> ScanBatch {
+        let (entries, epoch, last_id) = self.range_with_meta(start, end);
+        let mut records = Vec::with_capacity(entries.len());
+        let mut corrupt = 0u64;
+        for e in &entries {
+            match Record::decode(&e.payload) {
+                Ok(r) => records.push(r),
+                Err(_) => corrupt += 1,
+            }
+        }
+        ScanBatch { entries, records, corrupt, epoch, last_id }
+    }
+
+    /// [`Stream::scan_batch`] keyed by millisecond ID time (the contract
+    /// of [`Stream::range_by_time`]).
+    pub fn scan_batch_by_time(&self, start_ms: u64, end_ms: u64) -> ScanBatch {
+        self.scan_batch(StreamId::new(start_ms, 0), StreamId::new(end_ms, u64::MAX))
     }
 
     /// Approximate bytes of memory held by the in-memory window: payload
@@ -409,6 +608,104 @@ mod tests {
         }
         assert_eq!(s.len(), 200_000);
         assert_eq!(s.archive().len(), 0);
+    }
+
+    #[test]
+    fn epoch_bumps_on_eviction_even_without_archive() {
+        let archived = Stream::new("t", StreamConfig::bounded(2));
+        assert_eq!(archived.eviction_epoch(), 0);
+        archived.append(0, vec![]);
+        archived.append(1, vec![]);
+        assert_eq!(archived.eviction_epoch(), 0, "no eviction yet");
+        archived.append(2, vec![]);
+        assert_eq!(archived.eviction_epoch(), 1);
+
+        // Archive-less eviction still changes what a range returns, so it
+        // must still move the epoch (the cache invalidation key).
+        let dropping = Stream::new("t", StreamConfig { max_len: Some(2), archive_evicted: false });
+        dropping.append(0, vec![]);
+        dropping.append(1, vec![]);
+        dropping.append(2, vec![]);
+        assert_eq!(dropping.eviction_epoch(), 1);
+    }
+
+    #[test]
+    fn scan_meta_pairs_epoch_with_last_id() {
+        let s = Stream::new("t", StreamConfig::bounded(2));
+        assert_eq!(s.scan_meta(), (0, None));
+        let a = s.append(5, vec![]);
+        assert_eq!(s.scan_meta(), (0, Some(a)));
+        s.append(6, vec![]);
+        let c = s.append(7, vec![]);
+        assert_eq!(s.scan_meta(), (1, Some(c)));
+    }
+
+    #[test]
+    fn read_after_stitches_archive_when_cursor_trails_window() {
+        let s = Stream::new("t", StreamConfig::bounded(5));
+        let mut ids = Vec::new();
+        for i in 0..20u64 {
+            ids.push(s.append(i, vec![i as u8]));
+        }
+        // Window holds ids[15..20]; ids[0..15] are archived. A cursor at
+        // ids[2] must be caught up from the archive, not skipped to the
+        // window front.
+        let got = s.read_after(Some(ids[2]), 6);
+        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), ids[3..9].to_vec());
+        assert_eq!(s.group_lagged(), 6, "all six came from the archive");
+
+        // A read spanning the archive/window seam stays gap-free.
+        let got = s.read_after(Some(ids[12]), 5);
+        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), ids[13..18].to_vec());
+        assert_eq!(s.group_lagged(), 8, "two more archive entries (13, 14)");
+
+        // Cursor inside the window: pure window read, no lag counted.
+        let got = s.read_after(Some(ids[16]), 10);
+        assert_eq!(got.iter().map(|e| e.id).collect::<Vec<_>>(), ids[17..20].to_vec());
+        assert_eq!(s.group_lagged(), 8);
+
+        // No cursor: replay everything from the very beginning.
+        let all = s.read_after(None, usize::MAX);
+        assert_eq!(all.iter().map(|e| e.id).collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn append_batch_matches_sequential_appends() {
+        let batched = Stream::new("t", StreamConfig::bounded(4));
+        let sequential = Stream::new("t", StreamConfig::bounded(4));
+        let records: Vec<(u64, Bytes)> =
+            (0..10u64).map(|i| (i / 2, Bytes::from(vec![i as u8]))).collect();
+        let batch_ids = batched.append_batch(records.clone());
+        let seq_ids: Vec<StreamId> =
+            records.iter().map(|(ms, p)| sequential.append(*ms, p.clone())).collect();
+        assert_eq!(batch_ids, seq_ids);
+        assert_eq!(
+            batched.range(StreamId::MIN, StreamId::MAX),
+            sequential.range(StreamId::MIN, StreamId::MAX)
+        );
+        assert_eq!(batched.eviction_epoch(), sequential.eviction_epoch());
+        assert_eq!(batched.clock_regressions(), sequential.clock_regressions());
+    }
+
+    #[test]
+    fn scan_batch_decodes_in_one_pass_and_counts_corrupt() {
+        let s = Stream::new("t", StreamConfig::bounded(3));
+        for i in 0..6u64 {
+            let rec = Record::measured(i * 1_000_000, i as f64);
+            s.append(i, rec.encode());
+        }
+        s.append(6, vec![0xde, 0xad]); // not a valid Record frame
+        let batch = s.scan_batch(StreamId::MIN, StreamId::MAX);
+        assert_eq!(batch.entries.len(), 7);
+        assert_eq!(batch.records.len(), 6);
+        assert_eq!(batch.corrupt, 1);
+        assert_eq!(batch.epoch, s.eviction_epoch());
+        assert_eq!(batch.last_id, s.last_id());
+        assert!(batch.records.iter().enumerate().all(|(i, r)| r.value == i as f64));
+
+        let by_time = s.scan_batch_by_time(2, 4);
+        assert_eq!(by_time.entries.len(), 3);
+        assert_eq!(by_time.records.len(), 3);
     }
 
     #[test]
