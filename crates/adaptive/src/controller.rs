@@ -96,7 +96,75 @@ impl Default for AimdParams {
     }
 }
 
+/// Why an [`AimdParams`] configuration was rejected by
+/// [`AimdParams::validated`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AimdConfigError {
+    /// `threshold` was negative, NaN or infinite.
+    InvalidThreshold(f64),
+    /// `decrease_factor` was ≤ 1.0 (which makes "tighten" relax, or
+    /// divide by zero) or NaN.
+    InvalidDecreaseFactor(f64),
+    /// `max_interval` was zero, so every interval clamps to nothing and
+    /// the timer spins.
+    ZeroMaxInterval,
+    /// `min_interval` exceeded `max_interval`, an empty clamp range
+    /// (`Duration::clamp` panics on it).
+    EmptyIntervalRange {
+        /// The configured `min_interval`.
+        min: Duration,
+        /// The configured `max_interval`.
+        max: Duration,
+    },
+}
+
+impl std::fmt::Display for AimdConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidThreshold(t) => {
+                write!(f, "threshold must be finite and >= 0, got {t}")
+            }
+            Self::InvalidDecreaseFactor(d) => {
+                write!(f, "decrease_factor must be > 1.0, got {d}")
+            }
+            Self::ZeroMaxInterval => write!(f, "max_interval must be non-zero"),
+            Self::EmptyIntervalRange { min, max } => {
+                write!(f, "min_interval {min:?} exceeds max_interval {max:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AimdConfigError {}
+
 impl AimdParams {
+    /// Validate the configuration, returning it unchanged on success.
+    ///
+    /// Rejects parameter sets that type-check but misbehave at runtime:
+    /// a `decrease_factor <= 1.0` makes the multiplicative-*decrease* arm
+    /// hold or grow the interval (and `0.0` panics inside
+    /// `Duration::div_f64`), a zero `max_interval` clamps every interval
+    /// to zero (timer spin), and `min_interval > max_interval` is an
+    /// empty clamp range `Duration::clamp` panics on.
+    pub fn validated(self) -> Result<Self, AimdConfigError> {
+        if !self.threshold.is_finite() || self.threshold < 0.0 {
+            return Err(AimdConfigError::InvalidThreshold(self.threshold));
+        }
+        if !self.decrease_factor.is_finite() || self.decrease_factor <= 1.0 {
+            return Err(AimdConfigError::InvalidDecreaseFactor(self.decrease_factor));
+        }
+        if self.max_interval.is_zero() {
+            return Err(AimdConfigError::ZeroMaxInterval);
+        }
+        if self.min_interval > self.max_interval {
+            return Err(AimdConfigError::EmptyIntervalRange {
+                min: self.min_interval,
+                max: self.max_interval,
+            });
+        }
+        Ok(self)
+    }
+
     fn clamp(&self, d: Duration) -> Duration {
         d.clamp(self.min_interval, self.max_interval)
     }
@@ -353,6 +421,73 @@ mod tests {
     fn names() {
         assert_eq!(SimpleAimd::new(params()).name(), "simple_aimd");
         assert_eq!(ComplexAimd::new(params(), 10).name(), "complex_aimd");
+    }
+
+    #[test]
+    fn validated_accepts_defaults_and_sane_configs() {
+        assert!(AimdParams::default().validated().is_ok());
+        assert!(params().validated().is_ok());
+    }
+
+    #[test]
+    fn validated_rejects_decrease_factor_at_or_below_one() {
+        // factor 1.0 never tightens; 0.5 *relaxes* on change; 0.0 panics
+        // inside Duration::div_f64. All must be rejected up front.
+        for bad in [1.0, 0.5, 0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let p = AimdParams { decrease_factor: bad, ..params() };
+            match p.validated() {
+                Err(AimdConfigError::InvalidDecreaseFactor(got)) => {
+                    assert!(got.is_nan() == bad.is_nan() || got == bad);
+                }
+                other => panic!("factor {bad} accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validated_rejects_zero_max_interval() {
+        let p =
+            AimdParams { min_interval: Duration::ZERO, max_interval: Duration::ZERO, ..params() };
+        assert_eq!(p.validated().unwrap_err(), AimdConfigError::ZeroMaxInterval);
+    }
+
+    #[test]
+    fn validated_rejects_empty_interval_range() {
+        // min > max is the empty clamp range Duration::clamp panics on.
+        let p = AimdParams {
+            min_interval: Duration::from_secs(10),
+            max_interval: Duration::from_secs(5),
+            ..params()
+        };
+        assert_eq!(
+            p.validated().unwrap_err(),
+            AimdConfigError::EmptyIntervalRange {
+                min: Duration::from_secs(10),
+                max: Duration::from_secs(5),
+            }
+        );
+    }
+
+    #[test]
+    fn validated_rejects_bad_threshold() {
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            let p = AimdParams { threshold: bad, ..params() };
+            assert!(
+                matches!(p.validated(), Err(AimdConfigError::InvalidThreshold(_))),
+                "threshold {bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn config_errors_display_usefully() {
+        let err = AimdParams { decrease_factor: 0.5, ..params() }.validated().unwrap_err();
+        assert!(err.to_string().contains("decrease_factor"));
+        let err =
+            AimdParams { min_interval: Duration::ZERO, max_interval: Duration::ZERO, ..params() }
+                .validated()
+                .unwrap_err();
+        assert!(err.to_string().contains("max_interval"));
     }
 }
 

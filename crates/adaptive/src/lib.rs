@@ -29,6 +29,8 @@ pub mod controller;
 pub mod entropy;
 pub mod eval;
 
-pub use controller::{ComplexAimd, FixedInterval, IntervalController, SimpleAimd};
+pub use controller::{
+    AimdConfigError, AimdParams, ComplexAimd, FixedInterval, IntervalController, SimpleAimd,
+};
 pub use entropy::{EntropyInterval, EntropyParams};
 pub use eval::{evaluate, evaluate_with_forecaster, EvalOutcome, Forecaster};

@@ -1,0 +1,94 @@
+//! Hook dispatch scaling (criterion harness): inline vs worker-pool
+//! event-loop dispatch with wait-bound hooks, plus the timer-wheel
+//! `next_deadline` peek the loop pays every turn.
+//!
+//! The committed scaling evidence (`bench_results/dispatch_scaling.json`)
+//! comes from the heavier `dispatch_scaling` *bin*; this harness keeps
+//! the same shapes under criterion so regressions show up in routine
+//! `cargo bench` runs without the bin's multi-second phases.
+//!
+//! Run: `cargo bench -p apollo-bench --bench dispatch_scaling`
+
+use apollo_cluster::metrics::{MetricError, MetricSource};
+use apollo_core::service::{Apollo, FactVertexSpec};
+use apollo_runtime::timer::{EntryId, TimerQueue, TimerWheel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const VERTICES: usize = 16;
+const HOOK_WAIT: Duration = Duration::from_micros(50);
+
+struct BlockingSource {
+    name: String,
+    calls: AtomicU64,
+}
+
+impl MetricSource for BlockingSource {
+    fn sample(&self, now_ns: u64) -> Result<f64, MetricError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(HOOK_WAIT);
+        Ok((now_ns ^ n) as f64)
+    }
+
+    fn sample_cost(&self) -> Duration {
+        HOOK_WAIT
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn samples_taken(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+/// Two virtual seconds of 16 wait-bound vertices on a fixed 1 s poll.
+fn drive(workers: Option<usize>) -> u64 {
+    let mut apollo = Apollo::new_virtual();
+    if let Some(n) = workers {
+        apollo.use_worker_pool(n);
+    }
+    for i in 0..VERTICES {
+        let name = format!("node/{i}/probe");
+        let src = Arc::new(BlockingSource { name: name.clone(), calls: AtomicU64::new(0) });
+        apollo.register_fact(FactVertexSpec::fixed(name, src, Duration::from_secs(1))).unwrap();
+    }
+    apollo.run_for(Duration::from_secs(2));
+    apollo.total_hook_calls()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hook_dispatch");
+    group.sample_size(10);
+    group.bench_function("inline", |b| b.iter(|| drive(None)));
+    group.bench_function("pool_4", |b| b.iter(|| drive(Some(4))));
+    group.finish();
+}
+
+fn bench_wheel_peek(c: &mut Criterion) {
+    // The event loop peeks next_deadline every turn; with the cache this
+    // is O(1), pre-fix it walked all 8×64 slots. The assert keeps the
+    // cache honest — the bench keeps it fast.
+    let mut group = c.benchmark_group("timer_wheel");
+    let mut wheel = TimerWheel::new();
+    for i in 0..512u64 {
+        wheel.insert(EntryId(i), (i + 1) * 1_000_000);
+    }
+    let before = wheel.full_scans();
+    let _ = wheel.next_deadline();
+    let warm = wheel.full_scans();
+    group.bench_function("next_deadline_peek", |b| {
+        b.iter(|| wheel.next_deadline());
+    });
+    assert!(
+        wheel.full_scans() - warm == 0 && warm - before <= 1,
+        "next_deadline peek must be served from the cached minimum"
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_wheel_peek);
+criterion_main!(benches);

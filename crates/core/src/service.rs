@@ -27,6 +27,7 @@ use apollo_delphi::stack::Delphi;
 use apollo_obs::Registry;
 use apollo_query::exec::{CachedBroker, ExecSqlError, QueryEngine, QueryResult, ScanCache};
 use apollo_runtime::event_loop::{EventLoop, TimerAction};
+use apollo_runtime::pool::WorkerPool;
 use apollo_runtime::time::{AnyClock, Clock};
 use apollo_streams::{Broker, StreamConfig};
 use parking_lot::Mutex;
@@ -72,13 +73,24 @@ impl FactVertexSpec {
     }
 
     /// A fact vertex with the simple AIMD adaptive interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` fails [`AimdParams::validated`] (e.g.
+    /// `decrease_factor <= 1.0`, zero `max_interval`): a misconfigured
+    /// controller would otherwise relax on change or panic deep inside
+    /// `Duration::div_f64` on an arbitrary later sample, so registration
+    /// fails fast instead.
     pub fn simple_aimd(
         name: impl Into<String>,
         source: Arc<dyn MetricSource>,
         params: AimdParams,
     ) -> Self {
+        let name = name.into();
+        let params =
+            params.validated().unwrap_or_else(|e| panic!("vertex {name}: bad AIMD config: {e}"));
         Self {
-            name: name.into(),
+            name,
             source,
             controller: Box::new(SimpleAimd::new(params)),
             publish_on_change_only: true,
@@ -88,14 +100,22 @@ impl FactVertexSpec {
     }
 
     /// A fact vertex with the complex (rolling-average) AIMD interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` fails [`AimdParams::validated`]; see
+    /// [`FactVertexSpec::simple_aimd`].
     pub fn complex_aimd(
         name: impl Into<String>,
         source: Arc<dyn MetricSource>,
         params: AimdParams,
         window: usize,
     ) -> Self {
+        let name = name.into();
+        let params =
+            params.validated().unwrap_or_else(|e| panic!("vertex {name}: bad AIMD config: {e}"));
         Self {
-            name: name.into(),
+            name,
             source,
             controller: Box::new(ComplexAimd::new(params, window)),
             publish_on_change_only: true,
@@ -195,6 +215,13 @@ pub struct Apollo {
     insights: Vec<Arc<InsightVertex>>,
     /// Timer handles per vertex, so runtime unregistration can cancel.
     timers: std::collections::HashMap<String, Vec<Arc<apollo_runtime::event_loop::TimerControl>>>,
+    /// Dispatch components: vertex name → component root name
+    /// (union-find). Vertices connected through the DAG share a dispatch
+    /// key so a consumer never runs concurrently with its producers —
+    /// the invariant that keeps pool dispatch bit-identical to inline.
+    component_parent: std::collections::HashMap<String, String>,
+    /// Component root name → member vertex names (for re-keying on merge).
+    component_members: std::collections::HashMap<String, Vec<String>>,
     /// The self-observation metrics registry every subsystem reports into.
     registry: Registry,
     /// Epoch-invalidated decoded-scan cache shared by every AQE query
@@ -239,14 +266,83 @@ impl Apollo {
             facts: Vec::new(),
             insights: Vec::new(),
             timers: std::collections::HashMap::new(),
+            component_parent: std::collections::HashMap::new(),
+            component_members: std::collections::HashMap::new(),
             registry,
             scan_cache,
+        }
+    }
+
+    /// Root of `name`'s dispatch component (with path compression).
+    fn component_root(&mut self, name: &str) -> String {
+        let mut root = name.to_string();
+        while let Some(p) = self.component_parent.get(&root) {
+            if *p == root {
+                break;
+            }
+            root = p.clone();
+        }
+        self.component_parent.insert(name.to_string(), root.clone());
+        root
+    }
+
+    /// Register `name` as its own single-member dispatch component.
+    fn new_component(&mut self, name: &str) {
+        self.component_parent.insert(name.to_string(), name.to_string());
+        self.component_members.insert(name.to_string(), vec![name.to_string()]);
+    }
+
+    /// Merge `name`'s component with each of `others`' and re-key every
+    /// member's timers to the merged root, so the whole connected
+    /// DAG fragment shares one dispatch lane.
+    fn merge_components(&mut self, name: &str, others: &[String]) {
+        let mut root = self.component_root(name);
+        for other in others {
+            let other_root = self.component_root(other);
+            if other_root == root {
+                continue;
+            }
+            // Keep the larger member list as the surviving root.
+            let (win, lose) = {
+                let a = self.component_members.get(&root).map_or(0, Vec::len);
+                let b = self.component_members.get(&other_root).map_or(0, Vec::len);
+                if a >= b {
+                    (root.clone(), other_root)
+                } else {
+                    (other_root, root.clone())
+                }
+            };
+            let moved = self.component_members.remove(&lose).unwrap_or_default();
+            self.component_parent.insert(lose, win.clone());
+            self.component_members.entry(win.clone()).or_default().extend(moved);
+            root = win;
+        }
+        let key = name_seed(&root);
+        for member in self.component_members.get(&root).cloned().unwrap_or_default() {
+            if let Some(handles) = self.timers.get(&member) {
+                for h in handles {
+                    self.el.set_timer_key(h.id(), key);
+                }
+            }
         }
     }
 
     /// The pub-sub fabric (for subscribing middleware).
     pub fn broker(&self) -> Arc<Broker> {
         Arc::clone(&self.broker)
+    }
+
+    /// Execute vertex hooks on a `threads`-worker pool instead of the
+    /// loop thread (§3.4 overhead: independent vertices stop serializing
+    /// behind one another). Per-vertex ordering is preserved — every
+    /// timer of one vertex shares a dispatch key derived from the vertex
+    /// name, so a vertex never runs concurrently with itself — and
+    /// virtual-clock runs stay bit-identical to inline dispatch. The
+    /// pool reports into this service's registry as `runtime.pool.*`.
+    pub fn use_worker_pool(&mut self, threads: usize) {
+        let pool = Arc::new(WorkerPool::new(threads));
+        pool.instrument(&self.registry);
+        self.el.dispatch_to_pool(pool);
     }
 
     /// The metrics registry all subsystems report into.
@@ -273,6 +369,10 @@ impl Apollo {
     pub fn register_fact(&mut self, spec: FactVertexSpec) -> Result<Arc<FactVertex>, GraphError> {
         self.graph.add_fact(&spec.name)?;
         let initial = spec.controller.current_interval();
+        // One dispatch key per vertex: under pool dispatch its poll and
+        // prediction timers share a lane, so the vertex never runs
+        // concurrently with itself.
+        let dispatch_key = name_seed(&spec.name);
         let mut supervision = spec.supervision.unwrap_or_default();
         supervision.seed ^= name_seed(&spec.name);
         let vertex = Arc::new(FactVertex::supervised(
@@ -299,7 +399,7 @@ impl Apollo {
             let clock = clock.clone();
             let last_poll = Arc::clone(&last_poll);
             let predictor = predictor.clone();
-            handles.push(self.el.add_timer(initial, move |ctl| {
+            handles.push(self.el.add_timer_keyed(dispatch_key, initial, move |ctl| {
                 let now = clock.now();
                 let next = vertex.poll(now);
                 last_poll.store(now, Ordering::SeqCst);
@@ -319,7 +419,7 @@ impl Apollo {
             let predictor = predictor.expect("created above");
             let every = pspec.every;
             let last_poll = Arc::clone(&last_poll);
-            handles.push(self.el.add_timer(every, move |_ctl| {
+            handles.push(self.el.add_timer_keyed(dispatch_key, every, move |_ctl| {
                 let now = clock.now();
                 // Only predict when the latest record is stale.
                 if now.saturating_sub(last_poll.load(Ordering::SeqCst)) >= every.as_nanos() as u64 {
@@ -332,6 +432,7 @@ impl Apollo {
         }
 
         self.timers.insert(vertex.name().to_string(), handles);
+        self.new_component(vertex.name());
         self.facts.push(Arc::clone(&vertex));
         Ok(vertex)
     }
@@ -358,6 +459,8 @@ impl Apollo {
         spec: InsightVertexSpec,
     ) -> Result<Arc<InsightVertex>, GraphError> {
         self.graph.add_insight(&spec.name, &spec.inputs)?;
+        let dispatch_key = name_seed(&spec.name);
+        let inputs = spec.inputs.clone();
         let vertex = Arc::new(InsightVertex::with_link_delay(
             spec.name,
             spec.inputs,
@@ -369,12 +472,18 @@ impl Apollo {
         let clock = self.el.clock().clone();
         let handle = {
             let vertex = Arc::clone(&vertex);
-            self.el.add_timer(spec.cadence, move |_ctl| {
+            self.el.add_timer_keyed(dispatch_key, spec.cadence, move |_ctl| {
                 vertex.pump(clock.now());
                 TimerAction::Continue
             })
         };
         self.timers.insert(vertex.name().to_string(), vec![handle]);
+        // The insight joins its producers' dispatch component: under pool
+        // dispatch it never races the vertices feeding it, which is what
+        // keeps same-tick pump-vs-publish ordering deterministic.
+        self.new_component(vertex.name());
+        let name = vertex.name().to_string();
+        self.merge_components(&name, &inputs);
         self.insights.push(Arc::clone(&vertex));
         Ok(vertex)
     }
@@ -926,5 +1035,81 @@ mod tests {
             .unwrap();
         apollo.run_for(Duration::from_secs(100));
         assert!(apollo.approx_memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad AIMD config")]
+    fn simple_aimd_rejects_sub_one_decrease_factor() {
+        // decrease_factor 0.5 would *relax* the interval on change; the
+        // spec constructor must fail fast at registration time.
+        FactVertexSpec::simple_aimd(
+            "bad",
+            Arc::new(ConstSource::new("c", 1.0)),
+            AimdParams { decrease_factor: 0.5, ..AimdParams::default() },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad AIMD config")]
+    fn complex_aimd_rejects_zero_max_interval() {
+        FactVertexSpec::complex_aimd(
+            "bad",
+            Arc::new(ConstSource::new("c", 1.0)),
+            AimdParams {
+                min_interval: Duration::ZERO,
+                max_interval: Duration::ZERO,
+                ..AimdParams::default()
+            },
+            10,
+        );
+    }
+
+    #[test]
+    fn worker_pool_service_matches_inline_run() {
+        // Same registrations, same virtual horizon: the pooled service
+        // must publish exactly the same records as the inline one.
+        let run = |workers: Option<usize>| {
+            let mut apollo = Apollo::new_virtual();
+            if let Some(n) = workers {
+                apollo.use_worker_pool(n);
+            }
+            for (name, v) in [("a", 10.0), ("b", 20.0), ("c", 30.0)] {
+                apollo
+                    .register_fact(FactVertexSpec::fixed(
+                        name,
+                        Arc::new(ConstSource::new(name, v)),
+                        Duration::from_secs(1),
+                    ))
+                    .unwrap();
+            }
+            apollo
+                .register_insight(InsightVertexSpec::sum_of(
+                    "total",
+                    vec!["a".into(), "b".into(), "c".into()],
+                    Duration::from_millis(500),
+                ))
+                .unwrap();
+            apollo.run_for(Duration::from_secs(10));
+            let total = apollo.query("SELECT MAX(Timestamp), metric FROM total").unwrap();
+            (apollo.total_hook_calls(), total.rows[0].value)
+        };
+        assert_eq!(run(Some(4)), run(None));
+    }
+
+    #[test]
+    fn worker_pool_reports_metrics() {
+        let mut apollo = Apollo::new_virtual();
+        apollo.use_worker_pool(2);
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 5.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(5));
+        let snap = apollo.metrics_snapshot();
+        assert!(snap.histograms["runtime.pool.exec_ns"].count >= 5);
+        assert_eq!(snap.counter("runtime.timer.fires"), 5);
     }
 }

@@ -20,7 +20,7 @@ use apollo_cluster::metrics::{MetricError, MetricSource};
 use apollo_runtime::time::PhaseTimer;
 use apollo_streams::codec::Record;
 use apollo_streams::{Broker, Subscription};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -353,8 +353,12 @@ impl std::fmt::Debug for FactVertex {
 /// The inputs handed to an insight builder on each recomputation.
 #[derive(Debug, Default)]
 pub struct InsightInputs {
-    /// Latest record seen per input topic.
-    pub latest: HashMap<String, Record>,
+    /// Latest record seen per input topic. Ordered map so aggregations
+    /// that fold over all inputs (e.g. [`InsightInputs::sum`]) visit them
+    /// in a stable order — float accumulation is not associative, and a
+    /// hash-randomized iteration order would make "identical" runs differ
+    /// in the low mantissa bits.
+    pub latest: BTreeMap<String, Record>,
     /// Records newly consumed in this cycle, in arrival order.
     pub fresh: Vec<(String, Record)>,
 }

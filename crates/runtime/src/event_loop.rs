@@ -10,7 +10,20 @@
 //! a deterministic discrete-event scheduler (used by every figure harness);
 //! with a [`RealClock`] it sleeps between deadlines like libuv's
 //! `uv_run(UV_RUN_DEFAULT)`.
+//!
+//! # Dispatch modes
+//!
+//! By default expired callbacks run **inline** on the loop thread. With
+//! [`EventLoop::dispatch_to_pool`] the loop instead hands each turn's batch
+//! of expired callbacks to a [`WorkerPool`], grouped into shard lanes by
+//! each timer's dispatch key (see [`EventLoop::add_timer_keyed`]): timers
+//! sharing a key are executed sequentially in deadline order on one
+//! worker, so a vertex never runs concurrently with itself, while timers
+//! in different lanes overlap. The loop blocks on a per-turn barrier
+//! before computing the next deadline, which keeps virtual-clock runs
+//! bit-identical to inline dispatch.
 
+use crate::pool::WorkerPool;
 use crate::time::{duration_to_nanos, AnyClock, Clock, Nanos, RealClock, VirtualClock};
 use crate::timer::{EntryId, Expired, TimerHeap, TimerQueue};
 use parking_lot::Mutex;
@@ -80,11 +93,56 @@ impl TimerControl {
 
 type Callback = Box<dyn FnMut(&TimerControl) -> TimerAction + Send>;
 
+/// One registered timer. Shared (`Arc`) between the loop's registry and
+/// in-flight dispatch lanes; the callback sits behind a mutex that is
+/// only ever contended by the single lane the timer's shard maps to.
 struct TimerSlot {
     control: Arc<TimerControl>,
-    callback: Callback,
-    /// Generation guards against a stale queue entry firing a re-added id.
-    generation: u64,
+    callback: Mutex<Callback>,
+    /// Dispatch-ordering key: slots sharing a key map to the same shard
+    /// lane and never run concurrently with each other. Atomic so
+    /// [`EventLoop::set_timer_key`] can merge lanes after registration
+    /// (only ever written between turns, on the loop thread).
+    key: AtomicU64,
+    /// Set when the callback stopped, panicked or was cancelled; the loop
+    /// reaps retired slots at the end of the turn.
+    retired: AtomicBool,
+}
+
+/// How expired callbacks are executed each turn.
+enum Dispatch {
+    /// On the loop thread, in deadline order (the default).
+    Inline,
+    /// On a worker pool, one sequential lane per shard, with a barrier at
+    /// the end of each turn.
+    Pool { pool: Arc<WorkerPool>, shards: usize },
+}
+
+/// Countdown barrier for one turn's dispatch batch.
+struct Latch {
+    remaining: std::sync::Mutex<usize>,
+    done: std::sync::Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self { remaining: std::sync::Mutex::new(n), done: std::sync::Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut r = self.remaining.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *r -= 1;
+        if *r == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut r = self.remaining.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *r > 0 {
+            r = self.done.wait(r).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
 }
 
 /// Pre-resolved instrument handles for the dispatch hot path.
@@ -106,18 +164,19 @@ struct LoopObs {
 /// with timers through their [`TimerControl`] handles.
 pub struct EventLoop<C: Clock = AnyClock> {
     clock: C,
-    queue: Mutex<TimerHeap>,
-    timers: HashMap<TimerId, TimerSlot>,
+    queue: Arc<Mutex<TimerHeap>>,
+    timers: HashMap<TimerId, Arc<TimerSlot>>,
     next_id: u64,
     /// Expired-entry scratch buffer, reused across iterations.
     scratch: Vec<Expired>,
     /// Callbacks that panicked (each kills only its own timer, never the
-    /// loop).
-    panics: u64,
+    /// loop). Shared with worker lanes in pool dispatch.
+    panics: Arc<AtomicU64>,
     /// Metrics handles; `None` until [`EventLoop::instrument`] is called
     /// with an enabled registry (the uninstrumented hot path stays free of
     /// even the `Instant::now` calls).
-    obs: Option<LoopObs>,
+    obs: Option<Arc<LoopObs>>,
+    dispatch: Dispatch,
 }
 
 impl EventLoop<AnyClock> {
@@ -137,12 +196,49 @@ impl<C: Clock> EventLoop<C> {
     pub fn with_clock(clock: C) -> Self {
         Self {
             clock,
-            queue: Mutex::new(TimerHeap::new()),
+            queue: Arc::new(Mutex::new(TimerHeap::new())),
             timers: HashMap::new(),
             next_id: 1,
             scratch: Vec::new(),
-            panics: 0,
+            panics: Arc::new(AtomicU64::new(0)),
             obs: None,
+            dispatch: Dispatch::Inline,
+        }
+    }
+
+    /// Execute expired callbacks on `pool` instead of the loop thread,
+    /// with one shard lane per worker ×4 (see
+    /// [`EventLoop::dispatch_to_pool_sharded`]).
+    pub fn dispatch_to_pool(&mut self, pool: Arc<WorkerPool>) {
+        let shards = pool.threads() * 4;
+        self.dispatch_to_pool_sharded(pool, shards);
+    }
+
+    /// Execute expired callbacks on `pool` with an explicit shard count.
+    ///
+    /// Each turn the loop pops every expired timer, groups them into
+    /// `shards` lanes by dispatch key (`key % shards`) and submits one
+    /// sequential job per occupied lane, then blocks until the whole
+    /// batch finished before advancing time. Per-key ordering is
+    /// preserved — timers registered with [`EventLoop::add_timer_keyed`]
+    /// under one key never run concurrently with each other — and
+    /// `catch_unwind` isolation plus panic accounting work exactly as in
+    /// inline mode. More shards than workers keeps lanes fine-grained so
+    /// a slow vertex delays only its own lane-mates.
+    pub fn dispatch_to_pool_sharded(&mut self, pool: Arc<WorkerPool>, shards: usize) {
+        self.dispatch = Dispatch::Pool { pool, shards: shards.max(1) };
+    }
+
+    /// Revert to inline dispatch on the loop thread.
+    pub fn dispatch_inline(&mut self) {
+        self.dispatch = Dispatch::Inline;
+    }
+
+    /// The worker pool callbacks are dispatched to, if any.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        match &self.dispatch {
+            Dispatch::Inline => None,
+            Dispatch::Pool { pool, .. } => Some(pool),
         }
     }
 
@@ -151,12 +247,14 @@ impl<C: Clock> EventLoop<C> {
     /// (`runtime.timer.callback_ns`), interval overruns, and caught panics.
     /// Passing a no-op registry removes the instrumentation again.
     pub fn instrument(&mut self, registry: &apollo_obs::Registry) {
-        self.obs = registry.enabled().then(|| LoopObs {
-            fires: registry.counter("runtime.timer.fires"),
-            dispatch_lag: registry.histogram("runtime.timer.dispatch_lag_ns"),
-            callback_ns: registry.histogram("runtime.timer.callback_ns"),
-            overruns: registry.counter("runtime.timer.overruns"),
-            panics: registry.counter("runtime.timer.panics"),
+        self.obs = registry.enabled().then(|| {
+            Arc::new(LoopObs {
+                fires: registry.counter("runtime.timer.fires"),
+                dispatch_lag: registry.histogram("runtime.timer.dispatch_lag_ns"),
+                callback_ns: registry.histogram("runtime.timer.callback_ns"),
+                overruns: registry.counter("runtime.timer.overruns"),
+                panics: registry.counter("runtime.timer.panics"),
+            })
         });
     }
 
@@ -167,9 +265,26 @@ impl<C: Clock> EventLoop<C> {
 
     /// Register a repeating timer firing every `interval`, first firing one
     /// `interval` from now. Returns a control handle shared with the
-    /// callback.
+    /// callback. The timer gets a unique dispatch key (its own id), so
+    /// under pool dispatch it shares a lane only coincidentally; use
+    /// [`EventLoop::add_timer_keyed`] to serialize a group of timers.
     pub fn add_timer(
         &mut self,
+        interval: Duration,
+        callback: impl FnMut(&TimerControl) -> TimerAction + Send + 'static,
+    ) -> Arc<TimerControl> {
+        let key = self.next_id;
+        self.add_timer_keyed(key, interval, callback)
+    }
+
+    /// [`EventLoop::add_timer`] with an explicit dispatch key. Timers
+    /// sharing a key are executed sequentially (in deadline order) under
+    /// pool dispatch — the per-vertex ordering guarantee: register all of
+    /// one vertex's timers under the vertex's key and it never runs
+    /// concurrently with itself.
+    pub fn add_timer_keyed(
+        &mut self,
+        key: u64,
         interval: Duration,
         callback: impl FnMut(&TimerControl) -> TimerAction + Send + 'static,
     ) -> Arc<TimerControl> {
@@ -184,14 +299,26 @@ impl<C: Clock> EventLoop<C> {
         let deadline = self.clock.now().saturating_add(control.interval.load(Ordering::SeqCst));
         self.timers.insert(
             id,
-            TimerSlot {
+            Arc::new(TimerSlot {
                 control: Arc::clone(&control),
-                callback: Box::new(callback),
-                generation: 0,
-            },
+                callback: Mutex::new(Box::new(callback)),
+                key: AtomicU64::new(key),
+                retired: AtomicBool::new(false),
+            }),
         );
         self.queue.lock().insert(EntryId(id.0), deadline);
         control
+    }
+
+    /// Re-assign a registered timer's dispatch key, merging it into
+    /// another key's lane. Used when a dependency appears after
+    /// registration (e.g. an insight vertex joining its producers'
+    /// dispatch component): from the next turn on, the timer serializes
+    /// with everything sharing the new key. No-op for unknown ids.
+    pub fn set_timer_key(&mut self, id: TimerId, key: u64) {
+        if let Some(slot) = self.timers.get(&id) {
+            slot.key.store(key, Ordering::SeqCst);
+        }
     }
 
     /// Number of live (non-cancelled) timers.
@@ -203,13 +330,22 @@ impl<C: Clock> EventLoop<C> {
     /// and unregisters only the offending timer; the loop and all other
     /// timers keep running.
     pub fn callback_panics(&self) -> u64 {
-        self.panics
+        self.panics.load(Ordering::SeqCst)
     }
 
-    fn fire(&mut self, id: TimerId) {
-        let Some(slot) = self.timers.get_mut(&id) else { return };
+    /// Run one expired timer's callback and decide its fate. Shared by
+    /// inline dispatch (loop thread) and pool lanes (worker threads): all
+    /// state it touches is behind `Arc`s, and a retired slot is only
+    /// *marked* here — the loop thread reaps it after the turn's barrier.
+    fn run_slot(
+        slot: &TimerSlot,
+        clock: &C,
+        queue: &Mutex<TimerHeap>,
+        panics: &AtomicU64,
+        obs: Option<&LoopObs>,
+    ) {
         if slot.control.is_cancelled() {
-            self.timers.remove(&id);
+            slot.retired.store(true, Ordering::SeqCst);
             return;
         }
         slot.control.fires.fetch_add(1, Ordering::SeqCst);
@@ -217,11 +353,11 @@ impl<C: Clock> EventLoop<C> {
         // must not take the whole service down: isolate it and retire the
         // timer. The mutexes this crate hands out are non-poisoning, so
         // state shared with other callbacks stays usable.
-        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
-        let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            (slot.callback)(&slot.control)
-        }));
-        if let (Some(obs), Some(start)) = (&self.obs, start) {
+        let start = obs.map(|_| std::time::Instant::now());
+        let mut cb = slot.callback.lock();
+        let action = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (cb)(&slot.control)));
+        drop(cb);
+        if let (Some(obs), Some(start)) = (obs, start) {
             let dur = start.elapsed().as_nanos() as u64;
             obs.fires.inc();
             obs.callback_ns.observe(dur);
@@ -234,18 +370,25 @@ impl<C: Clock> EventLoop<C> {
         }
         match action {
             Ok(TimerAction::Continue) if !slot.control.is_cancelled() => {
-                slot.generation += 1;
-                let next =
-                    self.clock.now().saturating_add(slot.control.interval.load(Ordering::SeqCst));
-                self.queue.lock().insert(EntryId(id.0), next);
+                let next = clock.now().saturating_add(slot.control.interval.load(Ordering::SeqCst));
+                queue.lock().insert(EntryId(slot.control.id.0), next);
             }
             Ok(_) => {
-                self.timers.remove(&id);
+                slot.retired.store(true, Ordering::SeqCst);
             }
             Err(_) => {
-                self.panics += 1;
-                self.timers.remove(&id);
+                panics.fetch_add(1, Ordering::SeqCst);
+                slot.retired.store(true, Ordering::SeqCst);
             }
+        }
+    }
+
+    fn fire_inline(&mut self, id: TimerId) {
+        let Some(slot) = self.timers.get(&id) else { return };
+        let slot = Arc::clone(slot);
+        Self::run_slot(&slot, &self.clock, &self.queue, &self.panics, self.obs.as_deref());
+        if slot.retired.load(Ordering::SeqCst) {
+            self.timers.remove(&id);
         }
     }
 
@@ -264,8 +407,51 @@ impl<C: Clock> EventLoop<C> {
                 obs.dispatch_lag.observe(now.saturating_sub(e.deadline));
             }
         }
-        for e in &expired {
-            self.fire(TimerId(e.id.0));
+        match &self.dispatch {
+            Dispatch::Inline => {
+                for e in &expired {
+                    self.fire_inline(TimerId(e.id.0));
+                }
+            }
+            Dispatch::Pool { pool, shards } => {
+                // Group the batch into shard lanes, preserving deadline
+                // order within each lane (expired is already sorted).
+                let mut lanes: Vec<Vec<Arc<TimerSlot>>> = vec![Vec::new(); *shards];
+                for e in &expired {
+                    if let Some(slot) = self.timers.get(&TimerId(e.id.0)) {
+                        let lane = (slot.key.load(Ordering::Relaxed) % *shards as u64) as usize;
+                        lanes[lane].push(Arc::clone(slot));
+                    }
+                }
+                let occupied = lanes.iter().filter(|l| !l.is_empty()).count();
+                if occupied > 0 {
+                    let latch = Arc::new(Latch::new(occupied));
+                    for lane in lanes.into_iter().filter(|l| !l.is_empty()) {
+                        let clock = self.clock.clone();
+                        let queue = Arc::clone(&self.queue);
+                        let panics = Arc::clone(&self.panics);
+                        let obs = self.obs.clone();
+                        let latch = Arc::clone(&latch);
+                        pool.submit(move || {
+                            for slot in &lane {
+                                Self::run_slot(slot, &clock, &queue, &panics, obs.as_deref());
+                            }
+                            latch.count_down();
+                        });
+                    }
+                    // Barrier: the batch must finish before the loop reads
+                    // the next deadline / advances virtual time, which is
+                    // what keeps pool runs bit-identical to inline runs.
+                    latch.wait();
+                    // Let the workers retire their loop iterations too
+                    // (the per-job metrics are recorded after the latch),
+                    // so a snapshot taken between turns is complete. The
+                    // loop is the pool's only submitter, making the brief
+                    // spin sound.
+                    pool.wait_idle();
+                    self.timers.retain(|_, s| !s.retired.load(Ordering::SeqCst));
+                }
+            }
         }
         self.scratch = expired;
         !self.timers.is_empty()
@@ -468,6 +654,159 @@ mod tests {
         el.add_timer(Duration::from_millis(1), |_| TimerAction::Continue);
         el.run_for(Duration::from_millis(3));
         assert_eq!(reg.snapshot(), apollo_obs::Snapshot::default());
+    }
+
+    fn pooled_loop(workers: usize, shards: usize) -> EventLoop<AnyClock> {
+        let mut el = EventLoop::new_virtual();
+        el.dispatch_to_pool_sharded(Arc::new(WorkerPool::new(workers)), shards);
+        el
+    }
+
+    #[test]
+    fn pool_dispatch_fires_expected_counts() {
+        let mut el = pooled_loop(4, 16);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let n2 = n.clone();
+            el.add_timer(Duration::from_millis(5), move |_| {
+                n2.fetch_add(1, Ordering::SeqCst);
+                TimerAction::Continue
+            });
+        }
+        el.run_for(Duration::from_millis(50));
+        assert_eq!(n.load(Ordering::SeqCst), 64 * 10);
+        assert_eq!(el.timer_count(), 64);
+    }
+
+    #[test]
+    fn pool_dispatch_preserves_per_key_order() {
+        // Two timers under ONE key must interleave exactly as inline
+        // dispatch would: sequential, in deadline order.
+        let run = |pool: bool| {
+            let mut el = EventLoop::new_virtual();
+            if pool {
+                el.dispatch_to_pool_sharded(Arc::new(WorkerPool::new(4)), 8);
+            }
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let (l1, l2) = (log.clone(), log.clone());
+            el.add_timer_keyed(7, Duration::from_millis(2), move |_| {
+                l1.lock().push('a');
+                TimerAction::Continue
+            });
+            el.add_timer_keyed(7, Duration::from_millis(3), move |_| {
+                l2.lock().push('b');
+                TimerAction::Continue
+            });
+            el.run_for(Duration::from_millis(12));
+            let out = log.lock().clone();
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn pool_dispatch_isolates_panics() {
+        let mut el = pooled_loop(2, 8);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        el.add_timer(Duration::from_millis(2), |_| panic!("bad vertex"));
+        el.add_timer(Duration::from_millis(1), move |_| {
+            n2.fetch_add(1, Ordering::SeqCst);
+            TimerAction::Continue
+        });
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        el.run_for(Duration::from_millis(10));
+        std::panic::set_hook(hook);
+        assert_eq!(el.callback_panics(), 1);
+        assert_eq!(el.timer_count(), 1);
+        assert_eq!(n.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn pool_dispatch_external_cancel_reaps_timer() {
+        let mut el = pooled_loop(2, 4);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        let ctl = el.add_timer(Duration::from_millis(1), move |_| {
+            n2.fetch_add(1, Ordering::SeqCst);
+            TimerAction::Continue
+        });
+        el.run_for(Duration::from_millis(2));
+        ctl.cancel();
+        el.run_for(Duration::from_millis(10));
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        assert_eq!(el.timer_count(), 0);
+    }
+
+    #[test]
+    fn pool_dispatch_is_deterministic_and_matches_inline() {
+        // Per-timer sample logs must be identical across pool runs and
+        // equal to the inline run: virtual time is frozen during each
+        // batch and every timer owns its own lane-ordered log.
+        let run = |pool: bool| -> Vec<Vec<(usize, Nanos)>> {
+            let mut el = EventLoop::new_virtual();
+            if pool {
+                el.dispatch_to_pool_sharded(Arc::new(WorkerPool::new(4)), 16);
+            }
+            let logs: Vec<_> = (0..16).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+            for (i, log) in logs.iter().enumerate() {
+                let log = Arc::clone(log);
+                let clock = el.clock().clone();
+                let seq = Arc::new(AtomicUsize::new(0));
+                el.add_timer_keyed(i as u64, Duration::from_millis(1 + (i as u64 % 5)), {
+                    move |_| {
+                        let s = seq.fetch_add(1, Ordering::SeqCst);
+                        log.lock().push((s, clock.now()));
+                        TimerAction::Continue
+                    }
+                });
+            }
+            el.run_for(Duration::from_millis(40));
+            logs.iter().map(|l| l.lock().clone()).collect()
+        };
+        let inline = run(false);
+        let pooled_a = run(true);
+        let pooled_b = run(true);
+        assert_eq!(pooled_a, pooled_b);
+        assert_eq!(pooled_a, inline);
+    }
+
+    #[test]
+    fn pool_dispatch_instrumented_counts_fires_and_panics() {
+        let mut el = pooled_loop(2, 8);
+        let reg = apollo_obs::Registry::new();
+        el.instrument(&reg);
+        el.worker_pool().unwrap().instrument(&reg);
+        el.add_timer(Duration::from_millis(1), |_| TimerAction::Continue);
+        el.add_timer(Duration::from_millis(3), |_| panic!("bad hook"));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        el.run_for(Duration::from_millis(5));
+        std::panic::set_hook(hook);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("runtime.timer.fires"), 6);
+        assert_eq!(snap.counter("runtime.timer.panics"), 1);
+        assert_eq!(snap.histograms["runtime.timer.callback_ns"].count, 6);
+        // Every turn's batch went through the pool.
+        assert!(snap.histograms["runtime.pool.exec_ns"].count >= 5);
+        assert!(snap.gauges.contains_key("runtime.pool.queued"));
+    }
+
+    #[test]
+    fn dispatch_inline_reverts_pool_mode() {
+        let mut el = pooled_loop(2, 4);
+        assert!(el.worker_pool().is_some());
+        el.dispatch_inline();
+        assert!(el.worker_pool().is_none());
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        el.add_timer(Duration::from_millis(1), move |_| {
+            n2.fetch_add(1, Ordering::SeqCst);
+            TimerAction::Continue
+        });
+        el.run_for(Duration::from_millis(3));
+        assert_eq!(n.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -8,16 +8,30 @@
 
 use crossbeam::channel::{self, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pre-resolved instrument handles (`runtime.pool.*`), set once by
+/// [`WorkerPool::instrument`]. Workers read them through an atomic load;
+/// an uninstrumented pool pays only that load per job.
+struct PoolObs {
+    /// Jobs submitted but not yet picked up by a worker.
+    queued: apollo_obs::Gauge,
+    /// Workers currently inside a job.
+    busy_workers: apollo_obs::Gauge,
+    /// Wall-clock runtime of each job.
+    exec_ns: apollo_obs::Histogram,
+}
 
 /// A fixed-size worker thread pool.
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     in_flight: Arc<AtomicUsize>,
+    busy: Arc<AtomicUsize>,
+    obs: Arc<OnceLock<PoolObs>>,
 }
 
 impl WorkerPool {
@@ -26,22 +40,57 @@ impl WorkerPool {
         let threads = threads.max(1);
         let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
         let in_flight = Arc::new(AtomicUsize::new(0));
+        let busy = Arc::new(AtomicUsize::new(0));
+        let obs: Arc<OnceLock<PoolObs>> = Arc::new(OnceLock::new());
         let workers = (0..threads)
             .map(|i| {
                 let rx = rx.clone();
                 let in_flight = Arc::clone(&in_flight);
+                let busy = Arc::clone(&busy);
+                let obs = Arc::clone(&obs);
                 std::thread::Builder::new()
                     .name(format!("apollo-worker-{i}"))
                     .spawn(move || {
                         for job in rx.iter() {
+                            let now_busy = busy.fetch_add(1, Ordering::SeqCst) + 1;
+                            let o = obs.get();
+                            let start = o.map(|_| std::time::Instant::now());
+                            if let Some(o) = o {
+                                o.busy_workers.set(now_busy as f64);
+                                let queued =
+                                    in_flight.load(Ordering::SeqCst).saturating_sub(now_busy);
+                                o.queued.set(queued as f64);
+                            }
                             job();
+                            if let (Some(o), Some(start)) = (o, start) {
+                                o.exec_ns.observe(start.elapsed().as_nanos() as u64);
+                            }
+                            let still_busy = busy.fetch_sub(1, Ordering::SeqCst) - 1;
+                            if let Some(o) = o {
+                                o.busy_workers.set(still_busy as f64);
+                            }
                             in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
-        Self { tx: Some(tx), workers, in_flight }
+        Self { tx: Some(tx), workers, in_flight, busy, obs }
+    }
+
+    /// Wire the pool into `registry`: queue depth (`runtime.pool.queued`),
+    /// workers inside a job (`runtime.pool.busy_workers`) and per-job
+    /// wall runtime (`runtime.pool.exec_ns`). Idempotent; a disabled
+    /// registry leaves the pool uninstrumented.
+    pub fn instrument(&self, registry: &apollo_obs::Registry) {
+        if !registry.enabled() {
+            return;
+        }
+        let _ = self.obs.set(PoolObs {
+            queued: registry.gauge("runtime.pool.queued"),
+            busy_workers: registry.gauge("runtime.pool.busy_workers"),
+            exec_ns: registry.histogram("runtime.pool.exec_ns"),
+        });
     }
 
     /// Number of worker threads.
@@ -51,7 +100,10 @@ impl WorkerPool {
 
     /// Submit a job for execution.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(o) = self.obs.get() {
+            o.queued.set(depth.saturating_sub(self.busy.load(Ordering::SeqCst)) as f64);
+        }
         self.tx
             .as_ref()
             .expect("pool not shut down")
@@ -62,6 +114,11 @@ impl WorkerPool {
     /// Jobs submitted but not yet finished.
     pub fn pending(&self) -> usize {
         self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Workers currently executing a job.
+    pub fn busy_workers(&self) -> usize {
+        self.busy.load(Ordering::SeqCst)
     }
 
     /// Spin until every submitted job has completed.
@@ -142,6 +199,31 @@ mod tests {
         let mut got = results.lock().unwrap().clone();
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn instrumented_pool_reports_queue_and_exec_metrics() {
+        let reg = apollo_obs::Registry::new();
+        let pool = WorkerPool::new(2);
+        pool.instrument(&reg);
+        for _ in 0..32 {
+            pool.submit(|| std::thread::sleep(std::time::Duration::from_micros(100)));
+        }
+        pool.wait_idle();
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["runtime.pool.exec_ns"].count, 32);
+        assert!(snap.gauges.contains_key("runtime.pool.queued"));
+        assert!(snap.gauges.contains_key("runtime.pool.busy_workers"));
+    }
+
+    #[test]
+    fn noop_registry_leaves_pool_uninstrumented() {
+        let reg = apollo_obs::Registry::noop();
+        let pool = WorkerPool::new(2);
+        pool.instrument(&reg);
+        pool.submit(|| {});
+        pool.wait_idle();
+        assert_eq!(reg.snapshot(), apollo_obs::Snapshot::default());
     }
 
     #[test]

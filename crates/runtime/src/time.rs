@@ -24,8 +24,8 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// A monotonic time source.
 ///
 /// Implementations must be cheap to clone (handles share state) and safe to
-/// read from many threads.
-pub trait Clock: Send + Sync + 'static {
+/// read from many threads; worker-pool dispatch hands each job a clone.
+pub trait Clock: Clone + Send + Sync + 'static {
     /// Current time in nanoseconds since this clock's epoch.
     fn now(&self) -> Nanos;
 

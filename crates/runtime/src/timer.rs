@@ -14,6 +14,7 @@
 //! [`crate::event_loop::EventLoop`].
 
 use crate::time::Nanos;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -116,6 +117,15 @@ pub struct TimerWheel {
     current_tick: u64,
     overflow: Vec<(EntryId, Nanos)>,
     len: usize,
+    /// Cached earliest deadline among wheel-resident (non-overflow)
+    /// entries; meaningful only when `wheel_min_dirty` is false. Inserts
+    /// keep it tight; pops mark it dirty and it is recomputed lazily.
+    wheel_min: Cell<Option<Nanos>>,
+    wheel_min_dirty: Cell<bool>,
+    /// Full level×slot scans performed to recompute the cache. Without
+    /// the cache every `next_deadline` call pays one; benches assert this
+    /// stays near zero on steady-state workloads.
+    full_scans: Cell<u64>,
 }
 
 impl Default for TimerWheel {
@@ -134,11 +144,39 @@ impl TimerWheel {
             current_tick: 0,
             overflow: Vec::new(),
             len: 0,
+            wheel_min: Cell::new(None),
+            wheel_min_dirty: Cell::new(false),
+            full_scans: Cell::new(0),
         }
     }
 
     fn tick_of(deadline: Nanos) -> u64 {
         deadline / WHEEL_TICK_NANOS
+    }
+
+    /// Full level×slot scans performed to recompute the cached earliest
+    /// deadline (regression counter: stays O(pops), not O(peeks)).
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.get()
+    }
+
+    /// Earliest deadline among wheel-resident entries, recomputing the
+    /// cache with a full scan only when a pop invalidated it.
+    fn wheel_min_deadline(&self) -> Option<Nanos> {
+        if self.wheel_min_dirty.get() {
+            let mut best: Option<Nanos> = None;
+            for level in &self.levels {
+                for slot in level {
+                    for (_, d) in slot {
+                        best = Some(best.map_or(*d, |b| b.min(*d)));
+                    }
+                }
+            }
+            self.wheel_min.set(best);
+            self.wheel_min_dirty.set(false);
+            self.full_scans.set(self.full_scans.get() + 1);
+        }
+        self.wheel_min.get()
     }
 
     /// Place an entry in the right level/slot for its deadline tick, given
@@ -163,6 +201,10 @@ impl TimerWheel {
         let slot_width = (WHEEL_SLOTS as u64).pow(level as u32);
         let slot = ((tick / slot_width) % WHEEL_SLOTS as u64) as usize;
         self.levels[level][slot].push((id, deadline));
+        if !self.wheel_min_dirty.get() {
+            let cur = self.wheel_min.get();
+            self.wheel_min.set(Some(cur.map_or(deadline, |c| c.min(deadline))));
+        }
     }
 }
 
@@ -175,33 +217,45 @@ impl TimerQueue for TimerWheel {
     fn pop_expired(&mut self, now: Nanos, out: &mut Vec<Expired>) {
         let target_tick = Self::tick_of(now);
         let start = out.len();
-        while self.current_tick <= target_tick {
-            // When crossing a level boundary, cascade the next-level slot
-            // down FIRST, so entries due exactly now land in the level-0
-            // slot before it is drained.
-            let mut tick = self.current_tick;
-            let mut level = 1usize;
-            while level < WHEEL_LEVELS && tick.is_multiple_of(WHEEL_SLOTS as u64) {
-                tick /= WHEEL_SLOTS as u64;
-                let slot = (tick % WHEEL_SLOTS as u64) as usize;
-                let entries: Vec<_> = self.levels[level][slot].drain(..).collect();
-                for (id, deadline) in entries {
-                    // Re-place relative to the new current tick; entries
-                    // due now land in level 0 and are drained below.
-                    self.place(id, deadline);
-                }
-                level += 1;
+        // Jump straight from occupied tick to occupied tick instead of
+        // walking every 1 µs tick in between: a 60 s idle gap is ~60 M
+        // empty iterations under the naive walk. The earliest wheel
+        // deadline names the next tick that can possibly hold work
+        // (late-inserted entries are clamped to the tick they were
+        // inserted at, which is exactly `current_tick` here, so the jump
+        // never lands past an occupied slot).
+        while let Some(min_deadline) = self.wheel_min_deadline() {
+            let next_tick = Self::tick_of(min_deadline).max(self.current_tick);
+            if next_tick > target_tick {
+                break;
             }
-            // Expire the level-0 slot for current_tick.
-            let slot0 = (self.current_tick % WHEEL_SLOTS as u64) as usize;
+            self.current_tick = next_tick;
+            // Cascade this tick's path slot at every level, top-down, so
+            // entries due now land in the level-0 slot before it is
+            // drained. Higher levels go first: their re-placed entries
+            // may land in a lower level's path slot, which is then
+            // drained in the same pass.
+            for level in (1..WHEEL_LEVELS).rev() {
+                let width = (WHEEL_SLOTS as u64).pow(level as u32);
+                let slot = ((next_tick / width) % WHEEL_SLOTS as u64) as usize;
+                if !self.levels[level][slot].is_empty() {
+                    let entries: Vec<_> = self.levels[level][slot].drain(..).collect();
+                    for (id, deadline) in entries {
+                        self.place(id, deadline);
+                    }
+                }
+            }
+            // Expire the level-0 slot for this tick.
+            let slot0 = (next_tick % WHEEL_SLOTS as u64) as usize;
             for (id, deadline) in self.levels[0][slot0].drain(..) {
                 out.push(Expired { id, deadline });
                 self.len -= 1;
             }
-            if self.current_tick == target_tick {
+            self.wheel_min_dirty.set(true);
+            if next_tick == target_tick {
                 break;
             }
-            self.current_tick += 1;
+            self.current_tick = next_tick + 1;
         }
         self.current_tick = target_tick;
         // Retry overflow entries that may now fit in the wheel.
@@ -221,14 +275,11 @@ impl TimerQueue for TimerWheel {
     }
 
     fn next_deadline(&self) -> Option<Nanos> {
-        let mut best: Option<Nanos> = None;
-        for level in &self.levels {
-            for slot in level {
-                for (_, d) in slot {
-                    best = Some(best.map_or(*d, |b| b.min(*d)));
-                }
-            }
-        }
+        // Wheel side is served from the cache (the event loop calls this
+        // every turn; the pre-cache full scan walked all 8×64 slots plus
+        // every entry each time). Overflow is scanned directly: it only
+        // holds deadlines > 64^8 ticks out and is almost always empty.
+        let mut best = self.wheel_min_deadline();
         for (_, d) in &self.overflow {
             best = Some(best.map_or(*d, |b| b.min(*d)));
         }
@@ -337,18 +388,27 @@ mod tests {
         };
         let mut heap = TimerHeap::new();
         let mut wheel = TimerWheel::new();
-        let mut deadlines = Vec::new();
         for i in 0..500u64 {
             let d = (next() % 50_000_000) / WHEEL_TICK_NANOS * WHEEL_TICK_NANOS;
             heap.insert(EntryId(i), d);
             wheel.insert(EntryId(i), d);
-            deadlines.push(d);
         }
-        let mut now = 0;
+        let mut next_id = 500u64;
+        let mut now: Nanos = 0;
         let mut h_total = 0;
         let mut w_total = 0;
-        while now < 60_000_000 {
-            now += 1_000_000;
+        let mut inserted = 500usize;
+        // Randomized pop cadence: mostly sub-millisecond steps, with
+        // occasional multi-second idle gaps that exercise the skip-ahead
+        // path, plus re-inserts during the drain so freshly popped work
+        // immediately re-arms (the event loop's actual access pattern).
+        while now < 120_000_000_000 && (heap.len() > 0 || wheel.len() > 0) {
+            let gap = match next() % 10 {
+                0..=5 => next() % 2_000_000 + WHEEL_TICK_NANOS, // ≤2ms
+                6..=8 => next() % 300_000_000,                  // ≤0.3s
+                _ => next() % 5_000_000_000,                    // ≤5s gap
+            };
+            now += gap / WHEEL_TICK_NANOS * WHEEL_TICK_NANOS;
             let h = drain(&mut heap, now);
             let w = drain(&mut wheel, now);
             assert_eq!(
@@ -358,8 +418,112 @@ mod tests {
             );
             h_total += h.len();
             w_total += w.len();
+            // Re-insert on a third of pops while the batch is "draining",
+            // bounded so the workload terminates.
+            if inserted < 2_000 {
+                for e in &h {
+                    if next() % 3 == 0 {
+                        let ahead = next() % 10_000_000_000 + WHEEL_TICK_NANOS;
+                        let d = (e.deadline.max(now) + ahead) / WHEEL_TICK_NANOS * WHEEL_TICK_NANOS;
+                        heap.insert(EntryId(next_id), d);
+                        wheel.insert(EntryId(next_id), d);
+                        next_id += 1;
+                        inserted += 1;
+                    }
+                }
+            }
+            assert_eq!(heap.next_deadline(), wheel.next_deadline(), "peek divergence at {now}");
         }
-        assert_eq!(h_total, 500);
-        assert_eq!(w_total, 500);
+        // Final drain far in the future catches anything left behind.
+        let h = drain(&mut heap, u64::MAX / 2);
+        let w = drain(&mut wheel, u64::MAX / 2);
+        assert_eq!(
+            h.iter().map(|e| (e.deadline, e.id)).collect::<Vec<_>>(),
+            w.iter().map(|e| (e.deadline, e.id)).collect::<Vec<_>>()
+        );
+        h_total += h.len();
+        w_total += w.len();
+        assert_eq!(h_total, inserted);
+        assert_eq!(w_total, inserted);
+        assert!(wheel.is_empty() && heap.is_empty());
+    }
+
+    #[test]
+    fn wheel_long_idle_gap_pops_instantly() {
+        // A virtual-clock jump across a long idle gap must not walk every
+        // 1 µs tick in between (1 hour ≈ 3.6 G ticks for the pre-fix
+        // implementation — minutes of wall time; the skip-ahead pop is
+        // microseconds).
+        let mut q = TimerWheel::new();
+        const HOUR: Nanos = 3_600_000_000_000;
+        q.insert(EntryId(1), 60_000_000_000); // 60s
+        q.insert(EntryId(2), HOUR); // 1h
+        q.insert(EntryId(3), HOUR + 7_000); // 1h + 7µs
+        let t = std::time::Instant::now();
+        let fired = drain(&mut q, HOUR);
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(2),
+            "long-gap pop took {:?}; tick walk not skipped",
+            t.elapsed()
+        );
+        assert_eq!(fired.iter().map(|e| e.id).collect::<Vec<_>>(), vec![EntryId(1), EntryId(2)]);
+        // The wheel stays consistent after the jump: the leftover entry
+        // and new inserts around the new position expire correctly.
+        assert_eq!(q.next_deadline(), Some(HOUR + 7_000));
+        q.insert(EntryId(4), HOUR + 2_000);
+        let fired = drain(&mut q, HOUR + 7_000);
+        assert_eq!(fired.iter().map(|e| e.id).collect::<Vec<_>>(), vec![EntryId(4), EntryId(3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_next_deadline_is_cached_between_pops() {
+        let mut q = TimerWheel::new();
+        for i in 0..256u64 {
+            q.insert(EntryId(i), (i + 1) * 1_000_000);
+        }
+        // Peeking is the event loop's per-turn operation; it must not pay
+        // a full level×slot scan per call (pre-fix: one scan per call).
+        for _ in 0..10_000 {
+            assert_eq!(q.next_deadline(), Some(1_000_000));
+        }
+        assert_eq!(q.full_scans(), 0, "peeks after inserts must be cache hits");
+        // A pop invalidates; the next peek recomputes exactly once.
+        let fired = drain(&mut q, 1_000_000);
+        assert_eq!(fired.len(), 1);
+        let scans_after_pop = q.full_scans();
+        for _ in 0..10_000 {
+            assert_eq!(q.next_deadline(), Some(2_000_000));
+        }
+        assert!(
+            q.full_scans() <= scans_after_pop + 1,
+            "peeks between pops must not rescan: {} scans",
+            q.full_scans()
+        );
+    }
+
+    #[test]
+    fn wheel_cache_survives_interleaved_insert_pop_cancel_patterns() {
+        // Inserts tighten the cache in place; pops invalidate it. This
+        // interleaving pins the cache against the classic staleness bug:
+        // insert-before-min after a pop cleared the slot.
+        let mut q = TimerWheel::new();
+        q.insert(EntryId(1), 10_000);
+        q.insert(EntryId(2), 20_000);
+        assert_eq!(q.next_deadline(), Some(10_000));
+        assert_eq!(drain(&mut q, 10_000).len(), 1);
+        assert_eq!(q.next_deadline(), Some(20_000));
+        // New earliest entry after the recompute must win the cache.
+        q.insert(EntryId(3), 15_000);
+        assert_eq!(q.next_deadline(), Some(15_000));
+        // And an insert *earlier than current time* is clamped but still
+        // reported (it fires on the next pop).
+        q.insert(EntryId(4), 1_000);
+        assert_eq!(q.next_deadline(), Some(1_000));
+        let fired = drain(&mut q, 20_000);
+        assert_eq!(
+            fired.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![EntryId(4), EntryId(3), EntryId(2)]
+        );
     }
 }

@@ -27,8 +27,7 @@ fn main() {
     let group = broker.consumer_group("pfs/capacity", "replayer");
 
     println!("== batch publish past retention ==");
-    let records =
-        (0..1000u64).map(|i| (i, Record::measured(i * 1_000_000, i as f64).encode()));
+    let records = (0..1000u64).map(|i| (i, Record::measured(i * 1_000_000, i as f64).encode()));
     let ids = broker.publish_batch("pfs/capacity", records);
     let info = broker.topic_info("pfs/capacity").expect("topic exists");
     println!("  published {} records into a window of 8", ids.len());

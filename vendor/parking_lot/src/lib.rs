@@ -98,6 +98,24 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Try to acquire a shared read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire an exclusive write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -139,6 +157,16 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+        assert!(l.try_read().is_some());
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn rwlock_try_write_fails_under_reader() {
+        let l = RwLock::new(0);
+        let _r = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
     }
 
     #[test]
