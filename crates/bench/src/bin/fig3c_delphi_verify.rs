@@ -45,6 +45,8 @@ impl Specialist {
 }
 
 impl WindowModel for Specialist {
+    type Scratch = ();
+
     fn window(&self) -> usize {
         5
     }

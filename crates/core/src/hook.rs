@@ -52,6 +52,8 @@ mod tests {
     struct Hold(usize);
 
     impl WindowModel for Hold {
+        type Scratch = ();
+
         fn window(&self) -> usize {
             self.0
         }

@@ -57,6 +57,7 @@ pub mod graph;
 pub mod health;
 pub mod hook;
 pub mod kprobe;
+pub mod predict;
 pub mod selfobs;
 pub mod service;
 pub mod vertex;
@@ -66,6 +67,7 @@ pub use graph::ScoreGraph;
 pub use health::{HealthMonitor, HealthState, SupervisorConfig};
 pub use hook::DelphiForecaster;
 pub use kprobe::EventFactVertex;
+pub use predict::PredictionPump;
 pub use selfobs::{deploy_self_observer, SELF_TOPICS};
 pub use service::{Apollo, ApolloHandle, FactVertexSpec, InsightVertexSpec};
 pub use vertex::{FactVertex, InsightInputs, InsightVertex};

@@ -1,0 +1,179 @@
+//! Batched Delphi prediction: one kernel call per pump tick.
+//!
+//! The per-vertex prediction path (`FactVertexSpec::with_prediction`)
+//! gives every fact vertex its own predictor timer, so a turn with `B`
+//! stale vertices runs `B` separate `1×window` forward passes. A
+//! [`PredictionPump`] instead shares one trained [`Delphi`] model across
+//! its enrolled vertices: each tick packs every due vertex's normalized
+//! window into one `B×window` matrix and runs a **single batched forward
+//! sweep** ([`Delphi::predict_batch_into`]), then denormalizes and
+//! publishes per vertex. Row `i` of the batched pass is bit-identical to
+//! the `1×window` pass, so enrolling a vertex changes only the cost of
+//! prediction, never its value.
+//!
+//! Self-observation: `delphi.predict_ns` (wall time of each batched
+//! kernel call) and `delphi.batch_size` (rows per call).
+
+use crate::vertex::FactVertex;
+use apollo_delphi::predictor::WindowTracker;
+use apollo_delphi::stack::{Delphi, DelphiScratch};
+use apollo_obs::Registry;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One enrolled vertex: its sliding window state plus the poll timestamp
+/// the staleness check reads.
+pub(crate) struct PumpSlot {
+    pub(crate) vertex: Arc<FactVertex>,
+    pub(crate) tracker: Arc<Mutex<WindowTracker>>,
+    pub(crate) last_poll: Arc<AtomicU64>,
+}
+
+/// Pre-resolved instrument handles (`delphi.*`).
+struct PumpObs {
+    /// Wall time of each batched kernel call.
+    predict_ns: apollo_obs::Histogram,
+    /// Rows per batched kernel call.
+    batch_size: apollo_obs::Histogram,
+}
+
+/// Reusable per-tick buffers: after the first tick at a given batch size,
+/// a pump tick performs zero heap allocations on the prediction path.
+#[derive(Default)]
+struct TickScratch {
+    ds: DelphiScratch,
+    /// `(slot index, lo, span)` per staged (non-flat) row.
+    staged: Vec<(usize, f64, f64)>,
+    out: Vec<f64>,
+}
+
+pub(crate) struct PumpShared {
+    model: Delphi,
+    every_ns: u64,
+    slots: Mutex<Vec<PumpSlot>>,
+    scratch: Mutex<TickScratch>,
+    obs: OnceLock<PumpObs>,
+}
+
+impl PumpShared {
+    fn new(model: Delphi, every: Duration) -> Self {
+        Self {
+            model,
+            every_ns: every.as_nanos() as u64,
+            slots: Mutex::new(Vec::new()),
+            scratch: Mutex::new(TickScratch::default()),
+            obs: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn instrument(&self, registry: &Registry) {
+        if !registry.enabled() {
+            return;
+        }
+        let _ = self.obs.set(PumpObs {
+            predict_ns: registry.histogram("delphi.predict_ns"),
+            batch_size: registry.histogram("delphi.batch_size"),
+        });
+    }
+
+    /// One pump turn: stage every due vertex's normalized window, run one
+    /// batched forward sweep, publish and re-observe per vertex.
+    ///
+    /// Per-slot semantics mirror `OnlinePredictor::predict_and_advance`
+    /// exactly: skip until the window is full, a flat window publishes
+    /// its flat value without touching the model, and each prediction is
+    /// fed back as pseudo-history for chained multi-step forecasting.
+    pub(crate) fn tick(&self, now: u64) {
+        let slots = self.slots.lock();
+        let mut scratch = self.scratch.lock();
+        let scratch = &mut *scratch;
+        let window = self.model.window();
+        scratch.staged.clear();
+        scratch.ds.begin_batch(slots.len(), window);
+        let mut staged_rows = 0;
+        for (idx, slot) in slots.iter().enumerate() {
+            if now.saturating_sub(slot.last_poll.load(Ordering::SeqCst)) < self.every_ns {
+                continue;
+            }
+            let mut tracker = slot.tracker.lock();
+            let Some((normalized, lo, span)) = tracker.normalized() else {
+                continue;
+            };
+            if span == 0.0 {
+                // Flat window: the model cannot move it; publish directly.
+                slot.vertex.publish_predicted(now, lo);
+                tracker.observe(lo);
+            } else {
+                scratch.ds.set_row(staged_rows, normalized);
+                scratch.staged.push((idx, lo, span));
+                staged_rows += 1;
+            }
+        }
+        if staged_rows == 0 {
+            return;
+        }
+        // Shrink to the staged rows (prefix-preserving), one kernel call.
+        scratch.ds.begin_batch(staged_rows, window);
+        let started = std::time::Instant::now();
+        self.model.predict_batch_into(&mut scratch.ds, &mut scratch.out);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        if let Some(o) = self.obs.get() {
+            o.predict_ns.observe(elapsed);
+            o.batch_size.observe(staged_rows as u64);
+        }
+        for (&(idx, lo, span), &p) in scratch.staged.iter().zip(&scratch.out) {
+            let value = WindowTracker::denormalize(lo, span, p);
+            let slot = &slots[idx];
+            slot.vertex.publish_predicted(now, value);
+            slot.tracker.lock().observe(value);
+        }
+    }
+}
+
+/// Cloneable handle to a batched Delphi prediction pump. Created with
+/// `Apollo::prediction_pump`, then attached to fact vertices via
+/// `FactVertexSpec::with_batched_prediction` before registration.
+///
+/// Scheduling note: the pump's timer is registered when the pump is
+/// created — before its vertices' poll timers — so when a poll and a
+/// pump tick land on the same instant the pump runs first and may emit a
+/// prediction the per-vertex path would have suppressed. Pick a
+/// prediction cadence that does not divide the poll interval if exact
+/// equivalence with `with_prediction` timers matters.
+#[derive(Clone)]
+pub struct PredictionPump {
+    pub(crate) shared: Arc<PumpShared>,
+    pub(crate) name: String,
+}
+
+impl PredictionPump {
+    pub(crate) fn new(model: Delphi, every: Duration, name: String) -> Self {
+        Self { shared: Arc::new(PumpShared::new(model, every)), name }
+    }
+
+    /// Window length of the shared model.
+    pub fn window(&self) -> usize {
+        self.shared.model.window()
+    }
+
+    /// The pump's vertex-like name (its dispatch-component key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Vertices currently enrolled.
+    pub fn enrolled(&self) -> usize {
+        self.shared.slots.lock().len()
+    }
+
+    pub(crate) fn enroll(&self, slot: PumpSlot) {
+        self.shared.slots.lock().push(slot);
+    }
+
+    /// Drop every slot belonging to `vertex_name` (vertex retirement).
+    pub(crate) fn retire(&self, vertex_name: &str) {
+        self.shared.slots.lock().retain(|s| s.vertex.name() != vertex_name);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::graph::{GraphError, ScoreGraph};
 use crate::health::{HealthState, SupervisorConfig};
+use crate::predict::{PredictionPump, PumpSlot};
 use crate::vertex::{FactVertex, InsightInputs, InsightVertex};
 use apollo_adaptive::controller::{
     AimdParams, ComplexAimd, FixedInterval, IntervalController, SimpleAimd,
@@ -55,6 +56,10 @@ pub struct FactVertexSpec {
     pub publish_on_change_only: bool,
     /// Optional Delphi prediction between polls.
     pub prediction: Option<PredictionSpec>,
+    /// Optional shared batched-prediction pump (see
+    /// [`Apollo::prediction_pump`]). Mutually exclusive with
+    /// `prediction`.
+    pub batched_prediction: Option<PredictionPump>,
     /// Supervision policy; `None` uses [`SupervisorConfig::default`].
     pub supervision: Option<SupervisorConfig>,
 }
@@ -68,6 +73,7 @@ impl FactVertexSpec {
             controller: Box::new(FixedInterval::new(every)),
             publish_on_change_only: true,
             prediction: None,
+            batched_prediction: None,
             supervision: None,
         }
     }
@@ -95,6 +101,7 @@ impl FactVertexSpec {
             controller: Box::new(SimpleAimd::new(params)),
             publish_on_change_only: true,
             prediction: None,
+            batched_prediction: None,
             supervision: None,
         }
     }
@@ -120,6 +127,7 @@ impl FactVertexSpec {
             controller: Box::new(ComplexAimd::new(params, window)),
             publish_on_change_only: true,
             prediction: None,
+            batched_prediction: None,
             supervision: None,
         }
     }
@@ -127,6 +135,14 @@ impl FactVertexSpec {
     /// Attach Delphi prediction between polls.
     pub fn with_prediction(mut self, model: Delphi, every: Duration) -> Self {
         self.prediction = Some(PredictionSpec { model, every });
+        self
+    }
+
+    /// Enroll this vertex in a shared batched prediction pump (see
+    /// [`Apollo::prediction_pump`]): one kernel call per pump tick
+    /// predicts every due vertex, instead of one model pass per vertex.
+    pub fn with_batched_prediction(mut self, pump: &PredictionPump) -> Self {
+        self.batched_prediction = Some(pump.clone());
         self
     }
 
@@ -222,6 +238,8 @@ pub struct Apollo {
     component_parent: std::collections::HashMap<String, String>,
     /// Component root name → member vertex names (for re-keying on merge).
     component_members: std::collections::HashMap<String, Vec<String>>,
+    /// Batched Delphi prediction pumps (see [`Apollo::prediction_pump`]).
+    pumps: Vec<PredictionPump>,
     /// The self-observation metrics registry every subsystem reports into.
     registry: Registry,
     /// Epoch-invalidated decoded-scan cache shared by every AQE query
@@ -268,9 +286,40 @@ impl Apollo {
             timers: std::collections::HashMap::new(),
             component_parent: std::collections::HashMap::new(),
             component_members: std::collections::HashMap::new(),
+            pumps: Vec::new(),
             registry,
             scan_cache,
         }
+    }
+
+    /// Create a batched Delphi prediction pump: one timer that, every
+    /// `every`, packs the windows of all enrolled-and-stale vertices into
+    /// one batch and predicts them with a **single** fused kernel call
+    /// ([`Delphi::predict_batch_into`]). Enroll vertices by passing the
+    /// returned handle to [`FactVertexSpec::with_batched_prediction`]
+    /// before registering them.
+    ///
+    /// Each enrolled vertex joins the pump's dispatch component, so under
+    /// [`Apollo::use_worker_pool`] the pump never races its vertices'
+    /// poll timers and virtual-clock runs stay deterministic. Kernel wall
+    /// time and batch sizes report as `delphi.predict_ns` /
+    /// `delphi.batch_size`.
+    pub fn prediction_pump(&mut self, model: Delphi, every: Duration) -> PredictionPump {
+        let name = format!("delphi.pump.{}", self.pumps.len());
+        let pump = PredictionPump::new(model, every, name.clone());
+        pump.shared.instrument(&self.registry);
+        let clock = self.el.clock().clone();
+        let handle = {
+            let shared = Arc::clone(&pump.shared);
+            self.el.add_timer_keyed(name_seed(&name), every, move |_ctl| {
+                shared.tick(clock.now());
+                TimerAction::Continue
+            })
+        };
+        self.timers.insert(name.clone(), vec![handle]);
+        self.new_component(&name);
+        self.pumps.push(pump.clone());
+        pump
     }
 
     /// Root of `name`'s dispatch component (with path compression).
@@ -366,7 +415,16 @@ impl Apollo {
     }
 
     /// Register a fact vertex; returns its handle.
+    ///
+    /// # Panics
+    /// Panics when the spec carries both a per-vertex prediction and a
+    /// batched pump enrollment — the vertex would double-publish.
     pub fn register_fact(&mut self, spec: FactVertexSpec) -> Result<Arc<FactVertex>, GraphError> {
+        assert!(
+            spec.prediction.is_none() || spec.batched_prediction.is_none(),
+            "vertex {}: with_prediction and with_batched_prediction are mutually exclusive",
+            spec.name
+        );
         self.graph.add_fact(&spec.name)?;
         let initial = spec.controller.current_interval();
         // One dispatch key per vertex: under pool dispatch its poll and
@@ -392,6 +450,11 @@ impl Apollo {
             .prediction
             .as_ref()
             .map(|p| Arc::new(Mutex::new(OnlinePredictor::new(p.model.clone()))));
+        // Optional batched-pump window state fed by the poll timer.
+        let pump_tracker: Option<Arc<Mutex<apollo_delphi::WindowTracker>>> = spec
+            .batched_prediction
+            .as_ref()
+            .map(|p| Arc::new(Mutex::new(apollo_delphi::WindowTracker::new(p.window()))));
 
         let mut handles = Vec::new();
         {
@@ -399,14 +462,20 @@ impl Apollo {
             let clock = clock.clone();
             let last_poll = Arc::clone(&last_poll);
             let predictor = predictor.clone();
+            let pump_tracker = pump_tracker.clone();
             handles.push(self.el.add_timer_keyed(dispatch_key, initial, move |ctl| {
                 let now = clock.now();
                 let next = vertex.poll(now);
                 last_poll.store(now, Ordering::SeqCst);
-                if let Some(p) = &predictor {
+                if predictor.is_some() || pump_tracker.is_some() {
                     // Re-anchor the predictor on the measured value.
                     if let Some(v) = vertex.last_value() {
-                        p.lock().observe(v);
+                        if let Some(p) = &predictor {
+                            p.lock().observe(v);
+                        }
+                        if let Some(t) = &pump_tracker {
+                            t.lock().observe(v);
+                        }
                     }
                 }
                 ctl.set_interval(next);
@@ -433,6 +502,17 @@ impl Apollo {
 
         self.timers.insert(vertex.name().to_string(), handles);
         self.new_component(vertex.name());
+        if let Some(pump) = spec.batched_prediction {
+            pump.enroll(PumpSlot {
+                vertex: Arc::clone(&vertex),
+                tracker: pump_tracker.expect("created above"),
+                last_poll,
+            });
+            // Share the pump's dispatch lane so a pooled-dispatch tick
+            // never races this vertex's poll timer.
+            let vertex_name = vertex.name().to_string();
+            self.merge_components(&vertex_name, &[pump.name().to_string()]);
+        }
         self.facts.push(Arc::clone(&vertex));
         Ok(vertex)
     }
@@ -449,6 +529,9 @@ impl Apollo {
         }
         self.facts.retain(|f| f.name() != name);
         self.insights.retain(|i| i.name() != name);
+        for pump in &self.pumps {
+            pump.retire(name);
+        }
         self.broker.remove_topic(name);
         Ok(())
     }
@@ -1111,5 +1194,83 @@ mod tests {
         let snap = apollo.metrics_snapshot();
         assert!(snap.histograms["runtime.pool.exec_ns"].count >= 5);
         assert_eq!(snap.counter("runtime.timer.fires"), 5);
+    }
+
+    /// Small Delphi for pump wiring tests (training speed matters here,
+    /// prediction quality does not).
+    fn tiny_delphi() -> apollo_delphi::Delphi {
+        apollo_delphi::Delphi::train(apollo_delphi::DelphiConfig {
+            feature_samples: 60,
+            feature_epochs: 3,
+            combiner_samples: 40,
+            combiner_epochs: 3,
+            ..apollo_delphi::DelphiConfig::default()
+        })
+    }
+
+    #[test]
+    fn pump_enrolls_and_retires_with_vertex_lifecycle() {
+        let mut apollo = Apollo::new_virtual();
+        let pump = apollo.prediction_pump(tiny_delphi(), Duration::from_secs(3));
+        for name in ["a", "b"] {
+            apollo
+                .register_fact(
+                    FactVertexSpec::fixed(
+                        name,
+                        Arc::new(ConstSource::new(name, 1.0)),
+                        Duration::from_secs(10),
+                    )
+                    .with_batched_prediction(&pump),
+                )
+                .unwrap();
+        }
+        assert_eq!(pump.enrolled(), 2);
+        apollo.unregister("a").unwrap();
+        assert_eq!(pump.enrolled(), 1);
+        // The surviving vertex keeps predicting after its peer retires.
+        apollo.run_for(Duration::from_secs(120));
+        assert!(apollo.total_hook_calls() >= 12);
+        apollo.unregister("b").unwrap();
+        assert_eq!(pump.enrolled(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn per_vertex_and_batched_prediction_are_mutually_exclusive() {
+        let mut apollo = Apollo::new_virtual();
+        let model = tiny_delphi();
+        let pump = apollo.prediction_pump(model.clone(), Duration::from_secs(3));
+        let _ = apollo.register_fact(
+            FactVertexSpec::fixed(
+                "x",
+                Arc::new(ConstSource::new("x", 1.0)),
+                Duration::from_secs(10),
+            )
+            .with_prediction(model, Duration::from_secs(3))
+            .with_batched_prediction(&pump),
+        );
+    }
+
+    #[test]
+    fn pump_shares_dispatch_component_with_its_vertices() {
+        let mut apollo = Apollo::new_virtual();
+        apollo.use_worker_pool(4);
+        let pump = apollo.prediction_pump(tiny_delphi(), Duration::from_secs(3));
+        apollo
+            .register_fact(
+                FactVertexSpec::fixed(
+                    "m",
+                    Arc::new(ConstSource::new("m", 7.0)),
+                    Duration::from_secs(10),
+                )
+                .with_batched_prediction(&pump),
+            )
+            .unwrap();
+        // Pooled dispatch must serialize the pump with its vertices; the
+        // run completing without a data race or deadlock plus the change
+        // filter holding is the observable invariant.
+        apollo.run_for(Duration::from_secs(120));
+        let out = apollo.query("SELECT MAX(Timestamp), metric FROM m").unwrap();
+        assert_eq!(out.rows[0].value, 7.0);
     }
 }

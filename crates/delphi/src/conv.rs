@@ -47,17 +47,33 @@ impl Conv1d {
         self.weights.len() + self.bias.len()
     }
 
-    /// Forward pass: returns `channels × out_len` pre-activations.
-    fn forward(&self, x: &[f64]) -> Matrix {
+    /// Forward pass into a caller-owned `channels × out_len` buffer of
+    /// pre-activations; steady-state calls reuse its capacity and
+    /// allocate nothing.
+    fn forward_into(&self, x: &[f64], out: &mut Matrix) {
         let out_len = self.out_len(x.len());
-        Matrix::from_fn(self.channels, out_len, |c, t| {
-            let mut acc = self.bias[c];
-            for k in 0..self.kernel {
-                acc += self.weights.get(c, k) * x[t + k];
+        out.resize(self.channels, out_len);
+        for c in 0..self.channels {
+            let row = out.row_mut(c);
+            for (t, slot) in row.iter_mut().enumerate() {
+                let mut acc = self.bias[c];
+                for k in 0..self.kernel {
+                    acc += self.weights.get(c, k) * x[t + k];
+                }
+                *slot = acc;
             }
-            acc
-        })
+        }
     }
+}
+
+/// Reusable buffers for [`CnnModel::predict_into`] and the training
+/// step: pre-activation map plus backprop temporaries.
+#[derive(Debug, Clone, Default)]
+pub struct CnnScratch {
+    pre: Matrix,
+    fm: Matrix,
+    d_fm: Vec<f64>,
+    d_w: Vec<f64>,
 }
 
 /// The CNN forecaster: Conv1d → ReLU → flatten → dense(1).
@@ -67,6 +83,8 @@ pub struct CnnModel {
     head_w: Matrix, // (channels*out_len) × 1
     head_b: f64,
     window: usize,
+    // Reused by train_step so repeated steps allocate nothing.
+    train_buf: CnnScratch,
 }
 
 impl CnnModel {
@@ -78,7 +96,7 @@ impl CnnModel {
         let flat = channels * (window + 1 - kernel);
         let scale = (1.0 / flat as f64).sqrt();
         let head_w = Matrix::from_fn(flat, 1, |_, _| rng.random_range(-scale..scale));
-        Self { conv, head_w, head_b: 0.0, window }
+        Self { conv, head_w, head_b: 0.0, window, train_buf: CnnScratch::default() }
     }
 
     /// Window length the model expects.
@@ -93,11 +111,19 @@ impl CnnModel {
 
     /// Predict the next value of a window.
     pub fn predict(&self, window: &[f64]) -> f64 {
+        let mut scratch = CnnScratch::default();
+        self.predict_into(window, &mut scratch)
+    }
+
+    /// [`CnnModel::predict`] through caller-owned scratch: the ReLU and
+    /// head dot product fuse over the pre-activation map, so steady-state
+    /// calls allocate nothing.
+    pub fn predict_into(&self, window: &[f64], scratch: &mut CnnScratch) -> f64 {
         assert_eq!(window.len(), self.window, "window length mismatch");
-        let fm = self.conv.forward(window).map(|v| Activation::Relu.apply(v));
+        self.conv.forward_into(window, &mut scratch.pre);
         let mut acc = self.head_b;
-        for (i, v) in fm.data().iter().enumerate() {
-            acc += v * self.head_w.data()[i];
+        for (v, w) in scratch.pre.data().iter().zip(self.head_w.data()) {
+            acc += Activation::Relu.apply(*v) * w;
         }
         acc
     }
@@ -106,22 +132,24 @@ impl CnnModel {
     /// squared error.
     pub fn train_step(&mut self, window: &[f64], target: f64, lr: f64) -> f64 {
         assert_eq!(window.len(), self.window, "window length mismatch");
-        let pre = self.conv.forward(window);
-        let fm = pre.map(|v| Activation::Relu.apply(v));
+        let mut buf = std::mem::take(&mut self.train_buf);
+        self.conv.forward_into(window, &mut buf.pre);
+        buf.fm.resize(buf.pre.rows(), buf.pre.cols());
+        for (f, p) in buf.fm.data_mut().iter_mut().zip(buf.pre.data()) {
+            *f = Activation::Relu.apply(*p);
+        }
         let mut pred = self.head_b;
-        for (i, v) in fm.data().iter().enumerate() {
-            pred += v * self.head_w.data()[i];
+        for (v, w) in buf.fm.data().iter().zip(self.head_w.data()) {
+            pred += v * w;
         }
         let err = pred - target;
         let dpred = 2.0 * err;
 
         // Head gradients (flat index i = c*out_len + t).
         let out_len = self.conv.out_len(window.len());
-        let mut d_fm = vec![0.0; fm.len()];
-        for (d, w) in d_fm.iter_mut().zip(self.head_w.data()) {
-            *d = dpred * w;
-        }
-        for (w, v) in self.head_w.data_mut().iter_mut().zip(fm.data()) {
+        buf.d_fm.clear();
+        buf.d_fm.extend(self.head_w.data().iter().map(|w| dpred * w));
+        for (w, v) in self.head_w.data_mut().iter_mut().zip(buf.fm.data()) {
             *w -= lr * dpred * v;
         }
         self.head_b -= lr * dpred;
@@ -129,22 +157,24 @@ impl CnnModel {
         // Through ReLU into the conv filters.
         for c in 0..self.conv.channels {
             let mut d_bias = 0.0;
-            let mut d_w = vec![0.0; self.conv.kernel];
+            buf.d_w.clear();
+            buf.d_w.resize(self.conv.kernel, 0.0);
             for t in 0..out_len {
                 let idx = c * out_len + t;
-                let relu_grad = if pre.get(c, t) > 0.0 { 1.0 } else { 0.0 };
-                let dz = d_fm[idx] * relu_grad;
+                let relu_grad = if buf.pre.get(c, t) > 0.0 { 1.0 } else { 0.0 };
+                let dz = buf.d_fm[idx] * relu_grad;
                 d_bias += dz;
-                for (k, d) in d_w.iter_mut().enumerate() {
+                for (k, d) in buf.d_w.iter_mut().enumerate() {
                     *d += dz * window[t + k];
                 }
             }
             self.conv.bias[c] -= lr * d_bias;
-            for (k, d) in d_w.iter().enumerate() {
+            for (k, d) in buf.d_w.iter().enumerate() {
                 let cur = self.conv.weights.get(c, k);
                 self.conv.weights.set(c, k, cur - lr * d);
             }
         }
+        self.train_buf = buf;
         err * err
     }
 
@@ -166,12 +196,18 @@ impl CnnModel {
 }
 
 impl crate::predictor::WindowModel for CnnModel {
+    type Scratch = CnnScratch;
+
     fn window(&self) -> usize {
         self.window
     }
 
     fn predict_normalized(&self, window: &[f64]) -> f64 {
         self.predict(window)
+    }
+
+    fn predict_normalized_into(&self, window: &[f64], scratch: &mut Self::Scratch) -> f64 {
+        self.predict_into(window, scratch)
     }
 }
 
@@ -243,6 +279,17 @@ mod tests {
         let p = m.predict(&w);
         let after = (p - 0.8) * (p - 0.8);
         assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn predict_into_matches_predict_bitwise() {
+        let mut m = CnnModel::new(5, 3, 4, 6);
+        let series: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin() * 0.3 + 0.5).collect();
+        m.fit_series(&series, 10, 0.02);
+        let mut scratch = CnnScratch::default();
+        for w in [[0.1, 0.2, 0.3, 0.4, 0.5], [0.5, 0.4, 0.3, 0.2, 0.1], [0.5; 5]] {
+            assert_eq!(m.predict_into(&w, &mut scratch), m.predict(&w));
+        }
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod predictor;
 pub mod stack;
 pub mod tensor;
 
-pub use conv::CnnModel;
+pub use conv::{CnnModel, CnnScratch};
 pub use features::Feature;
 pub use lstm::LstmModel;
-pub use predictor::OnlinePredictor;
-pub use stack::{Delphi, DelphiConfig};
+pub use predictor::{OnlinePredictor, WindowTracker};
+pub use stack::{Delphi, DelphiConfig, DelphiScratch};

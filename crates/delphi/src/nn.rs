@@ -7,8 +7,10 @@
 //! to validate backprop.
 
 use crate::tensor::Matrix;
+use apollo_runtime::pool::WorkerPool;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::sync::{Arc, Mutex};
 
 /// Activation functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,9 +65,16 @@ pub struct Dense {
     /// When false, gradients are computed through but not applied to this
     /// layer (the paper's frozen feature models).
     pub trainable: bool,
-    // Cached forward state for backward().
-    last_input: Option<Matrix>,
-    last_output: Option<Matrix>,
+    // Cached forward state for backward(), held in reused buffers
+    // (swapped out with `mem::take`, refilled with `copy_from`) so a
+    // steady-state forward never clones or allocates.
+    last_input: Matrix,
+    last_output: Matrix,
+    cached: bool,
+    // Reused backprop scratch: dz, dw, db.
+    dz: Matrix,
+    dw: Matrix,
+    db: Matrix,
 }
 
 impl Dense {
@@ -77,8 +86,12 @@ impl Dense {
             bias: Matrix::zeros(1, outputs),
             activation,
             trainable: true,
-            last_input: None,
-            last_output: None,
+            last_input: Matrix::default(),
+            last_output: Matrix::default(),
+            cached: false,
+            dz: Matrix::default(),
+            dw: Matrix::default(),
+            db: Matrix::default(),
         }
     }
 
@@ -97,18 +110,51 @@ impl Dense {
         self.weights.len() + self.bias.len()
     }
 
-    /// Forward pass; caches state for backward.
+    /// Forward pass; caches state for backward. Equivalent to
+    /// [`Dense::forward_cached`] plus a clone of the output (kept for API
+    /// compatibility — hot paths use the `_into`/`_cached` variants).
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let z = x.matmul(&self.weights).add_row_broadcast(&self.bias);
-        let y = z.map(|v| self.activation.apply(v));
-        self.last_input = Some(x.clone());
-        self.last_output = Some(y.clone());
-        y
+        self.forward_cached(x).clone()
+    }
+
+    /// Forward pass via the fused [`Matrix::matmul_bias_act_into`] kernel,
+    /// caching input and output into reused buffers (no clones, no
+    /// steady-state allocations). Returns a reference to the cached
+    /// output.
+    pub fn forward_cached(&mut self, x: &Matrix) -> &Matrix {
+        // `mem::take` swaps the cache buffers out so the kernel can borrow
+        // `self` immutably while writing into them.
+        let mut input = std::mem::take(&mut self.last_input);
+        input.copy_from(x);
+        self.last_input = input;
+        let mut out = std::mem::take(&mut self.last_output);
+        let act = self.activation;
+        x.matmul_bias_act_into(&self.weights, &self.bias, |v| act.apply(v), &mut out);
+        self.last_output = out;
+        self.cached = true;
+        &self.last_output
+    }
+
+    /// The output cached by the last forward pass.
+    ///
+    /// # Panics
+    /// Panics if called before a forward pass.
+    pub fn cached_output(&self) -> &Matrix {
+        assert!(self.cached, "cached_output before forward");
+        &self.last_output
     }
 
     /// Forward pass without caching (inference).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.weights).add_row_broadcast(&self.bias).map(|v| self.activation.apply(v))
+        let mut out = Matrix::default();
+        self.infer_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free inference into a caller-owned buffer.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        let act = self.activation;
+        x.matmul_bias_act_into(&self.weights, &self.bias, |v| act.apply(v), out);
     }
 
     /// Backward pass: given `dL/dy`, applies the SGD update (if trainable)
@@ -117,26 +163,70 @@ impl Dense {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_output: &Matrix, lr: f64) -> Matrix {
-        let x = self.last_input.as_ref().expect("backward before forward");
-        let y = self.last_output.as_ref().expect("backward before forward");
-        // dL/dz = dL/dy ⊙ act'(z)
-        let act_grad = y.map(|v| self.activation.derivative_from_output(v));
-        let dz = grad_output.hadamard(&act_grad);
-        let dw = x.transpose().matmul(&dz);
-        let db = dz.sum_rows();
-        let dx = dz.matmul(&self.weights.transpose());
-        if self.trainable {
-            self.weights.add_scaled_in_place(&dw, -lr);
-            self.bias.add_scaled_in_place(&db, -lr);
-        }
+        let mut dx = Matrix::default();
+        self.backward_into(grad_output, lr, &mut dx);
         dx
     }
+
+    /// Backward pass into a caller-owned `dL/dx` buffer. Uses the fused
+    /// transposed-operand kernels ([`Matrix::matmul_at_into`] /
+    /// [`Matrix::matmul_bt_into`]) so no transpose is ever materialized,
+    /// and layer-owned scratch for `dz`/`dw`/`db` — zero steady-state
+    /// allocations.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward_into(&mut self, grad_output: &Matrix, lr: f64, dx: &mut Matrix) {
+        assert!(self.cached, "backward before forward");
+        let act = self.activation;
+        // dL/dz = dL/dy ⊙ act'(y)
+        grad_output.hadamard_map_into(
+            &self.last_output,
+            |y| act.derivative_from_output(y),
+            &mut self.dz,
+        );
+        // dW = xᵀ·dz, db = Σ_rows dz, dx = dz·Wᵀ — all computed before the
+        // update so the applied order cannot change the math.
+        self.last_input.matmul_at_into(&self.dz, &mut self.dw);
+        self.dz.sum_rows_into(&mut self.db);
+        self.dz.matmul_bt_into(&self.weights, dx);
+        if self.trainable {
+            self.weights.add_scaled_in_place(&self.dw, -lr);
+            self.bias.add_scaled_in_place(&self.db, -lr);
+        }
+    }
+}
+
+/// Ping-pong scratch for allocation-free multi-layer inference. Owned by
+/// the caller so steady-state [`Sequential::infer_into`] calls perform
+/// zero heap allocations; buffers size themselves on first use.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    a: Matrix,
+    b: Matrix,
+}
+
+/// Per-layer activation and gradient buffers for one full-batch backprop
+/// pass. Caller-owned and reused across epochs/shards so pooled training
+/// does not allocate per epoch beyond first-use sizing.
+#[derive(Debug, Clone, Default)]
+pub struct GradBuffer {
+    /// `acts[i]` = output of layer `i` (`acts.last()` is the prediction).
+    acts: Vec<Matrix>,
+    /// `(dW, db)` per layer.
+    grads: Vec<(Matrix, Matrix)>,
+    dz: Matrix,
+    // Ping-pong dL/dx chain buffers.
+    dxa: Matrix,
+    dxb: Matrix,
 }
 
 /// A stack of dense layers trained with SGD on MSE loss.
 #[derive(Debug, Clone, Default)]
 pub struct Sequential {
     layers: Vec<Dense>,
+    // Reused by train_step so repeated steps don't allocate.
+    train_buf: GradBuffer,
 }
 
 impl Sequential {
@@ -173,35 +263,106 @@ impl Sequential {
         self.layers.iter().filter(|l| l.trainable).map(Dense::param_count).sum()
     }
 
-    /// Forward with caching (training).
+    /// Forward with caching (training). Each layer chains off the previous
+    /// layer's cached output — no intermediate allocations beyond the
+    /// returned clone.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for l in &mut self.layers {
-            h = l.forward(&h);
+        if self.layers.is_empty() {
+            return x.clone();
         }
-        h
+        for i in 0..self.layers.len() {
+            let (done, rest) = self.layers.split_at_mut(i);
+            let input = if i == 0 { x } else { done[i - 1].cached_output() };
+            rest[0].forward_cached(input);
+        }
+        self.layers.last().unwrap().cached_output().clone()
     }
 
     /// Forward without caching (inference).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for l in &self.layers {
-            h = l.infer(&h);
+        let mut out = Matrix::default();
+        self.infer_into(x, &mut out, &mut Scratch::default());
+        out
+    }
+
+    /// Allocation-free inference: the fused per-layer kernels write into
+    /// the caller-owned ping-pong [`Scratch`] and final `out` buffer.
+    /// After a first sizing call, steady-state calls perform **zero** heap
+    /// allocations (asserted by the counting-allocator test).
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
+        match self.layers.len() {
+            0 => out.copy_from(x),
+            1 => self.layers[0].infer_into(x, out),
+            n => {
+                self.layers[0].infer_into(x, &mut scratch.a);
+                for l in &self.layers[1..n - 1] {
+                    l.infer_into(&scratch.a, &mut scratch.b);
+                    std::mem::swap(&mut scratch.a, &mut scratch.b);
+                }
+                self.layers[n - 1].infer_into(&scratch.a, out);
+            }
         }
-        h
+    }
+
+    /// Full-batch forward + backward against the **current** weights with
+    /// no update applied; activations and per-layer `(dW, db)` land in
+    /// `buf` (overwritten). Returns the batch MSE.
+    ///
+    /// Takes `&self`, so shard workers can compute gradients concurrently
+    /// against a shared snapshot — the foundation of the deterministic
+    /// pooled trainer ([`Sequential::fit_pooled`]).
+    pub fn batch_grads(&self, x: &Matrix, y: &Matrix, buf: &mut GradBuffer) -> f64 {
+        let n_layers = self.layers.len();
+        buf.acts.resize(n_layers, Matrix::default());
+        buf.grads.resize(n_layers, (Matrix::default(), Matrix::default()));
+        // Forward, keeping every activation.
+        for i in 0..n_layers {
+            let (done, rest) = buf.acts.split_at_mut(i);
+            let input = if i == 0 { x } else { &done[i - 1] };
+            self.layers[i].infer_into(input, &mut rest[0]);
+        }
+        let pred = if n_layers == 0 { x } else { &buf.acts[n_layers - 1] };
+        let n = (pred.rows() * pred.cols()) as f64;
+        let loss =
+            pred.data().iter().zip(y.data()).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n;
+        // dMSE/dpred = 2(pred - y)/n, then backprop; `dxa` always holds the
+        // incoming dL/dy for the current layer.
+        pred.sub_scale_into(y, 2.0 / n, &mut buf.dxa);
+        for i in (0..n_layers).rev() {
+            let layer = &self.layers[i];
+            let act = layer.activation;
+            buf.dxa.hadamard_map_into(&buf.acts[i], |v| act.derivative_from_output(v), &mut buf.dz);
+            let input = if i == 0 { x } else { &buf.acts[i - 1] };
+            let (dw, db) = &mut buf.grads[i];
+            input.matmul_at_into(&buf.dz, dw);
+            buf.dz.sum_rows_into(db);
+            buf.dz.matmul_bt_into(&layer.weights, &mut buf.dxb);
+            std::mem::swap(&mut buf.dxa, &mut buf.dxb);
+        }
+        loss
+    }
+
+    /// Apply buffered gradients: `W += dW·k` (and bias) for every
+    /// trainable layer. `k = -lr` performs one SGD step.
+    ///
+    /// # Panics
+    /// Panics when `buf` was filled against a different architecture.
+    pub fn apply_grads(&mut self, buf: &GradBuffer, k: f64) {
+        assert_eq!(buf.grads.len(), self.layers.len(), "grad buffer layer mismatch");
+        for (l, (dw, db)) in self.layers.iter_mut().zip(&buf.grads) {
+            if l.trainable {
+                l.weights.add_scaled_in_place(dw, k);
+                l.bias.add_scaled_in_place(db, k);
+            }
+        }
     }
 
     /// One SGD step on a batch; returns the batch MSE before the update.
     pub fn train_step(&mut self, x: &Matrix, y: &Matrix, lr: f64) -> f64 {
-        let pred = self.forward(x);
-        let n = (pred.rows() * pred.cols()) as f64;
-        let diff = pred.sub(y);
-        let loss = diff.data().iter().map(|v| v * v).sum::<f64>() / n;
-        // dMSE/dpred = 2(pred - y)/n
-        let mut grad = diff.scale(2.0 / n);
-        for l in self.layers.iter_mut().rev() {
-            grad = l.backward(&grad, lr);
-        }
+        let mut buf = std::mem::take(&mut self.train_buf);
+        let loss = self.batch_grads(x, y, &mut buf);
+        self.apply_grads(&buf, -lr);
+        self.train_buf = buf;
         loss
     }
 
@@ -219,6 +380,116 @@ impl Sequential {
         let pred = self.infer(x);
         let n = (pred.rows() * pred.cols()) as f64;
         pred.sub(y).data().iter().map(|v| v * v).sum::<f64>() / n
+    }
+
+    /// Deterministic pooled full-batch training. Each epoch shards the
+    /// rows into contiguous blocks, computes per-shard gradients against
+    /// an epoch-start snapshot (on `pool` workers when given, inline
+    /// otherwise), then reduces them on the caller thread in ascending
+    /// shard order, weighting each shard by its row fraction.
+    ///
+    /// Because every shard's gradient is a pure function of the snapshot
+    /// and its block (thread schedule cannot touch it) and the reduction
+    /// order is fixed, the loss curve is **bit-identical for any worker
+    /// count** — including `pool = None`, which executes the same shard
+    /// plan inline. Returns the final epoch's loss (measured at the
+    /// epoch-start weights, like [`Sequential::fit`]).
+    ///
+    /// # Panics
+    /// Panics on empty data or row-count mismatch.
+    pub fn fit_pooled(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        lr: f64,
+        epochs: usize,
+        shards: usize,
+        pool: Option<&WorkerPool>,
+    ) -> f64 {
+        self.fit_pooled_impl(x, y, lr, epochs, shards, pool, None)
+    }
+
+    /// [`Sequential::fit_pooled`] with each epoch's wall time reported to
+    /// `registry` as `delphi.train_epoch_ns`. A noop registry observes
+    /// nothing and skips the clock reads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_pooled_observed(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        lr: f64,
+        epochs: usize,
+        shards: usize,
+        pool: Option<&WorkerPool>,
+        registry: &apollo_obs::Registry,
+    ) -> f64 {
+        let hist = registry.enabled().then(|| registry.histogram("delphi.train_epoch_ns"));
+        self.fit_pooled_impl(x, y, lr, epochs, shards, pool, hist.as_ref())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fit_pooled_impl(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        lr: f64,
+        epochs: usize,
+        shards: usize,
+        pool: Option<&WorkerPool>,
+        epoch_ns: Option<&apollo_obs::Histogram>,
+    ) -> f64 {
+        let rows = x.rows();
+        assert!(rows > 0, "fit_pooled needs data");
+        assert_eq!(y.rows(), rows, "fit_pooled shape mismatch");
+        let shards = shards.clamp(1, rows);
+        // Contiguous row blocks; the first `rem` shards take one extra row.
+        let base = rows / shards;
+        let rem = rows % shards;
+        let mut blocks: Vec<(Matrix, Matrix)> = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            let xs = Matrix::from_fn(len, x.cols(), |r, c| x.get(start + r, c));
+            let ys = Matrix::from_fn(len, y.cols(), |r, c| y.get(start + r, c));
+            blocks.push((xs, ys));
+            start += len;
+        }
+        let fractions: Vec<f64> =
+            blocks.iter().map(|(bx, _)| bx.rows() as f64 / rows as f64).collect();
+        let blocks = Arc::new(blocks);
+        // Per-shard (gradient buffer, loss) slots, reused across epochs.
+        let slots: Arc<Vec<Mutex<(GradBuffer, f64)>>> =
+            Arc::new((0..shards).map(|_| Mutex::new((GradBuffer::default(), 0.0))).collect());
+        let mut loss = f64::INFINITY;
+        for _ in 0..epochs {
+            let started = epoch_ns.map(|_| std::time::Instant::now());
+            let snapshot = Arc::new(self.clone());
+            let job: Arc<dyn Fn(usize) + Send + Sync> = {
+                let blocks = Arc::clone(&blocks);
+                let slots = Arc::clone(&slots);
+                Arc::new(move |s| {
+                    let (bx, by) = &blocks[s];
+                    let mut slot = slots[s].lock().expect("shard slot poisoned");
+                    let (buf, l) = &mut *slot;
+                    *l = snapshot.batch_grads(bx, by, buf);
+                })
+            };
+            match pool {
+                Some(p) => p.run_batch(shards, job),
+                None => (0..shards).for_each(|s| job(s)),
+            }
+            // Fixed ascending-shard reduction on the caller thread.
+            loss = 0.0;
+            for (s, frac) in fractions.iter().enumerate() {
+                let slot = slots[s].lock().expect("shard slot poisoned");
+                loss += slot.1 * frac;
+                self.apply_grads(&slot.0, -lr * frac);
+            }
+            if let (Some(h), Some(t)) = (epoch_ns, started) {
+                h.observe(t.elapsed().as_nanos() as u64);
+            }
+        }
+        loss
     }
 }
 
@@ -307,30 +578,29 @@ pub fn gradient_check(model: &Sequential, x: &Matrix, y: &Matrix, eps: f64) -> f
     let mut worst: f64 = 0.0;
     let loss_of = |m: &Sequential| m.mse(x, y);
 
-    // Analytic gradients: run a forward/backward on a clone with lr=0 and
-    // capture dW via a second clone trick — simplest is recompute manually.
-    // We reuse backward() by recording weight deltas under a tiny lr.
-    let base = model.clone();
+    // Analytic gradients for every weight at once: one batch_grads pass
+    // (no per-weight probe clones — the old implementation recomputed an
+    // identical train_step per probed weight).
+    let mut grads = GradBuffer::default();
+    model.batch_grads(x, y, &mut grads);
+
+    // Numeric gradients: ONE scratch clone, each probed entry perturbed
+    // and restored in place instead of cloning the whole model per weight.
+    let mut perturbed = model.clone();
     for li in 0..model.layers().len() {
         if !model.layers()[li].trainable {
             continue;
         }
         for wi in 0..model.layers()[li].weights.len() {
-            // Numeric gradient.
-            let mut plus = base.clone();
-            plus.layers_mut()[li].weights.data_mut()[wi] += eps;
-            let mut minus = base.clone();
-            minus.layers_mut()[li].weights.data_mut()[wi] -= eps;
-            let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            let orig = model.layers()[li].weights.data()[wi];
+            perturbed.layers_mut()[li].weights.data_mut()[wi] = orig + eps;
+            let plus = loss_of(&perturbed);
+            perturbed.layers_mut()[li].weights.data_mut()[wi] = orig - eps;
+            let minus = loss_of(&perturbed);
+            perturbed.layers_mut()[li].weights.data_mut()[wi] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
 
-            // Analytic gradient via one backward pass with lr small enough
-            // to recover dW from the weight delta.
-            let lr = 1e-9;
-            let mut probe = base.clone();
-            probe.train_step(x, y, lr);
-            let analytic =
-                (base.layers()[li].weights.data()[wi] - probe.layers()[li].weights.data()[wi]) / lr;
-
+            let analytic = grads.grads[li].0.data()[wi];
             let denom = numeric.abs().max(analytic.abs()).max(1e-8);
             worst = worst.max((numeric - analytic).abs() / denom);
         }
@@ -436,6 +706,55 @@ mod tests {
         let mut r = rng();
         m.push(Dense::new(2, 3, Activation::Linear, &mut r));
         m.push(Dense::new(4, 1, Activation::Linear, &mut r));
+    }
+
+    #[test]
+    fn infer_into_matches_infer_and_zero_layer_passthrough() {
+        let mut r = rng();
+        let mut m = Sequential::new();
+        m.push(Dense::new(2, 4, Activation::Tanh, &mut r));
+        m.push(Dense::new(4, 3, Activation::Sigmoid, &mut r));
+        m.push(Dense::new(3, 1, Activation::Linear, &mut r));
+        let x = Matrix::from_vec(2, 2, vec![0.3, -0.7, 0.1, 0.9]);
+        let mut out = Matrix::default();
+        let mut scratch = Scratch::default();
+        m.infer_into(&x, &mut out, &mut scratch);
+        assert_eq!(out, m.infer(&x));
+        let empty = Sequential::new();
+        empty.infer_into(&x, &mut out, &mut scratch);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn batch_grads_plus_apply_matches_train_step() {
+        let mut r = rng();
+        let mut a = Sequential::new();
+        a.push(Dense::new(3, 5, Activation::Tanh, &mut r));
+        a.push(Dense::new(5, 1, Activation::Linear, &mut r));
+        let mut b = a.clone();
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| (i as f64 * 0.37).sin()).collect());
+        let y = Matrix::from_vec(4, 1, vec![0.1, -0.2, 0.3, 0.0]);
+        let la = a.train_step(&x, &y, 0.05);
+        let mut buf = GradBuffer::default();
+        let lb = b.batch_grads(&x, &y, &mut buf);
+        b.apply_grads(&buf, -0.05);
+        assert_eq!(la, lb);
+        for (al, bl) in a.layers().iter().zip(b.layers()) {
+            assert_eq!(al.weights, bl.weights);
+            assert_eq!(al.bias, bl.bias);
+        }
+    }
+
+    #[test]
+    fn fit_pooled_serial_shards_converge() {
+        // y = 2a - 3b + 1, same target as the SGD test; the sharded
+        // full-batch path must also learn it.
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let y = Matrix::from_vec(4, 1, vec![1.0, 3.0, -2.0, 0.0]);
+        let mut m = Sequential::new();
+        m.push(Dense::new(2, 1, Activation::Linear, &mut rng()));
+        let loss = m.fit_pooled(&x, &y, 0.1, 2000, 3, None);
+        assert!(loss < 1e-6, "pooled loss {loss}");
     }
 
     #[test]

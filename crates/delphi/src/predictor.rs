@@ -15,23 +15,39 @@ use std::collections::VecDeque;
 
 /// A model that maps a normalized window to the next normalized value.
 pub trait WindowModel: Send + Sync {
+    /// Caller-owned scratch for allocation-free prediction. Models
+    /// without a buffered fast path use `()`.
+    type Scratch: Default + Send;
     /// Expected window length.
     fn window(&self) -> usize;
     /// Predict the next value of a unit-scaled window.
     fn predict_normalized(&self, window: &[f64]) -> f64;
+    /// [`WindowModel::predict_normalized`] through reusable scratch;
+    /// the default just forwards to the allocating path.
+    fn predict_normalized_into(&self, window: &[f64], _scratch: &mut Self::Scratch) -> f64 {
+        self.predict_normalized(window)
+    }
 }
 
 impl WindowModel for crate::stack::Delphi {
+    type Scratch = crate::stack::DelphiScratch;
+
     fn window(&self) -> usize {
         self.window()
     }
 
     fn predict_normalized(&self, window: &[f64]) -> f64 {
         self.predict(window)
+    }
+
+    fn predict_normalized_into(&self, window: &[f64], scratch: &mut Self::Scratch) -> f64 {
+        self.predict_into(window, scratch)
     }
 }
 
 impl WindowModel for crate::lstm::LstmModel {
+    type Scratch = ();
+
     fn window(&self) -> usize {
         self.window()
     }
@@ -41,22 +57,30 @@ impl WindowModel for crate::lstm::LstmModel {
     }
 }
 
-/// Scale-invariant online wrapper around a [`WindowModel`].
-pub struct OnlinePredictor<M: WindowModel> {
-    model: M,
+/// Sliding min-max window state: the last `window` observations plus a
+/// reusable normalization buffer. Extracted from [`OnlinePredictor`] so
+/// the batched prediction pump in `apollo-core` can stage many vertices'
+/// normalized windows without re-deriving the scheme.
+#[derive(Debug, Clone, Default)]
+pub struct WindowTracker {
+    window: usize,
     history: VecDeque<f64>,
+    normalized: Vec<f64>,
 }
 
-impl<M: WindowModel> OnlinePredictor<M> {
-    /// Wrap a model.
-    pub fn new(model: M) -> Self {
-        let w = model.window();
-        Self { model, history: VecDeque::with_capacity(w) }
+impl WindowTracker {
+    /// Track windows of `window` observations.
+    pub fn new(window: usize) -> Self {
+        Self {
+            window,
+            history: VecDeque::with_capacity(window),
+            normalized: Vec::with_capacity(window),
+        }
     }
 
-    /// Record a *measured* value (from a real poll).
+    /// Record a value, evicting the oldest once the window is full.
     pub fn observe(&mut self, value: f64) {
-        if self.history.len() == self.model.window() {
+        if self.history.len() == self.window {
             self.history.pop_front();
         }
         self.history.push_back(value);
@@ -67,30 +91,89 @@ impl<M: WindowModel> OnlinePredictor<M> {
         self.history.len()
     }
 
-    /// True once enough history exists to predict.
+    /// True once a full window is held.
     pub fn ready(&self) -> bool {
-        self.history.len() == self.model.window()
+        self.history.len() == self.window
     }
 
-    /// Predict the next value on the metric's real scale. Returns `None`
-    /// until the window is full.
+    /// Drop all history (e.g. after a monitoring gap).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    /// Min-max normalize the window into the internal reusable buffer.
+    /// Returns `(normalized, lo, span)` — denormalize a prediction `p`
+    /// with [`WindowTracker::denormalize`]`(lo, span, p)`. `None` until
+    /// the window is full. A flat window (span == 0) yields a zero-filled
+    /// buffer; since `lo + p·0 = lo`, any prediction denormalizes back to
+    /// the flat value, so callers may skip the model entirely.
     ///
-    /// A flat window (max == min) predicts the same flat value — the
-    /// normalizer cannot invent variation, and a constant metric staying
-    /// constant is the correct call.
-    pub fn predict_next(&self) -> Option<f64> {
+    /// Steady state this allocates nothing.
+    pub fn normalized(&mut self) -> Option<(&[f64], f64, f64)> {
         if !self.ready() {
             return None;
         }
         let lo = self.history.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = self.history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let span = hi - lo;
+        self.normalized.clear();
+        if span == 0.0 {
+            self.normalized.extend(self.history.iter().map(|_| 0.0));
+        } else {
+            self.normalized.extend(self.history.iter().map(|v| (v - lo) / span));
+        }
+        Some((&self.normalized, lo, span))
+    }
+
+    /// Map a normalized prediction back onto the metric's real scale.
+    pub fn denormalize(lo: f64, span: f64, p: f64) -> f64 {
+        lo + p * span
+    }
+}
+
+/// Scale-invariant online wrapper around a [`WindowModel`].
+pub struct OnlinePredictor<M: WindowModel> {
+    model: M,
+    tracker: WindowTracker,
+    scratch: M::Scratch,
+}
+
+impl<M: WindowModel> OnlinePredictor<M> {
+    /// Wrap a model.
+    pub fn new(model: M) -> Self {
+        let w = model.window();
+        Self { model, tracker: WindowTracker::new(w), scratch: M::Scratch::default() }
+    }
+
+    /// Record a *measured* value (from a real poll).
+    pub fn observe(&mut self, value: f64) {
+        self.tracker.observe(value);
+    }
+
+    /// Number of observations currently held.
+    pub fn observed(&self) -> usize {
+        self.tracker.observed()
+    }
+
+    /// True once enough history exists to predict.
+    pub fn ready(&self) -> bool {
+        self.tracker.ready()
+    }
+
+    /// Predict the next value on the metric's real scale. Returns `None`
+    /// until the window is full. Steady state this allocates nothing for
+    /// models with a buffered fast path (e.g. the Delphi stack).
+    ///
+    /// A flat window (max == min) predicts the same flat value — the
+    /// normalizer cannot invent variation, and a constant metric staying
+    /// constant is the correct call.
+    pub fn predict_next(&mut self) -> Option<f64> {
+        let (normalized, lo, span) = self.tracker.normalized()?;
         if span == 0.0 {
             return Some(lo);
         }
-        let normalized: Vec<f64> = self.history.iter().map(|v| (v - lo) / span).collect();
-        let p = self.model.predict_normalized(&normalized);
-        Some(lo + p * span)
+        let p = self.model.predict_normalized_into(normalized, &mut self.scratch);
+        Some(WindowTracker::denormalize(lo, span, p))
     }
 
     /// Predict, then feed the prediction back as pseudo-history so chained
@@ -106,9 +189,14 @@ impl<M: WindowModel> OnlinePredictor<M> {
         &self.model
     }
 
+    /// The underlying window state.
+    pub fn tracker(&self) -> &WindowTracker {
+        &self.tracker
+    }
+
     /// Drop all history (e.g. after a monitoring gap).
     pub fn reset(&mut self) {
-        self.history.clear();
+        self.tracker.reset();
     }
 }
 
@@ -120,6 +208,8 @@ mod tests {
     struct MeanModel(usize);
 
     impl WindowModel for MeanModel {
+        type Scratch = ();
+
         fn window(&self) -> usize {
             self.0
         }
@@ -184,6 +274,26 @@ mod tests {
         // history now [1.0, 0.5]
         let b = p.predict_and_advance().unwrap();
         assert!((b - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_normalizes_and_denormalizes() {
+        let mut t = WindowTracker::new(3);
+        assert!(t.normalized().is_none());
+        for v in [1e9, 2e9, 3e9] {
+            t.observe(v);
+        }
+        let (w, lo, span) = t.normalized().unwrap();
+        assert_eq!(w, &[0.0, 0.5, 1.0]);
+        assert_eq!((lo, span), (1e9, 2e9));
+        assert_eq!(WindowTracker::denormalize(lo, span, 0.5), 2e9);
+        // Flat window: zero-filled buffer, span 0, denorm is the identity.
+        let mut flat = WindowTracker::new(2);
+        flat.observe(7.0);
+        flat.observe(7.0);
+        let (w, lo, span) = flat.normalized().unwrap();
+        assert_eq!(w, &[0.0, 0.0]);
+        assert_eq!(WindowTracker::denormalize(lo, span, 0.9), 7.0);
     }
 
     #[test]

@@ -13,10 +13,58 @@
 //! down its exact layer shapes; EXPERIMENTS.md records both counts).
 
 use crate::features::{mixed_dataset, windows, Feature};
-use crate::nn::{Activation, Dense, Sequential};
+use crate::nn::{Activation, Dense, Scratch, Sequential};
 use crate::tensor::Matrix;
+use apollo_runtime::pool::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+/// Shards used for combiner training (see [`Sequential::fit_pooled`]).
+/// Fixed so pooled and serial training follow the same shard plan and
+/// stay bit-identical.
+const COMBINER_SHARDS: usize = 4;
+
+/// Reusable buffers for [`Delphi::predict_into`] /
+/// [`Delphi::predict_batch_into`]. Owning one of these per call site
+/// makes steady-state prediction allocation-free: every matrix inside is
+/// `resize`d (capacity-reusing) rather than rebuilt.
+#[derive(Debug, Default, Clone)]
+pub struct DelphiScratch {
+    /// Packed input windows, one per row (`B×window`).
+    input: Matrix,
+    /// Feature-model outputs (`B×8`), the combiner's input.
+    feats: Matrix,
+    /// One feature model's batched output column (`B×1`).
+    col: Matrix,
+    /// Combiner output (`B×1`).
+    out: Matrix,
+    /// Ping-pong buffers for [`Sequential::infer_into`].
+    seq: Scratch,
+}
+
+impl DelphiScratch {
+    /// Start staging a batch of `batch` windows of length `window`.
+    /// Rows are filled with [`DelphiScratch::set_row`] before calling
+    /// [`Delphi::predict_batch_into`].
+    pub fn begin_batch(&mut self, batch: usize, window: usize) {
+        self.input.resize(batch, window);
+    }
+
+    /// Copy one window into staged row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or the window length differs from
+    /// the one given to [`DelphiScratch::begin_batch`].
+    pub fn set_row(&mut self, i: usize, window: &[f64]) {
+        self.input.row_mut(i).copy_from_slice(window);
+    }
+
+    /// Number of rows currently staged.
+    pub fn staged_rows(&self) -> usize {
+        self.input.rows()
+    }
+}
 
 /// Configuration for building and training a [`Delphi`] model.
 #[derive(Debug, Clone)]
@@ -102,6 +150,15 @@ impl FeatureModel {
         self.net.infer(&x).get(0, 0)
     }
 
+    /// Batched prediction: run the model over every row of `input`
+    /// (`B×window`) in one fused forward pass, writing the `B×1` result
+    /// into `col`. Row `i` of the output is bit-identical to
+    /// `self.predict(input.row(i))` — a batched matmul reduces each row
+    /// with the same dot-product order as the `1×window` pass.
+    pub fn predict_batch_into(&self, input: &Matrix, col: &mut Matrix, seq: &mut Scratch) {
+        self.net.infer_into(input, col, seq);
+    }
+
     /// Parameter count (all frozen once stacked).
     pub fn param_count(&self) -> usize {
         self.net.param_count()
@@ -121,8 +178,63 @@ impl Delphi {
     /// pre-train the eight feature models, freeze them, then train the
     /// combiner on a mixed dataset.
     pub fn train(config: DelphiConfig) -> Self {
-        let features: Vec<FeatureModel> =
-            Feature::ALL.iter().map(|&f| FeatureModel::train(f, &config)).collect();
+        Self::train_with_pool(config, None)
+    }
+
+    /// [`Delphi::train`] with the eight independent feature-model
+    /// trainings fanned out over `pool` (one [`WorkerPool::run_batch`]
+    /// task per feature) and the combiner fitted with
+    /// [`Sequential::fit_pooled`]. Each feature model is a pure function
+    /// of `(feature, config)`, results are collected in [`Feature::ALL`]
+    /// order, and the combiner shard plan is fixed — so the trained model
+    /// is **bit-identical** with or without a pool.
+    ///
+    /// Feature models train with serial epochs inside their pool task:
+    /// nesting `run_batch` inside a pool job can deadlock (every worker
+    /// blocked on a latch whose subtasks sit behind other blocked jobs).
+    pub fn train_with_pool(config: DelphiConfig, pool: Option<&WorkerPool>) -> Self {
+        Self::train_impl(config, pool, None)
+    }
+
+    /// [`Delphi::train_with_pool`] with combiner epochs timed into the
+    /// `delphi.train_epoch_ns` histogram of `registry` (no-op when the
+    /// registry is disabled). Instrumentation never changes the math: the
+    /// trained model stays bit-identical to [`Delphi::train`].
+    pub fn train_observed(
+        config: DelphiConfig,
+        pool: Option<&WorkerPool>,
+        registry: &apollo_obs::Registry,
+    ) -> Self {
+        Self::train_impl(config, pool, Some(registry))
+    }
+
+    fn train_impl(
+        config: DelphiConfig,
+        pool: Option<&WorkerPool>,
+        registry: Option<&apollo_obs::Registry>,
+    ) -> Self {
+        let features: Vec<FeatureModel> = match pool {
+            None => Feature::ALL.iter().map(|&f| FeatureModel::train(f, &config)).collect(),
+            Some(pool) => {
+                let slots: Arc<Vec<Mutex<Option<FeatureModel>>>> =
+                    Arc::new(Feature::ALL.iter().map(|_| Mutex::new(None)).collect());
+                let job: Arc<dyn Fn(usize) + Send + Sync> = {
+                    let slots = Arc::clone(&slots);
+                    let config = config.clone();
+                    Arc::new(move |i| {
+                        let model = FeatureModel::train(Feature::ALL[i], &config);
+                        *slots[i].lock().expect("feature slot poisoned") = Some(model);
+                    })
+                };
+                pool.run_batch(Feature::ALL.len(), job);
+                slots
+                    .iter()
+                    .map(|s| {
+                        s.lock().expect("feature slot poisoned").take().expect("feature trained")
+                    })
+                    .collect()
+            }
+        };
 
         // Build the combiner training set: feature-model outputs -> truth.
         let mixed = mixed_dataset(config.combiner_samples, config.seed.wrapping_add(1));
@@ -139,7 +251,23 @@ impl Delphi {
         layer.bias = Matrix::from_vec(1, 1, vec![b]);
         let mut combiner = Sequential::new();
         combiner.push(layer);
-        combiner.fit(&x, &y, config.lr, config.combiner_epochs.min(10));
+        let epochs = config.combiner_epochs.min(10);
+        match registry {
+            None => {
+                combiner.fit_pooled(&x, &y, config.lr, epochs, COMBINER_SHARDS, pool);
+            }
+            Some(registry) => {
+                combiner.fit_pooled_observed(
+                    &x,
+                    &y,
+                    config.lr,
+                    epochs,
+                    COMBINER_SHARDS,
+                    pool,
+                    registry,
+                );
+            }
+        }
 
         Self { config, features, combiner }
     }
@@ -157,6 +285,70 @@ impl Delphi {
         assert_eq!(window.len(), self.config.window, "window length mismatch");
         let feats: Vec<f64> = self.features.iter().map(|m| m.predict(window)).collect();
         self.combiner.infer(&Matrix::row_vector(feats)).get(0, 0)
+    }
+
+    /// [`Delphi::predict`] through caller-owned scratch buffers: after
+    /// the first call warms the scratch, steady-state calls perform
+    /// **zero heap allocations**. Bit-identical to [`Delphi::predict`].
+    ///
+    /// # Panics
+    /// Panics if `window.len()` differs from the configured window.
+    pub fn predict_into(&self, window: &[f64], scratch: &mut DelphiScratch) -> f64 {
+        assert_eq!(window.len(), self.config.window, "window length mismatch");
+        scratch.begin_batch(1, window.len());
+        scratch.set_row(0, window);
+        self.run_staged(scratch);
+        scratch.out.get(0, 0)
+    }
+
+    /// Predict every staged window in one batched forward sweep: the
+    /// stack runs each feature model once over the whole `B×window`
+    /// input and the combiner once over the packed `B×8` feature matrix
+    /// — `2 + |features|` kernel calls total, instead of `B` separate
+    /// `1×window` passes. Results land in `out` (cleared first), row `i`
+    /// bit-identical to `self.predict(row_i)`.
+    ///
+    /// Stage rows with [`DelphiScratch::begin_batch`] /
+    /// [`DelphiScratch::set_row`] first. An empty batch yields an empty
+    /// `out`. Steady state this allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if the staged window length differs from the configured
+    /// window.
+    pub fn predict_batch_into(&self, scratch: &mut DelphiScratch, out: &mut Vec<f64>) {
+        assert_eq!(scratch.input.cols(), self.config.window, "staged window length mismatch");
+        self.run_staged(scratch);
+        out.clear();
+        let b = scratch.out.rows();
+        out.extend((0..b).map(|i| scratch.out.get(i, 0)));
+    }
+
+    /// Allocating convenience over [`Delphi::predict_batch_into`].
+    pub fn predict_batch<W: AsRef<[f64]>>(&self, windows: &[W]) -> Vec<f64> {
+        let mut scratch = DelphiScratch::default();
+        scratch.begin_batch(windows.len(), self.config.window);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.as_ref().len(), self.config.window, "window length mismatch");
+            scratch.set_row(i, w.as_ref());
+        }
+        let mut out = Vec::with_capacity(windows.len());
+        self.predict_batch_into(&mut scratch, &mut out);
+        out
+    }
+
+    /// Shared forward sweep over `scratch.input`: feature models fill
+    /// the columns of `scratch.feats`, the combiner reduces them into
+    /// `scratch.out`.
+    fn run_staged(&self, scratch: &mut DelphiScratch) {
+        let b = scratch.input.rows();
+        scratch.feats.resize(b, self.features.len());
+        for (j, m) in self.features.iter().enumerate() {
+            m.predict_batch_into(&scratch.input, &mut scratch.col, &mut scratch.seq);
+            for i in 0..b {
+                scratch.feats.set(i, j, scratch.col.get(i, 0));
+            }
+        }
+        self.combiner.infer_into(&scratch.feats, &mut scratch.out, &mut scratch.seq);
     }
 
     /// Total parameter count (frozen feature models + combiner).
@@ -323,5 +515,57 @@ mod tests {
         let b = Delphi::train(fast_config());
         let w = [0.3, 0.35, 0.4, 0.45, 0.5];
         assert_eq!(a.predict(&w), b.predict(&w));
+    }
+
+    #[test]
+    fn predict_into_matches_predict_bitwise() {
+        let d = Delphi::train(fast_config());
+        let mut scratch = DelphiScratch::default();
+        for w in [[0.4, 0.4, 0.4, 0.4, 0.4], [0.2, 0.3, 0.4, 0.5, 0.6], [0.9, 0.1, 0.8, 0.2, 0.7]] {
+            assert_eq!(d.predict_into(&w, &mut scratch), d.predict(&w));
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_predict_bitwise() {
+        let d = Delphi::train(fast_config());
+        let windows: Vec<Vec<f64>> = (0..7)
+            .map(|i| (0..5).map(|j| ((i * 5 + j) as f64 * 0.173).sin() * 0.5 + 0.5).collect())
+            .collect();
+        let batched = d.predict_batch(&windows);
+        assert_eq!(batched.len(), windows.len());
+        for (w, &p) in windows.iter().zip(&batched) {
+            assert_eq!(p, d.predict(w));
+        }
+        // B=1 and empty batches.
+        assert_eq!(d.predict_batch(&windows[..1]), vec![d.predict(&windows[0])]);
+        assert_eq!(d.predict_batch(&Vec::<Vec<f64>>::new()), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn pooled_training_is_bit_identical_to_serial() {
+        let pool = WorkerPool::new(4);
+        let serial = Delphi::train(fast_config());
+        let pooled = Delphi::train_with_pool(fast_config(), Some(&pool));
+        for (a, b) in serial.features.iter().zip(&pooled.features) {
+            assert_eq!(a.feature, b.feature);
+            assert_eq!(a.train_loss, b.train_loss);
+        }
+        assert_eq!(serial.combiner.layers()[0].weights, pooled.combiner.layers()[0].weights);
+        assert_eq!(serial.combiner.layers()[0].bias, pooled.combiner.layers()[0].bias);
+        let w = [0.3, 0.35, 0.4, 0.45, 0.5];
+        assert_eq!(serial.predict(&w), pooled.predict(&w));
+    }
+
+    #[test]
+    fn observed_training_emits_epoch_metric_without_changing_the_model() {
+        let registry = apollo_obs::Registry::new();
+        let plain = Delphi::train(fast_config());
+        let observed = Delphi::train_observed(fast_config(), None, &registry);
+        let w = [0.1, 0.25, 0.4, 0.3, 0.2];
+        assert_eq!(plain.predict(&w), observed.predict(&w));
+        let epochs = fast_config().combiner_epochs.min(10) as u64;
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["delphi.train_epoch_ns"].count, epochs);
     }
 }

@@ -1,0 +1,109 @@
+//! Proof of the zero-allocation inference claim: a counting
+//! `#[global_allocator]` wraps the system allocator, and the steady-state
+//! prediction paths (`Delphi::predict_into`, `Delphi::predict_batch_into`
+//! after one warm-up call at each batch size) must perform **exactly
+//! zero** heap allocations per call.
+//!
+//! This file deliberately holds a single `#[test]`: the allocator is
+//! process-global, so a second concurrently-running test would pollute
+//! the counts.
+
+use apollo_delphi::stack::{Delphi, DelphiConfig, DelphiScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates every operation to `System`; the added atomic
+// counter has no effect on layout or pointer validity.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+/// Allocations performed while running `f`.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn steady_state_prediction_allocates_nothing() {
+    let delphi = Delphi::train(DelphiConfig {
+        feature_samples: 80,
+        feature_epochs: 5,
+        combiner_samples: 60,
+        combiner_epochs: 5,
+        ..DelphiConfig::default()
+    });
+    let w = delphi.window();
+    let window: Vec<f64> = (0..w).map(|i| 0.1 + 0.08 * i as f64).collect();
+
+    // --- Single-row path -------------------------------------------------
+    let mut scratch = DelphiScratch::default();
+    // Warm up: the first call sizes every scratch buffer.
+    let expected = delphi.predict_into(&window, &mut scratch);
+    let n = allocs_during(|| {
+        for _ in 0..100 {
+            let p = delphi.predict_into(&window, &mut scratch);
+            assert_eq!(p, expected);
+        }
+    });
+    assert_eq!(n, 0, "predict_into allocated {n} times over 100 steady-state calls");
+
+    // --- Batched path ----------------------------------------------------
+    let batch = 16;
+    let mut out = Vec::new();
+    scratch.begin_batch(batch, w);
+    for i in 0..batch {
+        scratch.set_row(i, &window);
+    }
+    delphi.predict_batch_into(&mut scratch, &mut out); // warm-up at this batch size
+    let n = allocs_during(|| {
+        for _ in 0..100 {
+            scratch.begin_batch(batch, w);
+            for i in 0..batch {
+                scratch.set_row(i, &window);
+            }
+            delphi.predict_batch_into(&mut scratch, &mut out);
+            assert_eq!(out[0], expected);
+        }
+    });
+    assert_eq!(n, 0, "predict_batch_into allocated {n} times over 100 steady-state calls");
+
+    // Shrinking the staged batch (the pump's due-subset path) must also
+    // stay allocation-free: capacity is retained, rows are a prefix.
+    let n = allocs_during(|| {
+        for staged in (1..=batch).rev() {
+            scratch.begin_batch(staged, w);
+            for i in 0..staged {
+                scratch.set_row(i, &window);
+            }
+            delphi.predict_batch_into(&mut scratch, &mut out);
+            assert_eq!(out.len(), staged);
+        }
+    });
+    assert_eq!(n, 0, "shrinking batches allocated {n} times");
+}

@@ -19,6 +19,14 @@
 //!   publish → propagate → query pipeline: a bounded ring buffer of recent
 //!   [`SpanRecord`]s plus a per-span-name latency histogram in the registry.
 //!
+//! Metric families by convention share a dotted prefix with the subsystem
+//! that emits them: `runtime.*` (timer dispatch, worker pool), `streams.*`
+//! (pub-sub fabric), `core.*` / `score.*` (vertex polling and
+//! publication), `query.*` (AQE), and `delphi.*` for the ML layer —
+//! `delphi.predict_ns` and `delphi.batch_size` time and size each batched
+//! prediction-pump kernel call, and `delphi.train_epoch_ns` times each
+//! pooled combiner training epoch.
+//!
 //! Every instrument carries an `enabled` flag captured at construction. A
 //! registry built with [`Registry::noop`] hands out disabled handles whose
 //! update methods compile down to a branch on an immutable bool — this is

@@ -130,6 +130,58 @@ impl WorkerPool {
             std::thread::yield_now();
         }
     }
+
+    /// Run `tasks` invocations of one shared job — `job(0)`, `job(1)`, … —
+    /// on the pool and block until **all** of them have finished.
+    ///
+    /// The job is shared by `Arc`, so a caller that keeps the `Arc` across
+    /// rounds (e.g. a training loop running one batch per epoch) allocates
+    /// only the thin per-task trampolines each round, never re-boxing the
+    /// closure's captured state. Completion is tracked by a private latch,
+    /// so — unlike [`WorkerPool::wait_idle`] — this is sound while other
+    /// threads concurrently submit unrelated work.
+    pub fn run_batch(&self, tasks: usize, job: Arc<dyn Fn(usize) + Send + Sync>) {
+        if tasks == 0 {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks));
+        for i in 0..tasks {
+            let job = Arc::clone(&job);
+            let latch = Arc::clone(&latch);
+            self.submit(move || {
+                job(i);
+                latch.count_down();
+            });
+        }
+        latch.wait();
+    }
+}
+
+/// Countdown latch backing [`WorkerPool::run_batch`].
+struct Latch {
+    remaining: std::sync::Mutex<usize>,
+    done: std::sync::Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self { remaining: std::sync::Mutex::new(count), done: std::sync::Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        while *left != 0 {
+            left = self.done.wait(left).expect("latch poisoned");
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -224,6 +276,51 @@ mod tests {
         pool.submit(|| {});
         pool.wait_idle();
         assert_eq!(reg.snapshot(), apollo_obs::Snapshot::default());
+    }
+
+    #[test]
+    fn run_batch_runs_every_index_and_blocks_until_done() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(Mutex::new(vec![0u32; 100]));
+        let job: Arc<dyn Fn(usize) + Send + Sync> = {
+            let hits = hits.clone();
+            Arc::new(move |i| {
+                hits.lock().unwrap()[i] += 1;
+            })
+        };
+        // Reuse the same Arc'd job across rounds (the training-loop shape).
+        for _ in 0..3 {
+            pool.run_batch(100, Arc::clone(&job));
+        }
+        assert!(hits.lock().unwrap().iter().all(|&h| h == 3));
+        // Zero tasks is a no-op.
+        pool.run_batch(0, job);
+    }
+
+    #[test]
+    fn run_batch_is_sound_under_concurrent_submitters() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let noise = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let n = noise.clone();
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let count = Arc::new(AtomicUsize::new(0));
+        let job: Arc<dyn Fn(usize) + Send + Sync> = {
+            let count = count.clone();
+            Arc::new(move |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        pool.run_batch(32, job);
+        // run_batch must return once ITS 32 tasks are done, regardless of
+        // the unrelated noise jobs still in flight.
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+        pool.wait_idle();
+        assert_eq!(noise.load(Ordering::SeqCst), 64);
     }
 
     #[test]

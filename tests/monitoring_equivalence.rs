@@ -206,3 +206,94 @@ fn bounded_window_serves_full_history() {
         assert_eq!(row.value, (i + 1) as f64, "row {i} intact after archival");
     }
 }
+
+/// The batched prediction pump must publish **bit-identical** records to
+/// the per-vertex `with_prediction` path: same timestamps, same values,
+/// same provenance flags. Intervals are chosen so no pump tick ever
+/// coincides with a poll inside the run (poll 10 s, predict 3 s — ties
+/// land on 30 s multiples, and the window only fills at t = 50 s, so the
+/// run stops at 59 s before the t = 60 s tie).
+#[test]
+fn batched_pump_matches_per_vertex_prediction_bitwise() {
+    use apollo_delphi::stack::{Delphi, DelphiConfig};
+
+    let delphi = Delphi::train(DelphiConfig {
+        feature_samples: 300,
+        feature_epochs: 50,
+        combiner_samples: 100,
+        combiner_epochs: 50,
+        ..DelphiConfig::default()
+    });
+    let traces: Vec<TimeSeries> = (0..3u64)
+        .map(|k| {
+            TimeSeries::from_points(
+                (0..200u64)
+                    .map(|t| (t * NS, 1_000.0 + 100.0 * k as f64 - (t as f64) * (3.0 + k as f64)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let poll = Duration::from_secs(10);
+    let every = Duration::from_secs(3);
+
+    // Per-vertex path: one predictor timer per vertex.
+    let mut solo = Apollo::new_virtual();
+    for (k, trace) in traces.iter().enumerate() {
+        solo.register_fact(
+            FactVertexSpec::fixed(
+                format!("m{k}"),
+                Arc::new(TraceSource::new("m", trace.clone())),
+                poll,
+            )
+            .with_prediction(delphi.clone(), every),
+        )
+        .unwrap();
+    }
+    solo.run_for(Duration::from_secs(59));
+
+    // Batched path: one pump, one kernel call per tick.
+    let mut pumped = Apollo::new_virtual();
+    let pump = pumped.prediction_pump(delphi, every);
+    for (k, trace) in traces.iter().enumerate() {
+        pumped
+            .register_fact(
+                FactVertexSpec::fixed(
+                    format!("m{k}"),
+                    Arc::new(TraceSource::new("m", trace.clone())),
+                    poll,
+                )
+                .with_batched_prediction(&pump),
+            )
+            .unwrap();
+    }
+    assert_eq!(pump.enrolled(), traces.len());
+    pumped.run_for(Duration::from_secs(59));
+
+    for k in 0..traces.len() {
+        let name = format!("m{k}");
+        let decode = |apollo: &Apollo| -> Vec<Record> {
+            apollo
+                .broker()
+                .range_by_time(&name, 0, u64::MAX)
+                .iter()
+                .map(|e| Record::decode(&e.payload).unwrap())
+                .collect()
+        };
+        let a = decode(&solo);
+        let b = decode(&pumped);
+        assert_eq!(a, b, "vertex {name} streams diverge");
+        let predicted = a.iter().filter(|r| !r.is_measured()).count();
+        assert!(predicted >= 2, "vertex {name}: no predictions exercised ({predicted})");
+    }
+
+    // The pump ran whole batches: every tick predicted all three vertices
+    // in one kernel call.
+    let snap = pumped.metrics_snapshot();
+    let batch = &snap.histograms["delphi.batch_size"];
+    assert!(batch.count >= 2, "pump never ticked a batch");
+    assert_eq!(batch.max, traces.len() as u64, "full batch never formed");
+    assert_eq!(
+        snap.histograms["delphi.predict_ns"].count, batch.count,
+        "one timing sample per kernel call"
+    );
+}
