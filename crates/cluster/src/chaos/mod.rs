@@ -1,0 +1,30 @@
+//! Composable chaos schedules.
+//!
+//! The fault layer ([`crate::fault`]) injects failures into **one**
+//! source at a time; real incidents are compound: a rack loses power and
+//! takes a staggered group of nodes with it, a shared backplane makes a
+//! whole set of sources flap in lockstep, NTP steps a node's clock
+//! backwards while its consumers are already behind. This module is the
+//! declarative layer over those mechanics:
+//!
+//! * [`schedule`] — [`schedule::ChaosSchedule`]: a named, seeded,
+//!   deterministic scenario built from composable
+//!   [`schedule::ChaosLayer`]s (cascading node loss, correlated flaps,
+//!   latency storms, corruption bursts, clock skew, slow-consumer storms,
+//!   backpressure bursts).
+//! * [`compile`] — compiles a schedule down to per-source
+//!   [`crate::fault::FaultPlan`]s (overlaps across layers resolved
+//!   deterministically, then [`crate::fault::FaultPlan::validated`])
+//!   plus a time-ordered list of runtime-level
+//!   [`compile::Perturbation`]s the soak runner acts out against the
+//!   broker.
+//!
+//! Everything is seeded: the same `(schedule, seed)` compiles to the
+//! same windows and perturbations on every run, so a chaos soak replays
+//! bit-identically.
+
+pub mod compile;
+pub mod schedule;
+
+pub use compile::{CompiledChaos, Perturbation, PerturbationKind};
+pub use schedule::{ChaosLayer, ChaosSchedule};

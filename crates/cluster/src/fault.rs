@@ -61,6 +61,57 @@ impl FaultWindow {
     }
 }
 
+/// Deterministic sort/tie-break rank of a [`FaultKind`]: used when
+/// canonicalizing window order so that validation and overlap resolution
+/// are stable regardless of insertion order.
+pub(crate) fn kind_rank(kind: FaultKind) -> (u8, u64) {
+    match kind {
+        FaultKind::ErrorBurst => (0, 0),
+        FaultKind::Corrupt => (1, 0),
+        FaultKind::LatencySpike(extra) => (2, extra.as_nanos() as u64),
+        FaultKind::Hang => (3, 0),
+    }
+}
+
+/// Why a [`FaultPlan`] failed [`FaultPlan::validated`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A window is empty or inverted (`start_ns >= end_ns`).
+    EmptyWindow(FaultWindow),
+    /// Two windows of **different** kinds overlap, so the fault injected
+    /// during the overlap would silently depend on insertion order
+    /// ([`FaultPlan::active_at`] is first-match-wins).
+    ConflictingOverlap {
+        /// The earlier-starting window (after canonical ordering).
+        first: FaultWindow,
+        /// The window that overlaps it.
+        second: FaultWindow,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::EmptyWindow(w) => {
+                write!(f, "empty fault window [{}, {}) of kind {:?}", w.start_ns, w.end_ns, w.kind)
+            }
+            FaultPlanError::ConflictingOverlap { first, second } => write!(
+                f,
+                "overlapping fault windows of different kinds: \
+                 [{}, {}) {:?} vs [{}, {}) {:?}",
+                first.start_ns,
+                first.end_ns,
+                first.kind,
+                second.start_ns,
+                second.end_ns,
+                second.kind
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A schedule of failure windows.
 ///
 /// Build one explicitly with [`FaultPlan::with_window`], or generate a
@@ -80,6 +131,12 @@ impl FaultPlan {
     pub fn with_window(mut self, window: FaultWindow) -> Self {
         self.windows.push(window);
         self
+    }
+
+    /// A plan over an explicit window list (unvalidated; run the result
+    /// through [`FaultPlan::validated`] before sharing it across layers).
+    pub fn from_windows(windows: Vec<FaultWindow>) -> Self {
+        Self { windows }
     }
 
     /// Generate a reproducible schedule of faults over `[0, horizon)`:
@@ -107,6 +164,8 @@ impl FaultPlan {
             t = t.saturating_add(len).saturating_add(rng.random_range(1..=gap_ns));
         }
         Self { windows }
+            .validated()
+            .expect("seeded windows are disjoint and non-empty by construction")
     }
 
     /// The scheduled windows, in insertion/time order.
@@ -118,6 +177,44 @@ impl FaultPlan {
     /// wins, so overlapping explicit windows have deterministic priority.
     pub fn active_at(&self, now_ns: u64) -> Option<&FaultWindow> {
         self.windows.iter().find(|w| w.contains(now_ns))
+    }
+
+    /// End of the last scheduled window (ns), i.e. the instant from which
+    /// the source is permanently healed. `None` for an empty plan.
+    pub fn healed_after_ns(&self) -> Option<u64> {
+        self.windows.iter().map(|w| w.end_ns).max()
+    }
+
+    /// Canonicalize and validate the plan: windows are sorted by start
+    /// time, overlapping or back-to-back windows of the **same** kind are
+    /// merged into one, and overlapping windows of **different** kinds are
+    /// rejected (the injected fault during the overlap would silently
+    /// depend on insertion order, breaking replay-by-seed guarantees when
+    /// plans are composed from several chaos layers).
+    ///
+    /// [`FaultPlan::seeded`] runs its output through this, so generated
+    /// plans are canonical by construction; the chaos compiler
+    /// (`chaos::ChaosSchedule::compile`) resolves cross-layer conflicts
+    /// deterministically and then validates every per-source plan it
+    /// emits.
+    pub fn validated(mut self) -> Result<Self, FaultPlanError> {
+        if let Some(w) = self.windows.iter().find(|w| w.start_ns >= w.end_ns) {
+            return Err(FaultPlanError::EmptyWindow(*w));
+        }
+        self.windows.sort_by_key(|w| (w.start_ns, w.end_ns, kind_rank(w.kind)));
+        let mut out: Vec<FaultWindow> = Vec::with_capacity(self.windows.len());
+        for w in self.windows {
+            match out.last_mut() {
+                Some(last) if w.start_ns < last.end_ns && last.kind != w.kind => {
+                    return Err(FaultPlanError::ConflictingOverlap { first: *last, second: w });
+                }
+                Some(last) if w.start_ns <= last.end_ns && last.kind == w.kind => {
+                    last.end_ns = last.end_ns.max(w.end_ns);
+                }
+                _ => out.push(w),
+            }
+        }
+        Ok(Self { windows: out })
     }
 }
 
@@ -350,5 +447,58 @@ mod tests {
     #[should_panic(expected = "PanicSource")]
     fn panic_source_panics() {
         let _ = PanicSource::new("boom").sample(0);
+    }
+
+    #[test]
+    fn validated_merges_same_kind_overlaps() {
+        let plan = FaultPlan::none()
+            .with_window(FaultWindow::new(secs(10), secs(20), FaultKind::ErrorBurst))
+            .with_window(FaultWindow::new(secs(5), secs(12), FaultKind::ErrorBurst))
+            // Back-to-back windows of the same kind also coalesce.
+            .with_window(FaultWindow::new(secs(20), secs(25), FaultKind::ErrorBurst))
+            .validated()
+            .unwrap();
+        assert_eq!(
+            plan.windows(),
+            &[FaultWindow::new(secs(5), secs(25), FaultKind::ErrorBurst)],
+            "overlapping + adjacent same-kind windows merge into one"
+        );
+    }
+
+    #[test]
+    fn validated_rejects_conflicting_overlaps() {
+        let err = FaultPlan::none()
+            .with_window(FaultWindow::new(secs(5), secs(15), FaultKind::ErrorBurst))
+            .with_window(FaultWindow::new(secs(10), secs(20), FaultKind::Hang))
+            .validated()
+            .unwrap_err();
+        assert!(matches!(err, FaultPlanError::ConflictingOverlap { .. }), "got {err}");
+        // Touching (but not overlapping) windows of different kinds are fine.
+        let ok = FaultPlan::none()
+            .with_window(FaultWindow::new(secs(5), secs(10), FaultKind::ErrorBurst))
+            .with_window(FaultWindow::new(secs(10), secs(20), FaultKind::Hang))
+            .validated()
+            .unwrap();
+        assert_eq!(ok.windows().len(), 2);
+    }
+
+    #[test]
+    fn validated_rejects_empty_windows_and_sorts() {
+        let err = FaultPlan::none()
+            .with_window(FaultWindow::new(secs(5), secs(5), FaultKind::Corrupt))
+            .validated()
+            .unwrap_err();
+        assert!(matches!(err, FaultPlanError::EmptyWindow(_)));
+        let plan = FaultPlan::none()
+            .with_window(FaultWindow::new(secs(30), secs(40), FaultKind::Hang))
+            .with_window(FaultWindow::new(secs(1), secs(2), FaultKind::Corrupt))
+            .validated()
+            .unwrap();
+        assert!(plan.windows().windows(2).all(|p| p[0].end_ns <= p[1].start_ns));
+        assert_eq!(plan.healed_after_ns(), Some(secs(40).as_nanos() as u64));
+    }
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
     }
 }

@@ -26,12 +26,18 @@
 //! * [`fault`] — deterministic fault injection: seeded `FaultPlan`
 //!   schedules of error bursts, corrupt values, latency spikes and hangs,
 //!   acted out by a `FlakySource` wrapper over any metric source.
+//! * [`chaos`] — composable chaos schedules over the fault layer: named,
+//!   seeded scenarios (cascading node loss, correlated flaps, clock skew,
+//!   slow-consumer storms, backpressure bursts) that compile to validated
+//!   per-source `FaultPlan`s plus runtime perturbations for the soak
+//!   harness.
 //! * [`workloads`] — generators for every workload in the evaluation:
 //!   HACC-IO capacity traces (regular/irregular, §4.3.1 parameters),
 //!   IOR-style load, FIO/SAR-style device metric traces (Fig 11), and the
 //!   VPIC-IO / BD-CATS / Montage application models (Fig 13).
 
 pub mod allocation;
+pub mod chaos;
 pub mod cluster;
 pub mod device;
 pub mod fault;
@@ -41,9 +47,10 @@ pub mod node;
 pub mod series;
 pub mod workloads;
 
+pub use chaos::{ChaosLayer, ChaosSchedule, CompiledChaos, Perturbation, PerturbationKind};
 pub use cluster::{ClusterBuilder, SimCluster};
 pub use device::{Device, DeviceKind, DeviceSpec};
-pub use fault::{FaultKind, FaultPlan, FaultWindow, FlakySource, PanicSource};
+pub use fault::{FaultKind, FaultPlan, FaultPlanError, FaultWindow, FlakySource, PanicSource};
 pub use metrics::{MetricError, MetricKind, MetricSource};
 pub use network::Network;
 pub use node::{Node, NodeRole};

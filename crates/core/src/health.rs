@@ -76,6 +76,17 @@ pub struct SupervisorConfig {
     pub probe_interval: Duration,
     /// Consecutive probe successes required to leave Quarantined.
     pub recovery_successes: u32,
+    /// Escalation multiplier applied to the probe cadence for repeat
+    /// offenders: the k-th quarantine episode since the last served
+    /// probation probes at `probe_interval · requarantine_backoff^(k−1)`
+    /// (clamped to `backoff_cap`), so a source that heals and promptly
+    /// relapses is probed less and less eagerly.
+    pub requarantine_backoff: f64,
+    /// Consecutive successful polls **while Healthy** that count as a
+    /// full probation period: once served, the re-quarantine escalation
+    /// resets, so an old incident stops taxing a source that has been
+    /// solidly healthy since.
+    pub probation_polls: u32,
     /// Seed of the jitter generator (mixed with the vertex name by the
     /// service so vertices desynchronize).
     pub seed: u64,
@@ -93,6 +104,8 @@ impl Default for SupervisorConfig {
             quarantine_after: 4,
             probe_interval: Duration::from_secs(5),
             recovery_successes: 2,
+            requarantine_backoff: 2.0,
+            probation_polls: 8,
             seed: 0,
         }
     }
@@ -110,6 +123,13 @@ pub struct HealthMonitor {
     consecutive_successes: u32,
     total_failures: u64,
     recoveries: u64,
+    /// Quarantine entries since the last served probation; drives the
+    /// re-quarantine probe escalation and resets once the vertex has
+    /// been Healthy for `probation_polls` consecutive successes.
+    quarantine_episodes: u32,
+    /// Consecutive successful polls while Healthy (zeroed by any
+    /// failure); the probation clock.
+    healthy_streak: u32,
     rng: StdRng,
 }
 
@@ -124,6 +144,8 @@ impl HealthMonitor {
             consecutive_successes: 0,
             total_failures: 0,
             recoveries: 0,
+            quarantine_episodes: 0,
+            healthy_streak: 0,
             rng,
         }
     }
@@ -153,16 +175,25 @@ impl HealthMonitor {
         self.recoveries
     }
 
+    /// Quarantine episodes since the last served healthy probation (the
+    /// current re-quarantine escalation level).
+    pub fn quarantine_episodes(&self) -> u32 {
+        self.quarantine_episodes
+    }
+
     /// Record a successful poll. Returns the new state.
     pub fn on_success(&mut self) -> HealthState {
         self.consecutive_failures = 0;
         match self.state {
-            HealthState::Healthy => {}
+            HealthState::Healthy => {
+                self.healthy_streak = self.healthy_streak.saturating_add(1);
+            }
             HealthState::Degraded => {
                 // One good sample clears a degraded hook: the failures
                 // were transient.
                 self.state = HealthState::Healthy;
                 self.consecutive_successes = 0;
+                self.healthy_streak = 1;
             }
             HealthState::Quarantined => {
                 self.consecutive_successes += 1;
@@ -170,8 +201,17 @@ impl HealthMonitor {
                     self.state = HealthState::Healthy;
                     self.consecutive_successes = 0;
                     self.recoveries += 1;
+                    self.healthy_streak = 1;
                 }
             }
+        }
+        // A full healthy probation forgives past quarantine episodes, so
+        // the escalated probe cadence doesn't tax the vertex forever.
+        if self.state == HealthState::Healthy
+            && self.quarantine_episodes > 0
+            && self.healthy_streak >= self.config.probation_polls.max(1)
+        {
+            self.quarantine_episodes = 0;
         }
         self.state
     }
@@ -182,11 +222,13 @@ impl HealthMonitor {
         self.total_failures += 1;
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
         self.consecutive_successes = 0;
+        self.healthy_streak = 0;
         // A failed probe keeps a quarantined vertex quarantined (it only
         // resets the recovery streak); states never downgrade on failure.
         if self.state != HealthState::Quarantined {
             if self.consecutive_failures >= self.config.quarantine_after {
                 self.state = HealthState::Quarantined;
+                self.quarantine_episodes = self.quarantine_episodes.saturating_add(1);
             } else if self.consecutive_failures >= self.config.degraded_after {
                 self.state = HealthState::Degraded;
             }
@@ -211,7 +253,18 @@ impl HealthMonitor {
                     .min(self.config.backoff_cap);
                 self.jittered(backoff)
             }
-            HealthState::Quarantined => self.jittered(self.config.probe_interval),
+            HealthState::Quarantined => {
+                // Repeat offenders escalate: episode k since the last
+                // served probation probes at base · backoff^(k−1),
+                // clamped so the cadence never exceeds backoff_cap (or
+                // the base itself, whichever is larger).
+                let exp = self.quarantine_episodes.saturating_sub(1).min(16);
+                let mult = self.config.requarantine_backoff.max(1.0).powi(exp as i32);
+                let cap = self.config.backoff_cap.max(self.config.probe_interval);
+                let probe_ns = (self.config.probe_interval.as_nanos() as f64 * mult)
+                    .min(cap.as_nanos() as f64);
+                self.jittered(Duration::from_nanos(probe_ns as u64))
+            }
         }
     }
 
@@ -302,6 +355,117 @@ mod tests {
         assert_eq!(m.on_success(), HealthState::Quarantined);
         assert_eq!(m.on_success(), HealthState::Healthy);
         assert_eq!(m.recoveries(), 1);
+    }
+
+    /// Drive the monitor through one full quarantine episode and back to
+    /// Healthy (quarantine_after failures, then recovery_successes probes).
+    fn quarantine_and_recover(m: &mut HealthMonitor) {
+        while m.state() != HealthState::Quarantined {
+            m.on_failure();
+        }
+        while m.state() != HealthState::Healthy {
+            m.on_success();
+        }
+    }
+
+    #[test]
+    fn requarantine_probe_escalates_per_episode() {
+        let mut m = HealthMonitor::new(SupervisorConfig {
+            jitter_frac: 0.0,
+            probe_interval: Duration::from_secs(5),
+            requarantine_backoff: 2.0,
+            probation_polls: 100, // never served in this test
+            ..SupervisorConfig::default()
+        });
+        quarantine_and_recover(&mut m);
+        assert_eq!(m.quarantine_episodes(), 1);
+        // Relapse: second episode probes at 2× the base cadence.
+        while m.state() != HealthState::Quarantined {
+            m.on_failure();
+        }
+        assert_eq!(m.quarantine_episodes(), 2);
+        assert_eq!(m.next_interval(Duration::from_secs(1)), Duration::from_secs(10));
+        // Third episode: 4×, and the cap clamps eventually.
+        while m.state() != HealthState::Healthy {
+            m.on_success();
+        }
+        while m.state() != HealthState::Quarantined {
+            m.on_failure();
+        }
+        assert_eq!(m.next_interval(Duration::from_secs(1)), Duration::from_secs(20));
+        for _ in 0..10 {
+            quarantine_and_recover(&mut m);
+        }
+        while m.state() != HealthState::Quarantined {
+            m.on_failure();
+        }
+        assert_eq!(
+            m.next_interval(Duration::from_secs(1)),
+            Duration::from_secs(60),
+            "escalation clamps at backoff_cap"
+        );
+    }
+
+    #[test]
+    fn served_probation_resets_requarantine_escalation() {
+        let mut m = HealthMonitor::new(SupervisorConfig {
+            jitter_frac: 0.0,
+            probe_interval: Duration::from_secs(5),
+            requarantine_backoff: 2.0,
+            probation_polls: 4,
+            ..SupervisorConfig::default()
+        });
+        for _ in 0..3 {
+            quarantine_and_recover(&mut m);
+        }
+        assert_eq!(m.quarantine_episodes(), 3);
+        // Recovery counted as the first probation poll; three more serve
+        // the full probation and forgive the history.
+        m.on_success();
+        m.on_success();
+        assert_eq!(m.quarantine_episodes(), 3, "probation not yet served");
+        m.on_success();
+        assert_eq!(m.quarantine_episodes(), 0, "full probation forgives past episodes");
+        // The next quarantine starts from the base cadence again.
+        while m.state() != HealthState::Quarantined {
+            m.on_failure();
+        }
+        assert_eq!(m.next_interval(Duration::from_secs(1)), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn interrupted_probation_keeps_escalation() {
+        let mut m = HealthMonitor::new(SupervisorConfig {
+            jitter_frac: 0.0,
+            probe_interval: Duration::from_secs(5),
+            requarantine_backoff: 2.0,
+            probation_polls: 4,
+            quarantine_after: 100, // stay Degraded on the blip
+            ..SupervisorConfig::default()
+        });
+        m.on_failure(); // Degraded
+        for _ in 0..100 {
+            m.on_success();
+        }
+        // No quarantine history: nothing to forgive, nothing escalated.
+        assert_eq!(m.quarantine_episodes(), 0);
+        let mut m = HealthMonitor::new(SupervisorConfig {
+            jitter_frac: 0.0,
+            probe_interval: Duration::from_secs(5),
+            requarantine_backoff: 2.0,
+            probation_polls: 4,
+            ..SupervisorConfig::default()
+        });
+        quarantine_and_recover(&mut m);
+        // A failure mid-probation zeroes the streak; the episode sticks.
+        m.on_success();
+        m.on_failure();
+        m.on_success();
+        m.on_success();
+        m.on_success();
+        assert_eq!(m.quarantine_episodes(), 1, "probation restarted by the blip");
+        m.on_success();
+        assert_eq!(m.quarantine_episodes(), 0, "served after four clean polls");
     }
 
     #[test]

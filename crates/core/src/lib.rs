@@ -29,8 +29,12 @@
 //!   `apollo_obs::Registry` (`metrics`/`metrics_snapshot`).
 //! * [`selfobs`] — self-SCoRe: [`selfobs::deploy_self_observer`]
 //!   republishes Apollo's own internals (broker memory, stream depth,
-//!   poll p99, quarantine count) as Fact vertices queryable through the
-//!   AQE.
+//!   poll p99, quarantine count, quarantine recoveries) as Fact vertices
+//!   queryable through the AQE.
+//! * [`soak`] — the invariant-checked chaos soak harness: drives a large
+//!   fleet under a compiled `apollo_cluster::chaos::ChaosSchedule` while
+//!   continuously asserting exactly-once scans, monotone health
+//!   recovery, bounded broker memory, and panic isolation.
 //!
 //! ```
 //! use apollo_core::service::{Apollo, FactVertexSpec};
@@ -60,6 +64,7 @@ pub mod kprobe;
 pub mod predict;
 pub mod selfobs;
 pub mod service;
+pub mod soak;
 pub mod vertex;
 
 pub use deploy::{Deployment, MonitoringPlan};
@@ -70,4 +75,5 @@ pub use kprobe::EventFactVertex;
 pub use predict::PredictionPump;
 pub use selfobs::{deploy_self_observer, SELF_TOPICS};
 pub use service::{Apollo, ApolloHandle, FactVertexSpec, InsightVertexSpec};
+pub use soak::{ScanLedger, SoakConfig, SoakOutcome};
 pub use vertex::{FactVertex, InsightInputs, InsightVertex};

@@ -4,7 +4,8 @@
 //! observer on its own internals. [`deploy_self_observer`] registers a
 //! small set of Fact vertices whose monitor hooks read the service's own
 //! state — broker memory, total stream depth, fleet poll-latency p99,
-//! quarantined-vertex count, publish volume — so the health of the
+//! quarantined-vertex count, publish volume, fleet-wide quarantine
+//! recoveries — so the health of the
 //! monitoring layer is queryable through the AQE exactly like any
 //! monitored cluster resource:
 //!
@@ -26,12 +27,13 @@ use std::time::Duration;
 
 /// Topic names published by [`deploy_self_observer`], in registration
 /// order.
-pub const SELF_TOPICS: [&str; 5] = [
+pub const SELF_TOPICS: [&str; 6] = [
     "apollo/self/broker_memory_bytes",
     "apollo/self/stream_entries",
     "apollo/self/poll_p99_ns",
     "apollo/self/quarantined_vertices",
     "apollo/self/facts_published",
+    "apollo/self/quarantine_recoveries",
 ];
 
 /// A monitor hook over a closure reading an Apollo internal.
@@ -81,8 +83,9 @@ pub fn deploy_self_observer(
     let fleet: Vec<Arc<FactVertex>> = apollo.facts().to_vec();
     let broker = apollo.broker();
     let poll_hist = apollo.metrics().histogram("score.poll_ns");
+    let recoveries = apollo.metrics().counter("health.quarantine_recoveries");
 
-    let sources: [Arc<SelfMetricSource>; 5] = [
+    let sources: [Arc<SelfMetricSource>; 6] = [
         SelfMetricSource::new(SELF_TOPICS[0], {
             let broker = Arc::clone(&broker);
             move || broker.approx_memory_bytes() as f64
@@ -105,6 +108,7 @@ pub fn deploy_self_observer(
             let fleet = fleet.clone();
             move || fleet.iter().map(|f| f.published()).sum::<u64>() as f64
         }),
+        SelfMetricSource::new(SELF_TOPICS[5], move || recoveries.get() as f64),
     ];
 
     let mut vertices = Vec::with_capacity(sources.len());

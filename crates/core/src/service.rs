@@ -629,6 +629,7 @@ impl Apollo {
             insight_recomputes: self.insights.iter().map(|i| i.recomputes()).sum(),
             facts_stale: self.facts.iter().map(|f| f.stale_published()).sum(),
             poll_failures: self.facts.iter().map(|f| f.failures()).sum(),
+            quarantine_recoveries: self.facts.iter().map(|f| f.recoveries()).sum(),
             callback_panics: self.el.callback_panics(),
             memory_bytes: self.approx_memory_bytes(),
             vertex_intervals: self
@@ -696,6 +697,8 @@ pub struct ServiceStats {
     pub facts_stale: u64,
     /// Polls that failed after exhausting retries.
     pub poll_failures: u64,
+    /// Quarantined → Healthy recoveries across the fleet.
+    pub quarantine_recoveries: u64,
     /// Timer callbacks that panicked (each retires only its own timer).
     pub callback_panics: u64,
     /// Approximate queue memory.

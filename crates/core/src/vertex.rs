@@ -59,6 +59,10 @@ struct FactObs {
     suppressed: apollo_obs::Counter,
     /// Health state changes (any direction).
     health_transitions: apollo_obs::Counter,
+    /// Fleet-wide Quarantined → Healthy recoveries
+    /// (`health.quarantine_recoveries`) — the counter the soak harness's
+    /// monotone-recovery invariant reads.
+    quarantine_recoveries: apollo_obs::Counter,
     /// Current health state (0 healthy, 1 degraded, 2 quarantined).
     health_state: apollo_obs::Gauge,
 }
@@ -153,6 +157,7 @@ impl FactVertex {
             suppressed: registry.counter(&format!("core.vertex.{}.suppressed", self.name)),
             health_transitions: registry
                 .counter(&format!("core.vertex.{}.health_transitions", self.name)),
+            quarantine_recoveries: registry.counter("health.quarantine_recoveries"),
             health_state: registry.gauge(&format!("core.vertex.{}.health_state", self.name)),
         });
     }
@@ -181,6 +186,9 @@ impl FactVertex {
         let after = self.health.lock().state();
         if after != before {
             obs.health_transitions.inc();
+            if before == HealthState::Quarantined && after == HealthState::Healthy {
+                obs.quarantine_recoveries.inc();
+            }
         }
         obs.health_state.set(health_code(after));
         next

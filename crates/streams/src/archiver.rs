@@ -134,7 +134,9 @@ impl ArchiveLog {
                 continue;
             }
             let lo = run.partition_point(|e| e.id < start);
-            let hi = run.partition_point(|e| e.id <= end).min(lo + remaining);
+            // `lo + remaining` must not overflow for drain-everything
+            // callers passing `max = usize::MAX`.
+            let hi = run.partition_point(|e| e.id <= end).min(lo.saturating_add(remaining));
             out.extend_from_slice(&run[lo..hi]);
             remaining -= hi - lo;
         }
