@@ -1,0 +1,96 @@
+//! Criterion coverage of the slab spill: steady-state `record`, the
+//! checksum-revalidated range read, tiered consolidation, and the heap
+//! archive baseline.
+//!
+//! Run: `cargo bench -p apollo-bench --bench slab_store`
+
+use apollo_streams::codec::Record;
+use apollo_streams::{ArchiveLog, Entry, SlabConfig, SlabStore, StreamId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_store(tag: &str, slots: u32) -> (Arc<SlabStore>, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("apollo-slab-crit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}.slab"));
+    let _ = std::fs::remove_file(&path);
+    let cfg = SlabConfig { max_series: 4, slots, ..SlabConfig::default() };
+    (SlabStore::create(&path, cfg).expect("create"), path)
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slab_record");
+    let (store, path) = temp_store("record", 65_536);
+    let series = store.series("s").expect("series");
+    let payload = Record::measured(1_000_000, 7.0).encode();
+    // Full warm lap: measure the steady overwrite path.
+    for i in 0..65_536u64 {
+        series.record(StreamId::new(i, 0), &payload);
+    }
+    let next = AtomicU64::new(100_000);
+    group.bench_function("steady_state", |b| {
+        b.iter(|| {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            assert!(series.record(StreamId::new(i, 0), &payload));
+        });
+    });
+
+    let heap = ArchiveLog::new();
+    let hnext = AtomicU64::new(0);
+    group.bench_function("heap_append_baseline", |b| {
+        b.iter(|| {
+            let i = hnext.fetch_add(1, Ordering::Relaxed);
+            heap.append(Entry::new(StreamId::new(i, 0), payload.clone()));
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slab_range");
+    let (store, path) = temp_store("range", 16_384);
+    let series = store.series("s").expect("series");
+    let payload = Record::measured(1_000_000, 7.0).encode();
+    for i in 0..16_384u64 {
+        series.record(StreamId::new(i, 0), &payload);
+    }
+    for span in [64u64, 1_024, 16_000] {
+        group.bench_with_input(BenchmarkId::new("committed_scan", span), &span, |b, &span| {
+            let start = StreamId::new(16_384 - span, 0);
+            let mut out = Vec::with_capacity(span as usize);
+            b.iter(|| {
+                out.clear();
+                series.range_into(start, StreamId::MAX, &mut out);
+                assert_eq!(out.len(), span as usize);
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_consolidate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slab_consolidate");
+    group.sample_size(10);
+    let (store, path) = temp_store("consolidate", 16_384);
+    let series = store.series("s").expect("series");
+    let next = AtomicU64::new(0);
+    group.bench_function("fold_16k_backlog", |b| {
+        b.iter(|| {
+            let base = next.fetch_add(16_384, Ordering::Relaxed);
+            for i in 0..16_384u64 {
+                let ms = base + i;
+                series.record(StreamId::new(ms, 0), &Record::measured(ms, i as f64).encode());
+            }
+            let folded = store.consolidate().folded;
+            assert!(folded >= 16_000, "folded {folded}");
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_record, bench_range, bench_consolidate);
+criterion_main!(benches);

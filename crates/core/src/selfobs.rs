@@ -36,6 +36,12 @@ pub const SELF_TOPICS: [&str; 6] = [
     "apollo/self/quarantine_recoveries",
 ];
 
+/// Topic names published by [`deploy_slab_observer`], in registration
+/// order. Separate from [`SELF_TOPICS`] because they only exist when a
+/// durable slab store is attached ([`Apollo::attach_slab`]).
+pub const SLAB_SELF_TOPICS: [&str; 2] =
+    ["apollo/self/slab_occupancy", "apollo/self/slab_consolidation_lag"];
+
 /// A monitor hook over a closure reading an Apollo internal.
 struct SelfMetricSource {
     name: &'static str,
@@ -123,6 +129,39 @@ pub fn deploy_self_observer(
     Ok(vertices)
 }
 
+/// Register the [`SLAB_SELF_TOPICS`] fact vertices on `apollo`, each
+/// polling every `every`: ring occupancy (0..=1) and consolidation lag
+/// (committed entries the tier roll-ups have not folded yet) of the
+/// attached slab store. Returns `None` — registering nothing — when no
+/// slab is attached, so callers can deploy unconditionally.
+pub fn deploy_slab_observer(
+    apollo: &mut Apollo,
+    every: Duration,
+) -> Result<Option<Vec<Arc<FactVertex>>>, GraphError> {
+    let Some(store) = apollo.slab().map(Arc::clone) else {
+        return Ok(None);
+    };
+    let sources: [Arc<SelfMetricSource>; 2] = [
+        SelfMetricSource::new(SLAB_SELF_TOPICS[0], {
+            let store = Arc::clone(&store);
+            move || store.stats().occupancy
+        }),
+        SelfMetricSource::new(SLAB_SELF_TOPICS[1], {
+            move || store.stats().consolidation_lag as f64
+        }),
+    ];
+    let mut vertices = Vec::with_capacity(sources.len());
+    for source in sources {
+        let name = source.name();
+        vertices.push(apollo.register_fact(FactVertexSpec::fixed(
+            name,
+            source as Arc<dyn MetricSource>,
+            every,
+        ))?);
+    }
+    Ok(Some(vertices))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +194,50 @@ mod tests {
         assert_eq!(published.unwrap().rows[0].value, 1.0, "const metric published once");
         let p99 = apollo.query("SELECT MAX(Timestamp), metric FROM apollo/self/poll_p99_ns");
         assert!(p99.unwrap().rows[0].value > 0.0, "instrumented polls feed score.poll_ns");
+    }
+
+    #[test]
+    fn slab_observer_is_a_noop_without_an_attached_store() {
+        let mut apollo = Apollo::new_virtual();
+        assert!(deploy_slab_observer(&mut apollo, Duration::from_secs(1)).unwrap().is_none());
+        assert!(apollo.facts().is_empty());
+    }
+
+    #[test]
+    fn slab_observer_topics_track_the_attached_store() {
+        use apollo_streams::{SlabConfig, SlabStore, SpillBackend, StreamConfig};
+        let dir = std::env::temp_dir().join(format!("apollo-selfobs-slab-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("self.slab");
+        let _ = std::fs::remove_file(&path);
+        let store = SlabStore::create(&path, SlabConfig::default()).unwrap();
+        let mut apollo = Apollo::with_config(
+            apollo_runtime::event_loop::EventLoop::new_virtual(),
+            StreamConfig {
+                spill: SpillBackend::slab(Arc::clone(&store)),
+                ..StreamConfig::default()
+            },
+        );
+        apollo.attach_slab(Arc::clone(&store), Duration::from_secs(5));
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 9.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        let vertices = deploy_slab_observer(&mut apollo, Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(vertices.len(), SLAB_SELF_TOPICS.len());
+        apollo.run_for(Duration::from_secs(30));
+        for topic in SLAB_SELF_TOPICS {
+            let out = apollo
+                .query(&format!("SELECT MAX(Timestamp), metric FROM {topic}"))
+                .unwrap_or_else(|e| panic!("{topic}: {e}"));
+            assert_eq!(out.rows.len(), 1, "{topic}");
+        }
+        let snap = apollo.metrics_snapshot();
+        assert!(snap.gauges.contains_key("streams.slab.series"), "{snap:?}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

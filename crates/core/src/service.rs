@@ -30,7 +30,7 @@ use apollo_query::exec::{CachedBroker, ExecSqlError, QueryEngine, QueryResult, S
 use apollo_runtime::event_loop::{EventLoop, TimerAction};
 use apollo_runtime::pool::WorkerPool;
 use apollo_runtime::time::{AnyClock, Clock};
-use apollo_streams::{Broker, StreamConfig};
+use apollo_streams::{Broker, SlabStore, StreamConfig};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -245,6 +245,9 @@ pub struct Apollo {
     /// Epoch-invalidated decoded-scan cache shared by every AQE query
     /// (engines are per-call; the cache outlives them on the service).
     scan_cache: ScanCache,
+    /// Durable slab store driving tiered consolidation off the timer
+    /// wheel (see [`Apollo::attach_slab`]).
+    slab: Option<Arc<SlabStore>>,
 }
 
 impl Apollo {
@@ -289,7 +292,46 @@ impl Apollo {
             pumps: Vec::new(),
             registry,
             scan_cache,
+            slab: None,
         }
+    }
+
+    /// Attach a durable slab store and drive its tiered consolidation
+    /// (1s → 10s → 5m roll-ups) off the service timer wheel, once every
+    /// `every`. Exports slab health as gauges on each tick:
+    /// `streams.slab.occupied_slots`, `streams.slab.consolidation_lag`,
+    /// `streams.slab.series`, plus the running
+    /// `streams.slab.consolidated_entries` counter — so slab occupancy
+    /// and roll-up freshness are observable exactly like any other
+    /// subsystem. Streams spill into the store when their
+    /// [`StreamConfig`] selects [`apollo_streams::SpillBackend::slab`]
+    /// over the same `Arc`.
+    pub fn attach_slab(&mut self, store: Arc<SlabStore>, every: Duration) {
+        let name = "streams.slab.consolidate".to_string();
+        let occupied = self.registry.gauge("streams.slab.occupied_slots");
+        let lag = self.registry.gauge("streams.slab.consolidation_lag");
+        let series = self.registry.gauge("streams.slab.series");
+        let folded = self.registry.counter("streams.slab.consolidated_entries");
+        let handle = {
+            let store = Arc::clone(&store);
+            self.el.add_timer_keyed(name_seed(&name), every, move |_ctl| {
+                let report = store.consolidate();
+                folded.add(report.folded);
+                let stats = store.stats();
+                occupied.set(stats.live_entries as f64);
+                lag.set(stats.consolidation_lag as f64);
+                series.set(stats.series_live as f64);
+                TimerAction::Continue
+            })
+        };
+        self.timers.insert(name.clone(), vec![handle]);
+        self.new_component(&name);
+        self.slab = Some(store);
+    }
+
+    /// The attached slab store, when [`Apollo::attach_slab`] was called.
+    pub fn slab(&self) -> Option<&Arc<SlabStore>> {
+        self.slab.as_ref()
     }
 
     /// Create a batched Delphi prediction pump: one timer that, every
@@ -1252,6 +1294,43 @@ mod tests {
             .with_prediction(model, Duration::from_secs(3))
             .with_batched_prediction(&pump),
         );
+    }
+
+    #[test]
+    fn attached_slab_consolidates_off_the_timer_wheel() {
+        use apollo_streams::{Record, SlabConfig, SlabStore, SpillBackend};
+        let dir = std::env::temp_dir().join(format!("apollo-service-slab-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("service.slab");
+        let _ = std::fs::remove_file(&path);
+        let store = SlabStore::create(&path, SlabConfig::default()).unwrap();
+        let mut apollo = Apollo::with_config(
+            EventLoop::new_virtual(),
+            StreamConfig {
+                max_len: Some(2),
+                archive_evicted: true,
+                spill: SpillBackend::slab(Arc::clone(&store)),
+            },
+        );
+        apollo.attach_slab(Arc::clone(&store), Duration::from_secs(1));
+        // Overflow the 2-entry window so eviction lands records in the slab.
+        for i in 0..16u64 {
+            apollo.broker().publish(
+                "cap",
+                i + 1,
+                Record::measured((i + 1) * 1_000_000, (i + 1) as f64).encode(),
+            );
+        }
+        assert!(store.stats().live_entries >= 14, "evictions recorded in the slab");
+        assert!(store.stats().consolidation_lag > 0);
+        apollo.run_for(Duration::from_secs(5));
+        let snap = apollo.metrics_snapshot();
+        assert!(snap.counter("streams.slab.consolidated_entries") >= 14, "{snap:?}");
+        assert_eq!(store.stats().consolidation_lag, 0, "timer drained the backlog");
+        assert!(snap.gauges.contains_key("streams.slab.occupied_slots"));
+        assert!(snap.gauges.contains_key("streams.slab.consolidation_lag"));
+        assert!(snap.gauges["streams.slab.series"] >= 1.0, "{snap:?}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -27,6 +27,18 @@
 //! prediction-pump kernel call, and `delphi.train_epoch_ns` times each
 //! pooled combiner training epoch.
 //!
+//! Durability surfaces its own families. `streams.archive.*` reports
+//! crash recovery of the archive snapshot format:
+//! `streams.archive.recovered_frames` counts entries salvaged from the
+//! valid prefix of a truncated snapshot and
+//! `streams.archive.truncated_tail` counts loads that hit (and dropped) a
+//! torn tail. `streams.slab.*` reports the memory-mapped slab spill:
+//! gauges `streams.slab.occupied_slots` (live ring entries),
+//! `streams.slab.consolidation_lag` (committed entries the tier roll-ups
+//! have not folded yet) and `streams.slab.series` (live series dirents),
+//! plus the `streams.slab.consolidated_entries` counter incremented by
+//! each consolidation timer tick.
+//!
 //! Every instrument carries an `enabled` flag captured at construction. A
 //! registry built with [`Registry::noop`] hands out disabled handles whose
 //! update methods compile down to a branch on an immutable bool — this is

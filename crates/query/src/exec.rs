@@ -943,7 +943,11 @@ mod tests {
         // shrinks even though the data went nowhere readable. The epoch
         // bump must still invalidate, or the cache would serve vanished
         // records.
-        let b = Broker::new(StreamConfig { max_len: Some(2), archive_evicted: false });
+        let b = Broker::new(StreamConfig {
+            max_len: Some(2),
+            archive_evicted: false,
+            spill: apollo_streams::SpillBackend::Heap,
+        });
         for i in 0..2u64 {
             b.publish("t", i, Record::measured(i * 1_000_000, i as f64).encode());
         }

@@ -6,15 +6,30 @@
 //! readable by ID range — the Query Executor "parses the queue (or the
 //! persisted log for evicted entries)".
 //!
-//! The log is segmented: a closed segment is an immutable sorted run of
-//! entries, which keeps range reads a binary search per segment. The log
-//! can optionally be persisted to and reloaded from a file for durability.
+//! Two backends sit behind the same API:
+//!
+//! * **Heap** (default): segmented in-memory runs — a closed segment is an
+//!   immutable sorted run, which keeps range reads a binary search per
+//!   segment.
+//! * **Slab** ([`ArchiveLog::with_slab`]): evicted entries are recorded
+//!   into a durable [`crate::slab::SlabSeries`] ring — a zero-alloc mmap
+//!   slot write. Payloads too large for a slot overflow into the heap
+//!   segments (counted by [`ArchiveLog::overflowed`]); reads merge the
+//!   ring and the overflow by ID.
+//!
+//! The log can be persisted to and reloaded from a frame file for
+//! durability. `persist` is atomic (temp file + fsync + rename) and `load`
+//! recovers the valid prefix when the file's tail was truncated by a crash
+//! mid-write, while hard-erroring on interior corruption.
 
 use crate::entry::Entry;
 use crate::id::StreamId;
+use crate::slab::SlabSeries;
 use parking_lot::RwLock;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Number of entries per closed segment.
 const SEGMENT_CAPACITY: usize = 4096;
@@ -31,16 +46,86 @@ struct Segments {
     open: Vec<Entry>,
 }
 
+impl Segments {
+    fn last_id(&self) -> Option<StreamId> {
+        self.open
+            .last()
+            .map(|e| e.id)
+            .or_else(|| self.closed.last().and_then(|s| s.last()).map(|e| e.id))
+    }
+
+    fn len(&self) -> usize {
+        self.closed.iter().map(Vec::len).sum::<usize>() + self.open.len()
+    }
+
+    fn runs(&self) -> impl Iterator<Item = &[Entry]> {
+        self.closed.iter().map(Vec::as_slice).chain(std::iter::once(self.open.as_slice()))
+    }
+}
+
+/// What [`ArchiveLog::load_report`] found while reloading a persisted log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Frames successfully loaded.
+    pub frames: usize,
+    /// True when the file ended mid-frame (crash mid-write) and the valid
+    /// prefix was recovered instead of erroring.
+    pub truncated_tail: bool,
+}
+
+/// Process-wide count of frames recovered from truncated archive files —
+/// exported as `streams.archive.recovered_frames`.
+pub(crate) fn recovered_frames_cell() -> Arc<AtomicU64> {
+    static CELL: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    Arc::clone(CELL.get_or_init(|| Arc::new(AtomicU64::new(0))))
+}
+
+/// Process-wide count of truncated-tail recoveries — exported as
+/// `streams.archive.truncated_tail`.
+pub(crate) fn truncated_tail_cell() -> Arc<AtomicU64> {
+    static CELL: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    Arc::clone(CELL.get_or_init(|| Arc::new(AtomicU64::new(0))))
+}
+
 /// An append-only archival log of evicted stream entries.
 #[derive(Debug, Default)]
 pub struct ArchiveLog {
     segments: RwLock<Segments>,
+    /// Durable slab ring backing this log, if configured.
+    slab: Option<SlabSeries>,
+    /// Entries pushed to the heap segments because their payload exceeded
+    /// the slab's inline slot capacity.
+    overflowed: AtomicU64,
+    /// Fast "any heap overflow?" check so the slab hot path skips the
+    /// segments lock entirely in the common case.
+    overflow_nonempty: AtomicBool,
 }
 
 impl ArchiveLog {
-    /// Create an empty log.
+    /// Create an empty heap-backed log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create a log that records evictions into a durable slab series.
+    pub fn with_slab(series: SlabSeries) -> Self {
+        Self { slab: Some(series), ..Self::default() }
+    }
+
+    /// True when this log records into a slab series.
+    pub fn is_slab_backed(&self) -> bool {
+        self.slab.is_some()
+    }
+
+    /// The slab series behind this log, if slab-backed.
+    pub fn slab_series(&self) -> Option<&SlabSeries> {
+        self.slab.as_ref()
+    }
+
+    /// Entries that overflowed to the heap because their payload exceeded
+    /// the slab's inline slot capacity (always 0 for heap-backed logs).
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
     }
 
     /// Append an entry. IDs must arrive in strictly increasing order (the
@@ -50,14 +135,34 @@ impl ArchiveLog {
     /// Panics if `entry.id` is not greater than the last archived ID; the
     /// stream layer guarantees ordering, so a violation is a logic bug.
     pub fn append(&self, entry: Entry) {
+        if let Some(slab) = &self.slab {
+            let last = if self.overflow_nonempty.load(Ordering::Relaxed) {
+                self.last_id()
+            } else {
+                slab.last_id()
+            };
+            if let Some(last) = last {
+                assert!(entry.id > last, "archive append out of order: {} after {last}", entry.id);
+            }
+            if slab.record(entry.id, &entry.payload) {
+                return;
+            }
+            // Payload too large for an inline slot: keep it on the heap
+            // overflow path (ordering vs. the slab was checked above).
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+            self.overflow_nonempty.store(true, Ordering::Relaxed);
+            self.push_heap(entry, false);
+            return;
+        }
+        self.push_heap(entry, true);
+    }
+
+    fn push_heap(&self, entry: Entry, check_order: bool) {
         let mut seg = self.segments.write();
-        let last = seg
-            .open
-            .last()
-            .map(|e| e.id)
-            .or_else(|| seg.closed.last().and_then(|s| s.last()).map(|e| e.id));
-        if let Some(last) = last {
-            assert!(entry.id > last, "archive append out of order: {} after {last}", entry.id);
+        if check_order {
+            if let Some(last) = seg.last_id() {
+                assert!(entry.id > last, "archive append out of order: {} after {last}", entry.id);
+            }
         }
         seg.open.push(entry);
         if seg.open.len() >= SEGMENT_CAPACITY {
@@ -66,10 +171,15 @@ impl ArchiveLog {
         }
     }
 
-    /// Total number of archived entries.
+    /// Total number of readable archived entries. For slab-backed logs
+    /// this is the ring's live span plus any heap overflow: a wrapped ring
+    /// retains only its `slots` newest entries.
     pub fn len(&self) -> usize {
-        let seg = self.segments.read();
-        seg.closed.iter().map(Vec::len).sum::<usize>() + seg.open.len()
+        let heap = self.segments.read().len();
+        match &self.slab {
+            Some(s) => heap + s.live_len() as usize,
+            None => heap,
+        }
     }
 
     /// True when nothing has been archived.
@@ -79,32 +189,21 @@ impl ArchiveLog {
 
     /// Largest archived ID, if any.
     pub fn last_id(&self) -> Option<StreamId> {
-        let seg = self.segments.read();
-        seg.open
-            .last()
-            .map(|e| e.id)
-            .or_else(|| seg.closed.last().and_then(|s| s.last()).map(|e| e.id))
+        let heap = if self.slab.is_none() || self.overflow_nonempty.load(Ordering::Relaxed) {
+            self.segments.read().last_id()
+        } else {
+            None
+        };
+        let slab = self.slab.as_ref().and_then(|s| s.last_id());
+        match (heap, slab) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// All entries with `start <= id <= end`, in ID order, appended to `out`.
     pub fn range_into(&self, start: StreamId, end: StreamId, out: &mut Vec<Entry>) {
-        if start > end {
-            return;
-        }
-        let seg = self.segments.read();
-        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice()))
-        {
-            if run.is_empty() {
-                continue;
-            }
-            // Skip runs entirely outside the range.
-            if run.last().is_some_and(|e| e.id < start) || run[0].id > end {
-                continue;
-            }
-            let lo = run.partition_point(|e| e.id < start);
-            let hi = run.partition_point(|e| e.id <= end);
-            out.extend_from_slice(&run[lo..hi]);
-        }
+        self.range_limited_into(start, end, usize::MAX, out);
     }
 
     /// Like [`ArchiveLog::range_into`], but stops after appending at most
@@ -120,10 +219,46 @@ impl ArchiveLog {
         if start > end || max == 0 {
             return;
         }
+        if let Some(slab) = &self.slab {
+            if !self.overflow_nonempty.load(Ordering::Relaxed) {
+                slab.range_limited_into(start, end, max, out);
+                return;
+            }
+            // Merge the slab ring and the heap overflow by ID. Both sides
+            // are bounded (the ring by `slots`), so collecting is cheap.
+            let mut ring = Vec::new();
+            slab.range_into(start, end, &mut ring);
+            let mut heap = Vec::new();
+            self.heap_range_limited_into(start, end, usize::MAX, &mut heap);
+            let mut a = ring.into_iter().peekable();
+            let mut b = heap.into_iter().peekable();
+            let mut remaining = max;
+            while remaining > 0 {
+                let take_a = match (a.peek(), b.peek()) {
+                    (Some(x), Some(y)) => x.id < y.id,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let e = if take_a { a.next() } else { b.next() };
+                out.push(e.expect("peeked entry present"));
+                remaining -= 1;
+            }
+            return;
+        }
+        self.heap_range_limited_into(start, end, max, out);
+    }
+
+    fn heap_range_limited_into(
+        &self,
+        start: StreamId,
+        end: StreamId,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) {
         let mut remaining = max;
         let seg = self.segments.read();
-        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice()))
-        {
+        for run in seg.runs() {
             if remaining == 0 {
                 return;
             }
@@ -149,44 +284,100 @@ impl ArchiveLog {
         out
     }
 
+    /// The scratch file `persist` writes before renaming over `path` —
+    /// exposed so crash tests can simulate a persist dying mid-write.
+    pub fn persist_scratch_path(path: &Path) -> PathBuf {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        path.with_file_name(format!("{name}.tmp.{}", std::process::id()))
+    }
+
     /// Persist the whole log to `path` as length-prefixed frames.
+    ///
+    /// Atomic and durable: frames are written to a scratch file in the
+    /// same directory, `sync_all`ed, then renamed over `path` (and the
+    /// directory fsynced where supported). A crash at any point leaves
+    /// either the previous complete archive or the new one — never a
+    /// half-written file under the target name.
     pub fn persist(&self, path: &Path) -> std::io::Result<()> {
-        let seg = self.segments.read();
-        let mut w = BufWriter::new(std::fs::File::create(path)?);
-        for run in seg.closed.iter().map(Vec::as_slice).chain(std::iter::once(seg.open.as_slice()))
-        {
-            for e in run {
-                w.write_all(&e.id.ms.to_le_bytes())?;
-                w.write_all(&e.id.seq.to_le_bytes())?;
-                w.write_all(&(e.payload.len() as u32).to_le_bytes())?;
-                w.write_all(&e.payload)?;
+        let scratch = Self::persist_scratch_path(path);
+        let result = (|| {
+            let file = std::fs::File::create(&scratch)?;
+            let mut w = BufWriter::new(file);
+            let write_frame =
+                |w: &mut BufWriter<std::fs::File>, e: &Entry| -> std::io::Result<()> {
+                    w.write_all(&e.id.ms.to_le_bytes())?;
+                    w.write_all(&e.id.seq.to_le_bytes())?;
+                    w.write_all(&(e.payload.len() as u32).to_le_bytes())?;
+                    w.write_all(&e.payload)
+                };
+            if self.slab.is_some() {
+                // Slab reads need the ring merge; bounded by the ring size.
+                for e in self.range(StreamId::MIN, StreamId::MAX) {
+                    write_frame(&mut w, &e)?;
+                }
+            } else {
+                let seg = self.segments.read();
+                for run in seg.runs() {
+                    for e in run {
+                        write_frame(&mut w, e)?;
+                    }
+                }
             }
+            w.flush()?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            std::fs::rename(&scratch, path)?;
+            // Make the rename itself durable. Directories cannot be
+            // fsynced everywhere; best-effort by design.
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Ok(dir) = std::fs::File::open(parent) {
+                        let _ = dir.sync_all();
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&scratch);
         }
-        w.flush()
+        result
     }
 
     /// Load a log previously written by [`ArchiveLog::persist`].
     ///
-    /// A truncated or corrupt file yields `InvalidData` instead of
-    /// panicking, so a damaged archive cannot take the observer down.
+    /// A file whose **tail** was truncated mid-frame (the normal
+    /// crash-mid-write shape) yields the valid prefix; interior corruption
+    /// — a garbage length prefix or out-of-order IDs — yields
+    /// `InvalidData` instead of panicking, so a damaged archive cannot
+    /// take the observer down.
     pub fn load(path: &Path) -> std::io::Result<Self> {
+        Self::load_report(path).map(|(log, _)| log)
+    }
+
+    /// [`ArchiveLog::load`] plus what recovery found. Truncated-tail
+    /// recoveries bump the process-wide `streams.archive.recovered_frames`
+    /// and `streams.archive.truncated_tail` counters.
+    pub fn load_report(path: &Path) -> std::io::Result<(Self, LoadReport)> {
         let corrupt =
             |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         let log = ArchiveLog::new();
+        let mut report = LoadReport::default();
         let mut r = BufReader::new(std::fs::File::open(path)?);
         loop {
-            let mut ms_b = [0u8; 8];
-            match r.read_exact(&mut ms_b) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e),
+            let mut header = [0u8; 20];
+            match read_full(&mut r, &mut header)? {
+                0 => break, // clean end on a frame boundary
+                20 => {}
+                _ => {
+                    report.truncated_tail = true;
+                    break;
+                }
             }
-            let mut seq_b = [0u8; 8];
-            let mut len_b = [0u8; 4];
-            r.read_exact(&mut seq_b)?;
-            r.read_exact(&mut len_b)?;
-            let id = StreamId::new(u64::from_le_bytes(ms_b), u64::from_le_bytes(seq_b));
-            let len = u32::from_le_bytes(len_b) as usize;
+            let id = StreamId::new(
+                u64::from_le_bytes(header[0..8].try_into().unwrap()),
+                u64::from_le_bytes(header[8..16].try_into().unwrap()),
+            );
+            let len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
             if len > MAX_FRAME_BYTES {
                 return Err(corrupt("archive frame length exceeds sanity bound"));
             }
@@ -194,11 +385,35 @@ impl ArchiveLog {
                 return Err(corrupt("archive frames out of ID order"));
             }
             let mut payload = vec![0u8; len];
-            r.read_exact(&mut payload)?;
+            if read_full(&mut r, &mut payload)? != len {
+                report.truncated_tail = true;
+                break;
+            }
             log.append(Entry::new(id, payload));
+            report.frames += 1;
         }
-        Ok(log)
+        if report.truncated_tail {
+            recovered_frames_cell().fetch_add(report.frames as u64, Ordering::Relaxed);
+            truncated_tail_cell().fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((log, report))
     }
+}
+
+/// Read as many bytes as possible into `buf`; returns how many were read
+/// (short only at end-of-file). Lets `load` distinguish a clean frame
+/// boundary from a truncated tail.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => break,
+            Ok(n) => at += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(at)
 }
 
 #[cfg(test)]
@@ -293,7 +508,108 @@ mod tests {
             loaded.range(StreamId::MIN, StreamId::MAX),
             log.range(StreamId::MIN, StreamId::MAX)
         );
+        assert!(!ArchiveLog::persist_scratch_path(&path).exists(), "scratch file renamed away");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persist_overwrites_previous_archive_atomically() {
+        let dir = std::env::temp_dir().join(format!("apollo-archive-ow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let small = ArchiveLog::new();
+        small.append(e(1, 1));
+        small.persist(&path).unwrap();
+        let big = ArchiveLog::new();
+        for i in 0..100 {
+            big.append(e(i, 0));
+        }
+        big.persist(&path).unwrap();
+        assert_eq!(ArchiveLog::load(&path).unwrap().len(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    mod slab_backed {
+        use super::*;
+        use crate::slab::{SlabConfig, SlabStore};
+
+        fn store(name: &str, slots: u32) -> std::sync::Arc<SlabStore> {
+            let dir = std::env::temp_dir()
+                .join(format!("apollo-archive-slab-{}-{name}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            SlabStore::create(
+                dir.join("t.slab"),
+                SlabConfig { max_series: 4, slots, max_cursors: 4, ..SlabConfig::default() },
+            )
+            .unwrap()
+        }
+
+        #[test]
+        fn slab_log_matches_heap_semantics() {
+            let store = store("sem", 256);
+            let log = ArchiveLog::with_slab(store.series("m").unwrap());
+            for i in 0..100 {
+                log.append(e(i, i as u8));
+            }
+            assert_eq!(log.len(), 100);
+            assert_eq!(log.last_id(), Some(StreamId::new(99, 0)));
+            let got = log.range(StreamId::new(10, 0), StreamId::new(19, 0));
+            assert_eq!(got.len(), 10);
+            assert_eq!(got[0].payload[0], 10);
+            let mut limited = Vec::new();
+            log.range_limited_into(StreamId::new(10, 0), StreamId::MAX, 5, &mut limited);
+            assert_eq!(limited.len(), 5);
+            assert_eq!(limited[0].id.ms, 10);
+            assert_eq!(log.overflowed(), 0);
+        }
+
+        #[test]
+        fn oversize_payloads_overflow_to_heap_and_merge_in_order() {
+            let store = store("ovf", 256);
+            let cap = store.config().payload_cap();
+            let log = ArchiveLog::with_slab(store.series("m").unwrap());
+            log.append(Entry::new(StreamId::new(1, 0), vec![1u8; 4]));
+            log.append(Entry::new(StreamId::new(2, 0), vec![2u8; cap + 10]));
+            log.append(Entry::new(StreamId::new(3, 0), vec![3u8; 4]));
+            assert_eq!(log.overflowed(), 1);
+            assert_eq!(log.len(), 3);
+            assert_eq!(log.last_id(), Some(StreamId::new(3, 0)));
+            let all = log.range(StreamId::MIN, StreamId::MAX);
+            assert_eq!(all.iter().map(|x| x.id.ms).collect::<Vec<_>>(), vec![1, 2, 3]);
+            assert_eq!(all[1].payload.len(), cap + 10);
+            let mut limited = Vec::new();
+            log.range_limited_into(StreamId::MIN, StreamId::MAX, 2, &mut limited);
+            assert_eq!(limited.iter().map(|x| x.id.ms).collect::<Vec<_>>(), vec![1, 2]);
+        }
+
+        #[test]
+        #[should_panic(expected = "out of order")]
+        fn slab_out_of_order_append_panics() {
+            let store = store("ooo", 64);
+            let log = ArchiveLog::with_slab(store.series("m").unwrap());
+            log.append(e(5, 0));
+            log.append(e(4, 0));
+        }
+
+        #[test]
+        fn slab_persist_round_trips_through_frame_file() {
+            let store = store("persist", 256);
+            let dir = std::env::temp_dir()
+                .join(format!("apollo-archive-slab-persist-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("log.bin");
+            let log = ArchiveLog::with_slab(store.series("m").unwrap());
+            for i in 0..50 {
+                log.append(e(i, i as u8));
+            }
+            log.persist(&path).unwrap();
+            let loaded = ArchiveLog::load(&path).unwrap();
+            assert_eq!(
+                loaded.range(StreamId::MIN, StreamId::MAX),
+                log.range(StreamId::MIN, StreamId::MAX)
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }
 

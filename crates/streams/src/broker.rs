@@ -25,7 +25,8 @@
 
 use crate::entry::Entry;
 use crate::id::StreamId;
-use crate::stream::{ScanBatch, Stream, StreamConfig};
+use crate::slab::SlabCursor;
+use crate::stream::{ScanBatch, SpillBackend, Stream, StreamConfig};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
@@ -248,6 +249,10 @@ struct GroupState {
     /// Delivered but unacknowledged:
     /// id -> (consumer, delivery count, delivered_at_ms).
     pending: HashMap<StreamId, (String, u32, u64)>,
+    /// Durable cursor slot in the broker's slab store, when topics spill
+    /// to an attached slab — delivery positions then survive restart
+    /// (at-least-once: a crash between delivery and save redelivers).
+    persist: Option<SlabCursor>,
 }
 
 /// A named consumer group over one topic.
@@ -495,6 +500,16 @@ impl Broker {
         });
         let _ = registry
             .counter_backed_by("streams.shard_contention", Arc::clone(&self.shard_contention));
+        // Archive crash-recovery counters (process-wide cells bumped by
+        // `ArchiveLog::load` when it salvages a truncated file).
+        let _ = registry.counter_backed_by(
+            "streams.archive.recovered_frames",
+            crate::archiver::recovered_frames_cell(),
+        );
+        let _ = registry.counter_backed_by(
+            "streams.archive.truncated_tail",
+            crate::archiver::truncated_tail_cell(),
+        );
         let registry = &self.obs.get().expect("just set").registry;
         for shard in &self.shards {
             for (name, t) in shard.read().iter() {
@@ -873,14 +888,28 @@ impl Broker {
 
     /// Create (or fetch) a consumer group positioned at the current end of
     /// the topic — it sees only entries published after creation.
+    ///
+    /// On a broker whose topics spill to an **attached** slab store, the
+    /// group's cursor is persisted there: re-creating the group after a
+    /// restart resumes delivery right after the last position saved before
+    /// the crash (at-least-once), instead of starting at end-of-topic.
     pub fn consumer_group(&self, topic: &str, group: &str) -> ConsumerGroup {
         let t = self.topic(topic);
         {
             let mut groups = t.groups.lock();
-            let last = t.stream.last_id();
-            groups
-                .entry(group.to_string())
-                .or_insert_with(|| GroupState { cursor: last, pending: HashMap::new() });
+            if !groups.contains_key(group) {
+                let mut state = GroupState { cursor: t.stream.last_id(), ..GroupState::default() };
+                if let SpillBackend::Slab { store, attach: true } = &self.default_config.spill {
+                    if let Some(cell) = store.cursor(topic, group) {
+                        if let Some(saved) = cell.load() {
+                            // Restart: resume after the persisted cursor.
+                            state.cursor = Some(saved);
+                        }
+                        state.persist = Some(cell);
+                    }
+                }
+                groups.insert(group.to_string(), state);
+            }
         }
         ConsumerGroup { topic: t, name: group.to_string() }
     }
@@ -936,6 +965,11 @@ impl ConsumerGroup {
         for e in &entries {
             state.cursor = Some(e.id);
             state.pending.insert(e.id, (consumer.to_string(), 1, now_ms));
+        }
+        if !entries.is_empty() {
+            if let (Some(persist), Some(cursor)) = (&state.persist, state.cursor) {
+                persist.save(cursor);
+            }
         }
         Ok(entries)
     }

@@ -18,6 +18,12 @@
 //! * **Retention** (`MAXLEN` analogue) with eviction into an
 //!   [`archiver::ArchiveLog`] — the per-vertex *Archiver* of §3.1 that
 //!   "stores the queue in a log"; evicted entries remain range-readable.
+//! * **Durable slab spill** ([`slab`]): the archive can record into a
+//!   pre-allocated memory-mapped slab file (series directory + fixed
+//!   columnar slot rings + tiered consolidation buckets) so steady-state
+//!   eviction is a zero-alloc mmap slot write and history plus
+//!   consumer-group cursors survive restarts. Select it per stream via
+//!   [`stream::SpillBackend`] or process-wide with `APOLLO_SLAB_DIR`.
 //! * **Pub-Sub fan-out** ([`broker::Broker`]): subscribers receive new
 //!   entries over bounded queues with explicit [`broker::BackpressurePolicy`];
 //!   consumer groups provide exactly-once-per-group delivery with
@@ -32,9 +38,10 @@ pub mod broker;
 pub mod codec;
 pub mod entry;
 pub mod id;
+pub mod slab;
 pub mod stream;
 
-pub use archiver::ArchiveLog;
+pub use archiver::{ArchiveLog, LoadReport};
 pub use broker::{
     BackpressurePolicy, Broker, ConsumerGroup, GroupError, SubscribeOptions, Subscription,
     TopicInfo,
@@ -42,4 +49,5 @@ pub use broker::{
 pub use codec::{Provenance, Record};
 pub use entry::Entry;
 pub use id::StreamId;
-pub use stream::{ScanBatch, Stream, StreamConfig};
+pub use slab::{SlabConfig, SlabStats, SlabStore, TierConfig};
+pub use stream::{ScanBatch, SpillBackend, Stream, StreamConfig};

@@ -1,0 +1,1411 @@
+//! Durable memory-mapped slab store (rondo-style).
+//!
+//! ROADMAP item 1: streams today are heap `VecDeque` windows plus an
+//! in-memory archive — unbounded by data volume and gone on restart. The
+//! [`SlabStore`] is a pre-allocated, memory-mapped file holding
+//!
+//! * a **header page** (magic, version, geometry, config hash),
+//! * a **series directory** (fixed-size dirents naming each ring),
+//! * a **cursor directory** (consumer-group positions that survive restart),
+//! * per-series **entry rings** (fixed-size columnar slots), and
+//! * per-series **consolidation tiers** (bucketed count/sum/min/max
+//!   aggregates at coarsening resolutions, e.g. 1s × 10m → 10s × 6h →
+//!   5m × 7d).
+//!
+//! A steady-state [`SlabSeries::record`] is a zero-alloc slot write into the
+//! mapping: copy the payload, write the `(ms, seq, len, checksum)` slot
+//! words, then **publish** by storing the bumped per-series `head` with
+//! `Release` ordering. The head is the commit word: entries below it are
+//! committed, the slot at `head % slots` is scratch. Crash recovery in
+//! [`SlabStore::open`] re-validates every committed slot (checksum +
+//! strictly increasing IDs) and rolls torn or unsynced slots out of the
+//! committed range — a torn tail shrinks `head`, a destroyed oldest slot
+//! (crash mid-overwrite before the head bump) advances the per-series
+//! `tail` floor.
+//!
+//! Durability contract: after a **process** crash every published write
+//! survives (the pages live in the kernel page cache); after a **machine**
+//! crash the committed prefix as of the last [`SlabStore::flush`] (msync)
+//! survives, minus whatever the torn-tail rollback discards. Consolidation
+//! is at-least-once across crashes: tier buckets are advisory aggregates
+//! and may re-fold an in-flight batch.
+//!
+//! The store is wired beneath [`crate::ArchiveLog`] via
+//! [`crate::StreamConfig`]'s `spill` backend, so a stream's eviction path
+//! lands entries in the slab instead of the heap archive while the
+//! eviction-epoch exactly-once scan contract is preserved unchanged: the
+//! slab write happens under the stream's window write lock *before* the
+//! epoch bump, exactly where the heap archive append used to be.
+
+use crate::entry::Entry;
+use crate::id::StreamId;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// File magic, first 8 bytes of the header page.
+pub const SLAB_MAGIC: [u8; 8] = *b"APOLSLB1";
+/// On-disk format version.
+pub const SLAB_VERSION: u32 = 1;
+/// Size of the header page.
+pub const HEADER_BYTES: usize = 4096;
+/// Size of one series/cursor directory entry.
+pub const DIRENT_BYTES: usize = 256;
+/// Longest series / cursor name storable in a dirent.
+pub const NAME_CAP: usize = DIRENT_BYTES - 40;
+/// Slot header: `ms u64 | seq u64 | (len+1) u32 | checksum u32`.
+pub const SLOT_HEADER_BYTES: usize = 24;
+/// Consolidation bucket: `start_ms u64 | count u64 | sum f64 | min f64 | max f64`.
+pub const BUCKET_BYTES: usize = 40;
+/// Most consolidation tiers a store can be configured with.
+pub const MAX_TIERS: usize = 6;
+
+/// Dirent field offsets (shared by series and cursor dirents where noted).
+const D_STATE: usize = 0; // u64: 0 free, 1 live
+const D_HEAD: usize = 8; // series: commit word | cursor: seq
+const D_CONSOLIDATED: usize = 16; // series: consolidation watermark | cursor: ms
+const D_TAIL: usize = 24; // series: readable floor | cursor: has-value flag
+const D_NAME_LEN: usize = 32;
+const D_NAME: usize = 40;
+
+/// Header field offsets.
+const H_MAGIC: usize = 0;
+const H_VERSION: usize = 8;
+const H_MAX_SERIES: usize = 12;
+const H_SLOTS: usize = 16;
+const H_SLOT_BYTES: usize = 20;
+const H_MAX_CURSORS: usize = 24;
+const H_TIER_COUNT: usize = 28;
+const H_TIERS: usize = 32; // MAX_TIERS × (interval_ms u64, buckets u64)
+const H_CONFIG_HASH: usize = H_TIERS + MAX_TIERS * 16;
+
+/// Ring reads retry this many times when the writer laps them mid-copy
+/// before falling back to per-entry checksum verification.
+const RING_READ_ATTEMPTS: usize = 8;
+
+/// One consolidation tier: fold raw records into `buckets` ring-buffered
+/// aggregate buckets of `interval_ms` width each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Bucket width in milliseconds of ID time.
+    pub interval_ms: u64,
+    /// Buckets retained per series (ring — old buckets are reused).
+    pub buckets: u32,
+}
+
+impl TierConfig {
+    /// Convenience constructor.
+    pub fn new(interval_ms: u64, buckets: u32) -> Self {
+        Self { interval_ms, buckets }
+    }
+}
+
+/// Geometry of a slab store. Fixed at creation; [`SlabStore::open`]
+/// reconstructs it from the header and refuses mismatched reopens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlabConfig {
+    /// Series directory capacity.
+    pub max_series: u32,
+    /// Entry slots per series ring.
+    pub slots: u32,
+    /// Bytes per slot (header + inline payload); multiple of 8, ≥ 32.
+    pub slot_bytes: u32,
+    /// Consumer-group cursor directory capacity.
+    pub max_cursors: u32,
+    /// Consolidation tiers, coarsest last, strictly increasing intervals.
+    pub tiers: Vec<TierConfig>,
+}
+
+impl Default for SlabConfig {
+    /// 256 series × 4096 slots × 64 B slots with the ROADMAP's
+    /// 1s × 10m → 10s × 6h → 5m × 7d consolidation tiers (~113 MB virtual,
+    /// sparse until written).
+    fn default() -> Self {
+        Self {
+            max_series: 256,
+            slots: 4096,
+            slot_bytes: 64,
+            max_cursors: 256,
+            tiers: vec![
+                TierConfig::new(1_000, 600),     // 1 s buckets × 10 min
+                TierConfig::new(10_000, 2_160),  // 10 s buckets × 6 h
+                TierConfig::new(300_000, 2_016), // 5 min buckets × 7 d
+            ],
+        }
+    }
+}
+
+impl SlabConfig {
+    /// Validate the geometry, normalizing nothing.
+    pub fn validated(self) -> io::Result<Self> {
+        let bad = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
+        if self.max_series == 0 {
+            return bad("slab config: max_series must be > 0");
+        }
+        if self.slots < 2 {
+            return bad("slab config: slots must be >= 2");
+        }
+        if !self.slot_bytes.is_multiple_of(8) || (self.slot_bytes as usize) < SLOT_HEADER_BYTES + 8
+        {
+            return bad("slab config: slot_bytes must be a multiple of 8 and >= 32");
+        }
+        if self.tiers.len() > MAX_TIERS {
+            return bad("slab config: too many consolidation tiers");
+        }
+        if self.tiers.iter().any(|t| t.interval_ms == 0 || t.buckets == 0) {
+            return bad("slab config: tier interval and bucket count must be > 0");
+        }
+        if self.tiers.windows(2).any(|w| w[1].interval_ms <= w[0].interval_ms) {
+            return bad("slab config: tier intervals must be strictly increasing");
+        }
+        Ok(self)
+    }
+
+    /// Inline payload bytes per slot.
+    pub fn payload_cap(&self) -> usize {
+        self.slot_bytes as usize - SLOT_HEADER_BYTES
+    }
+
+    /// FNV-1a over the geometry — the header's config hash.
+    pub fn hash(&self) -> u64 {
+        let mut h = fnv(0xcbf2_9ce4_8422_2325, SLAB_VERSION as u64);
+        for w in [self.max_series, self.slots, self.slot_bytes, self.max_cursors] {
+            h = fnv(h, w as u64);
+        }
+        h = fnv(h, self.tiers.len() as u64);
+        for t in &self.tiers {
+            h = fnv(h, t.interval_ms);
+            h = fnv(h, t.buckets as u64);
+        }
+        h
+    }
+}
+
+fn fnv(h: u64, w: u64) -> u64 {
+    let mut h = h;
+    for b in w.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Checksum guarding one slot against torn writes: covers the ID, the
+/// length, and the payload bytes.
+fn slot_checksum(ms: u64, seq: u64, len: u32, payload: &[u8]) -> u32 {
+    let mut h = fnv(fnv(fnv(0xcbf2_9ce4_8422_2325, ms), seq), len as u64);
+    for &b in payload {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    ((h >> 32) ^ h) as u32
+}
+
+/// Byte offsets of every region of a slab file — public so tests can
+/// surgically corrupt specific words when exercising recovery.
+#[derive(Debug, Clone)]
+pub struct SlabLayout {
+    cfg: SlabConfig,
+    series_dir: usize,
+    cursor_dir: usize,
+    rings: usize,
+    ring_stride: usize,
+    tier_base: Vec<usize>,
+    tier_stride: Vec<usize>,
+    total: usize,
+}
+
+impl SlabLayout {
+    /// Compute the layout for a geometry.
+    pub fn for_config(cfg: &SlabConfig) -> Self {
+        let series_dir = HEADER_BYTES;
+        let cursor_dir = series_dir + cfg.max_series as usize * DIRENT_BYTES;
+        let rings = cursor_dir + cfg.max_cursors as usize * DIRENT_BYTES;
+        let ring_stride = cfg.slots as usize * cfg.slot_bytes as usize;
+        let mut at = rings + cfg.max_series as usize * ring_stride;
+        let mut tier_base = Vec::with_capacity(cfg.tiers.len());
+        let mut tier_stride = Vec::with_capacity(cfg.tiers.len());
+        for t in &cfg.tiers {
+            let stride = t.buckets as usize * BUCKET_BYTES;
+            tier_base.push(at);
+            tier_stride.push(stride);
+            at += cfg.max_series as usize * stride;
+        }
+        Self {
+            cfg: cfg.clone(),
+            series_dir,
+            cursor_dir,
+            rings,
+            ring_stride,
+            tier_base,
+            tier_stride,
+            total: at,
+        }
+    }
+
+    /// Total file size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total
+    }
+
+    /// Offset of series dirent `idx`.
+    pub fn series_dirent(&self, idx: usize) -> usize {
+        self.series_dir + idx * DIRENT_BYTES
+    }
+
+    /// Offset of cursor dirent `idx`.
+    pub fn cursor_dirent(&self, idx: usize) -> usize {
+        self.cursor_dir + idx * DIRENT_BYTES
+    }
+
+    /// Offset of ring slot `slot` of series `idx`.
+    pub fn slot(&self, idx: usize, slot: usize) -> usize {
+        self.rings + idx * self.ring_stride + slot * self.cfg.slot_bytes as usize
+    }
+
+    /// Offset of bucket `bucket` of tier `tier` of series `idx`.
+    pub fn bucket(&self, tier: usize, idx: usize, bucket: usize) -> usize {
+        self.tier_base[tier] + idx * self.tier_stride[tier] + bucket * BUCKET_BYTES
+    }
+}
+
+#[cfg(unix)]
+mod mem {
+    //! Raw `mmap` wrapper. No mmap crate is vendored, and libc is always
+    //! linked on unix, so the three calls are declared directly.
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 1;
+    const MS_SYNC: i32 = 4;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+        fn msync(addr: *mut u8, len: usize, flags: i32) -> i32;
+    }
+
+    /// A shared, writable mapping of a file.
+    pub struct Map {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is plain memory; all cross-thread coordination happens
+    // through atomics the store layers on top.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub fn of_file(file: &File, len: usize) -> io::Result<Self> {
+            assert!(len > 0, "cannot map an empty file");
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr, len })
+        }
+
+        pub fn ptr(&self) -> *mut u8 {
+            self.ptr
+        }
+
+        /// `msync(MS_SYNC)` the whole mapping.
+        pub fn sync(&self) -> io::Result<()> {
+            if unsafe { msync(self.ptr, self.len, MS_SYNC) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod mem {
+    //! Portable fallback: an aligned heap buffer loaded from the file at
+    //! map time and written back on `sync`. Durable only at sync points.
+    use std::fs::File;
+    use std::io::{self, Read, Seek, SeekFrom, Write};
+    use std::sync::Mutex;
+
+    pub struct Map {
+        buf: Box<[u64]>,
+        len: usize,
+        file: Mutex<File>,
+    }
+
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub fn of_file(file: &File, len: usize) -> io::Result<Self> {
+            let mut file = file.try_clone()?;
+            let mut buf = vec![0u64; len.div_ceil(8)].into_boxed_slice();
+            file.seek(SeekFrom::Start(0))?;
+            let raw = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+            file.read_exact(raw)?;
+            Ok(Self { buf, len, file: Mutex::new(file) })
+        }
+
+        pub fn ptr(&self) -> *mut u8 {
+            self.buf.as_ptr() as *mut u8
+        }
+
+        pub fn sync(&self) -> io::Result<()> {
+            let mut f = self.file.lock().unwrap();
+            f.seek(SeekFrom::Start(0))?;
+            let raw = unsafe { std::slice::from_raw_parts(self.ptr(), self.len) };
+            f.write_all(raw)?;
+            f.sync_all()
+        }
+    }
+}
+
+/// What [`SlabStore::open`] found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Live series in the directory.
+    pub series_live: usize,
+    /// Committed entries readable after validation, across all series.
+    pub recovered_entries: u64,
+    /// Slots discarded by torn-tail / destroyed-oldest rollback.
+    pub rolled_back_slots: u64,
+}
+
+/// Aggregate occupancy / progress numbers for gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SlabStats {
+    /// Live series dirents.
+    pub series_live: usize,
+    /// Series directory capacity.
+    pub series_capacity: usize,
+    /// Entries ever recorded (sum of heads).
+    pub appended: u64,
+    /// Entries currently readable (sum of live ring spans).
+    pub live_entries: u64,
+    /// Ring slots across live series.
+    pub slot_capacity: u64,
+    /// `live_entries / slot_capacity`, 0.0 when no series exist.
+    pub occupancy: f64,
+    /// Committed entries not yet folded into consolidation tiers.
+    pub consolidation_lag: u64,
+    /// Payloads rejected because they exceed the inline slot capacity.
+    pub oversize_rejected: u64,
+    /// `Stream`s that wanted a slab series but fell back to the heap
+    /// archive (directory full or name too long).
+    pub series_fallbacks: u64,
+}
+
+/// Outcome of one [`SlabStore::consolidate`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsolidateReport {
+    /// Live series visited.
+    pub series: usize,
+    /// Entries folded into tier buckets.
+    pub folded: u64,
+    /// Entries that aged out of the ring (or were not decodable as
+    /// [`crate::Record`]s) before consolidation reached them.
+    pub skipped: u64,
+}
+
+/// One consolidated aggregate bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierBucket {
+    /// Bucket start, in ms of ID time (`start_ms..start_ms + interval_ms`).
+    pub start_ms: u64,
+    /// Records folded in.
+    pub count: u64,
+    /// Sum of record values.
+    pub sum: f64,
+    /// Minimum record value.
+    pub min: f64,
+    /// Maximum record value.
+    pub max: f64,
+}
+
+impl TierBucket {
+    /// Mean of the folded values (NaN for an empty bucket).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// The embedded memory-mapped slab store. See the module docs for the
+/// layout and the durability contract.
+pub struct SlabStore {
+    map: mem::Map,
+    #[allow(dead_code)] // kept open for the lifetime of the mapping
+    file: File,
+    path: PathBuf,
+    cfg: SlabConfig,
+    layout: SlabLayout,
+    /// Serializes series/cursor directory allocation.
+    dir_lock: Mutex<()>,
+    /// Serializes consolidation passes and tier-bucket reads.
+    consolidate_lock: Mutex<()>,
+    oversize_rejected: AtomicU64,
+    series_fallbacks: AtomicU64,
+}
+
+impl std::fmt::Debug for SlabStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlabStore")
+            .field("path", &self.path)
+            .field("max_series", &self.cfg.max_series)
+            .field("slots", &self.cfg.slots)
+            .finish()
+    }
+}
+
+impl SlabStore {
+    /// Create a fresh slab file at `path` (truncating any existing file).
+    pub fn create(path: impl AsRef<Path>, cfg: SlabConfig) -> io::Result<Arc<Self>> {
+        let path = path.as_ref().to_path_buf();
+        let cfg = cfg.validated()?;
+        let layout = SlabLayout::for_config(&cfg);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+        // Sparse pre-allocation: pages materialize only when written.
+        file.set_len(layout.total_bytes() as u64)?;
+        let map = mem::Map::of_file(&file, layout.total_bytes())?;
+        let store = Self {
+            map,
+            file,
+            path,
+            cfg,
+            layout,
+            dir_lock: Mutex::new(()),
+            consolidate_lock: Mutex::new(()),
+            oversize_rejected: AtomicU64::new(0),
+            series_fallbacks: AtomicU64::new(0),
+        };
+        store.write_header();
+        store.map.sync()?;
+        Ok(Arc::new(store))
+    }
+
+    /// Reopen an existing slab file, validating every committed slot and
+    /// rolling back torn writes. See [`OpenReport`].
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Arc<Self>, OpenReport)> {
+        let path = path.as_ref().to_path_buf();
+        let corrupt = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let flen = file.metadata()?.len() as usize;
+        if flen < HEADER_BYTES {
+            return Err(corrupt("slab file shorter than its header page".into()));
+        }
+        let map = mem::Map::of_file(&file, flen)?;
+        let cfg = read_header(map.ptr(), flen)?;
+        let layout = SlabLayout::for_config(&cfg);
+        if layout.total_bytes() != flen {
+            return Err(corrupt(format!(
+                "slab file is {flen} bytes but its header implies {}",
+                layout.total_bytes()
+            )));
+        }
+        let store = Self {
+            map,
+            file,
+            path,
+            cfg,
+            layout,
+            dir_lock: Mutex::new(()),
+            consolidate_lock: Mutex::new(()),
+            oversize_rejected: AtomicU64::new(0),
+            series_fallbacks: AtomicU64::new(0),
+        };
+        let mut report = OpenReport::default();
+        for idx in 0..store.cfg.max_series as usize {
+            let d = store.layout.series_dirent(idx);
+            if store.atom(d + D_STATE).load(Ordering::Relaxed) != 1 {
+                continue;
+            }
+            report.series_live += 1;
+            let (live, rolled_back) = store.validate_series(idx);
+            report.recovered_entries += live;
+            report.rolled_back_slots += rolled_back;
+        }
+        store.map.sync()?;
+        Ok((Arc::new(store), report))
+    }
+
+    /// Open `path` if it exists (its geometry must match `cfg`), otherwise
+    /// create it.
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        cfg: SlabConfig,
+    ) -> io::Result<(Arc<Self>, OpenReport)> {
+        let path = path.as_ref();
+        if path.exists() {
+            let cfg = cfg.validated()?;
+            let (store, report) = Self::open(path)?;
+            if store.cfg.hash() != cfg.hash() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "existing slab file geometry does not match the requested config",
+                ));
+            }
+            Ok((store, report))
+        } else {
+            Ok((Self::create(path, cfg)?, OpenReport::default()))
+        }
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The store's geometry.
+    pub fn config(&self) -> &SlabConfig {
+        &self.cfg
+    }
+
+    /// The store's byte layout (for diagnostics and recovery tests).
+    pub fn layout(&self) -> &SlabLayout {
+        &self.layout
+    }
+
+    /// `msync` the mapping: after this returns, everything committed is
+    /// machine-crash durable (modulo the torn-tail rollback on reopen).
+    pub fn flush(&self) -> io::Result<()> {
+        self.map.sync()
+    }
+
+    /// Attach to the series named `name`, creating it if absent.
+    pub fn series(self: &Arc<Self>, name: &str) -> io::Result<SlabSeries> {
+        self.series_inner(name, true)
+    }
+
+    /// Allocate a brand-new series dirent (never attaches to an existing
+    /// name) — the ephemeral mode the `APOLLO_SLAB_DIR` env swap uses so
+    /// concurrent tests reusing stream names never share a ring.
+    pub fn fresh_series(self: &Arc<Self>, name: &str) -> io::Result<SlabSeries> {
+        self.series_inner(name, false)
+    }
+
+    fn series_inner(self: &Arc<Self>, name: &str, attach: bool) -> io::Result<SlabSeries> {
+        let fail = |store: &Self, msg: &str| {
+            store.series_fallbacks.fetch_add(1, Ordering::Relaxed);
+            Err(io::Error::other(msg.to_string()))
+        };
+        if name.len() > NAME_CAP {
+            return fail(self, "slab series name too long");
+        }
+        let _guard = self.dir_lock.lock();
+        let mut free = None;
+        for idx in 0..self.cfg.max_series as usize {
+            let d = self.layout.series_dirent(idx);
+            if self.atom(d + D_STATE).load(Ordering::Acquire) != 1 {
+                if free.is_none() {
+                    free = Some(idx);
+                }
+                continue;
+            }
+            if attach && self.dirent_name(d) == name.as_bytes() {
+                return Ok(SlabSeries::new(Arc::clone(self), idx));
+            }
+        }
+        let Some(idx) = free else {
+            return fail(self, "slab series directory full");
+        };
+        let d = self.layout.series_dirent(idx);
+        unsafe {
+            std::ptr::copy_nonoverlapping(name.as_ptr(), self.ptr_at(d + D_NAME), name.len());
+        }
+        self.atom(d + D_NAME_LEN).store(name.len() as u64, Ordering::Relaxed);
+        self.atom(d + D_HEAD).store(0, Ordering::Relaxed);
+        self.atom(d + D_CONSOLIDATED).store(0, Ordering::Relaxed);
+        self.atom(d + D_TAIL).store(0, Ordering::Relaxed);
+        self.atom(d + D_STATE).store(1, Ordering::Release);
+        Ok(SlabSeries::new(Arc::clone(self), idx))
+    }
+
+    /// Attach to the persistent cursor slot for `topic`/`group`, creating
+    /// it if absent. `None` when the cursor directory is full or the key
+    /// does not fit a dirent.
+    pub fn cursor(self: &Arc<Self>, topic: &str, group: &str) -> Option<SlabCursor> {
+        let key_len = topic.len() + 1 + group.len();
+        if key_len > NAME_CAP {
+            return None;
+        }
+        let mut key = Vec::with_capacity(key_len);
+        key.extend_from_slice(topic.as_bytes());
+        key.push(0);
+        key.extend_from_slice(group.as_bytes());
+        let _guard = self.dir_lock.lock();
+        let mut free = None;
+        for idx in 0..self.cfg.max_cursors as usize {
+            let d = self.layout.cursor_dirent(idx);
+            if self.atom(d + D_STATE).load(Ordering::Acquire) != 1 {
+                if free.is_none() {
+                    free = Some(idx);
+                }
+                continue;
+            }
+            if self.dirent_name(d) == key.as_slice() {
+                return Some(SlabCursor { store: Arc::clone(self), dirent: d });
+            }
+        }
+        let idx = free?;
+        let d = self.layout.cursor_dirent(idx);
+        unsafe {
+            std::ptr::copy_nonoverlapping(key.as_ptr(), self.ptr_at(d + D_NAME), key.len());
+        }
+        self.atom(d + D_NAME_LEN).store(key.len() as u64, Ordering::Relaxed);
+        self.atom(d + D_HEAD).store(0, Ordering::Relaxed);
+        self.atom(d + D_CONSOLIDATED).store(0, Ordering::Relaxed);
+        self.atom(d + D_TAIL).store(0, Ordering::Relaxed);
+        self.atom(d + D_STATE).store(1, Ordering::Release);
+        Some(SlabCursor { store: Arc::clone(self), dirent: d })
+    }
+
+    /// Fold newly committed entries of every live series into the
+    /// consolidation tiers. Runs off a timer in `apollo-core`; any caller
+    /// works — passes are serialized internally.
+    pub fn consolidate(&self) -> ConsolidateReport {
+        let _guard = self.consolidate_lock.lock();
+        let mut report = ConsolidateReport::default();
+        if self.cfg.tiers.is_empty() {
+            return report;
+        }
+        let slots = self.cfg.slots as u64;
+        for idx in 0..self.cfg.max_series as usize {
+            let d = self.layout.series_dirent(idx);
+            if self.atom(d + D_STATE).load(Ordering::Acquire) != 1 {
+                continue;
+            }
+            report.series += 1;
+            let head = self.atom(d + D_HEAD).load(Ordering::Acquire);
+            let tail = self.atom(d + D_TAIL).load(Ordering::Relaxed);
+            let done = self.atom(d + D_CONSOLIDATED).load(Ordering::Relaxed);
+            let floor = tail.max(head.saturating_sub(slots));
+            let from = done.max(floor);
+            report.skipped += from - done;
+            let mut payload = Vec::with_capacity(self.cfg.payload_cap());
+            for i in from..head {
+                let Some((id, _)) = self.read_slot(idx, i, &mut payload) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                let Ok(rec) = crate::codec::Record::decode(&payload) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                for (t, tier) in self.cfg.tiers.iter().enumerate() {
+                    self.fold_bucket(t, tier, idx, id.ms, rec.value);
+                }
+                report.folded += 1;
+            }
+            // Published after the folds: consolidation is at-least-once
+            // across a crash (buckets are advisory aggregates).
+            self.atom(d + D_CONSOLIDATED).store(head, Ordering::Release);
+        }
+        report
+    }
+
+    fn fold_bucket(&self, t: usize, tier: &TierConfig, idx: usize, ms: u64, value: f64) {
+        let start = ms - ms % tier.interval_ms;
+        let bucket = ((ms / tier.interval_ms) % tier.buckets as u64) as usize;
+        let b = self.layout.bucket(t, idx, bucket);
+        let cur_start = self.atom(b).load(Ordering::Relaxed);
+        let count = self.atom(b + 8).load(Ordering::Relaxed);
+        if count == 0 || cur_start != start {
+            // Empty or lapped bucket: claim it for this interval.
+            self.atom(b).store(start, Ordering::Relaxed);
+            self.atom(b + 8).store(1, Ordering::Relaxed);
+            self.atom(b + 16).store(value.to_bits(), Ordering::Relaxed);
+            self.atom(b + 24).store(value.to_bits(), Ordering::Relaxed);
+            self.atom(b + 32).store(value.to_bits(), Ordering::Relaxed);
+            return;
+        }
+        let sum = f64::from_bits(self.atom(b + 16).load(Ordering::Relaxed)) + value;
+        let min = f64::from_bits(self.atom(b + 24).load(Ordering::Relaxed)).min(value);
+        let max = f64::from_bits(self.atom(b + 32).load(Ordering::Relaxed)).max(value);
+        self.atom(b + 16).store(sum.to_bits(), Ordering::Relaxed);
+        self.atom(b + 24).store(min.to_bits(), Ordering::Relaxed);
+        self.atom(b + 32).store(max.to_bits(), Ordering::Relaxed);
+        self.atom(b + 8).store(count + 1, Ordering::Relaxed);
+    }
+
+    /// Occupancy / progress counters for the self-observer gauges.
+    pub fn stats(&self) -> SlabStats {
+        let slots = self.cfg.slots as u64;
+        let mut s = SlabStats {
+            series_capacity: self.cfg.max_series as usize,
+            oversize_rejected: self.oversize_rejected.load(Ordering::Relaxed),
+            series_fallbacks: self.series_fallbacks.load(Ordering::Relaxed),
+            ..SlabStats::default()
+        };
+        for idx in 0..self.cfg.max_series as usize {
+            let d = self.layout.series_dirent(idx);
+            if self.atom(d + D_STATE).load(Ordering::Acquire) != 1 {
+                continue;
+            }
+            s.series_live += 1;
+            let head = self.atom(d + D_HEAD).load(Ordering::Acquire);
+            let tail = self.atom(d + D_TAIL).load(Ordering::Relaxed);
+            let done = self.atom(d + D_CONSOLIDATED).load(Ordering::Relaxed);
+            let floor = tail.max(head.saturating_sub(slots));
+            s.appended += head;
+            s.live_entries += head - floor;
+            s.slot_capacity += slots;
+            s.consolidation_lag += head - done.max(floor).min(head);
+        }
+        if s.slot_capacity > 0 {
+            s.occupancy = s.live_entries as f64 / s.slot_capacity as f64;
+        }
+        s
+    }
+
+    // ---- raw access helpers ----------------------------------------------
+
+    /// # Safety
+    /// `off` must lie inside the mapping (checked by debug_assert).
+    unsafe fn ptr_at(&self, off: usize) -> *mut u8 {
+        debug_assert!(off < self.layout.total_bytes());
+        self.map.ptr().add(off)
+    }
+
+    fn atom(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(off.is_multiple_of(8) && off + 8 <= self.layout.total_bytes());
+        unsafe { &*(self.map.ptr().add(off) as *const AtomicU64) }
+    }
+
+    fn dirent_name(&self, dirent: usize) -> &[u8] {
+        let len = (self.atom(dirent + D_NAME_LEN).load(Ordering::Relaxed) as usize).min(NAME_CAP);
+        unsafe { std::slice::from_raw_parts(self.map.ptr().add(dirent + D_NAME), len) }
+    }
+
+    fn write_header(&self) {
+        let p = self.map.ptr();
+        unsafe {
+            std::ptr::copy_nonoverlapping(SLAB_MAGIC.as_ptr(), p.add(H_MAGIC), 8);
+        }
+        let w32 = |off: usize, v: u32| unsafe {
+            std::ptr::copy_nonoverlapping(v.to_le_bytes().as_ptr(), p.add(off), 4);
+        };
+        w32(H_VERSION, SLAB_VERSION);
+        w32(H_MAX_SERIES, self.cfg.max_series);
+        w32(H_SLOTS, self.cfg.slots);
+        w32(H_SLOT_BYTES, self.cfg.slot_bytes);
+        w32(H_MAX_CURSORS, self.cfg.max_cursors);
+        w32(H_TIER_COUNT, self.cfg.tiers.len() as u32);
+        for (i, t) in self.cfg.tiers.iter().enumerate() {
+            self.atom(H_TIERS + i * 16).store(t.interval_ms, Ordering::Relaxed);
+            self.atom(H_TIERS + i * 16 + 8).store(t.buckets as u64, Ordering::Relaxed);
+        }
+        self.atom(H_CONFIG_HASH).store(self.cfg.hash(), Ordering::Relaxed);
+    }
+
+    /// Read slot `logical` of series `idx` into `payload`. Returns the ID
+    /// and payload length, or `None` when the slot fails its checksum (torn
+    /// or mid-overwrite).
+    fn read_slot(
+        &self,
+        idx: usize,
+        logical: u64,
+        payload: &mut Vec<u8>,
+    ) -> Option<(StreamId, usize)> {
+        let slot = self.layout.slot(idx, (logical % self.cfg.slots as u64) as usize);
+        let ms = self.atom(slot).load(Ordering::Relaxed);
+        let seq = self.atom(slot + 8).load(Ordering::Relaxed);
+        let meta = self.atom(slot + 16).load(Ordering::Relaxed);
+        let len1 = (meta & 0xffff_ffff) as u32;
+        let xsum = (meta >> 32) as u32;
+        if len1 == 0 || len1 as usize - 1 > self.cfg.payload_cap() {
+            return None;
+        }
+        let len = len1 as usize - 1;
+        payload.clear();
+        payload.reserve(len);
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.ptr_at(slot + SLOT_HEADER_BYTES),
+                payload.as_mut_ptr(),
+                len,
+            );
+            payload.set_len(len);
+        }
+        if slot_checksum(ms, seq, len as u32, payload) != xsum {
+            return None;
+        }
+        Some((StreamId::new(ms, seq), len))
+    }
+
+    /// Validate the committed range of series `idx` after a reopen,
+    /// shrinking it past torn slots. Returns `(live_entries, rolled_back)`.
+    fn validate_series(&self, idx: usize) -> (u64, u64) {
+        let d = self.layout.series_dirent(idx);
+        let slots = self.cfg.slots as u64;
+        let mut head = self.atom(d + D_HEAD).load(Ordering::Relaxed);
+        let stored_tail = self.atom(d + D_TAIL).load(Ordering::Relaxed);
+        let floor = stored_tail.max(head.saturating_sub(slots));
+        let mut rolled_back = 0u64;
+        let mut payload = Vec::with_capacity(self.cfg.payload_cap());
+        // Torn / unsynced tail: the newest slots may have missed their
+        // flush even though the head word made it out.
+        while head > floor && self.read_slot(idx, head - 1, &mut payload).is_none() {
+            head -= 1;
+            rolled_back += 1;
+        }
+        // Destroyed-oldest / interior damage: scan newest → oldest; stop at
+        // the first slot that fails its checksum or breaks ID order (a
+        // crash mid-overwrite destroys the *oldest* committed entry).
+        let mut tail = floor;
+        let mut prev: Option<StreamId> = None;
+        for i in (floor..head).rev() {
+            match self.read_slot(idx, i, &mut payload) {
+                Some((id, _)) if prev.is_none_or(|p| id < p) => prev = Some(id),
+                _ => {
+                    rolled_back += i + 1 - floor;
+                    tail = i + 1;
+                    break;
+                }
+            }
+        }
+        self.atom(d + D_HEAD).store(head, Ordering::Relaxed);
+        self.atom(d + D_TAIL).store(tail, Ordering::Relaxed);
+        let done = self.atom(d + D_CONSOLIDATED).load(Ordering::Relaxed);
+        self.atom(d + D_CONSOLIDATED).store(done.min(head), Ordering::Relaxed);
+        (head - tail, rolled_back)
+    }
+}
+
+fn read_header(ptr: *mut u8, flen: usize) -> io::Result<SlabConfig> {
+    let corrupt = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    debug_assert!(flen >= HEADER_BYTES);
+    let bytes = unsafe { std::slice::from_raw_parts(ptr, HEADER_BYTES) };
+    if bytes[H_MAGIC..H_MAGIC + 8] != SLAB_MAGIC {
+        return Err(corrupt("not a slab file (bad magic)"));
+    }
+    let r32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    let r64 = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    if r32(H_VERSION) != SLAB_VERSION {
+        return Err(corrupt("unsupported slab format version"));
+    }
+    let tier_count = r32(H_TIER_COUNT) as usize;
+    if tier_count > MAX_TIERS {
+        return Err(corrupt("slab header tier count exceeds maximum"));
+    }
+    let tiers = (0..tier_count)
+        .map(|i| TierConfig::new(r64(H_TIERS + i * 16), r64(H_TIERS + i * 16 + 8) as u32))
+        .collect();
+    let cfg = SlabConfig {
+        max_series: r32(H_MAX_SERIES),
+        slots: r32(H_SLOTS),
+        slot_bytes: r32(H_SLOT_BYTES),
+        max_cursors: r32(H_MAX_CURSORS),
+        tiers,
+    }
+    .validated()
+    .map_err(|_| corrupt("slab header geometry invalid"))?;
+    if cfg.hash() != r64(H_CONFIG_HASH) {
+        return Err(corrupt("slab header config hash mismatch"));
+    }
+    Ok(cfg)
+}
+
+/// A handle onto one series ring inside a [`SlabStore`].
+#[derive(Clone)]
+pub struct SlabSeries {
+    store: Arc<SlabStore>,
+    idx: usize,
+    dirent: usize,
+    payload_cap: usize,
+    /// Byte offset of slot 0 of this series' ring (precomputed so the
+    /// hot path does no layout arithmetic beyond one multiply-add).
+    ring_base: usize,
+    slot_bytes: usize,
+    /// `slots - 1` when the ring length is a power of two — `record`
+    /// masks instead of dividing — else 0 (fall back to `%`).
+    slot_mask: u64,
+}
+
+impl std::fmt::Debug for SlabSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlabSeries").field("idx", &self.idx).finish()
+    }
+}
+
+impl SlabSeries {
+    fn new(store: Arc<SlabStore>, idx: usize) -> Self {
+        let dirent = store.layout.series_dirent(idx);
+        let payload_cap = store.cfg.payload_cap();
+        let ring_base = store.layout.slot(idx, 0);
+        let slot_bytes = store.cfg.slot_bytes as usize;
+        let slots = store.cfg.slots as u64;
+        let slot_mask = if slots.is_power_of_two() { slots - 1 } else { 0 };
+        Self { store, idx, dirent, payload_cap, ring_base, slot_bytes, slot_mask }
+    }
+
+    /// Byte offset of the ring slot logical position `head` maps to.
+    #[inline]
+    fn slot_offset(&self, head: u64) -> usize {
+        let pos = if self.slot_mask != 0 {
+            head & self.slot_mask
+        } else {
+            head % self.store.cfg.slots as u64
+        };
+        self.ring_base + pos as usize * self.slot_bytes
+    }
+
+    /// The owning store.
+    pub fn store(&self) -> &Arc<SlabStore> {
+        &self.store
+    }
+
+    /// Directory index of this series.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    fn head_cell(&self) -> &AtomicU64 {
+        self.store.atom(self.dirent + D_HEAD)
+    }
+
+    fn tail(&self) -> u64 {
+        self.store.atom(self.dirent + D_TAIL).load(Ordering::Relaxed)
+    }
+
+    /// Readable floor: the oldest logical index still backed by a valid
+    /// committed slot, given `head`.
+    fn floor_for(&self, head: u64) -> u64 {
+        self.tail().max(head.saturating_sub(self.store.cfg.slots as u64))
+    }
+
+    /// Record one entry. The zero-alloc hot path: copy the payload into
+    /// the slot at `head % slots`, write the slot words, publish by
+    /// bumping `head` with `Release`.
+    ///
+    /// Returns `false` (and counts the rejection) when the payload does
+    /// not fit the inline slot capacity — the caller keeps such entries on
+    /// its heap overflow path.
+    ///
+    /// Single-writer: callers serialize writes per series (the stream's
+    /// window write lock does this in practice). Concurrent readers are
+    /// safe — they revalidate against `head` and the slot checksum.
+    pub fn record(&self, id: StreamId, payload: &[u8]) -> bool {
+        if payload.len() > self.payload_cap {
+            self.store.oversize_rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let head_cell = self.head_cell();
+        let head = head_cell.load(Ordering::Relaxed);
+        let slot = self.slot_offset(head);
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                payload.as_ptr(),
+                self.store.ptr_at(slot + SLOT_HEADER_BYTES),
+                payload.len(),
+            );
+        }
+        let len1 = payload.len() as u64 + 1;
+        let xsum = slot_checksum(id.ms, id.seq, payload.len() as u32, payload) as u64;
+        self.store.atom(slot).store(id.ms, Ordering::Relaxed);
+        self.store.atom(slot + 8).store(id.seq, Ordering::Relaxed);
+        self.store.atom(slot + 16).store(len1 | (xsum << 32), Ordering::Relaxed);
+        head_cell.store(head + 1, Ordering::Release);
+        true
+    }
+
+    /// Entries ever recorded (monotonic; survives restart).
+    pub fn appended(&self) -> u64 {
+        self.head_cell().load(Ordering::Acquire)
+    }
+
+    /// Entries currently readable from the ring.
+    pub fn live_len(&self) -> u64 {
+        let head = self.head_cell().load(Ordering::Acquire);
+        head - self.floor_for(head)
+    }
+
+    /// The newest committed ID, if any. Exact for the (single) writer;
+    /// racing readers may see a just-superseded value.
+    pub fn last_id(&self) -> Option<StreamId> {
+        let head = self.head_cell().load(Ordering::Acquire);
+        if head == self.floor_for(head) {
+            return None;
+        }
+        let slot =
+            self.store.layout.slot(self.idx, ((head - 1) % self.store.cfg.slots as u64) as usize);
+        let ms = self.store.atom(slot).load(Ordering::Relaxed);
+        let seq = self.store.atom(slot + 8).load(Ordering::Relaxed);
+        Some(StreamId::new(ms, seq))
+    }
+
+    /// All committed entries with `start <= id <= end`, appended to `out`
+    /// in ID order.
+    pub fn range_into(&self, start: StreamId, end: StreamId, out: &mut Vec<Entry>) {
+        self.range_limited_into(start, end, usize::MAX, out);
+    }
+
+    /// Like [`SlabSeries::range_into`] but stops after `max` entries (the
+    /// oldest `max` in range).
+    pub fn range_limited_into(
+        &self,
+        start: StreamId,
+        end: StreamId,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) {
+        if start > end || max == 0 {
+            return;
+        }
+        let base = out.len();
+        for attempt in 0..=RING_READ_ATTEMPTS {
+            out.truncate(base);
+            let verify = attempt == RING_READ_ATTEMPTS;
+            let head = self.head_cell().load(Ordering::Acquire);
+            let floor = self.floor_for(head);
+            if head == floor {
+                return;
+            }
+            let lo = self.partition(floor, head, |id| id < start);
+            let hi = self.partition(floor, head, |id| id <= end);
+            let hi = hi.min(lo.saturating_add(max as u64));
+            let mut payload = Vec::new();
+            let mut ok = true;
+            for i in lo..hi {
+                match self.store.read_slot(self.idx, i, &mut payload) {
+                    Some((id, _)) => out.push(Entry::new(id, payload.as_slice().to_vec())),
+                    None if verify => {} // torn mid-overwrite: drop just that slot
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // If the writer lapped the ring past our oldest copied slot,
+            // some copies may be torn — retry (or, on the final verified
+            // attempt, trust the per-slot checksums).
+            let head_now = self.head_cell().load(Ordering::Acquire);
+            if verify || lo >= head_now.saturating_sub(self.store.cfg.slots as u64) {
+                return;
+            }
+        }
+    }
+
+    /// Convenience wrapper over [`SlabSeries::range_into`].
+    pub fn range(&self, start: StreamId, end: StreamId) -> Vec<Entry> {
+        let mut out = Vec::new();
+        self.range_into(start, end, &mut out);
+        out
+    }
+
+    /// First logical index in `[lo, hi)` whose ID fails `pred` (IDs are
+    /// strictly increasing by logical index).
+    fn partition(&self, lo: u64, hi: u64, pred: impl Fn(StreamId) -> bool) -> u64 {
+        let (mut lo, mut hi) = (lo, hi);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let slot =
+                self.store.layout.slot(self.idx, (mid % self.store.cfg.slots as u64) as usize);
+            let ms = self.store.atom(slot).load(Ordering::Relaxed);
+            let seq = self.store.atom(slot + 8).load(Ordering::Relaxed);
+            if pred(StreamId::new(ms, seq)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Committed entries not yet folded into the consolidation tiers.
+    pub fn consolidation_lag(&self) -> u64 {
+        let head = self.head_cell().load(Ordering::Acquire);
+        let done = self.store.atom(self.dirent + D_CONSOLIDATED).load(Ordering::Relaxed);
+        head - done.max(self.floor_for(head)).min(head)
+    }
+
+    /// Snapshot the non-empty buckets of consolidation tier `tier`, oldest
+    /// first. Consistent with concurrent consolidation (shares its lock).
+    pub fn tier_buckets(&self, tier: usize) -> Vec<TierBucket> {
+        let _guard = self.store.consolidate_lock.lock();
+        let Some(t) = self.store.cfg.tiers.get(tier) else { return Vec::new() };
+        let mut out = Vec::new();
+        for bucket in 0..t.buckets as usize {
+            let b = self.store.layout.bucket(tier, self.idx, bucket);
+            let count = self.store.atom(b + 8).load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            out.push(TierBucket {
+                start_ms: self.store.atom(b).load(Ordering::Relaxed),
+                count,
+                sum: f64::from_bits(self.store.atom(b + 16).load(Ordering::Relaxed)),
+                min: f64::from_bits(self.store.atom(b + 24).load(Ordering::Relaxed)),
+                max: f64::from_bits(self.store.atom(b + 32).load(Ordering::Relaxed)),
+            });
+        }
+        out.sort_by_key(|b| b.start_ms);
+        out
+    }
+
+    /// The bucket of tier `tier` covering ID-time `ms`, if consolidation
+    /// has populated it (and it has not been lapped since).
+    pub fn tier_bucket_at(&self, tier: usize, ms: u64) -> Option<TierBucket> {
+        let t = *self.store.cfg.tiers.get(tier)?;
+        let start = ms - ms % t.interval_ms;
+        self.tier_buckets(tier).into_iter().find(|b| b.start_ms == start)
+    }
+}
+
+/// A consumer-group cursor persisted inside the slab, so group delivery
+/// positions survive restart.
+///
+/// `save` writes `seq` before `ms` before the presence flag: a crash
+/// between the stores can only leave a cursor at or **behind** the last
+/// delivered entry, never ahead — restart redelivers (at-least-once)
+/// rather than skipping.
+#[derive(Clone)]
+pub struct SlabCursor {
+    store: Arc<SlabStore>,
+    dirent: usize,
+}
+
+impl std::fmt::Debug for SlabCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlabCursor").field("at", &self.load()).finish()
+    }
+}
+
+impl SlabCursor {
+    /// Persist the cursor position.
+    pub fn save(&self, id: StreamId) {
+        self.store.atom(self.dirent + D_HEAD).store(id.seq, Ordering::Relaxed);
+        self.store.atom(self.dirent + D_CONSOLIDATED).store(id.ms, Ordering::Release);
+        self.store.atom(self.dirent + D_TAIL).store(1, Ordering::Release);
+    }
+
+    /// The last persisted position, if any.
+    pub fn load(&self) -> Option<StreamId> {
+        if self.store.atom(self.dirent + D_TAIL).load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let ms = self.store.atom(self.dirent + D_CONSOLIDATED).load(Ordering::Acquire);
+        let seq = self.store.atom(self.dirent + D_HEAD).load(Ordering::Relaxed);
+        Some(StreamId::new(ms, seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("apollo-slab-unit-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.slab")
+    }
+
+    fn small_cfg() -> SlabConfig {
+        SlabConfig { max_series: 4, slots: 8, max_cursors: 4, ..SlabConfig::default() }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_geometry() {
+        assert!(SlabConfig { max_series: 0, ..SlabConfig::default() }.validated().is_err());
+        assert!(SlabConfig { slots: 1, ..SlabConfig::default() }.validated().is_err());
+        assert!(SlabConfig { slot_bytes: 30, ..SlabConfig::default() }.validated().is_err());
+        let shrinking = SlabConfig {
+            tiers: vec![TierConfig::new(100, 4), TierConfig::new(50, 4)],
+            ..SlabConfig::default()
+        };
+        assert!(shrinking.validated().is_err());
+        assert!(SlabConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn record_and_range_round_trip() {
+        let store = SlabStore::create(tmp("roundtrip"), small_cfg()).unwrap();
+        let s = store.series("m").unwrap();
+        for i in 0..5u64 {
+            assert!(s.record(StreamId::new(i, 0), &[i as u8; 3]));
+        }
+        assert_eq!(s.live_len(), 5);
+        assert_eq!(s.last_id(), Some(StreamId::new(4, 0)));
+        let got = s.range(StreamId::new(1, 0), StreamId::new(3, 0));
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], Entry::new(StreamId::new(1, 0), vec![1u8; 3]));
+        assert!(got.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn ring_wrap_keeps_newest_slots_entries() {
+        let store = SlabStore::create(tmp("wrap"), small_cfg()).unwrap();
+        let s = store.series("m").unwrap();
+        for i in 0..20u64 {
+            s.record(StreamId::new(i, 0), &i.to_le_bytes());
+        }
+        assert_eq!(s.appended(), 20);
+        assert_eq!(s.live_len(), 8, "ring holds `slots` newest entries");
+        let got = s.range(StreamId::MIN, StreamId::MAX);
+        let ids: Vec<u64> = got.iter().map(|e| e.id.ms).collect();
+        assert_eq!(ids, (12..20).collect::<Vec<_>>());
+        let mut limited = Vec::new();
+        s.range_limited_into(StreamId::MIN, StreamId::MAX, 3, &mut limited);
+        assert_eq!(limited.iter().map(|e| e.id.ms).collect::<Vec<_>>(), vec![12, 13, 14]);
+    }
+
+    #[test]
+    fn oversize_payload_rejected_and_counted() {
+        let store = SlabStore::create(tmp("oversize"), small_cfg()).unwrap();
+        let s = store.series("m").unwrap();
+        let cap = store.config().payload_cap();
+        assert!(s.record(StreamId::new(1, 0), &vec![0u8; cap]));
+        assert!(!s.record(StreamId::new(2, 0), &vec![0u8; cap + 1]));
+        assert_eq!(store.stats().oversize_rejected, 1);
+        assert_eq!(s.live_len(), 1);
+    }
+
+    #[test]
+    fn series_attach_vs_fresh_and_directory_full() {
+        let store = SlabStore::create(tmp("dir"), small_cfg()).unwrap();
+        let a = store.series("x").unwrap();
+        a.record(StreamId::new(7, 0), &[1]);
+        let again = store.series("x").unwrap();
+        assert_eq!(again.index(), a.index(), "attach finds the same ring");
+        assert_eq!(again.last_id(), Some(StreamId::new(7, 0)));
+        let fresh = store.fresh_series("x").unwrap();
+        assert_ne!(fresh.index(), a.index(), "fresh always allocates");
+        assert_eq!(fresh.last_id(), None);
+        store.fresh_series("y").unwrap();
+        store.fresh_series("z").unwrap();
+        assert!(store.series("overflow").is_err(), "directory exhausted");
+        assert_eq!(store.stats().series_fallbacks, 1);
+    }
+
+    #[test]
+    fn reopen_restores_series_and_cursors() {
+        let path = tmp("reopen");
+        {
+            let store = SlabStore::create(&path, small_cfg()).unwrap();
+            let s = store.series("m").unwrap();
+            for i in 0..6u64 {
+                s.record(StreamId::new(i, 2), &[i as u8]);
+            }
+            store.cursor("t", "g").unwrap().save(StreamId::new(4, 2));
+            store.flush().unwrap();
+        }
+        let (store, report) = SlabStore::open(&path).unwrap();
+        assert_eq!(report.series_live, 1);
+        assert_eq!(report.recovered_entries, 6);
+        assert_eq!(report.rolled_back_slots, 0);
+        let s = store.series("m").unwrap();
+        assert_eq!(s.last_id(), Some(StreamId::new(5, 2)));
+        assert_eq!(s.range(StreamId::MIN, StreamId::MAX).len(), 6);
+        assert_eq!(store.cursor("t", "g").unwrap().load(), Some(StreamId::new(4, 2)));
+    }
+
+    #[test]
+    fn open_or_create_rejects_geometry_mismatch() {
+        let path = tmp("mismatch");
+        SlabStore::create(&path, small_cfg()).unwrap();
+        let other = SlabConfig { slots: 16, ..small_cfg() };
+        assert!(SlabStore::open_or_create(&path, other).is_err());
+        assert!(SlabStore::open_or_create(&path, small_cfg()).is_ok());
+    }
+
+    #[test]
+    fn consolidation_folds_records_into_tiers() {
+        let cfg = SlabConfig {
+            max_series: 2,
+            slots: 64,
+            max_cursors: 2,
+            tiers: vec![TierConfig::new(1_000, 8), TierConfig::new(10_000, 4)],
+            ..SlabConfig::default()
+        };
+        let store = SlabStore::create(tmp("tiers"), cfg).unwrap();
+        let s = store.series("m").unwrap();
+        // Two records in the first 1s bucket, one in the next.
+        for (i, (ms, v)) in [(100u64, 1.0f64), (900, 3.0), (1_500, 10.0)].iter().enumerate() {
+            let rec = crate::codec::Record::measured(ms * 1_000_000, *v);
+            s.record(StreamId::new(*ms, i as u64), &rec.encode());
+        }
+        let report = store.consolidate();
+        assert_eq!(report.folded, 3);
+        assert_eq!(s.consolidation_lag(), 0);
+        let b0 = s.tier_bucket_at(0, 0).unwrap();
+        assert_eq!((b0.count, b0.sum, b0.min, b0.max), (2, 4.0, 1.0, 3.0));
+        assert_eq!(b0.mean(), 2.0);
+        let b1 = s.tier_bucket_at(0, 1_000).unwrap();
+        assert_eq!((b1.count, b1.sum), (1, 10.0));
+        assert!(s.tier_bucket_at(0, 5_000).is_none(), "empty bucket is a sentinel");
+        let coarse = s.tier_bucket_at(1, 0).unwrap();
+        assert_eq!((coarse.count, coarse.sum, coarse.min, coarse.max), (3, 14.0, 1.0, 10.0));
+        // A second pass folds nothing new.
+        assert_eq!(store.consolidate().folded, 0);
+    }
+
+    #[test]
+    fn non_record_payloads_are_skipped_by_consolidation() {
+        let store = SlabStore::create(tmp("skip"), small_cfg()).unwrap();
+        let s = store.series("m").unwrap();
+        s.record(StreamId::new(1, 0), &[0xde, 0xad]);
+        let report = store.consolidate();
+        assert_eq!(report.folded, 0);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(s.consolidation_lag(), 0, "skipped entries still advance the watermark");
+    }
+
+    #[test]
+    fn stats_track_occupancy_and_lag() {
+        let store = SlabStore::create(tmp("stats"), small_cfg()).unwrap();
+        let s = store.series("m").unwrap();
+        for i in 0..4u64 {
+            s.record(StreamId::new(i, 0), &[0]);
+        }
+        let st = store.stats();
+        assert_eq!(st.series_live, 1);
+        assert_eq!(st.appended, 4);
+        assert_eq!(st.live_entries, 4);
+        assert_eq!(st.slot_capacity, 8);
+        assert!((st.occupancy - 0.5).abs() < 1e-9);
+        assert_eq!(st.consolidation_lag, 4);
+        store.consolidate();
+        assert_eq!(store.stats().consolidation_lag, 0);
+    }
+
+    #[test]
+    fn cursor_directory_full_returns_none() {
+        let store = SlabStore::create(tmp("cursors"), small_cfg()).unwrap();
+        for i in 0..4 {
+            assert!(store.cursor("t", &format!("g{i}")).is_some());
+        }
+        assert!(store.cursor("t", "g4").is_none());
+        // Existing keys still resolve.
+        assert!(store.cursor("t", "g0").is_some());
+    }
+}

@@ -12,11 +12,58 @@ use crate::archiver::ArchiveLog;
 use crate::codec::Record;
 use crate::entry::Entry;
 use crate::id::StreamId;
+use crate::slab::{SlabConfig, SlabStore};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Where a stream's evicted entries go.
+#[derive(Clone)]
+pub enum SpillBackend {
+    /// In-memory heap archive segments (gone on restart).
+    Heap,
+    /// A durable memory-mapped slab store ([`crate::slab::SlabStore`]).
+    Slab {
+        /// The shared store; many streams record into one file.
+        store: Arc<SlabStore>,
+        /// `true`: attach to the series named after the stream, restoring
+        /// archived history (and, via the broker, consumer-group cursors)
+        /// across restarts. `false`: allocate a fresh ring per stream —
+        /// the ephemeral mode the `APOLLO_SLAB_DIR` env swap uses so
+        /// independent streams reusing a name never share state.
+        attach: bool,
+    },
+}
+
+impl std::fmt::Debug for SpillBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillBackend::Heap => f.write_str("Heap"),
+            SpillBackend::Slab { attach, .. } => {
+                f.debug_struct("Slab").field("attach", attach).finish_non_exhaustive()
+            }
+        }
+    }
+}
+
+impl SpillBackend {
+    /// Durable slab spill with restart-survival (attach-by-name) semantics.
+    pub fn slab(store: Arc<SlabStore>) -> Self {
+        SpillBackend::Slab { store, attach: true }
+    }
+
+    /// Durable slab spill with a fresh ring per stream (no reattach).
+    pub fn slab_ephemeral(store: Arc<SlabStore>) -> Self {
+        SpillBackend::Slab { store, attach: false }
+    }
+
+    /// True when evictions land in a slab store.
+    pub fn is_slab(&self) -> bool {
+        matches!(self, SpillBackend::Slab { .. })
+    }
+}
 
 /// Retention configuration for a [`Stream`].
 #[derive(Debug, Clone)]
@@ -26,23 +73,79 @@ pub struct StreamConfig {
     pub max_len: Option<usize>,
     /// Spill evicted entries into the archive (vs. dropping them).
     pub archive_evicted: bool,
+    /// Backend the archive records into when `archive_evicted` is set.
+    pub spill: SpillBackend,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        Self { max_len: Some(65_536), archive_evicted: true }
+        Self { max_len: Some(65_536), archive_evicted: true, spill: default_spill() }
     }
 }
 
 impl StreamConfig {
     /// Keep everything in memory, never evict.
     pub fn unbounded() -> Self {
-        Self { max_len: None, archive_evicted: false }
+        Self { max_len: None, archive_evicted: false, spill: SpillBackend::Heap }
     }
 
     /// Keep at most `n` entries in memory, archiving evictions.
     pub fn bounded(n: usize) -> Self {
-        Self { max_len: Some(n), archive_evicted: true }
+        Self { max_len: Some(n), archive_evicted: true, spill: default_spill() }
+    }
+
+    /// `self` with evictions spilling into `store` (restart-survival
+    /// attach-by-name semantics).
+    pub fn with_slab(mut self, store: Arc<SlabStore>) -> Self {
+        self.spill = SpillBackend::slab(store);
+        self
+    }
+}
+
+/// The process-wide spill backend `StreamConfig::default()`/`bounded()`
+/// use. Heap, unless `APOLLO_SLAB_DIR` points at a directory — then every
+/// default-configured stream records evictions into
+/// `$APOLLO_SLAB_DIR/apollo.slab` (geometry via `APOLLO_SLAB_SLOTS` /
+/// `APOLLO_SLAB_SERIES`), which is how CI proves the whole existing suite
+/// passes unchanged against the slab backend. Ephemeral mode: fresh ring
+/// per stream, no cursor persistence.
+fn default_spill() -> SpillBackend {
+    fn init() -> Option<Arc<SlabStore>> {
+        let dir = std::env::var("APOLLO_SLAB_DIR").ok().filter(|d| !d.is_empty())?;
+        let env_u32 = |key: &str, default: u32| {
+            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        let cfg = SlabConfig {
+            max_series: env_u32("APOLLO_SLAB_SERIES", 2_048),
+            slots: env_u32("APOLLO_SLAB_SLOTS", 32_768),
+            ..SlabConfig::default()
+        };
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "apollo-streams: cannot create APOLLO_SLAB_DIR {} ({e}); \
+                 falling back to heap archives",
+                dir.display()
+            );
+            return None;
+        }
+        let path = dir.join("apollo.slab");
+        match SlabStore::open_or_create(&path, cfg) {
+            Ok((store, _)) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "apollo-streams: APOLLO_SLAB_DIR is set but the slab store at \
+                     {} is unavailable ({e}); falling back to heap archives",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+    static ENV_STORE: OnceLock<Option<Arc<SlabStore>>> = OnceLock::new();
+    match ENV_STORE.get_or_init(init) {
+        Some(store) => SpillBackend::Slab { store: Arc::clone(store), attach: false },
+        None => SpillBackend::Heap,
     }
 }
 
@@ -121,12 +224,33 @@ const RANGE_OPTIMISTIC_ATTEMPTS: usize = 2;
 
 impl Stream {
     /// Create a stream with the given retention config.
+    ///
+    /// With a [`SpillBackend::Slab`] spill (and archiving enabled), the
+    /// archive records into a slab series — named after the stream when
+    /// attaching, so a restarted stream finds its archived history and
+    /// resumes ID assignment after it. If the slab's series directory is
+    /// full the stream falls back to a heap archive (counted by the
+    /// store's `series_fallbacks` stat).
     pub fn new(name: impl Into<String>, config: StreamConfig) -> Self {
+        let name = name.into();
+        let archive = match &config.spill {
+            SpillBackend::Slab { store, attach } if config.archive_evicted => {
+                let series = if *attach { store.series(&name) } else { store.fresh_series(&name) };
+                match series {
+                    Ok(series) => ArchiveLog::with_slab(series),
+                    Err(_) => ArchiveLog::new(),
+                }
+            }
+            _ => ArchiveLog::new(),
+        };
+        // Restart survival: resume ID assignment after the archived
+        // history (None for a fresh or heap-backed archive).
+        let window = Window { last_id: archive.last_id(), ..Window::default() };
         Self {
-            name: name.into(),
+            name,
             config,
-            window: RwLock::new(Window::default()),
-            archive: ArchiveLog::new(),
+            window: RwLock::new(window),
+            archive,
             clock_regressions: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             scan_epoch_retries: Arc::new(AtomicU64::new(0)),
@@ -515,7 +639,10 @@ mod tests {
 
     #[test]
     fn retention_without_archive_drops() {
-        let s = Stream::new("t", StreamConfig { max_len: Some(5), archive_evicted: false });
+        let s = Stream::new(
+            "t",
+            StreamConfig { max_len: Some(5), archive_evicted: false, spill: SpillBackend::Heap },
+        );
         for i in 0..20u64 {
             s.append(i, vec![]);
         }
@@ -622,7 +749,10 @@ mod tests {
 
         // Archive-less eviction still changes what a range returns, so it
         // must still move the epoch (the cache invalidation key).
-        let dropping = Stream::new("t", StreamConfig { max_len: Some(2), archive_evicted: false });
+        let dropping = Stream::new(
+            "t",
+            StreamConfig { max_len: Some(2), archive_evicted: false, spill: SpillBackend::Heap },
+        );
         dropping.append(0, vec![]);
         dropping.append(1, vec![]);
         dropping.append(2, vec![]);

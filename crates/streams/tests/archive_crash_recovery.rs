@@ -1,0 +1,260 @@
+//! Crash-recovery properties of the [`ArchiveLog`] snapshot format.
+//!
+//! A crash can interrupt a snapshot at any byte. These tests drive the
+//! loader through every such interruption and through random corruption:
+//!
+//! * **Truncation at every byte offset** — the loader must recover the
+//!   exact frame-aligned prefix, never panic, never reorder, never
+//!   duplicate, and report the torn tail.
+//! * **Seeded byte flips** — interior corruption must either surface as a
+//!   hard error or (when the flip lands in a payload byte the format
+//!   cannot check) still yield a strictly-increasing, duplicate-free log.
+//! * **Teeth** — the pre-fix `persist` wrote in place through
+//!   `File::create`, so a crash mid-write destroyed the previous good
+//!   snapshot. The scratch-file-plus-rename persist keeps the previous
+//!   snapshot byte-identical through any number of interrupted rewrites.
+
+use apollo_streams::{ArchiveLog, Entry, StreamId};
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apollo-crashrec-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// An archive of `n` frames with distinguishable payloads.
+fn build_archive(n: u64) -> ArchiveLog {
+    let log = ArchiveLog::new();
+    for i in 0..n {
+        let payload = format!("payload-{i:06}").into_bytes();
+        log.append(Entry::new(StreamId::new(i / 4, i % 4), payload));
+    }
+    log
+}
+
+fn persisted_bytes(log: &ArchiveLog, dir: &std::path::Path, tag: &str) -> Vec<u8> {
+    let path = dir.join(format!("{tag}.log"));
+    log.persist(&path).expect("persist");
+    let bytes = fs::read(&path).expect("read back");
+    fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Deterministic xorshift so corruption runs are reproducible.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Wire size of frame `i` as written by `build_archive`.
+fn frame_len(i: u64) -> usize {
+    8 + 8 + 4 + format!("payload-{i:06}").len()
+}
+
+#[test]
+fn truncation_at_every_byte_recovers_the_exact_prefix() {
+    let dir = temp_dir("every-byte");
+    let entries = 600u64;
+    let log = build_archive(entries);
+    let full: Vec<Entry> = log.range(StreamId::MIN, StreamId::MAX);
+    let bytes = persisted_bytes(&log, &dir, "full");
+
+    // Frame boundaries: offset -> number of complete frames before it.
+    let mut boundaries = vec![0usize];
+    for i in 0..entries {
+        boundaries.push(boundaries[i as usize] + frame_len(i));
+    }
+    assert_eq!(*boundaries.last().unwrap(), bytes.len());
+
+    let path = dir.join("truncated.log");
+    for cut in 0..=bytes.len() {
+        let mut f = fs::File::create(&path).expect("create");
+        f.write_all(&bytes[..cut]).expect("write prefix");
+        drop(f);
+
+        let (recovered, report) = ArchiveLog::load_report(&path)
+            .unwrap_or_else(|e| panic!("cut at {cut}: loader errored on pure truncation: {e}"));
+        let expect_frames = boundaries.partition_point(|b| *b <= cut) - 1;
+        let got: Vec<Entry> = recovered.range(StreamId::MIN, StreamId::MAX);
+        assert_eq!(got.len(), expect_frames, "cut at {cut}");
+        assert_eq!(report.frames, expect_frames, "cut at {cut}");
+        assert_eq!(
+            report.truncated_tail,
+            !boundaries.contains(&cut),
+            "cut at {cut}: tail flag must fire exactly on non-boundary cuts"
+        );
+        for (a, b) in got.iter().zip(full.iter()) {
+            assert_eq!(a.id, b.id, "cut at {cut}");
+            assert_eq!(a.payload, b.payload, "cut at {cut}");
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_segment_truncation_spans_segment_boundaries() {
+    // More entries than one in-memory segment (4096) holds, so recovery
+    // crosses the segment-rotation path; cut around a few frame
+    // boundaries deep into the file rather than at every byte.
+    let dir = temp_dir("multi-seg");
+    let entries = 4096u64 + 512;
+    let log = build_archive(entries);
+    let bytes = persisted_bytes(&log, &dir, "big");
+
+    let mut offset = 0usize;
+    let mut boundary_of = vec![0usize];
+    for i in 0..entries {
+        offset += frame_len(i);
+        boundary_of.push(offset);
+    }
+
+    let path = dir.join("cut.log");
+    for &frames in &[4095usize, 4096, 4097, 4300] {
+        for delta in [0isize, -1, 1, 7] {
+            let cut = (boundary_of[frames] as isize + delta) as usize;
+            let mut f = fs::File::create(&path).expect("create");
+            f.write_all(&bytes[..cut]).expect("write prefix");
+            drop(f);
+            let (recovered, report) =
+                ArchiveLog::load_report(&path).expect("truncation is recoverable");
+            let expect = boundary_of.partition_point(|b| *b <= cut) - 1;
+            assert_eq!(recovered.len(), expect, "cut at {cut}");
+            assert_eq!(report.frames, expect);
+            let got = recovered.range(StreamId::MIN, StreamId::MAX);
+            assert_eq!(
+                got.last().unwrap().id,
+                StreamId::new((expect as u64 - 1) / 4, (expect as u64 - 1) % 4)
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn random_byte_flips_never_panic_and_never_corrupt_order() {
+    let dir = temp_dir("byte-flip");
+    let log = build_archive(200);
+    let bytes = persisted_bytes(&log, &dir, "flip");
+    let path = dir.join("flipped.log");
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+
+    let mut hard_errors = 0u32;
+    for _ in 0..500 {
+        let mut mutated = bytes.clone();
+        let pos = (rng.next() as usize) % mutated.len();
+        let bit = 1u8 << (rng.next() % 8);
+        mutated[pos] ^= bit;
+        let mut f = fs::File::create(&path).expect("create");
+        f.write_all(&mutated).expect("write");
+        drop(f);
+
+        // The contract: no panic ever; on Ok the log is well-formed.
+        match ArchiveLog::load_report(&path) {
+            Err(_) => hard_errors += 1,
+            Ok((recovered, _)) => {
+                let got = recovered.range(StreamId::MIN, StreamId::MAX);
+                for pair in got.windows(2) {
+                    assert!(
+                        pair[0].id < pair[1].id,
+                        "flip at byte {pos} produced non-increasing IDs"
+                    );
+                }
+            }
+        }
+    }
+    // Flips in ID/length words must be caught, not silently absorbed.
+    assert!(hard_errors > 0, "no corruption was ever detected");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The pre-fix persist, verbatim in spirit: truncate the destination in
+/// place, then write frames until the simulated crash point.
+fn legacy_persist_crashing_after(
+    log: &ArchiveLog,
+    path: &std::path::Path,
+    crash_after_bytes: usize,
+) {
+    let serialized = {
+        let mut buf = Vec::new();
+        for e in log.range(StreamId::MIN, StreamId::MAX) {
+            buf.extend_from_slice(&e.id.ms.to_le_bytes());
+            buf.extend_from_slice(&e.id.seq.to_le_bytes());
+            buf.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&e.payload);
+        }
+        buf
+    };
+    // This is the bug: `File::create` truncates the good snapshot before
+    // a single replacement byte is durable.
+    let mut f = fs::File::create(path).expect("legacy create");
+    let n = crash_after_bytes.min(serialized.len());
+    f.write_all(&serialized[..n]).expect("partial write");
+    // Crash: no flush ordering, no rename. Drop mid-file.
+}
+
+#[test]
+fn interrupted_rewrite_destroys_data_with_legacy_persist_but_not_with_atomic_persist() {
+    let dir = temp_dir("teeth");
+    let old = build_archive(300);
+    let new = build_archive(400);
+
+    // Legacy behavior: crash 10 bytes into the rewrite loses the old log.
+    let legacy_path = dir.join("legacy.log");
+    old.persist(&legacy_path).expect("seed snapshot");
+    legacy_persist_crashing_after(&new, &legacy_path, 10);
+    let (after_crash, _) = ArchiveLog::load_report(&legacy_path).expect("prefix load");
+    assert!(
+        after_crash.len() < old.len(),
+        "legacy in-place persist must lose data on mid-write crash (kept {})",
+        after_crash.len()
+    );
+
+    // Fixed behavior: the same crash leaves only a scratch file behind;
+    // the published snapshot still carries every old frame.
+    let atomic_path = dir.join("atomic.log");
+    old.persist(&atomic_path).expect("seed snapshot");
+    let before = fs::read(&atomic_path).expect("snapshot bytes");
+    let scratch = ArchiveLog::persist_scratch_path(&atomic_path);
+    legacy_persist_crashing_after(&new, &scratch, 10); // crash before rename
+    assert_eq!(fs::read(&atomic_path).expect("reread"), before, "published snapshot untouched");
+    let (recovered, report) = ArchiveLog::load_report(&atomic_path).expect("load");
+    assert_eq!(recovered.len(), old.len());
+    assert!(!report.truncated_tail);
+
+    // And a completed atomic persist replaces it wholesale.
+    new.persist(&atomic_path).expect("atomic rewrite");
+    let (swapped, _) = ArchiveLog::load_report(&atomic_path).expect("load new");
+    assert_eq!(swapped.len(), new.len());
+    assert!(!ArchiveLog::persist_scratch_path(&atomic_path).exists(), "scratch cleaned up");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interior_corruption_of_id_ordering_is_a_hard_error() {
+    // Hand-craft a file whose frames are individually valid but whose IDs
+    // go backwards: recovery must refuse, not silently reorder.
+    let dir = temp_dir("ooo");
+    let path = dir.join("ooo.log");
+    let mut buf = Vec::new();
+    for ms in [5u64, 3u64] {
+        buf.extend_from_slice(&ms.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'x');
+    }
+    fs::write(&path, &buf).expect("write");
+    let err = ArchiveLog::load_report(&path).expect_err("out-of-order IDs must hard-error");
+    assert!(err.to_string().contains("order"), "got: {err}");
+    fs::remove_dir_all(&dir).ok();
+}
