@@ -39,8 +39,11 @@ pub const SELF_TOPICS: [&str; 6] = [
 /// Topic names published by [`deploy_slab_observer`], in registration
 /// order. Separate from [`SELF_TOPICS`] because they only exist when a
 /// durable slab store is attached ([`Apollo::attach_slab`]).
-pub const SLAB_SELF_TOPICS: [&str; 2] =
-    ["apollo/self/slab_occupancy", "apollo/self/slab_consolidation_lag"];
+pub const SLAB_SELF_TOPICS: [&str; 3] = [
+    "apollo/self/slab_occupancy",
+    "apollo/self/slab_consolidation_lag",
+    "apollo/self/slab_pressure",
+];
 
 /// A monitor hook over a closure reading an Apollo internal.
 struct SelfMetricSource {
@@ -130,10 +133,13 @@ pub fn deploy_self_observer(
 }
 
 /// Register the [`SLAB_SELF_TOPICS`] fact vertices on `apollo`, each
-/// polling every `every`: ring occupancy (0..=1) and consolidation lag
-/// (committed entries the tier roll-ups have not folded yet) of the
-/// attached slab store. Returns `None` — registering nothing — when no
-/// slab is attached, so callers can deploy unconditionally.
+/// polling every `every`: ring occupancy (0..=1), consolidation lag
+/// (committed entries the tier roll-ups have not folded yet), and
+/// directory/ring pressure (worst-case fill fraction across the series
+/// directory, cursor directory, and rings — 1.0 means new demand will be
+/// refused) of the attached slab store. Returns `None` — registering
+/// nothing — when no slab is attached, so callers can deploy
+/// unconditionally.
 pub fn deploy_slab_observer(
     apollo: &mut Apollo,
     every: Duration,
@@ -141,14 +147,16 @@ pub fn deploy_slab_observer(
     let Some(store) = apollo.slab().map(Arc::clone) else {
         return Ok(None);
     };
-    let sources: [Arc<SelfMetricSource>; 2] = [
+    let sources: [Arc<SelfMetricSource>; 3] = [
         SelfMetricSource::new(SLAB_SELF_TOPICS[0], {
             let store = Arc::clone(&store);
             move || store.stats().occupancy
         }),
         SelfMetricSource::new(SLAB_SELF_TOPICS[1], {
+            let store = Arc::clone(&store);
             move || store.stats().consolidation_lag as f64
         }),
+        SelfMetricSource::new(SLAB_SELF_TOPICS[2], move || store.stats().pressure()),
     ];
     let mut vertices = Vec::with_capacity(sources.len());
     for source in sources {

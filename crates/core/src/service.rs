@@ -30,7 +30,7 @@ use apollo_query::exec::{CachedBroker, ExecSqlError, QueryEngine, QueryResult, S
 use apollo_runtime::event_loop::{EventLoop, TimerAction};
 use apollo_runtime::pool::WorkerPool;
 use apollo_runtime::time::{AnyClock, Clock};
-use apollo_streams::{Broker, SlabStore, StreamConfig};
+use apollo_streams::{Broker, CompactPolicy, FlushPolicy, SlabStore, StreamConfig};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -222,6 +222,37 @@ impl InsightVertexSpec {
     }
 }
 
+/// How [`Apollo::attach_slab_with`] runs an attached slab store's
+/// background lifecycle off the service timer wheel: consolidation
+/// cadence, msync flush policy (the bounded machine-crash loss window),
+/// and series GC/compaction.
+#[derive(Debug, Clone)]
+pub struct SlabLifecycle {
+    /// Tiered-consolidation pass interval.
+    pub consolidate_every: Duration,
+    /// Background msync cadence. [`FlushPolicy::disabled`] restores the
+    /// pre-lifecycle behavior (process-crash durable only).
+    pub flush: FlushPolicy,
+    /// Series GC eligibility; `None` disables compaction entirely.
+    pub compact: Option<CompactPolicy>,
+    /// Compaction pass interval.
+    pub compact_every: Duration,
+}
+
+impl Default for SlabLifecycle {
+    /// Consolidate every second; flush per [`FlushPolicy::default`]
+    /// (every second / 4096 dirty records / after consolidation); compact
+    /// every 30 s with the default 10-minute retention horizon.
+    fn default() -> Self {
+        Self {
+            consolidate_every: Duration::from_secs(1),
+            flush: FlushPolicy::default(),
+            compact: Some(CompactPolicy::default()),
+            compact_every: Duration::from_secs(30),
+        }
+    }
+}
+
 /// The assembled Apollo service.
 pub struct Apollo {
     broker: Arc<Broker>,
@@ -296,36 +327,139 @@ impl Apollo {
         }
     }
 
-    /// Attach a durable slab store and drive its tiered consolidation
-    /// (1s → 10s → 5m roll-ups) off the service timer wheel, once every
-    /// `every`. Exports slab health as gauges on each tick:
-    /// `streams.slab.occupied_slots`, `streams.slab.consolidation_lag`,
-    /// `streams.slab.series`, plus the running
-    /// `streams.slab.consolidated_entries` counter — so slab occupancy
-    /// and roll-up freshness are observable exactly like any other
-    /// subsystem. Streams spill into the store when their
-    /// [`StreamConfig`] selects [`apollo_streams::SpillBackend::slab`]
-    /// over the same `Arc`.
+    /// Attach a durable slab store with the default [`SlabLifecycle`] at
+    /// consolidation cadence `every`: tiered consolidation (1s → 10s → 5m
+    /// roll-ups), background msync on the default [`FlushPolicy`] — so an
+    /// attached store has a **bounded** machine-crash loss window out of
+    /// the box — and series GC/compaction every 30 s. See
+    /// [`Apollo::attach_slab_with`] to tune or disable the pieces.
     pub fn attach_slab(&mut self, store: Arc<SlabStore>, every: Duration) {
+        self.attach_slab_with(
+            store,
+            SlabLifecycle { consolidate_every: every, ..Default::default() },
+        );
+    }
+
+    /// Attach a durable slab store and drive its full lifecycle off the
+    /// service timer wheel per `lifecycle`:
+    ///
+    /// * **Consolidation** every `consolidate_every`, exporting
+    ///   `streams.slab.occupied_slots`, `streams.slab.consolidation_lag`,
+    ///   `streams.slab.series`, `streams.slab.pressure`,
+    ///   `streams.slab.dirty_records`, and `streams.slab.lapped_entries`
+    ///   gauges plus the `streams.slab.consolidated_entries` counter.
+    /// * **Flushing** per [`FlushPolicy`]: a cadence timer (the policy's
+    ///   `every`, or `consolidate_every` when only `every_records` is
+    ///   set) msyncs whenever the policy's record/interval trigger is
+    ///   satisfied, and `on_consolidation` flushes after each
+    ///   consolidation pass. Exports `streams.slab.flushes`,
+    ///   `streams.slab.flush_ns`, and `streams.slab.flush_errors`.
+    /// * **Compaction** every `compact_every` (when a [`CompactPolicy`]
+    ///   is set), reclaiming retired series under the virtual clock's
+    ///   notion of "now". Exports `streams.slab.reclaimed_series`,
+    ///   `streams.slab.reclaimed_entries`, and `streams.slab.compact_ns`.
+    ///
+    /// Streams spill into the store when their [`StreamConfig`] selects
+    /// [`apollo_streams::SpillBackend::slab`] over the same `Arc`.
+    pub fn attach_slab_with(&mut self, store: Arc<SlabStore>, lifecycle: SlabLifecycle) {
+        let flushes = self.registry.counter("streams.slab.flushes");
+        let flush_errors = self.registry.counter("streams.slab.flush_errors");
+        let flush_ns = self.registry.histogram("streams.slab.flush_ns");
+        let flush_now = move |store: &SlabStore| {
+            let t0 = std::time::Instant::now();
+            match store.flush() {
+                Ok(_) => {
+                    flush_ns.observe(t0.elapsed().as_nanos() as u64);
+                    flushes.inc();
+                }
+                Err(_) => flush_errors.inc(),
+            }
+        };
+
         let name = "streams.slab.consolidate".to_string();
         let occupied = self.registry.gauge("streams.slab.occupied_slots");
         let lag = self.registry.gauge("streams.slab.consolidation_lag");
         let series = self.registry.gauge("streams.slab.series");
+        let pressure = self.registry.gauge("streams.slab.pressure");
+        let dirty = self.registry.gauge("streams.slab.dirty_records");
+        let lapped = self.registry.gauge("streams.slab.lapped_entries");
         let folded = self.registry.counter("streams.slab.consolidated_entries");
         let handle = {
             let store = Arc::clone(&store);
-            self.el.add_timer_keyed(name_seed(&name), every, move |_ctl| {
+            let flush_now = flush_now.clone();
+            let on_consolidation = lifecycle.flush.on_consolidation;
+            self.el.add_timer_keyed(name_seed(&name), lifecycle.consolidate_every, move |_ctl| {
                 let report = store.consolidate();
                 folded.add(report.folded);
+                if on_consolidation {
+                    flush_now(&store);
+                }
                 let stats = store.stats();
                 occupied.set(stats.live_entries as f64);
                 lag.set(stats.consolidation_lag as f64);
                 series.set(stats.series_live as f64);
+                pressure.set(stats.pressure());
+                dirty.set(stats.dirty_records as f64);
+                lapped.set(stats.lapped_entries as f64);
                 TimerAction::Continue
             })
         };
         self.timers.insert(name.clone(), vec![handle]);
         self.new_component(&name);
+
+        // Cadence flushing: the policy's interval, or — when only the
+        // record-count trigger is set — checked at consolidation cadence.
+        let flush_every = match (lifecycle.flush.every, lifecycle.flush.every_records) {
+            (Some(every), _) => Some(every),
+            (None, Some(_)) => Some(lifecycle.consolidate_every),
+            (None, None) => None,
+        };
+        if let Some(every) = flush_every {
+            let name = "streams.slab.flush".to_string();
+            let policy = lifecycle.flush;
+            let handle = {
+                let store = Arc::clone(&store);
+                self.el.add_timer_keyed(name_seed(&name), every, move |_ctl| {
+                    let dirty = store.dirty_records();
+                    let due = (policy.every.is_some() && dirty > 0)
+                        || policy.every_records.is_some_and(|n| dirty >= n);
+                    if due {
+                        flush_now(&store);
+                    }
+                    TimerAction::Continue
+                })
+            };
+            self.timers.insert(name.clone(), vec![handle]);
+            self.new_component(&name);
+        }
+
+        if let Some(policy) = lifecycle.compact {
+            let name = "streams.slab.compact".to_string();
+            let reclaimed = self.registry.counter("streams.slab.reclaimed_series");
+            let reclaimed_entries = self.registry.counter("streams.slab.reclaimed_entries");
+            let compact_ns = self.registry.histogram("streams.slab.compact_ns");
+            let compact_errors = self.registry.counter("streams.slab.compact_errors");
+            let clock = self.el.clock().clone();
+            let handle = {
+                let store = Arc::clone(&store);
+                self.el.add_timer_keyed(name_seed(&name), lifecycle.compact_every, move |_ctl| {
+                    let now_ms = clock.now() / 1_000_000;
+                    let t0 = std::time::Instant::now();
+                    match store.compact(now_ms, policy) {
+                        Ok(report) => {
+                            compact_ns.observe(t0.elapsed().as_nanos() as u64);
+                            reclaimed.add(report.reclaimed as u64);
+                            reclaimed_entries.add(report.reclaimed_entries);
+                        }
+                        Err(_) => compact_errors.inc(),
+                    }
+                    TimerAction::Continue
+                })
+            };
+            self.timers.insert(name.clone(), vec![handle]);
+            self.new_component(&name);
+        }
+
         self.slab = Some(store);
     }
 
@@ -1330,6 +1464,54 @@ mod tests {
         assert!(snap.gauges.contains_key("streams.slab.occupied_slots"));
         assert!(snap.gauges.contains_key("streams.slab.consolidation_lag"));
         assert!(snap.gauges["streams.slab.series"] >= 1.0, "{snap:?}");
+        // The default lifecycle also runs the background flush: the dirty
+        // window (machine-crash loss bound) must drain on the timer.
+        assert_eq!(store.dirty_records(), 0, "flush timer drained the dirty window");
+        assert!(snap.counter("streams.slab.flushes") >= 1, "{snap:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn attached_lifecycle_flushes_and_compacts_off_the_timer_wheel() {
+        use apollo_streams::{CompactPolicy, FlushPolicy, Record, SlabConfig, SlabStore, StreamId};
+        let dir = std::env::temp_dir().join(format!("apollo-lifecycle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lifecycle.slab");
+        let _ = std::fs::remove_file(&path);
+        let store = SlabStore::create(
+            &path,
+            SlabConfig { max_series: 8, slots: 64, ..SlabConfig::default() },
+        )
+        .unwrap();
+        let mut apollo = Apollo::new_virtual();
+        apollo.attach_slab_with(
+            Arc::clone(&store),
+            SlabLifecycle {
+                consolidate_every: Duration::from_secs(1),
+                flush: FlushPolicy {
+                    every_records: None,
+                    every: Some(Duration::from_secs(2)),
+                    on_consolidation: false,
+                },
+                compact: Some(CompactPolicy { retention_ms: 3_000 }),
+                compact_every: Duration::from_secs(5),
+            },
+        );
+        {
+            let series = store.series("job/tmp").unwrap();
+            for i in 0..10u64 {
+                series.record(StreamId::new(i + 1, 0), &Record::measured(i, i as f64).encode());
+            }
+        } // handle dropped: GC-eligible once consolidated and past retention
+        assert_eq!(store.dirty_records(), 10);
+        apollo.run_for(Duration::from_secs(30));
+        let snap = apollo.metrics_snapshot();
+        assert_eq!(store.dirty_records(), 0, "flush timer drained the dirty window");
+        assert!(snap.counter("streams.slab.flushes") >= 1, "{snap:?}");
+        assert!(snap.counter("streams.slab.reclaimed_series") >= 1, "{snap:?}");
+        assert!(snap.counter("streams.slab.reclaimed_entries") >= 10, "{snap:?}");
+        assert_eq!(store.stats().series_live, 0, "retired series reclaimed by the compact timer");
+        assert_eq!(store.stats().series_tombstoned, 0, "no tombstone left mid-reclaim");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -28,7 +28,7 @@
 
 use crate::health::{HealthState, SupervisorConfig};
 use crate::selfobs::deploy_self_observer;
-use crate::service::{Apollo, FactVertexSpec, InsightVertexSpec};
+use crate::service::{Apollo, FactVertexSpec, InsightVertexSpec, SlabLifecycle};
 use crate::vertex::FactVertex;
 use apollo_cluster::chaos::{ChaosSchedule, CompiledChaos, PerturbationKind};
 use apollo_cluster::fault::{FaultPlanError, FlakySource};
@@ -37,7 +37,7 @@ use apollo_cluster::workloads::fio::{self, SarMetric};
 use apollo_cluster::DeviceKind;
 use apollo_runtime::event_loop::EventLoop;
 use apollo_streams::{
-    BackpressurePolicy, Record, StreamConfig, StreamId, SubscribeOptions, Subscription,
+    BackpressurePolicy, Record, SlabStore, StreamConfig, StreamId, SubscribeOptions, Subscription,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -88,6 +88,29 @@ pub struct SoakConfig {
     pub recovery_deadline: Duration,
     /// Multiplier on the computed live-window memory ceiling.
     pub memory_slack: f64,
+    /// Optional slab-churn layer: register transient slab series at every
+    /// checkpoint and drop their handles, exercising series GC under the
+    /// attached [`SlabLifecycle`] (the paper's job-scoped-metrics regime:
+    /// thousands of short-lived series over a long-running observer). Adds
+    /// the `slab_churn_fixed_point` invariant.
+    pub slab_churn: Option<SlabChurnConfig>,
+}
+
+/// Tunables of the [`SoakConfig::slab_churn`] layer.
+#[derive(Debug, Clone)]
+pub struct SlabChurnConfig {
+    /// The churned store; [`Apollo::attach_slab_with`] runs `lifecycle`
+    /// on it for the duration of the soak.
+    pub store: Arc<SlabStore>,
+    /// Consolidation / flush / compaction cadence driving the GC.
+    pub lifecycle: SlabLifecycle,
+    /// Transient series registered at each checkpoint.
+    pub series_per_checkpoint: usize,
+    /// Records written into each series before its handle drops.
+    pub records_per_series: u64,
+    /// Fixed-point ceiling: live + tombstoned series dirents observed at
+    /// any checkpoint must never exceed this (GC keeps up with churn).
+    pub max_live_series: usize,
 }
 
 impl Default for SoakConfig {
@@ -118,6 +141,7 @@ impl Default for SoakConfig {
             },
             recovery_deadline: Duration::from_secs(15),
             memory_slack: 2.0,
+            slab_churn: None,
         }
     }
 }
@@ -194,6 +218,12 @@ pub struct SoakOutcome {
     pub clock_regressions: u64,
     /// Entries dropped from slow-subscriber queues (DropOldest).
     pub dropped_entries: u64,
+    /// Peak slab series-dirent occupancy (live + tombstoned) observed at
+    /// any checkpoint; 0 without a [`SoakConfig::slab_churn`] layer.
+    pub slab_peak_series: usize,
+    /// Series reclaimed by the attached lifecycle's compaction timer
+    /// (`streams.slab.reclaimed_series`); 0 without churn.
+    pub slab_reclaimed_series: u64,
     /// Order-independent digest of sampled stream contents and counters;
     /// equal for two runs of the same (config, schedule).
     pub digest: u64,
@@ -305,6 +335,9 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
         });
         apollo.prediction_pump(model, every)
     });
+    if let Some(churn) = &config.slab_churn {
+        apollo.attach_slab_with(Arc::clone(&churn.store), churn.lifecycle.clone());
+    }
 
     // A small pool of trace series shared round-robin by the fleet keeps
     // setup O(pool) instead of O(vertices) while every vertex still sees
@@ -417,6 +450,10 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
     let mut recovery_violations: Vec<String> = Vec::new();
     let mut flagged: BTreeSet<usize> = BTreeSet::new();
     let mut depth_violations: Vec<String> = Vec::new();
+    let mut churn_gen = 0u64;
+    let mut churn_registered = 0u64;
+    let mut churn_peak = 0usize;
+    let mut churn_violations: Vec<String> = Vec::new();
     let mut next_cp = cp_ns;
     // The number of topics only grows during the run; size the ceiling
     // for the final population (vertices + insights + self topics).
@@ -530,6 +567,58 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
                     ));
                 }
             }
+            // Slab churn: register a generation of transient series,
+            // write into them, verify the read-back, and drop the
+            // handles. Compaction (running off the attached lifecycle's
+            // timers) must hold dirent occupancy at a fixed point, and a
+            // reclaimed ring handed to a new series must come back empty
+            // — never serving a predecessor's checksummed payloads.
+            if let Some(churn) = &config.slab_churn {
+                let now_ms = now / 1_000_000;
+                for k in 0..churn.series_per_checkpoint {
+                    let name = format!("soak/churn/g{churn_gen:04}/s{k:03}");
+                    match churn.store.series(&name) {
+                        Ok(series) => {
+                            churn_registered += 1;
+                            if series.appended() != 0 || series.last_id().is_some() {
+                                churn_violations.push(format!(
+                                    "{name}: fresh series carries {} prior entries (reclaimed ring leaked)",
+                                    series.appended()
+                                ));
+                            }
+                            for r in 0..churn.records_per_series {
+                                series.record(
+                                    StreamId::new(now_ms + r, k as u64),
+                                    &Record::measured(now, r as f64).encode(),
+                                );
+                            }
+                            let got = series.range(StreamId::MIN, StreamId::MAX);
+                            let want =
+                                churn.records_per_series.min(u64::from(churn.store.config().slots))
+                                    as usize;
+                            if got.len() != want || !got.windows(2).all(|w| w[0].id < w[1].id) {
+                                churn_violations.push(format!(
+                                    "{name}: read back {} of {want} entries (stale or torn ring)",
+                                    got.len()
+                                ));
+                            }
+                        }
+                        Err(e) => churn_violations
+                            .push(format!("{name}: directory refused a transient series: {e}")),
+                    }
+                }
+                churn_gen += 1;
+                let st = churn.store.stats();
+                let occupied = st.series_live + st.series_tombstoned;
+                churn_peak = churn_peak.max(occupied);
+                if occupied > churn.max_live_series {
+                    churn_violations.push(format!(
+                        "t={}s: {occupied} series dirents occupied > fixed point {}",
+                        now / 1_000_000_000,
+                        churn.max_live_series
+                    ));
+                }
+            }
             checkpoints.push(Checkpoint {
                 t_ns: now,
                 memory_bytes: memory,
@@ -635,6 +724,20 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
             pass: stats.callback_panics == 0,
             detail: format!("{} callback panics escaped", stats.callback_panics),
         },
+        InvariantVerdict {
+            name: "slab_churn_fixed_point",
+            pass: churn_violations.is_empty(),
+            detail: match &config.slab_churn {
+                None => "disabled (no slab churn configured)".to_string(),
+                Some(c) if churn_violations.is_empty() => format!(
+                    "{churn_registered} transient series churned over {churn_gen} generations; \
+                     peak dirent occupancy {churn_peak} ≤ {}; reclaimed rings served no stale \
+                     payloads",
+                    c.max_live_series
+                ),
+                Some(_) => churn_violations.join("; "),
+            },
+        },
     ];
 
     SoakOutcome {
@@ -654,6 +757,8 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
         scanned_entries,
         clock_regressions,
         dropped_entries,
+        slab_peak_series: churn_peak,
+        slab_reclaimed_series: apollo.metrics().counter("streams.slab.reclaimed_series").get(),
         digest,
     }
 }
@@ -733,5 +838,87 @@ mod tests {
         assert!(outcome.fault_kinds.len() >= 3, "composed kinds: {:?}", outcome.fault_kinds);
         assert!(outcome.scanned_entries > 0);
         assert!(outcome.clock_regressions > 0, "skew perturbation exercised the clamp");
+        assert_eq!(outcome.slab_peak_series, 0, "no churn layer configured");
+    }
+
+    #[test]
+    fn churned_soak_reaches_a_gc_fixed_point() {
+        use apollo_streams::{CompactPolicy, SlabConfig, SlabStore};
+        let dir = std::env::temp_dir().join(format!("apollo-soak-churn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("churn.slab");
+        let _ = std::fs::remove_file(&path);
+        let store = SlabStore::create(
+            &path,
+            SlabConfig { max_series: 64, slots: 64, ..SlabConfig::default() },
+        )
+        .unwrap();
+        let config = SoakConfig {
+            vertices: 24,
+            horizon: Duration::from_secs(60),
+            scan_topics: 4,
+            workers: 2,
+            slab_churn: Some(SlabChurnConfig {
+                store: Arc::clone(&store),
+                lifecycle: SlabLifecycle {
+                    compact: Some(CompactPolicy { retention_ms: 2_000 }),
+                    compact_every: Duration::from_secs(3),
+                    ..SlabLifecycle::default()
+                },
+                series_per_checkpoint: 8,
+                records_per_series: 16,
+                max_live_series: 24,
+            }),
+            ..SoakConfig::default()
+        };
+        let schedule = standard_schedule(config.vertices, config.seed, config.horizon);
+        let outcome = run(&config, &schedule).unwrap();
+        let v = outcome.verdict("slab_churn_fixed_point").unwrap();
+        assert!(v.pass, "{}", v.detail);
+        assert!(outcome.all_pass(), "verdicts: {:#?}", outcome.verdicts);
+        assert!(outcome.slab_reclaimed_series > 0, "compaction reclaimed churned series");
+        assert!(
+            outcome.slab_peak_series > 0 && outcome.slab_peak_series <= 24,
+            "peak {}",
+            outcome.slab_peak_series
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn churn_without_compaction_fails_the_fixed_point_verdict() {
+        use apollo_streams::{SlabConfig, SlabStore};
+        let dir = std::env::temp_dir().join(format!("apollo-soak-teeth-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("teeth.slab");
+        let _ = std::fs::remove_file(&path);
+        let store = SlabStore::create(
+            &path,
+            SlabConfig { max_series: 64, slots: 64, ..SlabConfig::default() },
+        )
+        .unwrap();
+        let config = SoakConfig {
+            vertices: 24,
+            horizon: Duration::from_secs(60),
+            scan_topics: 4,
+            workers: 2,
+            slab_churn: Some(SlabChurnConfig {
+                store: Arc::clone(&store),
+                // GC off: churn accumulates, so the occupancy fixed point
+                // MUST fail — teeth for the invariant itself.
+                lifecycle: SlabLifecycle { compact: None, ..SlabLifecycle::default() },
+                series_per_checkpoint: 8,
+                records_per_series: 16,
+                max_live_series: 24,
+            }),
+            ..SoakConfig::default()
+        };
+        let schedule = standard_schedule(config.vertices, config.seed, config.horizon);
+        let outcome = run(&config, &schedule).unwrap();
+        let v = outcome.verdict("slab_churn_fixed_point").unwrap();
+        assert!(!v.pass, "GC disabled must blow the occupancy ceiling: {}", v.detail);
+        assert_eq!(outcome.slab_reclaimed_series, 0, "nothing compacts with GC off");
+        assert!(outcome.slab_peak_series > 24, "peak {}", outcome.slab_peak_series);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -35,9 +35,23 @@
 //! torn tail. `streams.slab.*` reports the memory-mapped slab spill:
 //! gauges `streams.slab.occupied_slots` (live ring entries),
 //! `streams.slab.consolidation_lag` (committed entries the tier roll-ups
-//! have not folded yet) and `streams.slab.series` (live series dirents),
-//! plus the `streams.slab.consolidated_entries` counter incremented by
-//! each consolidation timer tick.
+//! have not folded yet), `streams.slab.series` (live series dirents),
+//! `streams.slab.pressure` (worst-case fill fraction across series
+//! directory, cursor directory, and rings — 1.0 means new demand will be
+//! refused), `streams.slab.dirty_records` (records written since the last
+//! msync, i.e. the machine-crash loss window), and
+//! `streams.slab.lapped_entries` (entries overwritten before any
+//! consolidation pass folded them), plus the
+//! `streams.slab.consolidated_entries` counter incremented by each
+//! consolidation timer tick. The background flush timer exports
+//! `streams.slab.flushes` / `streams.slab.flush_errors` counters and the
+//! `streams.slab.flush_ns` histogram; series GC exports
+//! `streams.slab.reclaimed_series` / `streams.slab.reclaimed_entries` /
+//! `streams.slab.compact_errors` counters and the
+//! `streams.slab.compact_ns` histogram. `streams.slab.dir_full` counts
+//! directory-exhaustion refusals (a stream or consumer group asked for a
+//! durable series/cursor and fell back to heap-only state — losses on
+//! restart).
 //!
 //! Every instrument carries an `enabled` flag captured at construction. A
 //! registry built with [`Registry::noop`] hands out disabled handles whose

@@ -510,6 +510,10 @@ impl Broker {
             "streams.archive.truncated_tail",
             crate::archiver::truncated_tail_cell(),
         );
+        // Slab-exhaustion fallbacks (process-wide cell bumped whenever a
+        // stream or consumer group wanted slab durability and couldn't
+        // get it — directory full or name too long).
+        let _ = registry.counter_backed_by("streams.slab.dir_full", crate::slab::dir_full_cell());
         let registry = &self.obs.get().expect("just set").registry;
         for shard in &self.shards {
             for (name, t) in shard.read().iter() {
@@ -900,12 +904,19 @@ impl Broker {
             if !groups.contains_key(group) {
                 let mut state = GroupState { cursor: t.stream.last_id(), ..GroupState::default() };
                 if let SpillBackend::Slab { store, attach: true } = &self.default_config.spill {
-                    if let Some(cell) = store.cursor(topic, group) {
-                        if let Some(saved) = cell.load() {
-                            // Restart: resume after the persisted cursor.
-                            state.cursor = Some(saved);
+                    match store.cursor(topic, group) {
+                        Ok(cell) => {
+                            if let Some(saved) = cell.load() {
+                                // Restart: resume after the persisted cursor.
+                                state.cursor = Some(saved);
+                            }
+                            state.persist = Some(cell);
                         }
-                        state.persist = Some(cell);
+                        Err(e) => crate::slab::record_exhaustion(&format!(
+                            "consumer group '{group}' on topic '{topic}' wanted a persistent \
+                             cursor but got \"{e}\"; its delivery position will NOT survive a \
+                             restart"
+                        )),
                     }
                 }
                 groups.insert(group.to_string(), state);
@@ -917,8 +928,21 @@ impl Broker {
     /// Delete a consumer group (`XGROUP DESTROY` analogue), discarding its
     /// cursor and pending entries. Live [`ConsumerGroup`] handles start
     /// returning [`GroupError::UnknownGroup`]. Returns whether it existed.
+    ///
+    /// If the group held a persistent slab cursor, its dirent is retired
+    /// so consumer-group churn cannot exhaust the cursor directory.
     pub fn delete_group(&self, topic: &str, group: &str) -> bool {
-        self.lookup(topic).map(|t| t.groups.lock().remove(group).is_some()).unwrap_or(false)
+        let Some(t) = self.lookup(topic) else { return false };
+        let removed = t.groups.lock().remove(group);
+        match removed {
+            Some(state) => {
+                if let Some(cell) = state.persist {
+                    cell.retire();
+                }
+                true
+            }
+            None => false,
+        }
     }
 }
 

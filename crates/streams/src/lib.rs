@@ -49,5 +49,8 @@ pub use broker::{
 pub use codec::{Provenance, Record};
 pub use entry::Entry;
 pub use id::StreamId;
-pub use slab::{SlabConfig, SlabStats, SlabStore, TierConfig};
+pub use slab::{
+    CompactPolicy, CompactReport, FlushPolicy, SlabConfig, SlabDirError, SlabStats, SlabStore,
+    TierConfig,
+};
 pub use stream::{ScanBatch, SpillBackend, Stream, StreamConfig};

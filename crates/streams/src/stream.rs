@@ -109,12 +109,28 @@ impl StreamConfig {
 /// `APOLLO_SLAB_SERIES`), which is how CI proves the whole existing suite
 /// passes unchanged against the slab backend. Ephemeral mode: fresh ring
 /// per stream, no cursor persistence.
+///
+/// Setting `APOLLO_SLAB_DIR` is an explicit request for durability, so
+/// misconfiguration **panics** instead of silently degrading to heap
+/// archives: an unparseable `APOLLO_SLAB_SLOTS`/`APOLLO_SLAB_SERIES`, an
+/// uncreatable directory, or an unopenable store would otherwise run the
+/// whole process without the durability it asked for. An *empty*
+/// `APOLLO_SLAB_DIR` remains the documented opt-out.
 fn default_spill() -> SpillBackend {
+    fn env_u32(key: &str, default: u32) -> u32 {
+        match std::env::var(key) {
+            Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+                panic!(
+                    "apollo-streams: {key}={v:?} is not a valid u32; refusing to silently \
+                     disable the slab backend"
+                )
+            }),
+            Err(std::env::VarError::NotPresent) => default,
+            Err(e) => panic!("apollo-streams: {key} is unreadable ({e})"),
+        }
+    }
     fn init() -> Option<Arc<SlabStore>> {
         let dir = std::env::var("APOLLO_SLAB_DIR").ok().filter(|d| !d.is_empty())?;
-        let env_u32 = |key: &str, default: u32| {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-        };
         let cfg = SlabConfig {
             max_series: env_u32("APOLLO_SLAB_SERIES", 2_048),
             slots: env_u32("APOLLO_SLAB_SLOTS", 32_768),
@@ -122,24 +138,20 @@ fn default_spill() -> SpillBackend {
         };
         let dir = std::path::Path::new(&dir);
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!(
-                "apollo-streams: cannot create APOLLO_SLAB_DIR {} ({e}); \
-                 falling back to heap archives",
+            panic!(
+                "apollo-streams: cannot create APOLLO_SLAB_DIR {} ({e}); refusing to fall \
+                 back to heap archives",
                 dir.display()
             );
-            return None;
         }
         let path = dir.join("apollo.slab");
         match SlabStore::open_or_create(&path, cfg) {
             Ok((store, _)) => Some(store),
-            Err(e) => {
-                eprintln!(
-                    "apollo-streams: APOLLO_SLAB_DIR is set but the slab store at \
-                     {} is unavailable ({e}); falling back to heap archives",
-                    path.display()
-                );
-                None
-            }
+            Err(e) => panic!(
+                "apollo-streams: APOLLO_SLAB_DIR is set but the slab store at {} is \
+                 unavailable ({e}); refusing to fall back to heap archives",
+                path.display()
+            ),
         }
     }
     static ENV_STORE: OnceLock<Option<Arc<SlabStore>>> = OnceLock::new();
@@ -229,8 +241,10 @@ impl Stream {
     /// archive records into a slab series — named after the stream when
     /// attaching, so a restarted stream finds its archived history and
     /// resumes ID assignment after it. If the slab's series directory is
-    /// full the stream falls back to a heap archive (counted by the
-    /// store's `series_fallbacks` stat).
+    /// exhausted the stream falls back to a heap archive **loudly**: a
+    /// one-shot WARN, the process-wide `streams.slab.dir_full` counter,
+    /// and the store's `series_fallbacks` stat all record that this
+    /// stream's history will not survive a restart.
     pub fn new(name: impl Into<String>, config: StreamConfig) -> Self {
         let name = name.into();
         let archive = match &config.spill {
@@ -238,7 +252,14 @@ impl Stream {
                 let series = if *attach { store.series(&name) } else { store.fresh_series(&name) };
                 match series {
                     Ok(series) => ArchiveLog::with_slab(series),
-                    Err(_) => ArchiveLog::new(),
+                    Err(e) => {
+                        crate::slab::record_exhaustion(&format!(
+                            "stream '{name}' wanted a slab series but got \"{e}\"; its evicted \
+                             entries fall back to the in-memory heap archive and will NOT \
+                             survive a restart"
+                        ));
+                        ArchiveLog::new()
+                    }
                 }
             }
             _ => ArchiveLog::new(),

@@ -1,0 +1,244 @@
+//! Lifecycle teeth for the memory-mapped slab spill: loud directory
+//! exhaustion, the bounded machine-crash loss window, env misconfig
+//! panics, and series GC under seeded churn with restarts.
+//!
+//! The two "teeth" tests first re-enact the pre-fix behavior (silent heap
+//! fallback; no background msync) and demonstrate the durable-history
+//! loss each one caused, then assert the fixed paths are loud/bounded.
+
+use apollo_streams::slab::{dir_full_count, exhaustion_warned};
+use apollo_streams::{
+    ArchiveLog, Broker, CompactPolicy, Record, SlabConfig, SlabStore, SpillBackend, Stream,
+    StreamConfig, StreamId, TierConfig,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_slab(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apollo-slablc-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{tag}.slab"));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+fn tiny_config() -> SlabConfig {
+    SlabConfig {
+        max_series: 2,
+        slots: 16,
+        slot_bytes: 64,
+        max_cursors: 1,
+        tiers: vec![TierConfig::new(1_000, 16)],
+    }
+}
+
+/// Teeth: the pre-fix exhaustion path (`.unwrap_or_else(|_| heap)`) loses
+/// durable history without a trace; the fixed `Stream::new` / consumer
+/// group paths record every refusal on `streams.slab.dir_full` and warn
+/// once.
+///
+/// All exhaustion-triggering in this binary lives in this one test so the
+/// process-global counter deltas are race-free.
+#[test]
+fn directory_exhaustion_is_loud_where_it_used_to_be_silent() {
+    let path = temp_slab("exhaustion");
+    {
+        let store = SlabStore::create(&path, tiny_config()).unwrap();
+        let _a = store.series("a").unwrap();
+        let _b = store.series("b").unwrap();
+
+        // --- Pre-fix re-enactment: exactly what Stream::new used to do.
+        let before = dir_full_count();
+        let log =
+            store.series("c").map(ArchiveLog::with_slab).unwrap_or_else(|_| ArchiveLog::new());
+        assert_eq!(dir_full_count(), before, "the old fallback left no trace anywhere");
+        for i in 0..10u64 {
+            log.append(apollo_streams::Entry::new(StreamId::new(i + 1, 0), vec![i as u8]));
+        }
+        assert_eq!(log.len(), 10, "writes LOOK fine — the loss is invisible until restart");
+        store.flush().unwrap();
+    }
+
+    // Restart: series "c" never existed in the slab, so its 10 entries are
+    // gone — the silent durable-history loss the fix makes loud.
+    let (store, report) = SlabStore::open(&path).unwrap();
+    assert_eq!(store.stats().series_live, 2, "only a and b survived");
+    assert_eq!(report.recovered_entries, 0, "c's 10 entries were heap-only and died");
+
+    // --- Fixed path #1: Stream::new on the exhausted directory.
+    let before = dir_full_count();
+    assert!(!exhaustion_warned() || before > 0);
+    let s = Stream::new(
+        "c",
+        StreamConfig {
+            max_len: Some(1),
+            archive_evicted: true,
+            spill: SpillBackend::slab(Arc::clone(&store)),
+        },
+    );
+    assert_eq!(dir_full_count(), before + 1, "the refusal is now counted");
+    assert!(exhaustion_warned(), "and warned about (once per process)");
+    // The stream still works — degraded to heap, not dead.
+    for i in 0..5u64 {
+        s.append(i + 1, vec![i as u8]);
+    }
+    assert_eq!(s.range(StreamId::MIN, StreamId::MAX).len(), 5);
+    assert_eq!(store.stats().series_fallbacks, 1, "the store records the fallback too");
+
+    // --- Fixed path #2: consumer groups on a full cursor directory.
+    let broker = Broker::new(StreamConfig {
+        max_len: Some(2),
+        archive_evicted: true,
+        spill: SpillBackend::slab(Arc::clone(&store)),
+    });
+    let g0 = broker.consumer_group("t", "g0"); // takes the only cursor dirent
+    let before = dir_full_count();
+    let g1 = broker.consumer_group("t", "g1"); // refused a dirent
+    assert_eq!(dir_full_count(), before + 1, "cursor refusal counted");
+    // Both groups still deliver; g1 just won't survive a restart.
+    broker.publish("t", 1, vec![7]);
+    assert_eq!(g0.read_new("c", 10).unwrap().len(), 1);
+    assert_eq!(g1.read_new("c", 10).unwrap().len(), 1);
+
+    let _ = fs::remove_file(&path);
+}
+
+/// Teeth: without background msync the whole run since process start is
+/// exposed to a machine crash; with flushes the exposure is exactly the
+/// dirty window since the last flush.
+///
+/// A copy of the file taken at a flush point is the machine-crash lower
+/// bound: everything msync'd is on disk no matter when power dies. (A
+/// copy can't show MORE loss than that — file reads see the shared page
+/// cache — so the test snapshots at flush points and asserts the
+/// guaranteed prefix.)
+#[test]
+fn flush_cadence_bounds_the_machine_crash_loss_window() {
+    let path = temp_slab("flush");
+    let snapshot = temp_slab("flush-snapshot");
+    let store = SlabStore::create(&path, SlabConfig { max_series: 4, slots: 256, ..tiny_config() })
+        .unwrap();
+    let series = store.series("m").unwrap();
+    for i in 0..100u64 {
+        assert!(series.record(StreamId::new(i + 1, 0), &Record::measured(i, i as f64).encode()));
+    }
+    assert_eq!(store.dirty_records(), 100, "every record since start is crash-exposed");
+    assert_eq!(store.flush().unwrap(), 100, "flush reports what it made durable");
+    assert_eq!(store.dirty_records(), 0);
+    fs::copy(&path, &snapshot).unwrap(); // disk state guaranteed from here on
+
+    for i in 100..150u64 {
+        assert!(series.record(StreamId::new(i + 1, 0), &Record::measured(i, i as f64).encode()));
+    }
+    assert_eq!(store.dirty_records(), 50, "the loss window is the 50 unflushed records");
+
+    // "Machine crash": reopen the flush-point snapshot.
+    let (crashed, report) = SlabStore::open(&snapshot).unwrap();
+    assert_eq!(report.recovered_entries, 100, "the flushed prefix survives in full");
+    let survivor = crashed.series("m").unwrap();
+    assert_eq!(survivor.appended(), 100);
+    let got = survivor.range(StreamId::MIN, StreamId::MAX);
+    assert_eq!(got.len(), 100);
+    for (i, e) in got.iter().enumerate() {
+        assert_eq!(e.id, StreamId::new(i as u64 + 1, 0), "ID continuity across the crash");
+    }
+
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&snapshot);
+}
+
+/// Satellite: garbage in `APOLLO_SLAB_SLOTS` must abort the process, not
+/// silently hand every default-configured stream a heap archive. The test
+/// re-invokes its own binary so the panic happens in a child process.
+#[test]
+fn invalid_slab_env_panics_instead_of_silently_disabling() {
+    if std::env::var("APOLLO_SLAB_ENV_CHILD").is_ok() {
+        // Child: building any default-spill stream forces env parsing.
+        let _ = Stream::new("child", StreamConfig::default());
+        return; // only reached if the bug is back
+    }
+    let dir = std::env::temp_dir().join(format!("apollo-slabenv-{}", std::process::id()));
+    let out = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["invalid_slab_env_panics_instead_of_silently_disabling", "--exact", "--nocapture"])
+        .env("APOLLO_SLAB_ENV_CHILD", "1")
+        .env("APOLLO_SLAB_DIR", &dir)
+        .env("APOLLO_SLAB_SLOTS", "a-lot")
+        .output()
+        .expect("re-invoke test binary");
+    assert!(
+        !out.status.success(),
+        "a misconfigured slab env must abort, not degrade: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("APOLLO_SLAB_SLOTS"),
+        "the abort names the offending variable: {stderr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Seeded register/retire churn across three "process restarts": dirent
+/// occupancy returns to a fixed point after every compaction, reclaimed
+/// rings never serve a predecessor's payloads, and tombstones never leak
+/// across reopen.
+#[test]
+fn seeded_churn_reaches_a_fixed_point_across_restarts() {
+    let path = temp_slab("churn");
+    let cfg = SlabConfig { max_series: 8, slots: 32, ..tiny_config() };
+    SlabStore::create(&path, cfg).unwrap();
+
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut now_ms = 1_000u64;
+    let mut total_reclaimed = 0u64;
+    let mut gen = 0u32;
+
+    for epoch in 0..3 {
+        let (store, report) = SlabStore::open(&path).unwrap();
+        assert_eq!(report.reclaimed_tombstones, 0, "epoch {epoch}: no torn reclaim left behind");
+
+        for _ in 0..8 {
+            let live = 1 + (rng() % 4) as usize;
+            {
+                let handles: Vec<_> = (0..live)
+                    .map(|k| {
+                        let series = store.series(&format!("churn/g{gen:03}/s{k}")).unwrap();
+                        assert_eq!(series.appended(), 0, "reclaimed ring leaked an old head");
+                        assert!(
+                            series.range(StreamId::MIN, StreamId::MAX).is_empty(),
+                            "reclaimed ring served stale payloads"
+                        );
+                        for r in 0..1 + rng() % 8 {
+                            series.record(
+                                StreamId::new(now_ms + r, k as u64),
+                                &Record::measured(now_ms, r as f64).encode(),
+                            );
+                        }
+                        series
+                    })
+                    .collect();
+                // Live handles pin their dirents: compaction must skip them.
+                let pinned =
+                    store.compact(now_ms + 1_000_000, CompactPolicy { retention_ms: 0 }).unwrap();
+                assert_eq!(pinned.reclaimed, 0, "held handles are never reclaimed");
+                assert_eq!(pinned.kept_live_handles, handles.len());
+            } // retire the generation
+            store.consolidate();
+            now_ms += 10_000;
+            let compacted = store.compact(now_ms, CompactPolicy { retention_ms: 2_000 }).unwrap();
+            assert_eq!(compacted.reclaimed, live, "every retired series reclaimed");
+            total_reclaimed += compacted.reclaimed as u64;
+            let st = store.stats();
+            assert_eq!(st.series_live + st.series_tombstoned, 0, "back to the fixed point");
+            gen += 1;
+        }
+        store.flush().unwrap();
+    }
+    assert!(total_reclaimed >= 24, "{total_reclaimed} series cycled through 8 dirents");
+    let _ = fs::remove_file(&path);
+}

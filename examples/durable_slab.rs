@@ -7,15 +7,20 @@
 //! raw 1 s entries into coarser tiers off the timer wheel and exports
 //! `streams.slab.*` gauges; then the whole service is torn down and
 //! rebuilt over the same file, and both the archived history and a
-//! consumer group's read position come back.
+//! consumer group's read position come back. A third life drives the
+//! lifecycle layer: [`SlabLifecycle`]-tuned background msync cadence
+//! and series GC/compaction reclaiming a retired job metric's dirent.
 //!
 //! Run: `cargo run --release -p apollo-bench --example durable_slab`
 
 use apollo_cluster::metrics::ConstSource;
 use apollo_core::selfobs::{deploy_slab_observer, SLAB_SELF_TOPICS};
-use apollo_core::service::{Apollo, FactVertexSpec};
+use apollo_core::service::{Apollo, FactVertexSpec, SlabLifecycle};
 use apollo_runtime::event_loop::EventLoop;
-use apollo_streams::{SlabConfig, SlabStore, SpillBackend, StreamConfig, TierConfig};
+use apollo_streams::{
+    CompactPolicy, FlushPolicy, Record, SlabConfig, SlabStore, SpillBackend, StreamConfig,
+    StreamId, TierConfig,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -121,6 +126,68 @@ fn main() {
     let tiers = store.series("disk/io_pressure").expect("series").tier_buckets(0);
     println!("second life: tier-0 consolidation buckets = {}", tiers.len());
     assert!(!tiers.is_empty(), "consolidated tiers must survive restart");
+    drop(apollo);
+
+    // ---- third life: the lifecycle — flush cadence + series GC --------
+    // A tuned SlabLifecycle drives background msync (bounding the
+    // machine-crash loss window) and series compaction off the timer
+    // wheel. A short-lived job metric is retired and its dirent reclaimed
+    // while the held `disk/io_pressure` handle pins that series in place.
+    let mut apollo = Apollo::with_config(
+        EventLoop::new_virtual(),
+        StreamConfig {
+            max_len: Some(4),
+            archive_evicted: true,
+            spill: SpillBackend::slab(Arc::clone(&store)),
+        },
+    );
+    apollo.attach_slab_with(
+        Arc::clone(&store),
+        SlabLifecycle {
+            consolidate_every: Duration::from_secs(1),
+            flush: FlushPolicy {
+                every: Some(Duration::from_secs(2)),
+                every_records: None,
+                on_consolidation: false,
+            },
+            compact: Some(CompactPolicy { retention_ms: 3_000 }),
+            compact_every: Duration::from_secs(5),
+        },
+    );
+    let pinned = store.series("disk/io_pressure").expect("pin the history series");
+    let live_before = store.stats().series_live;
+    {
+        let scratch = store.series("job/1234/scratch_bytes").expect("scratch series");
+        for i in 0..32u64 {
+            scratch.record(
+                StreamId::new(1_000 + i, 0),
+                &Record::measured(1_000 + i, i as f64).encode(),
+            );
+        }
+    } // job done: the handle drops, the series is GC-eligible after retention
+    apollo.run_for(Duration::from_secs(20));
+
+    let snap = apollo.metrics_snapshot();
+    let after = store.stats();
+    println!(
+        "third life:  flushes={} reclaimed_series={} reclaimed_entries={} dirty={} pressure={:.2}",
+        snap.counters["streams.slab.flushes"],
+        snap.counters["streams.slab.reclaimed_series"],
+        snap.counters["streams.slab.reclaimed_entries"],
+        store.dirty_records(),
+        after.pressure(),
+    );
+    assert!(snap.counters["streams.slab.flushes"] >= 1, "cadence flushes must have run");
+    assert!(
+        snap.counters["streams.slab.reclaimed_series"] >= 1,
+        "the retired job series must be reclaimed"
+    );
+    // The job series AND the stale self-observer series from the earlier
+    // lives are reclaimed; the handle-pinned history series survives.
+    assert!(after.series_live < live_before, "retired series must be gone");
+    assert!(!pinned.tier_buckets(0).is_empty(), "pinned history survives GC intact");
+    assert_eq!(after.series_tombstoned, 0, "no tombstone leaks");
+    drop(pinned);
 
     let _ = std::fs::remove_file(&path);
     println!("\nDurable slab round-trip OK");

@@ -60,6 +60,53 @@ fn soak_is_deterministic_per_seed_and_diverges_across_seeds() {
     assert_ne!(first.digest, third.digest, "different seeds must diverge");
 }
 
+#[test]
+fn churned_soak_gc_is_deterministic_and_holds_the_fixed_point() {
+    use apollo_core::{SlabChurnConfig, SlabLifecycle};
+    use apollo_streams::{CompactPolicy, SlabConfig, SlabStore};
+    let dir = std::env::temp_dir().join(format!("apollo-chaos-churn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |tag: &str| {
+        let path = dir.join(format!("{tag}.slab"));
+        let _ = std::fs::remove_file(&path);
+        let store = SlabStore::create(
+            &path,
+            SlabConfig { max_series: 64, slots: 64, ..SlabConfig::default() },
+        )
+        .unwrap();
+        let config = SoakConfig {
+            slab_churn: Some(SlabChurnConfig {
+                store,
+                lifecycle: SlabLifecycle {
+                    compact: Some(CompactPolicy { retention_ms: 2_000 }),
+                    compact_every: Duration::from_secs(3),
+                    ..SlabLifecycle::default()
+                },
+                series_per_checkpoint: 6,
+                records_per_series: 12,
+                max_live_series: 18,
+            }),
+            ..small_config(31)
+        };
+        let schedule = soak::standard_schedule(config.vertices, config.seed, config.horizon);
+        let out = soak::run(&config, &schedule).unwrap();
+        let _ = std::fs::remove_file(&path);
+        out
+    };
+    let first = run("a");
+    let second = run("b");
+    assert!(first.all_pass(), "verdicts: {:#?}", first.verdicts);
+    let verdict = first.verdict("slab_churn_fixed_point").expect("churn verdict present");
+    assert!(verdict.pass, "{}", verdict.detail);
+    assert!(first.slab_reclaimed_series > 0, "the compact timer reclaimed churned series");
+    assert!(first.slab_peak_series <= 18, "peak {}", first.slab_peak_series);
+    // Series GC runs off the virtual-clock timer wheel, so a churned soak
+    // must still replay bit-identically — including the GC's own work.
+    assert_eq!(first.digest, second.digest, "churn must not perturb the replayable surface");
+    assert_eq!(first.slab_reclaimed_series, second.slab_reclaimed_series);
+    assert_eq!(first.slab_peak_series, second.slab_peak_series);
+}
+
 /// The flap schedule and supervision used by both sides of the
 /// monotone-recovery teeth: six quarantine episodes per source, with an
 /// escalating re-quarantine backoff whose cap (64 s) dwarfs the recovery
