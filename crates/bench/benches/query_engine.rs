@@ -1,0 +1,69 @@
+//! Criterion counterpart of the `query_engine` report bin: vectorized vs
+//! row-at-a-time execution over the same warm cached snapshot, and the
+//! warm scan-cache hit itself (two `Arc` clones).
+
+use apollo_query::{CachedBroker, QueryEngine, ScanCache, TableProvider};
+use apollo_streams::codec::Record;
+use apollo_streams::{Broker, StreamConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn seeded_broker(rows: u64) -> Broker {
+    let broker = Broker::new(StreamConfig::default());
+    for i in 0..rows {
+        broker.publish("node_0_metric", i, Record::measured(i * 1_000_000, i as f64).encode());
+    }
+    broker
+}
+
+fn bench_vectorized_vs_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_engine_vectorized_vs_row");
+    let broker = seeded_broker(100_000);
+    let cache = ScanCache::new();
+    let provider = CachedBroker::new(&broker, &cache);
+    for span in [1_000u64, 10_000, 99_999] {
+        let sql =
+            format!("SELECT AVG(metric) FROM node_0_metric WHERE Timestamp BETWEEN 0 AND {span}");
+        group.bench_with_input(BenchmarkId::new("vectorized", span), &sql, |b, sql| {
+            let engine = QueryEngine::new(&provider);
+            b.iter(|| engine.execute_sql(sql).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("row_at_a_time", span), &sql, |b, sql| {
+            let engine = QueryEngine::row_oracle(&provider);
+            b.iter(|| engine.execute_sql(sql).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bucketed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_engine_bucketed");
+    let broker = seeded_broker(100_000);
+    let cache = ScanCache::new();
+    let provider = CachedBroker::new(&broker, &cache);
+    let sql = "SELECT AVG(metric) FROM node_0_metric GROUP BY BUCKET(Timestamp, 1s)";
+    group.bench_function("vectorized", |b| {
+        let engine = QueryEngine::new(&provider);
+        b.iter(|| engine.execute_sql(sql).unwrap());
+    });
+    group.bench_function("row_at_a_time", |b| {
+        let engine = QueryEngine::row_oracle(&provider);
+        b.iter(|| engine.execute_sql(sql).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_warm_hit(c: &mut Criterion) {
+    let broker = seeded_broker(100_000);
+    let cache = ScanCache::new();
+    let provider = CachedBroker::new(&broker, &cache);
+    provider.range("node_0_metric", 0, u64::MAX); // miss: store
+    provider.range("node_0_metric", 0, u64::MAX); // first hit: stats entry
+    let mut group = c.benchmark_group("query_engine_warm_hit");
+    group.bench_function("range", |b| {
+        b.iter(|| provider.range("node_0_metric", 0, u64::MAX));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectorized_vs_row, bench_bucketed, bench_warm_hit);
+criterion_main!(benches);

@@ -1,0 +1,353 @@
+//! Continuous (standing) queries wired into the service.
+//!
+//! [`crate::service::Apollo::register_continuous`] turns a registered AQE
+//! query into an insight-style vertex: the query is seeded from one
+//! consistent snapshot per input topic, then a timer on the service event
+//! loop incrementally folds every newly published record through the
+//! engine's own [`apollo_query::ContinuousQuery`] machinery. The standing
+//! result:
+//!
+//! * is **bit-identical** to a full rescan at any quiescent point (the
+//!   soak harness checks this at every checkpoint, with a teeth test
+//!   proving a broken fold diverges);
+//! * is republished to the vertex's own topic as ordinary fact records
+//!   whenever it changes, so downstream consumers can subscribe to a
+//!   query the way they subscribe to any fact;
+//! * serves [`crate::service::Apollo::query`] directly (the planner's
+//!   [`apollo_query::AccessPlan::Incremental`] tier) whenever the fold
+//!   has caught up with every input topic's tail — a standing query
+//!   answers in O(rows) with no scan and no cache probe.
+//!
+//! Seeding is race-free against concurrent publishes: each arm's consumer
+//! group is created **before** the snapshot scan, so entries published in
+//! between are delivered again by the group and skipped by ID.
+
+use crate::graph::GraphError;
+use apollo_obs::{Counter, Registry};
+use apollo_query::exec::{ExecError, QueryResult};
+use apollo_query::{ContinuousError, ContinuousQuery, ParseError, Query};
+use apollo_streams::{Broker, ConsumerGroup, Record, StreamId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Why [`crate::service::Apollo::register_continuous`] refused a query.
+#[derive(Debug)]
+pub enum ContinuousRegisterError {
+    /// The SQL text failed to parse.
+    Parse(ParseError),
+    /// The query cannot be folded incrementally (JOIN arms).
+    Unsupported(ContinuousError),
+    /// The vertex could not join the DAG (duplicate name, unknown input
+    /// topic, cycle).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ContinuousRegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContinuousRegisterError::Parse(e) => write!(f, "{e}"),
+            ContinuousRegisterError::Unsupported(e) => write!(f, "{e}"),
+            ContinuousRegisterError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContinuousRegisterError {}
+
+/// Per-arm feed: the consumer group delivering new records plus the
+/// bookkeeping that separates seeded history from live folds.
+struct ArmFeed {
+    table: String,
+    group: ConsumerGroup,
+    /// Topic eviction epoch at seed time. The incremental tier only
+    /// serves while the epoch is unchanged: after an eviction a fresh
+    /// scan may see a different window than the fold consumed, so the
+    /// planner falls back to scanning rather than risk divergence.
+    seed_epoch: u64,
+    /// Last entry folded by the seed snapshot; entries the group re-
+    /// delivers at or below this ID were already folded and are skipped.
+    seeded_through: Option<StreamId>,
+    /// Last entry folded (seed or pump) — caught up when this equals the
+    /// topic's live tail.
+    folded_through: Option<StreamId>,
+}
+
+struct Inner {
+    cq: ContinuousQuery,
+    arms: Vec<ArmFeed>,
+    /// Last emitted standing result (change filter, §3.2.1 style).
+    last: Option<QueryResult>,
+}
+
+/// A registered standing query: consumer-group feeds, the incremental
+/// fold, and change-filtered republication of result rows.
+pub struct ContinuousVertex {
+    name: String,
+    broker: Arc<Broker>,
+    inner: Mutex<Inner>,
+    folds: Counter,
+    emitted_rows: Counter,
+}
+
+impl std::fmt::Debug for ContinuousVertex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContinuousVertex").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl ContinuousVertex {
+    /// Build the vertex: create each arm's consumer group, then seed the
+    /// fold from one consistent full-range snapshot per input topic.
+    pub(crate) fn seed(
+        name: String,
+        mut cq: ContinuousQuery,
+        broker: Arc<Broker>,
+        registry: &Registry,
+    ) -> Self {
+        let mut arms = Vec::with_capacity(cq.arm_count());
+        for i in 0..cq.arm_count() {
+            let table = cq.table(i).to_string();
+            // Group first: its cursor starts at the topic tail *now*, so
+            // anything the snapshot below also covers is re-delivered and
+            // deduplicated by `seeded_through`, never lost.
+            let group = broker.consumer_group(&table, &format!("cq/{name}/{i}"));
+            let batch = broker.scan_batch(&table, StreamId::MIN, StreamId::MAX);
+            for e in &batch.entries {
+                // Decode per entry (not `batch.records`) so each fold
+                // keeps its publish timestamp; corrupt payloads are
+                // skipped exactly as a range scan skips them.
+                if let Ok(r) = Record::decode(&e.payload) {
+                    cq.fold(i, e.id.ms, &r);
+                }
+            }
+            arms.push(ArmFeed {
+                table,
+                group,
+                seed_epoch: batch.epoch,
+                seeded_through: batch.last_id,
+                folded_through: batch.last_id,
+            });
+        }
+        Self {
+            name,
+            broker,
+            inner: Mutex::new(Inner { cq, arms, last: None }),
+            folds: registry.counter("query.continuous.folds"),
+            emitted_rows: registry.counter("query.continuous.emitted_rows"),
+        }
+    }
+
+    /// Vertex (and output topic) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clone of the underlying query AST (for rescan comparisons and
+    /// planner matching).
+    pub fn query(&self) -> Query {
+        self.inner.lock().cq.query().clone()
+    }
+
+    /// Records folded so far, seed included.
+    pub fn folded(&self) -> u64 {
+        self.inner.lock().cq.folded()
+    }
+
+    /// Does `q` name exactly this standing query?
+    pub fn matches(&self, q: &Query) -> bool {
+        self.inner.lock().cq.query() == q
+    }
+
+    /// Has the fold consumed every record published to every input topic,
+    /// with no eviction since the seed? Only then may the standing result
+    /// substitute for a fresh scan.
+    pub fn caught_up(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.arms.iter().all(|a| {
+            let (epoch, last) = self.broker.scan_meta(&a.table);
+            epoch == a.seed_epoch && last == a.folded_through
+        })
+    }
+
+    /// The standing result, in O(rows).
+    pub fn result(&self) -> Result<QueryResult, ExecError> {
+        self.inner.lock().cq.result()
+    }
+
+    /// Drain every arm's consumer group, fold the new records, and — when
+    /// the standing result changed — republish its rows to this vertex's
+    /// topic as measured records. Returns whether an emission happened.
+    /// `now_ms` stamps the published stream entries.
+    pub fn pump(&self, now_ms: u64) -> bool {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let mut folded = 0u64;
+        for (i, arm) in inner.arms.iter_mut().enumerate() {
+            loop {
+                let entries = match arm.group.read_new("cq", 512) {
+                    Ok(e) if !e.is_empty() => e,
+                    _ => break,
+                };
+                for e in &entries {
+                    let _ = arm.group.ack(e.id);
+                    if arm.seeded_through.is_some_and(|s| e.id <= s) {
+                        continue; // already folded by the seed snapshot
+                    }
+                    if let Ok(r) = Record::decode(&e.payload) {
+                        inner.cq.fold(i, e.id.ms, &r);
+                        folded += 1;
+                    }
+                    arm.folded_through = Some(e.id);
+                }
+            }
+        }
+        self.folds.add(folded);
+        let result = match inner.cq.result() {
+            Ok(r) => r,
+            // Errors (empty window, stale-only) have nothing to emit;
+            // they still surface through `result()`/the query path.
+            Err(_) => return false,
+        };
+        if inner.last.as_ref() == Some(&result) {
+            return false;
+        }
+        for row in &result.rows {
+            self.broker.publish(
+                &self.name,
+                now_ms,
+                Record::measured(row.timestamp_ms * 1_000_000, row.value).encode(),
+            );
+        }
+        self.emitted_rows.add(result.rows.len() as u64);
+        inner.last = Some(result);
+        true
+    }
+
+    /// Teeth hook: see [`ContinuousQuery::set_break_fold`].
+    #[doc(hidden)]
+    pub fn set_break_fold(&self, on: bool) {
+        self.inner.lock().cq.set_break_fold(on);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::service::{Apollo, FactVertexSpec};
+    use apollo_cluster::metrics::TraceSource;
+    use apollo_cluster::series::TimeSeries;
+    use apollo_query::exec::QueryEngine;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const NS: u64 = 1_000_000_000;
+
+    fn ramp_service() -> Apollo {
+        let mut apollo = Apollo::new_virtual();
+        let trace = TimeSeries::from_points((0..60u64).map(|i| (i * NS, i as f64)).collect());
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(TraceSource::new("cap", trace)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo
+    }
+
+    #[test]
+    fn standing_query_seeds_folds_and_matches_rescan() {
+        let mut apollo = ramp_service();
+        // Pre-existing history exercises the seed path.
+        apollo.run_for(Duration::from_secs(3));
+        let cv = apollo
+            .register_continuous("cq/avg", "SELECT AVG(metric) FROM cap", Duration::from_secs(1))
+            .unwrap();
+        assert!(cv.folded() >= 3, "seed folded the existing records");
+        apollo.run_for(Duration::from_secs(7));
+        let standing = cv.result().unwrap();
+        let fresh = QueryEngine::new(apollo.broker().as_ref()).execute(&cv.query()).unwrap();
+        assert_eq!(standing, fresh, "standing result bit-identical to a rescan");
+    }
+
+    #[test]
+    fn caught_up_queries_serve_incrementally_without_scanning() {
+        let mut apollo = ramp_service();
+        apollo
+            .register_continuous("cq/avg", "SELECT AVG(metric) FROM cap", Duration::from_secs(1))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(10));
+        let out = apollo.query("SELECT AVG(metric) FROM cap").unwrap();
+        let fresh = QueryEngine::new(apollo.broker().as_ref())
+            .execute(&apollo_query::parse("SELECT AVG(metric) FROM cap").unwrap())
+            .unwrap();
+        assert_eq!(out, fresh);
+        let snap = apollo.metrics_snapshot();
+        assert_eq!(snap.counter("query.planner.incremental"), 1, "served by the standing fold");
+        assert_eq!(snap.counter("query.executed"), 1);
+        assert_eq!(apollo.scan_cache().misses(), 0, "no scan happened");
+        assert_eq!(snap.counter("query.continuous.registered"), 1);
+        assert!(snap.counter("query.continuous.folds") >= 9, "{snap:?}");
+        assert!(snap.histograms.contains_key("query.continuous.fold_ns"));
+    }
+
+    #[test]
+    fn stale_fold_falls_back_to_a_scan_then_recovers() {
+        let mut apollo = ramp_service();
+        apollo
+            .register_continuous("cq/max", "SELECT MAX(metric) FROM cap", Duration::from_secs(1))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(5));
+        // Publish behind the pump's back: the fold is no longer caught
+        // up, so the query must scan (and see the new record).
+        apollo.broker().publish(
+            "cap",
+            6_000,
+            apollo_streams::Record::measured(6 * NS, 500.0).encode(),
+        );
+        let out = apollo.query("SELECT MAX(metric) FROM cap").unwrap();
+        assert_eq!(out.rows[0].value, 500.0);
+        assert_eq!(apollo.metrics_snapshot().counter("query.planner.incremental"), 0);
+        // The next pump folds it; the incremental tier takes over again.
+        apollo.run_for(Duration::from_secs(1));
+        let out = apollo.query("SELECT MAX(metric) FROM cap").unwrap();
+        assert_eq!(out.rows[0].value, 500.0);
+        assert_eq!(apollo.metrics_snapshot().counter("query.planner.incremental"), 1);
+    }
+
+    #[test]
+    fn changed_results_are_republished_as_facts() {
+        let mut apollo = ramp_service();
+        apollo
+            .register_continuous("cq/avg", "SELECT AVG(metric) FROM cap", Duration::from_secs(1))
+            .unwrap();
+        apollo.run_for(Duration::from_secs(10));
+        // The standing AVG over a ramp changes every fold, so the vertex
+        // topic carries a history of result rows.
+        let out = apollo.query("SELECT MAX(Timestamp), metric FROM cq/avg").unwrap();
+        let standing = apollo.continuous()[0].result().unwrap();
+        assert_eq!(out.rows[0].value, standing.rows[0].value);
+        assert!(apollo.metrics_snapshot().counter("query.continuous.emitted_rows") >= 2);
+    }
+
+    #[test]
+    fn join_queries_are_rejected_at_registration() {
+        let mut apollo = ramp_service();
+        let err = apollo
+            .register_continuous(
+                "cq/j",
+                "SELECT COUNT(*) FROM cap JOIN cap ON Timestamp",
+                Duration::from_secs(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, super::ContinuousRegisterError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_input_topics_are_rejected() {
+        let mut apollo = ramp_service();
+        let err = apollo
+            .register_continuous("cq/x", "SELECT AVG(metric) FROM nope", Duration::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, super::ContinuousRegisterError::Graph(_)), "{err}");
+    }
+}

@@ -27,6 +27,11 @@
 //!   (`run_for`) or live on a background thread (`spawn`); answers AQE
 //!   queries (`query`). Every subsystem reports into a shared
 //!   `apollo_obs::Registry` (`metrics`/`metrics_snapshot`).
+//! * [`continuous`] — standing AQE queries as insight-style vertices:
+//!   [`service::Apollo::register_continuous`] seeds a query from one
+//!   consistent snapshot, folds newly published records incrementally on
+//!   a timer, republishes changed results as facts, and serves matching
+//!   `query()` calls with no scan while caught up.
 //! * [`selfobs`] — self-SCoRe: [`selfobs::deploy_self_observer`]
 //!   republishes Apollo's own internals (broker memory, stream depth,
 //!   poll p99, quarantine count, quarantine recoveries) as Fact vertices
@@ -55,6 +60,7 @@
 //! assert_eq!(out.rows[0].value, 42.0);
 //! ```
 
+pub mod continuous;
 pub mod curators;
 pub mod deploy;
 pub mod graph;
@@ -67,6 +73,7 @@ pub mod service;
 pub mod soak;
 pub mod vertex;
 
+pub use continuous::{ContinuousRegisterError, ContinuousVertex};
 pub use deploy::{Deployment, MonitoringPlan};
 pub use graph::ScoreGraph;
 pub use health::{HealthMonitor, HealthState, SupervisorConfig};

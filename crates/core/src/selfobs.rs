@@ -5,7 +5,7 @@
 //! small set of Fact vertices whose monitor hooks read the service's own
 //! state — broker memory, total stream depth, fleet poll-latency p99,
 //! quarantined-vertex count, publish volume, fleet-wide quarantine
-//! recoveries — so the health of the
+//! recoveries, registered continuous queries — so the health of the
 //! monitoring layer is queryable through the AQE exactly like any
 //! monitored cluster resource:
 //!
@@ -27,13 +27,14 @@ use std::time::Duration;
 
 /// Topic names published by [`deploy_self_observer`], in registration
 /// order.
-pub const SELF_TOPICS: [&str; 6] = [
+pub const SELF_TOPICS: [&str; 7] = [
     "apollo/self/broker_memory_bytes",
     "apollo/self/stream_entries",
     "apollo/self/poll_p99_ns",
     "apollo/self/quarantined_vertices",
     "apollo/self/facts_published",
     "apollo/self/quarantine_recoveries",
+    "apollo/self/continuous_queries",
 ];
 
 /// Topic names published by [`deploy_slab_observer`], in registration
@@ -94,7 +95,8 @@ pub fn deploy_self_observer(
     let poll_hist = apollo.metrics().histogram("score.poll_ns");
     let recoveries = apollo.metrics().counter("health.quarantine_recoveries");
 
-    let sources: [Arc<SelfMetricSource>; 6] = [
+    let continuous_cell = apollo.continuous_registered_cell();
+    let sources: [Arc<SelfMetricSource>; 7] = [
         SelfMetricSource::new(SELF_TOPICS[0], {
             let broker = Arc::clone(&broker);
             move || broker.approx_memory_bytes() as f64
@@ -118,6 +120,9 @@ pub fn deploy_self_observer(
             move || fleet.iter().map(|f| f.published()).sum::<u64>() as f64
         }),
         SelfMetricSource::new(SELF_TOPICS[5], move || recoveries.get() as f64),
+        SelfMetricSource::new(SELF_TOPICS[6], move || {
+            continuous_cell.load(Ordering::Relaxed) as f64
+        }),
     ];
 
     let mut vertices = Vec::with_capacity(sources.len());
@@ -257,5 +262,26 @@ mod tests {
         let out =
             apollo.query("SELECT MAX(Timestamp), metric FROM apollo/self/facts_published").unwrap();
         assert_eq!(out.rows[0].value, 0.0);
+    }
+
+    #[test]
+    fn continuous_query_count_is_self_observable() {
+        let mut apollo = Apollo::new_virtual();
+        apollo
+            .register_fact(FactVertexSpec::fixed(
+                "cap",
+                Arc::new(ConstSource::new("c", 9.0)),
+                Duration::from_secs(1),
+            ))
+            .unwrap();
+        apollo
+            .register_continuous("cq/avg", "SELECT AVG(metric) FROM cap", Duration::from_secs(1))
+            .unwrap();
+        deploy_self_observer(&mut apollo, Duration::from_secs(1)).unwrap();
+        apollo.run_for(Duration::from_secs(5));
+        let out = apollo
+            .query("SELECT MAX(Timestamp), metric FROM apollo/self/continuous_queries")
+            .unwrap();
+        assert_eq!(out.rows[0].value, 1.0);
     }
 }

@@ -15,6 +15,7 @@
 //!   [`Apollo::spawn`]; the loop runs on a background thread against the
 //!   wall clock until the returned [`ApolloHandle`] is stopped.
 
+use crate::continuous::{ContinuousRegisterError, ContinuousVertex};
 use crate::graph::{GraphError, ScoreGraph};
 use crate::health::{HealthState, SupervisorConfig};
 use crate::predict::{PredictionPump, PumpSlot};
@@ -276,6 +277,14 @@ pub struct Apollo {
     /// Epoch-invalidated decoded-scan cache shared by every AQE query
     /// (engines are per-call; the cache outlives them on the service).
     scan_cache: ScanCache,
+    /// Registered standing queries ([`Apollo::register_continuous`]).
+    continuous: Vec<Arc<ContinuousVertex>>,
+    /// Live registered-standing-query count, exported as
+    /// `query.continuous.registered` and read by the self-observer.
+    continuous_registered: Arc<AtomicU64>,
+    /// Queries served from a standing fold with no scan at all
+    /// (`query.planner.incremental`).
+    continuous_served: apollo_obs::Counter,
     /// Durable slab store driving tiered consolidation off the timer
     /// wheel (see [`Apollo::attach_slab`]).
     slab: Option<Arc<SlabStore>>,
@@ -311,6 +320,10 @@ impl Apollo {
         broker.instrument(&registry);
         let scan_cache = ScanCache::new();
         scan_cache.instrument(&registry);
+        let continuous_registered = Arc::new(AtomicU64::new(0));
+        registry
+            .counter_backed_by("query.continuous.registered", Arc::clone(&continuous_registered));
+        let continuous_served = registry.counter("query.planner.incremental");
         Self {
             broker,
             el,
@@ -323,6 +336,9 @@ impl Apollo {
             pumps: Vec::new(),
             registry,
             scan_cache,
+            continuous: Vec::new(),
+            continuous_registered,
+            continuous_served,
             slab: None,
         }
     }
@@ -705,6 +721,10 @@ impl Apollo {
         }
         self.facts.retain(|f| f.name() != name);
         self.insights.retain(|i| i.name() != name);
+        let before = self.continuous.len();
+        self.continuous.retain(|c| c.name() != name);
+        self.continuous_registered
+            .fetch_sub((before - self.continuous.len()) as u64, Ordering::SeqCst);
         for pump in &self.pumps {
             pump.retire(name);
         }
@@ -747,6 +767,71 @@ impl Apollo {
         Ok(vertex)
     }
 
+    /// Register a **continuous query**: `sql` becomes a standing,
+    /// insight-style vertex named `name` that incrementally folds every
+    /// record published to its input topics (seeded from one consistent
+    /// snapshot per topic, then fed through per-arm consumer groups on a
+    /// `cadence` timer). Whenever the standing result changes, its rows
+    /// are republished to topic `name` as measured records — a query you
+    /// can subscribe to. While the fold is caught up with every input's
+    /// tail, [`Apollo::query`] serves the same SQL from the standing
+    /// result in O(rows) (the planner's incremental tier,
+    /// `query.planner.incremental`).
+    ///
+    /// Fails on parse errors, on JOIN arms (their admitted set can shrink
+    /// under eviction, which no append-only fold can track), and on input
+    /// topics that are not registered vertices.
+    pub fn register_continuous(
+        &mut self,
+        name: impl Into<String>,
+        sql: &str,
+        cadence: Duration,
+    ) -> Result<Arc<ContinuousVertex>, ContinuousRegisterError> {
+        let name = name.into();
+        let query = apollo_query::parse(sql).map_err(ContinuousRegisterError::Parse)?;
+        let cq = apollo_query::ContinuousQuery::new(query)
+            .map_err(ContinuousRegisterError::Unsupported)?;
+        let mut inputs: Vec<String> = Vec::new();
+        for i in 0..cq.arm_count() {
+            let t = cq.table(i).to_string();
+            if !inputs.contains(&t) {
+                inputs.push(t);
+            }
+        }
+        self.graph.add_insight(&name, &inputs).map_err(ContinuousRegisterError::Graph)?;
+        let vertex =
+            Arc::new(ContinuousVertex::seed(name.clone(), cq, self.broker(), &self.registry));
+        let fold_ns = self.registry.histogram("query.continuous.fold_ns");
+        let clock = self.el.clock().clone();
+        let handle = {
+            let vertex = Arc::clone(&vertex);
+            self.el.add_timer_keyed(name_seed(&name), cadence, move |_ctl| {
+                let t0 = std::time::Instant::now();
+                vertex.pump(clock.now() / 1_000_000);
+                fold_ns.observe(t0.elapsed().as_nanos() as u64);
+                TimerAction::Continue
+            })
+        };
+        self.timers.insert(name.clone(), vec![handle]);
+        // Join the producers' dispatch lane: the pump never races the
+        // vertices feeding it, so virtual-clock runs stay deterministic.
+        self.new_component(&name);
+        self.merge_components(&name, &inputs);
+        self.continuous_registered.fetch_add(1, Ordering::SeqCst);
+        self.continuous.push(Arc::clone(&vertex));
+        Ok(vertex)
+    }
+
+    /// Registered continuous queries, in registration order.
+    pub fn continuous(&self) -> &[Arc<ContinuousVertex>] {
+        &self.continuous
+    }
+
+    /// Live registered-standing-query count cell (self-observer hook).
+    pub(crate) fn continuous_registered_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.continuous_registered)
+    }
+
     /// Registered fact vertices.
     pub fn facts(&self) -> &[Arc<FactVertex>] {
         &self.facts
@@ -768,7 +853,23 @@ impl Apollo {
     /// (`query.scan_cache.{hits,misses,invalidations}`): a repeat scan
     /// of a topic whose content has not changed skips the stitch and the
     /// per-payload decode entirely.
+    /// Before any scan, the planner's incremental tier is consulted: a
+    /// registered continuous query whose AST matches `sql` and whose fold
+    /// has caught up with every input topic's tail answers from its
+    /// standing result in O(rows) (`query.planner.incremental`), with no
+    /// scan and no cache probe.
     pub fn query(&self, sql: &str) -> Result<QueryResult, ExecSqlError> {
+        if !self.continuous.is_empty() {
+            if let Ok(parsed) = apollo_query::parse(sql) {
+                if let Some(cv) =
+                    self.continuous.iter().find(|c| c.matches(&parsed) && c.caught_up())
+                {
+                    self.continuous_served.inc();
+                    self.registry.counter("query.executed").inc();
+                    return cv.result().map_err(ExecSqlError::Exec);
+                }
+            }
+        }
         let provider = CachedBroker::new(self.broker.as_ref(), &self.scan_cache);
         QueryEngine::with_metrics(&provider, &self.registry).execute_sql(sql)
     }

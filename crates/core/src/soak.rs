@@ -94,6 +94,14 @@ pub struct SoakConfig {
     /// thousands of short-lived series over a long-running observer). Adds
     /// the `slab_churn_fixed_point` invariant.
     pub slab_churn: Option<SlabChurnConfig>,
+    /// Standing AQE queries registered over the first soak topics
+    /// ([`Apollo::register_continuous`]). At every checkpoint each one is
+    /// quiesced and its standing result compared bit-for-bit against a
+    /// full rescan — the `continuous_rescan_equivalence` invariant.
+    pub continuous_queries: usize,
+    /// Teeth hook: deliberately drop every 5th folded record so the
+    /// equivalence invariant must FAIL (proves the check has teeth).
+    pub continuous_break_fold: bool,
 }
 
 /// Tunables of the [`SoakConfig::slab_churn`] layer.
@@ -142,6 +150,8 @@ impl Default for SoakConfig {
             recovery_deadline: Duration::from_secs(15),
             memory_slack: 2.0,
             slab_churn: None,
+            continuous_queries: 2,
+            continuous_break_fold: false,
         }
     }
 }
@@ -224,6 +234,9 @@ pub struct SoakOutcome {
     /// Series reclaimed by the attached lifecycle's compaction timer
     /// (`streams.slab.reclaimed_series`); 0 without churn.
     pub slab_reclaimed_series: u64,
+    /// Standing-result-vs-rescan comparisons made by the
+    /// `continuous_rescan_equivalence` invariant.
+    pub continuous_checks: u64,
     /// Order-independent digest of sampled stream contents and counters;
     /// equal for two runs of the same (config, schedule).
     pub digest: u64,
@@ -397,6 +410,22 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
                 .expect("soak insight names are unique");
         }
     }
+    // Standing queries over the first soak topics: one aggregate arm and
+    // one COUNT arm each, pumped at poll cadence, checked for rescan
+    // equivalence at every checkpoint.
+    let mut continuous: Vec<Arc<crate::continuous::ContinuousVertex>> = Vec::new();
+    for c in 0..config.continuous_queries.min(config.vertices / 2) {
+        let a = vertex_name(2 * c);
+        let b = vertex_name(2 * c + 1);
+        let sql = format!("SELECT AVG(metric) FROM {a} UNION SELECT COUNT(*) FROM {b}");
+        let cv = apollo
+            .register_continuous(format!("soak/cq{c:02}"), &sql, config.poll_interval)
+            .expect("soak continuous queries register");
+        if config.continuous_break_fold {
+            cv.set_break_fold(true);
+        }
+        continuous.push(cv);
+    }
     deploy_self_observer(&mut apollo, config.checkpoint_every.min(Duration::from_secs(5)))
         .expect("self-observer registers");
 
@@ -454,6 +483,8 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
     let mut churn_registered = 0u64;
     let mut churn_peak = 0usize;
     let mut churn_violations: Vec<String> = Vec::new();
+    let mut continuous_checks = 0u64;
+    let mut continuous_violations: Vec<String> = Vec::new();
     let mut next_cp = cp_ns;
     // The number of topics only grows during the run; size the ceiling
     // for the final population (vertices + insights + self topics).
@@ -619,6 +650,28 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
                     ));
                 }
             }
+            // Continuous-query equivalence: quiesce each standing fold
+            // (drain its consumer groups here, at a point where the
+            // event loop is idle) and demand the standing result be
+            // bit-identical to a scratch rescan of the same query.
+            // Results are compared through their Debug rendering, which
+            // round-trips f64 exactly — a single-bit fold divergence
+            // shows up.
+            for cv in &continuous {
+                cv.pump(now / 1_000_000);
+                let standing = cv.result();
+                let fresh =
+                    apollo_query::exec::QueryEngine::new(broker.as_ref()).execute(&cv.query());
+                continuous_checks += 1;
+                if format!("{standing:?}") != format!("{fresh:?}") {
+                    continuous_violations.push(format!(
+                        "{}: t={}s standing result diverges from rescan ({} records folded)",
+                        cv.name(),
+                        now / 1_000_000_000,
+                        cv.folded(),
+                    ));
+                }
+            }
             checkpoints.push(Checkpoint {
                 t_ns: now,
                 memory_bytes: memory,
@@ -725,6 +778,21 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
             detail: format!("{} callback panics escaped", stats.callback_panics),
         },
         InvariantVerdict {
+            name: "continuous_rescan_equivalence",
+            pass: continuous_violations.is_empty(),
+            detail: if continuous.is_empty() {
+                "disabled (no continuous queries configured)".to_string()
+            } else if continuous_violations.is_empty() {
+                format!(
+                    "{} standing queries bit-identical to rescan across {continuous_checks} \
+                     checkpoint comparisons",
+                    continuous.len()
+                )
+            } else {
+                continuous_violations.join("; ")
+            },
+        },
+        InvariantVerdict {
             name: "slab_churn_fixed_point",
             pass: churn_violations.is_empty(),
             detail: match &config.slab_churn {
@@ -759,6 +827,7 @@ pub fn run_compiled(config: &SoakConfig, compiled: &CompiledChaos) -> SoakOutcom
         dropped_entries,
         slab_peak_series: churn_peak,
         slab_reclaimed_series: apollo.metrics().counter("streams.slab.reclaimed_series").get(),
+        continuous_checks,
         digest,
     }
 }
@@ -839,6 +908,29 @@ mod tests {
         assert!(outcome.scanned_entries > 0);
         assert!(outcome.clock_regressions > 0, "skew perturbation exercised the clamp");
         assert_eq!(outcome.slab_peak_series, 0, "no churn layer configured");
+        assert!(
+            outcome.continuous_checks >= 2 * 6,
+            "2 standing queries compared at every checkpoint: {}",
+            outcome.continuous_checks
+        );
+    }
+
+    #[test]
+    fn broken_continuous_fold_fails_the_equivalence_verdict() {
+        let config = SoakConfig {
+            vertices: 24,
+            horizon: Duration::from_secs(60),
+            scan_topics: 4,
+            workers: 2,
+            // Drop every 5th folded record: the standing results MUST
+            // diverge from rescans — teeth for the invariant itself.
+            continuous_break_fold: true,
+            ..SoakConfig::default()
+        };
+        let schedule = standard_schedule(config.vertices, config.seed, config.horizon);
+        let outcome = run(&config, &schedule).unwrap();
+        let v = outcome.verdict("continuous_rescan_equivalence").unwrap();
+        assert!(!v.pass, "a lossy fold must blow the equivalence check: {}", v.detail);
     }
 
     #[test]

@@ -27,6 +27,18 @@
 //! prediction-pump kernel call, and `delphi.train_epoch_ns` times each
 //! pooled combiner training epoch.
 //!
+//! The AQE family breaks down further. `query.executed` / `query.arm_ns`
+//! / `query.arm_errors` cover per-query execution;
+//! `query.scan_cache.{hits,misses,invalidations}` report the
+//! epoch-invalidated scan cache; the cost-aware planner tallies its
+//! access decisions as `query.planner.{cached_scan,fresh_batch}` plus
+//! `query.planner.incremental` for `Apollo::query` calls served from a
+//! caught-up continuous query with no scan at all; and standing queries
+//! export `query.continuous.registered` (gauge-like counter backed by
+//! the service's registration cell), `query.continuous.folds` /
+//! `query.continuous.emitted_rows` counters, and the
+//! `query.continuous.fold_ns` pump-latency histogram.
+//!
 //! Durability surfaces its own families. `streams.archive.*` reports
 //! crash recovery of the archive snapshot format:
 //! `streams.archive.recovered_frames` counts entries salvaged from the

@@ -35,6 +35,70 @@ pub enum OrderBy {
     MetricDesc,
 }
 
+/// Comparison operator of a value predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+        })
+    }
+}
+
+/// A predicate over the record value: `metric <op> <literal>` in a WHERE
+/// clause. Multiple predicates in one arm AND together.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValuePred {
+    /// The comparison.
+    pub op: CmpOp,
+    /// The literal to compare against.
+    pub literal: f64,
+}
+
+impl ValuePred {
+    /// Does `value` satisfy this predicate? (IEEE semantics: NaN fails
+    /// every comparison, including `=`.)
+    pub fn admits(&self, value: f64) -> bool {
+        match self.op {
+            CmpOp::Gt => value > self.literal,
+            CmpOp::Ge => value >= self.literal,
+            CmpOp::Lt => value < self.literal,
+            CmpOp::Le => value <= self.literal,
+            CmpOp::Eq => value == self.literal,
+        }
+    }
+}
+
+/// `JOIN other ON Timestamp [WITHIN tol]` — a timestamp **semi-join**:
+/// the arm's records are kept only when the joined table holds at least
+/// one record whose timestamp is within `tolerance_ms` (milliseconds;
+/// `0` means exact-millisecond match). Aggregates then apply over the
+/// matched set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Join {
+    /// The table joined against.
+    pub table: String,
+    /// Match window in milliseconds (inclusive).
+    pub tolerance_ms: u64,
+}
+
 /// One SELECT arm of a UNION query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Select {
@@ -44,6 +108,13 @@ pub struct Select {
     pub table: String,
     /// Optional inclusive `[start_ms, end_ms]` timestamp filter.
     pub time_range: Option<(u64, u64)>,
+    /// Value predicates (`metric > x`, …), ANDed together.
+    pub value_preds: Vec<ValuePred>,
+    /// Optional `GROUP BY BUCKET(Timestamp, width)` — the bucket width in
+    /// milliseconds. Aggregates then emit one row per non-empty bucket.
+    pub bucket_ms: Option<u64>,
+    /// Optional timestamp semi-join against a second table.
+    pub join: Option<Join>,
     /// Optional row ordering (§2's "ordering" transformation).
     pub order: Option<OrderBy>,
     /// Optional row limit.
@@ -56,39 +127,62 @@ pub struct Select {
     pub include_stale: bool,
 }
 
-/// A full query: one or more SELECTs combined by UNION.
+impl Select {
+    /// A bare `SELECT <aggregate> FROM <table>` with no filters or
+    /// trailing clauses.
+    pub fn simple(aggregate: Aggregate, table: impl Into<String>) -> Self {
+        Self {
+            aggregate,
+            table: table.into(),
+            time_range: None,
+            value_preds: Vec::new(),
+            bucket_ms: None,
+            join: None,
+            order: None,
+            limit: None,
+            include_stale: false,
+        }
+    }
+}
+
+/// A full query: one or more SELECTs combined by UNION, plus optional
+/// **post-merge** ordering/limiting applied to the concatenated rows.
 ///
 /// The *complexity* of a query — the term used when scaling Figure 12b —
-/// is the number of queried tables, i.e. `selects.len()`.
+/// is the number of queried tables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Query {
     /// The UNION arms, in source order.
     pub selects: Vec<Select>,
+    /// Ordering applied **after** the UNION merge (a trailing `ORDER BY`
+    /// on a multi-arm union, or after a parenthesized final arm).
+    pub order: Option<OrderBy>,
+    /// Row limit applied after the merge (and after `order`).
+    pub limit: Option<usize>,
 }
 
 impl Query {
+    /// A query with the given arms and no post-merge clauses.
+    pub fn new(selects: Vec<Select>) -> Self {
+        Query { selects, order: None, limit: None }
+    }
+
     /// The paper's definition of query complexity: number of queried
-    /// tables.
+    /// tables (a JOIN arm queries two).
     pub fn complexity(&self) -> usize {
-        self.selects.len()
+        self.selects.len() + self.selects.iter().filter(|s| s.join.is_some()).count()
     }
 
     /// Build the Algorithm 4.4.1 resource query over a set of tables:
     /// `SELECT MAX(Timestamp), metric FROM t1 UNION … FROM tn`.
     pub fn latest_of(tables: &[&str]) -> Self {
-        Query {
-            selects: tables
-                .iter()
-                .map(|t| Select {
-                    aggregate: Aggregate::Latest,
-                    table: (*t).to_string(),
-                    time_range: None,
-                    order: None,
-                    limit: None,
-                    include_stale: false,
-                })
-                .collect(),
-        }
+        Query::new(tables.iter().map(|t| Select::simple(Aggregate::Latest, *t)).collect())
+    }
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::new(Vec::new())
     }
 }
 
@@ -106,7 +200,29 @@ mod tests {
 
     #[test]
     fn empty_query_has_zero_complexity() {
-        let q = Query { selects: vec![] };
+        let q = Query::new(vec![]);
         assert_eq!(q.complexity(), 0);
+    }
+
+    #[test]
+    fn join_arms_count_both_tables() {
+        let mut s = Select::simple(Aggregate::Avg, "a");
+        s.join = Some(Join { table: "b".into(), tolerance_ms: 5 });
+        let q = Query::new(vec![s, Select::simple(Aggregate::Count, "c")]);
+        assert_eq!(q.complexity(), 3, "the JOIN arm queries two tables");
+    }
+
+    #[test]
+    fn value_pred_admits_ieee_semantics() {
+        let gt = ValuePred { op: CmpOp::Gt, literal: 5.0 };
+        assert!(gt.admits(5.1));
+        assert!(!gt.admits(5.0));
+        assert!(!gt.admits(f64::NAN), "NaN fails every comparison");
+        let eq = ValuePred { op: CmpOp::Eq, literal: 2.5 };
+        assert!(eq.admits(2.5));
+        assert!(!eq.admits(2.500001));
+        let le = ValuePred { op: CmpOp::Le, literal: -1.0 };
+        assert!(le.admits(-1.0));
+        assert!(!le.admits(-0.5));
     }
 }

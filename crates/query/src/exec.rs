@@ -7,18 +7,27 @@
 //! is the pub-sub [`Broker`], whose range reads transparently cover the
 //! live queue and the archived log ("the queue (or the persisted log for
 //! evicted entries) using timestamp-based indexing").
+//!
+//! AQE v2 adds a **vectorized** execution mode: scan aggregates run over
+//! the provider's columnar [`ColumnBatch`] snapshot (timestamp, value and
+//! provenance columns) instead of materializing per-row [`Record`]s. The
+//! row-at-a-time path is kept as an equivalence oracle
+//! ([`QueryEngine::row_oracle`]); both paths share one fold order
+//! ([`ScanState`]) so their results are bit-identical.
 
 use crate::ast::{Aggregate, OrderBy, Query, Select};
+use crate::planner::{self, AccessPlan, TopicStats};
+use crate::vector::{self, JoinIndex, ScanAccumulator};
 use apollo_streams::codec::{Provenance, Record};
-use apollo_streams::{Broker, StreamId};
+use apollo_streams::{Broker, ColumnBatch, StreamId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Provenance breakdown of the records a scan aggregate looked at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AggregateCounts {
     /// Records actually measured by a monitor hook.
     pub measured: u64,
@@ -34,7 +43,8 @@ pub struct Row {
     /// Source table.
     pub table: String,
     /// Record timestamp (ms), when the row is a record; aggregate rows
-    /// carry the largest contributing timestamp.
+    /// carry the largest contributing timestamp, bucketed rows the bucket
+    /// start.
     pub timestamp_ms: u64,
     /// The value (record value, or aggregate result).
     pub value: f64,
@@ -43,7 +53,7 @@ pub struct Row {
     /// `None` for aggregate rows, which blend many records.
     pub provenance: Option<Provenance>,
     /// For scan-aggregate rows: how many measured/predicted/stale records
-    /// the scanned window held (regardless of whether stale ones were
+    /// the scanned window admitted (regardless of whether stale ones were
     /// aggregated). `None` for record rows and `Latest`.
     pub counts: Option<AggregateCounts>,
 }
@@ -51,10 +61,11 @@ pub struct Row {
 /// Error executing a query.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecError {
-    /// The table does not exist or holds no records.
+    /// The table does not exist, holds no records in the window, or every
+    /// record was filtered out by the arm's predicates.
     EmptyTable(String),
-    /// Every record in the scanned window is a stale republication and the
-    /// query did not opt in via `INCLUDE STALE`.
+    /// Every admitted record in the scanned window is a stale
+    /// republication and the query did not opt in via `INCLUDE STALE`.
     StaleOnly(String),
     /// A stored payload failed to decode as a telemetry record.
     Corrupt(String),
@@ -88,7 +99,7 @@ pub struct ArmError {
 /// Result of a full query: per-arm rows, flattened in source order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryResult {
-    /// All rows from all UNION arms.
+    /// All rows from all UNION arms (post-merge order/limit applied).
     pub rows: Vec<Row>,
     /// Arms of a multi-arm union that failed (empty table, all-stale
     /// window, …). A dashboard-style union keeps the healthy arms' rows;
@@ -103,8 +114,17 @@ pub trait TableProvider: Sync {
     /// Most recent record of a table, if any.
     fn latest(&self, table: &str) -> Option<Record>;
 
-    /// Records with `start_ms <= timestamp <= end_ms`, time-ordered.
-    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Vec<Record>;
+    /// Records with `start_ms <= publish time <= end_ms`, time-ordered.
+    /// Returned behind an `Arc` so caching providers can serve warm hits
+    /// without cloning the decoded scan.
+    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Arc<Vec<Record>>;
+
+    /// Columnar snapshot of the same window, for vectorized execution.
+    /// `None` makes the engine fall back to the row path.
+    fn columns(&self, table: &str, start_ms: u64, end_ms: u64) -> Option<Arc<ColumnBatch>> {
+        let _ = (table, start_ms, end_ms);
+        None
+    }
 }
 
 impl TableProvider for Broker {
@@ -112,10 +132,14 @@ impl TableProvider for Broker {
         Broker::latest(self, table).and_then(|e| Record::decode(&e.payload).ok())
     }
 
-    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Vec<Record> {
+    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Arc<Vec<Record>> {
         // One consistent batched scan: decode happens inside the stream's
         // snapshot pass instead of per entry here.
-        Broker::scan_batch_by_time(self, table, start_ms, end_ms).records
+        Arc::new(Broker::scan_batch_by_time(self, table, start_ms, end_ms).records)
+    }
+
+    fn columns(&self, table: &str, start_ms: u64, end_ms: u64) -> Option<Arc<ColumnBatch>> {
+        Some(Arc::new(Broker::scan_columns_by_time(self, table, start_ms, end_ms)))
     }
 }
 
@@ -124,12 +148,18 @@ impl TableProvider for Broker {
 const MAX_CACHED_SCANS: usize = 256;
 
 /// One cached decoded scan, tagged with the `(epoch, last_id)` snapshot
-/// key it was taken under.
+/// key it was taken under. Both representations are kept: the row form
+/// for `SELECT metric`/`Latest`, the columnar form for vectorized
+/// aggregates — one scan feeds both.
 struct CachedScan {
     epoch: u64,
     last_id: Option<StreamId>,
     records: Arc<Vec<Record>>,
+    columns: Arc<ColumnBatch>,
 }
+
+/// Cached scans of one topic, keyed by `(start_ms, end_ms)` window.
+type TopicScans = HashMap<(u64, u64), CachedScan>;
 
 /// An epoch-invalidated cache of decoded range scans, keyed by
 /// `(topic, start_ms, end_ms)`.
@@ -145,14 +175,26 @@ struct CachedScan {
 /// append can only make the cache conservatively re-scan — never serve
 /// newer content under an older key.
 ///
+/// The cache also keeps per-topic hit/invalidation tallies that feed the
+/// cost-aware planner ([`ScanCache::plan`]): a topic whose cache entries
+/// are invalidated faster than they are reused stops paying the
+/// store-and-tag overhead and scans fresh batches instead.
+///
 /// The cache is shared across queries (it lives on the service, not the
 /// per-query engine) and is safe for the executor's parallel arms.
 #[derive(Default)]
 pub struct ScanCache {
-    scans: Mutex<HashMap<(String, u64, u64), CachedScan>>,
+    /// Nested by topic so the hot lookup path hashes a borrowed `&str`
+    /// and a copyable `(u64, u64)` window — a warm hit allocates nothing
+    /// (proved by `tests/alloc_free.rs`); the owned key `String` is only
+    /// built when a miss stores a new scan.
+    scans: Mutex<HashMap<String, TopicScans>>,
+    topic_stats: Mutex<HashMap<String, TopicStats>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
     invalidations: Arc<AtomicU64>,
+    planner_cached: Arc<AtomicU64>,
+    planner_fresh: Arc<AtomicU64>,
 }
 
 impl ScanCache {
@@ -162,8 +204,10 @@ impl ScanCache {
     }
 
     /// Export the hit/miss/invalidation counters into `registry` as
-    /// `query.scan_cache.{hits,misses,invalidations}`, backed by the
-    /// cells the lookup path already increments (zero added cost).
+    /// `query.scan_cache.{hits,misses,invalidations}` and the planner's
+    /// decision tallies as `query.planner.{cached_scan,fresh_batch}`,
+    /// backed by the cells the lookup path already increments (zero added
+    /// cost).
     pub fn instrument(&self, registry: &apollo_obs::Registry) {
         if !registry.enabled() {
             return;
@@ -172,6 +216,10 @@ impl ScanCache {
         let _ = registry.counter_backed_by("query.scan_cache.misses", Arc::clone(&self.misses));
         let _ = registry
             .counter_backed_by("query.scan_cache.invalidations", Arc::clone(&self.invalidations));
+        let _ = registry
+            .counter_backed_by("query.planner.cached_scan", Arc::clone(&self.planner_cached));
+        let _ = registry
+            .counter_backed_by("query.planner.fresh_batch", Arc::clone(&self.planner_fresh));
     }
 
     /// Range lookups served from the cache without touching the stream.
@@ -190,9 +238,19 @@ impl ScanCache {
         self.invalidations.load(Ordering::Relaxed)
     }
 
+    /// Planner decisions that kept the cached-scan path.
+    pub fn planner_cached(&self) -> u64 {
+        self.planner_cached.load(Ordering::Relaxed)
+    }
+
+    /// Planner decisions that bypassed the cache for a fresh batch.
+    pub fn planner_fresh(&self) -> u64 {
+        self.planner_fresh.load(Ordering::Relaxed)
+    }
+
     /// Cached scans currently held.
     pub fn len(&self) -> usize {
-        self.scans.lock().len()
+        self.scans.lock().values().map(|windows| windows.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -200,41 +258,94 @@ impl ScanCache {
         self.len() == 0
     }
 
+    /// Per-topic cache statistics, if the topic has hit or invalidated at
+    /// least once.
+    pub fn topic_stats(&self, table: &str) -> Option<TopicStats> {
+        self.topic_stats.lock().get(table).copied()
+    }
+
+    /// The cost-aware access decision for a scan of `table` whose live
+    /// window currently holds `depth` entries (see [`planner::choose`]).
+    pub fn plan(&self, table: &str, depth: usize) -> AccessPlan {
+        let mut stats = self.topic_stats.lock();
+        let plan = match stats.get_mut(table) {
+            Some(s) => {
+                let p = planner::choose(s, depth);
+                if depth > planner::SMALL_TOPIC_DEPTH && planner::thrashing(s) {
+                    s.bypasses += 1;
+                }
+                p
+            }
+            // No history: nothing to indict the cache with.
+            None => AccessPlan::CachedScan,
+        };
+        match plan {
+            AccessPlan::FreshBatch => self.planner_fresh.fetch_add(1, Ordering::Relaxed),
+            _ => self.planner_cached.fetch_add(1, Ordering::Relaxed),
+        };
+        plan
+    }
+
+    fn bump_topic(&self, table: &str, hit: bool) {
+        let mut stats = self.topic_stats.lock();
+        let s = match stats.get_mut(table) {
+            Some(s) => s,
+            None => stats.entry(table.to_string()).or_default(),
+        };
+        if hit {
+            s.hits += 1;
+        } else {
+            s.invalidations += 1;
+        }
+    }
+
     fn lookup(
         &self,
-        key: &(String, u64, u64),
+        table: &str,
+        window: (u64, u64),
         meta: (u64, Option<StreamId>),
-    ) -> Option<Arc<Vec<Record>>> {
+    ) -> Option<(Arc<Vec<Record>>, Arc<ColumnBatch>)> {
         let mut scans = self.scans.lock();
-        match scans.get(key) {
+        let windows = scans.get_mut(table)?;
+        match windows.get(&window) {
             Some(c) if (c.epoch, c.last_id) == meta => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&c.records))
+                let out = (Arc::clone(&c.records), Arc::clone(&c.columns));
+                drop(scans);
+                self.bump_topic(table, true);
+                Some(out)
             }
             Some(_) => {
-                scans.remove(key);
+                windows.remove(&window);
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
+                drop(scans);
+                self.bump_topic(table, false);
                 None
             }
             None => None,
         }
     }
 
-    fn store(&self, key: (String, u64, u64), scan: CachedScan) {
+    fn store(&self, table: &str, window: (u64, u64), scan: CachedScan) {
         let mut scans = self.scans.lock();
-        if scans.len() >= MAX_CACHED_SCANS && !scans.contains_key(&key) {
+        let total: usize = scans.values().map(|windows| windows.len()).sum();
+        let replacing = scans.get(table).is_some_and(|windows| windows.contains_key(&window));
+        if total >= MAX_CACHED_SCANS && !replacing {
             scans.clear();
         }
-        scans.insert(key, scan);
+        scans.entry(table.to_string()).or_default().insert(window, scan);
     }
 }
 
 /// A [`TableProvider`] wrapping a [`Broker`] with a shared [`ScanCache`]:
 /// `latest` passes straight through (an O(1) tail-read is cheaper than
-/// any cache probe); `range` serves repeat scans of an unchanged topic
-/// from the decoded cache and otherwise takes one consistent
-/// [`Broker::scan_batch_by_time`], storing the result under the batch's
-/// own snapshot key.
+/// any cache probe); `range`/`columns` serve repeat scans of an unchanged
+/// topic straight from the decoded cache (an `Arc` clone — no
+/// allocation) and otherwise take one consistent
+/// [`Broker::scan_batch_by_time`], storing both the row and columnar
+/// forms under the batch's own snapshot key. Topics the planner has
+/// flagged as cache-thrashing skip the cache entirely
+/// ([`AccessPlan::FreshBatch`]).
 pub struct CachedBroker<'a> {
     broker: &'a Broker,
     cache: &'a ScanCache,
@@ -245,6 +356,39 @@ impl<'a> CachedBroker<'a> {
     pub fn new(broker: &'a Broker, cache: &'a ScanCache) -> Self {
         Self { broker, cache }
     }
+
+    /// One consistent scan of the window, both representations.
+    fn fetch(
+        &self,
+        table: &str,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> (Arc<Vec<Record>>, Arc<ColumnBatch>) {
+        if self.cache.plan(table, self.broker.topic_len(table)) == AccessPlan::FreshBatch {
+            let batch = self.broker.scan_batch_by_time(table, start_ms, end_ms);
+            let columns = Arc::new(batch.to_columns());
+            return (Arc::new(batch.records), columns);
+        }
+        let meta = self.broker.scan_meta(table);
+        if let Some(cached) = self.cache.lookup(table, (start_ms, end_ms), meta) {
+            return cached;
+        }
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let batch = self.broker.scan_batch_by_time(table, start_ms, end_ms);
+        let columns = Arc::new(batch.to_columns());
+        let records = Arc::new(batch.records);
+        self.cache.store(
+            table,
+            (start_ms, end_ms),
+            CachedScan {
+                epoch: batch.epoch,
+                last_id: batch.last_id,
+                records: Arc::clone(&records),
+                columns: Arc::clone(&columns),
+            },
+        );
+        (records, columns)
+    }
 }
 
 impl TableProvider for CachedBroker<'_> {
@@ -252,25 +396,206 @@ impl TableProvider for CachedBroker<'_> {
         TableProvider::latest(self.broker, table)
     }
 
-    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Vec<Record> {
-        let key = (table.to_string(), start_ms, end_ms);
-        let meta = self.broker.scan_meta(table);
-        if let Some(records) = self.cache.lookup(&key, meta) {
-            return records.as_ref().clone();
-        }
-        self.cache.misses.fetch_add(1, Ordering::Relaxed);
-        let batch = self.broker.scan_batch_by_time(table, start_ms, end_ms);
-        let records = Arc::new(batch.records);
-        self.cache.store(
-            key,
-            CachedScan {
-                epoch: batch.epoch,
-                last_id: batch.last_id,
-                records: Arc::clone(&records),
-            },
-        );
-        records.as_ref().clone()
+    fn range(&self, table: &str, start_ms: u64, end_ms: u64) -> Arc<Vec<Record>> {
+        self.fetch(table, start_ms, end_ms).0
     }
+
+    fn columns(&self, table: &str, start_ms: u64, end_ms: u64) -> Option<Arc<ColumnBatch>> {
+        Some(self.fetch(table, start_ms, end_ms).1)
+    }
+}
+
+/// Per-bucket accumulator of a `GROUP BY BUCKET` scan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct BucketState {
+    pub(crate) counts: AggregateCounts,
+    pub(crate) acc: ScanAccumulator,
+}
+
+/// The sequential scan-aggregate state shared by the row path, the
+/// vectorized path, and continuous queries. All three feed records in the
+/// same (stream) order through [`ScanState::observe`] and read the result
+/// out of [`ScanState::finalize`], so their `f64` folds are bit-identical
+/// by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ScanState {
+    /// Records seen in the time window (before predicates).
+    pub(crate) total_in_window: u64,
+    /// Largest record timestamp over the whole window.
+    pub(crate) max_ts_all: u64,
+    /// Provenance split of the admitted (predicate-passing) records.
+    pub(crate) counts: AggregateCounts,
+    /// Records admitted by value predicates and the join.
+    pub(crate) admitted: u64,
+    /// Fold over the included (admitted minus excluded-stale) records.
+    pub(crate) acc: ScanAccumulator,
+    /// Largest record timestamp among the included records.
+    pub(crate) max_ts_included: u64,
+    /// Per-bucket accumulators when `GROUP BY BUCKET` is present.
+    pub(crate) buckets: Option<BTreeMap<u64, BucketState>>,
+    bucket_ms: u64,
+}
+
+impl ScanState {
+    pub(crate) fn new(bucket_ms: Option<u64>) -> Self {
+        Self {
+            total_in_window: 0,
+            max_ts_all: 0,
+            counts: AggregateCounts::default(),
+            admitted: 0,
+            acc: ScanAccumulator::new(),
+            max_ts_included: 0,
+            buckets: bucket_ms.map(|_| BTreeMap::new()),
+            bucket_ms: bucket_ms.unwrap_or(0),
+        }
+    }
+
+    /// Feed one in-window record (time filtering happens upstream, on the
+    /// entry's publish time, exactly as `TableProvider::range` selects).
+    pub(crate) fn observe(
+        &mut self,
+        select: &Select,
+        join: Option<&JoinIndex>,
+        ts_ms: u64,
+        value: f64,
+        provenance: Provenance,
+    ) {
+        self.total_in_window += 1;
+        self.max_ts_all = self.max_ts_all.max(ts_ms);
+        let admitted = select.value_preds.iter().all(|p| p.admits(value))
+            && join.is_none_or(|j| j.matches(ts_ms));
+        if !admitted {
+            return;
+        }
+        self.admitted += 1;
+        match provenance {
+            Provenance::Measured => self.counts.measured += 1,
+            Provenance::Predicted => self.counts.predicted += 1,
+            Provenance::Stale => self.counts.stale += 1,
+        }
+        let include = select.include_stale || provenance != Provenance::Stale;
+        if let Some(buckets) = &mut self.buckets {
+            let b = buckets.entry(ts_ms - ts_ms % self.bucket_ms).or_default();
+            match provenance {
+                Provenance::Measured => b.counts.measured += 1,
+                Provenance::Predicted => b.counts.predicted += 1,
+                Provenance::Stale => b.counts.stale += 1,
+            }
+            if include {
+                b.acc.push(value);
+            }
+        } else if include {
+            self.acc.push(value);
+            self.max_ts_included = self.max_ts_included.max(ts_ms);
+        }
+    }
+
+    /// Produce the aggregate rows. Mirrors the v1 semantics exactly for
+    /// unfiltered scans: `COUNT` is an honest zero over an all-stale
+    /// window, other aggregates error with [`ExecError::StaleOnly`].
+    pub(crate) fn finalize(
+        &self,
+        table: &str,
+        agg: Aggregate,
+        _select: &Select,
+    ) -> Result<Vec<Row>, ExecError> {
+        if self.total_in_window == 0 {
+            return Err(ExecError::EmptyTable(table.to_string()));
+        }
+        if let Some(buckets) = &self.buckets {
+            // One row per bucket holding at least one admitted record, in
+            // ascending bucket order; the row timestamp is the bucket
+            // start. COUNT emits zero-valued rows for stale-only buckets;
+            // other aggregates skip them.
+            let mut rows = Vec::new();
+            for (&start, b) in buckets {
+                if agg != Aggregate::Count && b.acc.count == 0 {
+                    continue;
+                }
+                rows.push(Row {
+                    table: table.to_string(),
+                    timestamp_ms: start,
+                    value: b.acc.value(agg),
+                    provenance: None,
+                    counts: Some(b.counts),
+                });
+            }
+            return Ok(rows);
+        }
+        if agg == Aggregate::Count {
+            // COUNT reports how many records the aggregate policy admits;
+            // an all-stale (or fully filtered) window is an honest zero
+            // with the split alongside, not an error.
+            return Ok(vec![Row {
+                table: table.to_string(),
+                timestamp_ms: self.max_ts_all,
+                value: self.acc.value(agg),
+                provenance: None,
+                counts: Some(self.counts),
+            }]);
+        }
+        if self.admitted == 0 {
+            return Err(ExecError::EmptyTable(table.to_string()));
+        }
+        if self.acc.count == 0 {
+            return Err(ExecError::StaleOnly(table.to_string()));
+        }
+        Ok(vec![Row {
+            table: table.to_string(),
+            timestamp_ms: self.max_ts_included,
+            value: self.acc.value(agg),
+            provenance: None,
+            counts: Some(self.counts),
+        }])
+    }
+}
+
+/// Sort + truncate rows per an ORDER BY/LIMIT pair. Used per-arm (All
+/// scans), post-merge (union-level trailing clauses), and by continuous
+/// queries, so all three agree. Sorts are stable; rows arrive in stream
+/// order, so `Timestamp ASC` is a no-op for a single arm and a real merge
+/// for a union.
+pub(crate) fn apply_order_limit(rows: &mut Vec<Row>, order: Option<OrderBy>, limit: Option<usize>) {
+    match order {
+        None => {}
+        Some(OrderBy::TimestampAsc) => rows.sort_by_key(|r| r.timestamp_ms),
+        Some(OrderBy::TimestampDesc) => rows.sort_by_key(|r| std::cmp::Reverse(r.timestamp_ms)),
+        Some(OrderBy::MetricAsc) => {
+            rows.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal))
+        }
+        Some(OrderBy::MetricDesc) => {
+            rows.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal))
+        }
+    }
+    if let Some(n) = limit {
+        rows.truncate(n);
+    }
+}
+
+/// Combine per-arm outcomes into a [`QueryResult`] with the query's
+/// post-merge order/limit applied. Single-SELECT queries propagate their
+/// arm's error as `Err`; multi-arm unions keep the healthy arms and list
+/// failures in [`QueryResult::arm_errors`]. Shared between the engine and
+/// continuous queries so both report identically.
+pub(crate) fn merge_arm_results(
+    query: &Query,
+    results: Vec<Result<Vec<Row>, ExecError>>,
+) -> Result<QueryResult, ExecError> {
+    if results.len() == 1 {
+        let mut rows = results.into_iter().next().expect("one arm")?;
+        apply_order_limit(&mut rows, query.order, query.limit);
+        return Ok(QueryResult { rows, arm_errors: vec![] });
+    }
+    let mut rows = Vec::new();
+    let mut arm_errors = Vec::new();
+    for (arm, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(arm_rows) => rows.extend(arm_rows),
+            Err(error) => arm_errors.push(ArmError { arm, error }),
+        }
+    }
+    apply_order_limit(&mut rows, query.order, query.limit);
+    Ok(QueryResult { rows, arm_errors })
 }
 
 /// Pre-resolved instrument handles for query execution.
@@ -287,12 +612,20 @@ struct QueryObs {
 pub struct QueryEngine<'a, P: TableProvider> {
     provider: &'a P,
     obs: Option<QueryObs>,
+    vectorized: bool,
 }
 
 impl<'a, P: TableProvider> QueryEngine<'a, P> {
-    /// Create an engine over a provider.
+    /// Create an engine over a provider (vectorized execution when the
+    /// provider supplies columns).
     pub fn new(provider: &'a P) -> Self {
-        Self { provider, obs: None }
+        Self { provider, obs: None, vectorized: true }
+    }
+
+    /// A row-at-a-time engine that never touches the provider's columnar
+    /// path — the equivalence oracle for the vectorized executor.
+    pub fn row_oracle(provider: &'a P) -> Self {
+        Self { provider, obs: None, vectorized: false }
     }
 
     /// Create an engine that records per-arm execution latency
@@ -304,7 +637,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
             arm_ns: registry.histogram("query.arm_ns"),
             arm_errors: registry.counter("query.arm_errors"),
         });
-        Self { provider, obs }
+        Self { provider, obs, vectorized: true }
     }
 
     /// [`QueryEngine::run_select`] with per-arm latency accounting.
@@ -319,6 +652,18 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
         result
     }
 
+    /// Build the timestamp semi-join index for an arm, if it has one: the
+    /// joined table's record timestamps over the arm's window widened by
+    /// the tolerance, sorted for binary-search matching.
+    fn join_index(&self, select: &Select, lo: u64, hi: u64) -> Option<JoinIndex> {
+        select.join.as_ref().map(|j| {
+            let rlo = lo.saturating_sub(j.tolerance_ms);
+            let rhi = hi.saturating_add(j.tolerance_ms);
+            let right = self.provider.range(&j.table, rlo, rhi);
+            JoinIndex::from_records(&right, j.tolerance_ms)
+        })
+    }
+
     /// Execute one SELECT arm.
     fn run_select(&self, select: &Select) -> Result<Vec<Row>, ExecError> {
         let table = &select.table;
@@ -326,7 +671,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
             Aggregate::Latest => {
                 let record = match select.time_range {
                     None => self.provider.latest(table),
-                    Some((lo, hi)) => self.provider.range(table, lo, hi).into_iter().last(),
+                    Some((lo, hi)) => self.provider.range(table, lo, hi).last().cloned(),
                 };
                 let r = record.ok_or_else(|| ExecError::EmptyTable(table.clone()))?;
                 Ok(vec![Row {
@@ -339,9 +684,14 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
             }
             Aggregate::All => {
                 let (lo, hi) = select.time_range.unwrap_or((0, u64::MAX));
+                let join = self.join_index(select, lo, hi);
                 let records = self.provider.range(table, lo, hi);
                 let mut rows: Vec<Row> = records
-                    .into_iter()
+                    .iter()
+                    .filter(|r| {
+                        select.value_preds.iter().all(|p| p.admits(r.value))
+                            && join.as_ref().is_none_or(|j| j.matches(r.timestamp_ns / 1_000_000))
+                    })
                     .map(|r| Row {
                         table: table.clone(),
                         timestamp_ms: r.timestamp_ns / 1_000_000,
@@ -350,84 +700,36 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
                         counts: None,
                     })
                     .collect();
-                match select.order {
-                    None | Some(OrderBy::TimestampAsc) => {}
-                    Some(OrderBy::TimestampDesc) => rows.reverse(),
-                    Some(OrderBy::MetricAsc) => rows.sort_by(|a, b| {
-                        a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
-                    }),
-                    Some(OrderBy::MetricDesc) => rows.sort_by(|a, b| {
-                        b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal)
-                    }),
-                }
-                if let Some(n) = select.limit {
-                    rows.truncate(n);
-                }
+                apply_order_limit(&mut rows, select.order, select.limit);
                 Ok(rows)
             }
             agg => {
                 let (lo, hi) = select.time_range.unwrap_or((0, u64::MAX));
-                let records = self.provider.range(table, lo, hi);
-                if records.is_empty() {
-                    return Err(ExecError::EmptyTable(table.clone()));
-                }
-                // Stale republications repeat the last measured value during
-                // a hook outage; aggregating them would double-count the
-                // outage value, so they are excluded unless the query opts
-                // in via INCLUDE STALE. The full split is reported either
-                // way in `Row::counts`.
-                let counts = AggregateCounts {
-                    measured: records
-                        .iter()
-                        .filter(|r| r.provenance == Provenance::Measured)
-                        .count() as u64,
-                    predicted: records
-                        .iter()
-                        .filter(|r| r.provenance == Provenance::Predicted)
-                        .count() as u64,
-                    stale: records.iter().filter(|r| r.is_stale()).count() as u64,
-                };
-                let included: Vec<&Record> =
-                    records.iter().filter(|r| select.include_stale || !r.is_stale()).collect();
-                if agg == Aggregate::Count {
-                    // COUNT reports how many records the aggregate policy
-                    // admits; an all-stale window is an honest zero (with
-                    // the split alongside), not an error.
-                    let ts = records.iter().map(|r| r.timestamp_ns / 1_000_000).max().unwrap_or(0);
-                    return Ok(vec![Row {
-                        table: table.clone(),
-                        timestamp_ms: ts,
-                        value: included.len() as f64,
-                        provenance: None,
-                        counts: Some(counts),
-                    }]);
-                }
-                if included.is_empty() {
-                    return Err(ExecError::StaleOnly(table.clone()));
-                }
-                let ts = included.iter().map(|r| r.timestamp_ns / 1_000_000).max().unwrap_or(0);
-                let values = included.iter().map(|r| r.value);
-                let value = match agg {
-                    Aggregate::Max => values.fold(f64::NEG_INFINITY, f64::max),
-                    Aggregate::Min => values.fold(f64::INFINITY, f64::min),
-                    Aggregate::Avg => values.sum::<f64>() / included.len() as f64,
-                    Aggregate::Sum => values.sum(),
-                    Aggregate::Count | Aggregate::Latest | Aggregate::All => {
-                        unreachable!("handled above")
+                let join = self.join_index(select, lo, hi);
+                if self.vectorized {
+                    if let Some(cols) = self.provider.columns(table, lo, hi) {
+                        return vector::run_scan_columns(table, select, agg, &cols, join.as_ref());
                     }
-                };
-                Ok(vec![Row {
-                    table: table.clone(),
-                    timestamp_ms: ts,
-                    value,
-                    provenance: None,
-                    counts: Some(counts),
-                }])
+                }
+                let records = self.provider.range(table, lo, hi);
+                let mut st = ScanState::new(select.bucket_ms);
+                for r in records.iter() {
+                    st.observe(
+                        select,
+                        join.as_ref(),
+                        r.timestamp_ns / 1_000_000,
+                        r.value,
+                        r.provenance,
+                    );
+                }
+                st.finalize(table, agg, select)
             }
         }
     }
 
-    /// Execute a query. Rows come back grouped by arm, in source order.
+    /// Execute a query. Rows come back grouped by arm, in source order,
+    /// with any post-merge `ORDER BY`/`LIMIT` applied to the concatenated
+    /// rows.
     ///
     /// Arms are resolved in parallel on scoped threads **when the work
     /// warrants it**: `Latest` arms are O(1) indexed tail-reads for which
@@ -448,32 +750,21 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
         if query.selects.is_empty() {
             return Ok(QueryResult { rows: vec![], arm_errors: vec![] });
         }
-        if query.selects.len() == 1 {
-            let rows = self.timed_select(&query.selects[0])?;
-            return Ok(QueryResult { rows, arm_errors: vec![] });
-        }
         let heavy_arms = query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
-        let results: Vec<Result<Vec<Row>, ExecError>> = if heavy_arms == 0 {
-            query.selects.iter().map(|s| self.timed_select(s)).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = query
-                    .selects
-                    .iter()
-                    .map(|s| scope.spawn(move || self.timed_select(s)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("select worker panicked")).collect()
-            })
-        };
-        let mut rows = Vec::new();
-        let mut arm_errors = Vec::new();
-        for (arm, r) in results.into_iter().enumerate() {
-            match r {
-                Ok(arm_rows) => rows.extend(arm_rows),
-                Err(error) => arm_errors.push(ArmError { arm, error }),
-            }
-        }
-        Ok(QueryResult { rows, arm_errors })
+        let results: Vec<Result<Vec<Row>, ExecError>> =
+            if query.selects.len() == 1 || heavy_arms == 0 {
+                query.selects.iter().map(|s| self.timed_select(s)).collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = query
+                        .selects
+                        .iter()
+                        .map(|s| scope.spawn(move || self.timed_select(s)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("select worker panicked")).collect()
+                })
+            };
+        merge_arm_results(query, results)
     }
 
     /// Parse and execute in one call.
@@ -483,8 +774,8 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
     }
 
     /// Describe how a query would execute without running it (the
-    /// `EXPLAIN` surface): one line per arm plus the chosen execution
-    /// strategy.
+    /// `EXPLAIN` surface): one line per arm, the post-merge clauses, and
+    /// the chosen execution strategy.
     pub fn explain(&self, query: &Query) -> String {
         let heavy_arms = query.selects.iter().filter(|s| s.aggregate != Aggregate::Latest).count();
         let strategy = if query.selects.len() <= 1 || heavy_arms == 0 {
@@ -493,8 +784,7 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
             "parallel (one scoped thread per arm)"
         };
         let mut out = format!(
-            "query: {} arm(s), complexity {}, strategy: {strategy}
-",
+            "query: {} arm(s), complexity {}, strategy: {strategy}\n",
             query.selects.len(),
             query.complexity()
         );
@@ -502,20 +792,31 @@ impl<'a, P: TableProvider> QueryEngine<'a, P> {
             let access = match s.aggregate {
                 Aggregate::Latest => "O(1) tail-read".to_string(),
                 Aggregate::All => "range scan".to_string(),
+                other if self.vectorized => format!("vectorized scan + {other:?}"),
                 other => format!("range scan + {other:?}"),
             };
-            let filter = match s.time_range {
+            let mut filter = match s.time_range {
                 Some((lo, hi)) if hi == u64::MAX => format!(", Timestamp >= {lo}"),
                 Some((lo, hi)) => format!(", Timestamp in [{lo}, {hi}]"),
                 None => String::new(),
             };
+            for p in &s.value_preds {
+                filter.push_str(&format!(", metric {} {}", p.op, p.literal));
+            }
+            if let Some(w) = s.bucket_ms {
+                filter.push_str(&format!(", bucket {w}ms"));
+            }
+            if let Some(j) = &s.join {
+                filter.push_str(&format!(", join {} ±{}ms", j.table, j.tolerance_ms));
+            }
             let order = s.order.map(|o| format!(", order {o:?}")).unwrap_or_default();
             let limit = s.limit.map(|n| format!(", limit {n}")).unwrap_or_default();
-            out.push_str(&format!(
-                "  arm {i}: {} — {access}{filter}{order}{limit}
-",
-                s.table
-            ));
+            out.push_str(&format!("  arm {i}: {} — {access}{filter}{order}{limit}\n", s.table));
+        }
+        if query.order.is_some() || query.limit.is_some() {
+            let order = query.order.map(|o| format!(" order {o:?}")).unwrap_or_default();
+            let limit = query.limit.map(|n| format!(" limit {n}")).unwrap_or_default();
+            out.push_str(&format!("  post-merge:{order}{limit}\n"));
         }
         out
     }
@@ -650,6 +951,151 @@ mod tests {
             .execute_sql("SELECT MAX(Timestamp), metric FROM capacity WHERE Timestamp <= 250")
             .unwrap();
         assert_eq!(latest_in_range.rows[0].value, 20.0);
+    }
+
+    #[test]
+    fn value_predicates_filter_rows_and_aggregates() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        let out = engine.execute_sql("SELECT metric FROM capacity WHERE metric > 15").unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[0].value, 20.0);
+        // Predicates AND with timestamp bounds.
+        let avg = engine
+            .execute_sql(
+                "SELECT AVG(metric) FROM capacity \
+                 WHERE Timestamp BETWEEN 100 AND 300 AND metric >= 20",
+            )
+            .unwrap();
+        assert_eq!(avg.rows[0].value, 25.0, "(20 + 30) / 2");
+        assert_eq!(
+            avg.rows[0].counts,
+            Some(AggregateCounts { measured: 2, predicted: 0, stale: 0 }),
+            "counts cover only the admitted records"
+        );
+        // COUNT over a fully filtered window is an honest zero.
+        let count =
+            engine.execute_sql("SELECT COUNT(*) FROM capacity WHERE metric > 1000").unwrap();
+        assert_eq!(count.rows[0].value, 0.0);
+        // Other aggregates over a fully filtered window are EmptyTable.
+        let err =
+            engine.execute_sql("SELECT AVG(metric) FROM capacity WHERE metric > 1000").unwrap_err();
+        assert!(matches!(err, ExecSqlError::Exec(ExecError::EmptyTable(_))));
+    }
+
+    #[test]
+    fn bucketed_aggregates_emit_one_row_per_bucket() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        // Records at 100/200/300/400 ms → 200ms buckets [0,200), [200,400),
+        // [400,600): AVG(10)=10, AVG(20,30)=25, AVG(40)=40.
+        let out = engine
+            .execute_sql("SELECT AVG(metric) FROM capacity GROUP BY BUCKET(Timestamp, 200)")
+            .unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!((out.rows[0].timestamp_ms, out.rows[0].value), (0, 10.0));
+        assert_eq!((out.rows[1].timestamp_ms, out.rows[1].value), (200, 25.0));
+        assert_eq!((out.rows[2].timestamp_ms, out.rows[2].value), (400, 40.0));
+        let count = engine
+            .execute_sql("SELECT COUNT(*) FROM capacity GROUP BY BUCKET(Timestamp, 200)")
+            .unwrap();
+        assert_eq!(count.rows.iter().map(|r| r.value).collect::<Vec<_>>(), vec![1.0, 2.0, 1.0]);
+        // Duration units work end to end (1s buckets → everything in one).
+        let sum = engine
+            .execute_sql("SELECT SUM(metric) FROM capacity GROUP BY BUCKET(Timestamp, 1s)")
+            .unwrap();
+        assert_eq!(sum.rows.len(), 1);
+        assert_eq!(sum.rows[0].value, 100.0);
+    }
+
+    #[test]
+    fn stale_only_buckets_are_zero_for_count_and_skipped_otherwise() {
+        let b = outage_broker();
+        let engine = QueryEngine::new(&b);
+        // Measured at 100–300, stale at 400–600 → 300ms buckets.
+        let count = engine
+            .execute_sql("SELECT COUNT(*) FROM disk GROUP BY BUCKET(Timestamp, 300)")
+            .unwrap();
+        // Bucket 0 holds ts 100,200 (measured); 300 holds 300 (measured) +
+        // 400,500 (stale); 600 holds 600 (stale).
+        assert_eq!(
+            count.rows.iter().map(|r| (r.timestamp_ms, r.value)).collect::<Vec<_>>(),
+            vec![(0, 2.0), (300, 1.0), (600, 0.0)],
+            "stale-only bucket surfaces as an honest zero"
+        );
+        let avg = engine
+            .execute_sql("SELECT AVG(metric) FROM disk GROUP BY BUCKET(Timestamp, 300)")
+            .unwrap();
+        assert_eq!(
+            avg.rows.iter().map(|r| (r.timestamp_ms, r.value)).collect::<Vec<_>>(),
+            vec![(0, 15.0), (300, 30.0)],
+            "stale-only bucket is skipped for value aggregates"
+        );
+    }
+
+    #[test]
+    fn join_semi_join_filters_by_partner_timestamps() {
+        let b = Broker::new(StreamConfig::default());
+        for ts in [100u64, 200, 300, 400] {
+            b.publish("left", ts, Record::measured(ts * 1_000_000, ts as f64).encode());
+        }
+        for ts in [105u64, 395] {
+            b.publish("right", ts, Record::measured(ts * 1_000_000, 1.0).encode());
+        }
+        let engine = QueryEngine::new(&b);
+        let out = engine
+            .execute_sql("SELECT metric FROM left JOIN right ON Timestamp WITHIN 10ms")
+            .unwrap();
+        assert_eq!(
+            out.rows.iter().map(|r| r.value).collect::<Vec<_>>(),
+            vec![100.0, 400.0],
+            "only records with a partner within ±10ms survive"
+        );
+        // Exact match (tolerance 0) finds nothing here.
+        let out = engine.execute_sql("SELECT COUNT(*) FROM left JOIN right ON Timestamp").unwrap();
+        assert_eq!(out.rows[0].value, 0.0);
+        // Aggregates run over the matched set.
+        let avg = engine
+            .execute_sql("SELECT AVG(metric) FROM left JOIN right ON Timestamp WITHIN 10ms")
+            .unwrap();
+        assert_eq!(avg.rows[0].value, 250.0);
+    }
+
+    #[test]
+    fn post_merge_order_limit_applies_across_arms() {
+        let b = seeded_broker();
+        let engine = QueryEngine::new(&b);
+        // Trailing clause on an unparenthesized final arm scopes to the
+        // merged rows: the top-3 values across BOTH tables.
+        let out = engine
+            .execute_sql(
+                "SELECT metric FROM capacity UNION SELECT metric FROM load \
+                 ORDER BY metric DESC LIMIT 3",
+            )
+            .unwrap();
+        assert_eq!(
+            out.rows.iter().map(|r| r.value).collect::<Vec<_>>(),
+            vec![40.0, 30.0, 20.0],
+            "ordering crosses arm boundaries"
+        );
+        // Parenthesized arms keep the clause per-arm: last arm alone is
+        // limited, the union sees all capacity rows.
+        let out = engine
+            .execute_sql(
+                "(SELECT metric FROM capacity) UNION (SELECT metric FROM load \
+                 ORDER BY metric DESC LIMIT 1)",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 5);
+        assert_eq!(out.rows[4].value, 15.0);
+        // Post-merge Timestamp ASC interleaves the two streams.
+        let out = engine
+            .execute_sql(
+                "SELECT metric FROM capacity UNION SELECT metric FROM load ORDER BY Timestamp",
+            )
+            .unwrap();
+        let ts: Vec<u64> = out.rows.iter().map(|r| r.timestamp_ms).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "merged rows are time-sorted: {ts:?}");
     }
 
     #[test]
@@ -846,6 +1292,26 @@ mod tests {
         let out = engine.execute_sql("SELECT metric FROM t").unwrap();
         assert_eq!(out.rows.len(), 1);
         assert_eq!(out.rows[0].value, 9.0);
+        // Same through the vectorized aggregate path.
+        let count = engine.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(count.rows[0].value, 1.0);
+    }
+
+    #[test]
+    fn vectorized_and_row_oracle_agree() {
+        let b = outage_broker();
+        let vec_engine = QueryEngine::new(&b);
+        let row_engine = QueryEngine::row_oracle(&b);
+        for sql in [
+            "SELECT AVG(metric) FROM disk",
+            "SELECT SUM(metric) FROM disk INCLUDE STALE",
+            "SELECT COUNT(*) FROM disk WHERE Timestamp BETWEEN 400 AND 600",
+            "SELECT MAX(metric) FROM disk WHERE metric >= 20",
+            "SELECT MIN(metric) FROM disk GROUP BY BUCKET(Timestamp, 250)",
+            "SELECT AVG(metric) FROM disk GROUP BY BUCKET(Timestamp, 300) INCLUDE STALE",
+        ] {
+            assert_eq!(vec_engine.execute_sql(sql).ok(), row_engine.execute_sql(sql).ok(), "{sql}");
+        }
     }
 
     #[test]
@@ -854,7 +1320,8 @@ mod tests {
         let engine = QueryEngine::new(&b);
         let plan = engine
             .explain_sql(
-                "SELECT MAX(Timestamp), metric FROM capacity                  UNION SELECT MAX(Timestamp), metric FROM load",
+                "SELECT MAX(Timestamp), metric FROM capacity \
+                 UNION SELECT MAX(Timestamp), metric FROM load",
             )
             .unwrap();
         assert!(plan.contains("2 arm(s)"), "{plan}");
@@ -863,7 +1330,8 @@ mod tests {
 
         let plan = engine
             .explain_sql(
-                "SELECT AVG(metric) FROM capacity WHERE Timestamp BETWEEN 1 AND 9                  UNION SELECT metric FROM load ORDER BY metric DESC LIMIT 3",
+                "SELECT AVG(metric) FROM capacity WHERE Timestamp BETWEEN 1 AND 9 \
+                 UNION SELECT metric FROM load ORDER BY metric DESC LIMIT 3",
             )
             .unwrap();
         assert!(plan.contains("parallel"), "{plan}");
@@ -875,7 +1343,7 @@ mod tests {
     fn empty_query_returns_no_rows() {
         let b = seeded_broker();
         let engine = QueryEngine::new(&b);
-        let out = engine.execute(&Query { selects: vec![] }).unwrap();
+        let out = engine.execute(&Query::new(vec![])).unwrap();
         assert!(out.rows.is_empty());
     }
 
@@ -892,6 +1360,8 @@ mod tests {
             "SELECT COUNT(*) FROM disk INCLUDE STALE",
             "SELECT MAX(Timestamp), metric FROM disk",
             "SELECT AVG(metric) FROM disk WHERE Timestamp BETWEEN 100 AND 300",
+            "SELECT AVG(metric) FROM disk GROUP BY BUCKET(Timestamp, 200)",
+            "SELECT COUNT(*) FROM disk WHERE metric >= 30",
             "SELECT metric FROM missing",
         ] {
             // Twice through the cache (cold then warm) — both must match
@@ -900,6 +1370,19 @@ mod tests {
             assert_eq!(through_cache.execute_sql(sql).ok(), plain.execute_sql(sql).ok(), "{sql}");
         }
         assert!(cache.hits() > 0, "warm passes must have hit");
+    }
+
+    #[test]
+    fn warm_range_hits_share_the_cached_allocation() {
+        let b = seeded_broker();
+        let cache = ScanCache::new();
+        let cached = CachedBroker::new(&b, &cache);
+        let first = cached.range("capacity", 0, u64::MAX);
+        let second = cached.range("capacity", 0, u64::MAX);
+        assert!(Arc::ptr_eq(&first, &second), "warm hit must clone the Arc, not the Vec");
+        let c1 = cached.columns("capacity", 0, u64::MAX).unwrap();
+        let c2 = cached.columns("capacity", 0, u64::MAX).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2));
     }
 
     #[test]
@@ -981,6 +1464,8 @@ mod tests {
         assert_eq!(snap.counter("query.scan_cache.hits"), 1);
         assert_eq!(snap.counter("query.scan_cache.misses"), 1);
         assert_eq!(snap.counter("query.scan_cache.invalidations"), 0);
+        assert_eq!(snap.counter("query.planner.cached_scan"), 2);
+        assert_eq!(snap.counter("query.planner.fresh_batch"), 0);
     }
 
     #[test]

@@ -6,27 +6,46 @@
 //! table access **in parallel** against the SCoRe streams, and unions the
 //! results.
 //!
-//! The supported grammar is exactly the resource-query shape of
-//! Algorithm 4.4.1 plus the aggregates middleware needs:
+//! The supported grammar is the resource-query shape of Algorithm 4.4.1
+//! plus the aggregates middleware needs — with v2 adding value
+//! predicates, time-bucketed windows, and timestamp joins:
 //!
 //! ```sql
 //! SELECT MAX(Timestamp), metric FROM pfs_capacity
 //! UNION
-//! SELECT MAX(Timestamp), metric FROM node_1_memory_capacity
+//! SELECT AVG(metric) FROM node_2_load
+//!   WHERE Timestamp BETWEEN 100 AND 200 AND metric > 0.5
+//!   GROUP BY BUCKET(Timestamp, 10s)
 //! UNION
-//! SELECT AVG(metric) FROM node_2_load WHERE Timestamp BETWEEN 100 AND 200;
+//! SELECT COUNT(*) FROM reads JOIN writes ON Timestamp WITHIN 5ms;
 //! ```
 //!
 //! * [`ast`] — query syntax tree.
-//! * [`parser`] — hand-rolled tokenizer/parser with error positions.
+//! * [`parser`] — hand-rolled tokenizer/parser with typed, positioned
+//!   errors (reversed time bounds are rejected, not silently empty).
 //! * [`exec`] — the parallel executor over a [`exec::TableProvider`]
 //!   (implemented for the pub-sub [`apollo_streams::Broker`], reading the
-//!   live queue or the archived log via timestamp indexing).
+//!   live queue or the archived log via timestamp indexing), with an
+//!   epoch-invalidated scan cache whose warm hits are allocation-free.
+//! * [`vector`] — columnar kernels: scan aggregates run over the
+//!   provider's [`apollo_streams::ColumnBatch`] snapshot, bit-identical
+//!   to the row-at-a-time oracle ([`exec::QueryEngine::row_oracle`]).
+//! * [`continuous`] — standing queries that fold newly published records
+//!   incrementally and read out in O(rows), bit-identical to a full
+//!   rescan at any quiescent point.
+//! * [`planner`] — the cost-aware choice between cached scans, fresh
+//!   batches, and a continuous query's standing result.
 
 pub mod ast;
+pub mod continuous;
 pub mod exec;
 pub mod parser;
+pub mod planner;
+pub mod vector;
 
-pub use ast::{Aggregate, Query, Select};
+pub use ast::{Aggregate, CmpOp, Join, Query, Select, ValuePred};
+pub use continuous::{ContinuousError, ContinuousQuery};
 pub use exec::{CachedBroker, QueryEngine, QueryResult, Row, ScanCache, TableProvider};
-pub use parser::{parse, ParseError};
+pub use parser::{parse, ParseError, ParseErrorKind};
+pub use planner::AccessPlan;
+pub use vector::{JoinIndex, ScanAccumulator};

@@ -2,9 +2,49 @@
 //! subset.
 //!
 //! Keywords are case-insensitive; table and column identifiers keep their
-//! case. Errors carry the byte offset of the offending token.
+//! case. Errors carry the byte offset of the offending token and a typed
+//! [`ParseErrorKind`].
+//!
+//! Grammar (AQE v2):
+//!
+//! ```text
+//! query   := arm (UNION arm)* [order] [limit] [;]
+//! arm     := select | ( select )
+//! select  := SELECT selector FROM table [join] [where] [group]
+//!            [order] [limit] [INCLUDE STALE]
+//! join    := JOIN table ON Timestamp [WITHIN duration]
+//! where   := WHERE cond (AND cond)*
+//! cond    := Timestamp BETWEEN n AND n
+//!          | Timestamp (>=|<=) n
+//!          | metric (>|>=|<|<=|=) number
+//! group   := GROUP BY BUCKET ( Timestamp , duration )
+//! duration:= n [ms|s|m|h]        -- bare n means milliseconds
+//! ```
+//!
+//! Scoping rule for a multi-arm UNION: `ORDER BY`/`LIMIT` trailing an
+//! **unparenthesized** final arm apply **after the merge** (to the
+//! concatenated rows); wrap an arm in parentheses to scope them to that
+//! arm alone. `INCLUDE STALE` is always arm-scoped.
 
-use crate::ast::{Aggregate, OrderBy, Query, Select};
+use crate::ast::{Aggregate, CmpOp, Join, OrderBy, Query, Select, ValuePred};
+
+/// Why a parse failed, beyond the human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// Generic syntax error.
+    Syntax,
+    /// The effective time window is reversed/degenerate: the lower bound
+    /// exceeds the upper bound, so the scan would silently match nothing.
+    /// Covers both `BETWEEN hi AND lo` and a `>= lo` / `<= hi` pair that
+    /// intersects to an empty window.
+    ReversedTimeBounds {
+        /// The (larger) lower bound.
+        lo: u64,
+        /// The (smaller) upper bound.
+        hi: u64,
+    },
+}
 
 /// A parse failure with its source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,6 +53,8 @@ pub struct ParseError {
     pub message: String,
     /// Byte offset in the input where the error was detected.
     pub offset: usize,
+    /// Typed failure class (see [`ParseErrorKind`]).
+    pub kind: ParseErrorKind,
 }
 
 impl std::fmt::Display for ParseError {
@@ -27,14 +69,19 @@ impl std::error::Error for ParseError {}
 enum Token {
     Ident(String),
     Number(u64),
+    Float(f64),
     LParen,
     RParen,
     Comma,
     Star,
     Semicolon,
+    Minus,
     /// Comparison operators for WHERE clauses.
+    Gt,
     Ge,
+    Lt,
     Le,
+    EqOp,
 }
 
 struct Lexer<'a> {
@@ -77,27 +124,55 @@ impl<'a> Lexer<'a> {
                     out.push((Token::Semicolon, start));
                     self.pos += 1;
                 }
+                '-' => {
+                    out.push((Token::Minus, start));
+                    self.pos += 1;
+                }
+                '=' => {
+                    out.push((Token::EqOp, start));
+                    self.pos += 1;
+                }
                 '>' | '<' => {
-                    if self.pos + 1 < bytes.len() && bytes[self.pos + 1] as char == '=' {
-                        out.push((if c == '>' { Token::Ge } else { Token::Le }, start));
-                        self.pos += 2;
-                    } else {
-                        return Err(ParseError {
-                            message: format!("unsupported operator {c:?} (only >= and <=)"),
-                            offset: start,
-                        });
-                    }
+                    let wide = self.pos + 1 < bytes.len() && bytes[self.pos + 1] as char == '=';
+                    let tok = match (c, wide) {
+                        ('>', true) => Token::Ge,
+                        ('>', false) => Token::Gt,
+                        ('<', true) => Token::Le,
+                        ('<', false) => Token::Lt,
+                        _ => unreachable!(),
+                    };
+                    out.push((tok, start));
+                    self.pos += if wide { 2 } else { 1 };
                 }
                 '0'..='9' => {
                     let mut end = self.pos;
                     while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
                         end += 1;
                     }
-                    let n: u64 = self.src[self.pos..end].parse().map_err(|_| ParseError {
-                        message: "number too large".into(),
-                        offset: start,
-                    })?;
-                    out.push((Token::Number(n), start));
+                    // A dot followed by a digit continues a float literal
+                    // (a bare trailing dot stays with the next token).
+                    let is_float = end + 1 < bytes.len()
+                        && bytes[end] as char == '.'
+                        && (bytes[end + 1] as char).is_ascii_digit();
+                    if is_float {
+                        end += 1;
+                        while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                            end += 1;
+                        }
+                        let f: f64 = self.src[self.pos..end].parse().map_err(|_| ParseError {
+                            message: "bad numeric literal".into(),
+                            offset: start,
+                            kind: ParseErrorKind::Syntax,
+                        })?;
+                        out.push((Token::Float(f), start));
+                    } else {
+                        let n: u64 = self.src[self.pos..end].parse().map_err(|_| ParseError {
+                            message: "number too large".into(),
+                            offset: start,
+                            kind: ParseErrorKind::Syntax,
+                        })?;
+                        out.push((Token::Number(n), start));
+                    }
                     self.pos = end;
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
@@ -117,6 +192,7 @@ impl<'a> Lexer<'a> {
                     return Err(ParseError {
                         message: format!("unexpected character {other:?}"),
                         offset: start,
+                        kind: ParseErrorKind::Syntax,
                     })
                 }
             }
@@ -130,6 +206,10 @@ struct Parser {
     pos: usize,
     end_offset: usize,
 }
+
+/// A parsed WHERE clause: the intersected time window (if any Timestamp
+/// bound appeared) plus the value predicates.
+type WhereClause = (Option<(u64, u64)>, Vec<ValuePred>);
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
@@ -149,7 +229,7 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError { message: message.into(), offset: self.offset(), kind: ParseErrorKind::Syntax }
     }
 
     fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
@@ -200,6 +280,46 @@ impl Parser {
         }
     }
 
+    /// `[−] (integer | float)` — the literal of a value predicate.
+    fn numeric_literal(&mut self) -> Result<f64, ParseError> {
+        let negative = if matches!(self.peek(), Some(Token::Minus)) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let saved = self.pos;
+        let magnitude = match self.next() {
+            Some(Token::Number(n)) => n as f64,
+            Some(Token::Float(f)) => f,
+            _ => {
+                self.pos = saved;
+                return Err(self.err("expected numeric literal"));
+            }
+        };
+        Ok(if negative { -magnitude } else { magnitude })
+    }
+
+    /// `n [ms|s|m|h]` → milliseconds. A bare number is milliseconds.
+    fn duration_ms(&mut self) -> Result<u64, ParseError> {
+        let n = self.number()?;
+        let multiplier = match self.peek() {
+            Some(Token::Ident(unit)) => {
+                let m = match unit.to_ascii_lowercase().as_str() {
+                    "ms" => 1,
+                    "s" => 1_000,
+                    "m" => 60_000,
+                    "h" => 3_600_000,
+                    _ => return Err(self.err("expected duration unit (ms, s, m or h)")),
+                };
+                self.next();
+                m
+            }
+            _ => 1,
+        };
+        n.checked_mul(multiplier).ok_or_else(|| self.err("duration too large"))
+    }
+
     /// selector := MAX ( Timestamp ) , metric
     ///           | MAX|MIN|AVG|SUM ( metric )
     ///           | COUNT ( * )
@@ -243,55 +363,168 @@ impl Parser {
             _ => Err(ParseError {
                 message: format!("unknown selector {name:?}"),
                 offset: self.tokens[self.pos - 1].1,
+                kind: ParseErrorKind::Syntax,
             }),
         }
     }
 
-    /// where := WHERE Timestamp BETWEEN n AND n
-    ///        | WHERE Timestamp >= n [AND Timestamp <= n]
-    fn where_clause(&mut self) -> Result<Option<(u64, u64)>, ParseError> {
-        if !self.peek_kw("where") {
+    /// join := JOIN table ON Timestamp [WITHIN duration]
+    fn join_clause(&mut self) -> Result<Option<Join>, ParseError> {
+        if !self.peek_kw("join") {
             return Ok(None);
         }
-        self.expect_kw("where")?;
+        self.expect_kw("join")?;
+        let table = self.ident()?;
+        self.expect_kw("on")?;
         let col = self.ident()?;
         if !col.eq_ignore_ascii_case("timestamp") {
-            return Err(self.err("WHERE supports only Timestamp filters"));
+            return Err(self.err("JOIN matches ON Timestamp"));
         }
-        if self.peek_kw("between") {
-            self.expect_kw("between")?;
-            let lo = self.number()?;
-            self.expect_kw("and")?;
-            let hi = self.number()?;
-            if lo > hi {
-                return Err(self.err("BETWEEN bounds out of order"));
-            }
-            return Ok(Some((lo, hi)));
-        }
-        match self.next() {
-            Some(Token::Ge) => {
-                let lo = self.number()?;
-                let mut hi = u64::MAX;
-                if self.peek_kw("and") {
-                    self.expect_kw("and")?;
-                    let col = self.ident()?;
-                    if !col.eq_ignore_ascii_case("timestamp") {
-                        return Err(self.err("WHERE supports only Timestamp filters"));
-                    }
-                    self.expect_token(Token::Le, "<=")?;
-                    hi = self.number()?;
+        let tolerance_ms = if self.peek_kw("within") {
+            self.expect_kw("within")?;
+            self.duration_ms()?
+        } else {
+            0
+        };
+        Ok(Some(Join { table, tolerance_ms }))
+    }
+
+    /// One WHERE condition; timestamp bounds accumulate into
+    /// `(lo, hi, any_ts)`, value predicates append to `preds`.
+    fn condition(
+        &mut self,
+        lo: &mut u64,
+        hi: &mut u64,
+        any_ts: &mut bool,
+        preds: &mut Vec<ValuePred>,
+    ) -> Result<(), ParseError> {
+        let col_offset = self.offset();
+        let col = self.ident()?;
+        if col.eq_ignore_ascii_case("timestamp") {
+            if self.peek_kw("between") {
+                self.expect_kw("between")?;
+                let bounds_offset = self.offset();
+                let b_lo = self.number()?;
+                self.expect_kw("and")?;
+                let b_hi = self.number()?;
+                if b_lo > b_hi {
+                    return Err(ParseError {
+                        message: format!(
+                            "BETWEEN bounds out of order: lower bound {b_lo} exceeds upper \
+                             bound {b_hi}"
+                        ),
+                        offset: bounds_offset,
+                        kind: ParseErrorKind::ReversedTimeBounds { lo: b_lo, hi: b_hi },
+                    });
                 }
-                Ok(Some((lo, hi)))
+                *lo = (*lo).max(b_lo);
+                *hi = (*hi).min(b_hi);
+                *any_ts = true;
+                return Ok(());
             }
-            Some(Token::Le) => {
-                let hi = self.number()?;
-                Ok(Some((0, hi)))
+            match self.next() {
+                Some(Token::Ge) => {
+                    *lo = (*lo).max(self.number()?);
+                    *any_ts = true;
+                    Ok(())
+                }
+                Some(Token::Le) => {
+                    *hi = (*hi).min(self.number()?);
+                    *any_ts = true;
+                    Ok(())
+                }
+                Some(Token::Gt) | Some(Token::Lt) | Some(Token::EqOp) => {
+                    self.pos = self.pos.saturating_sub(1);
+                    Err(self.err("unsupported Timestamp operator (only >= and <=, or BETWEEN)"))
+                }
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    Err(self.err("expected BETWEEN, >= or <="))
+                }
             }
-            _ => {
-                self.pos = self.pos.saturating_sub(1);
-                Err(self.err("expected BETWEEN, >= or <="))
+        } else if col.eq_ignore_ascii_case("metric") {
+            let op = match self.next() {
+                Some(Token::Gt) => CmpOp::Gt,
+                Some(Token::Ge) => CmpOp::Ge,
+                Some(Token::Lt) => CmpOp::Lt,
+                Some(Token::Le) => CmpOp::Le,
+                Some(Token::EqOp) => CmpOp::Eq,
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected comparison operator after metric"));
+                }
+            };
+            let literal = self.numeric_literal()?;
+            preds.push(ValuePred { op, literal });
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: "WHERE supports only Timestamp and metric filters".into(),
+                offset: col_offset,
+                kind: ParseErrorKind::Syntax,
+            })
+        }
+    }
+
+    /// where := WHERE cond (AND cond)*
+    ///
+    /// Multiple Timestamp bounds intersect; an empty intersection is a
+    /// [`ParseErrorKind::ReversedTimeBounds`] error naming both bounds
+    /// (the scan would otherwise silently match nothing).
+    fn where_clause(&mut self) -> Result<WhereClause, ParseError> {
+        if !self.peek_kw("where") {
+            return Ok((None, Vec::new()));
+        }
+        self.expect_kw("where")?;
+        let clause_offset = self.offset();
+        let (mut lo, mut hi, mut any_ts) = (0u64, u64::MAX, false);
+        let mut preds = Vec::new();
+        loop {
+            self.condition(&mut lo, &mut hi, &mut any_ts, &mut preds)?;
+            if self.peek_kw("and") {
+                self.expect_kw("and")?;
+            } else {
+                break;
             }
         }
+        if any_ts && lo > hi {
+            return Err(ParseError {
+                message: format!(
+                    "time bounds out of order: lower bound {lo} exceeds upper bound {hi}, \
+                     the window matches nothing"
+                ),
+                offset: clause_offset,
+                kind: ParseErrorKind::ReversedTimeBounds { lo, hi },
+            });
+        }
+        Ok((any_ts.then_some((lo, hi)), preds))
+    }
+
+    /// group := GROUP BY BUCKET ( Timestamp , duration )
+    fn group_clause(&mut self) -> Result<Option<u64>, ParseError> {
+        if !self.peek_kw("group") {
+            return Ok(None);
+        }
+        self.expect_kw("group")?;
+        self.expect_kw("by")?;
+        self.expect_kw("bucket")?;
+        self.expect_token(Token::LParen, "(")?;
+        let col = self.ident()?;
+        if !col.eq_ignore_ascii_case("timestamp") {
+            return Err(self.err("BUCKET groups by Timestamp"));
+        }
+        self.expect_token(Token::Comma, ",")?;
+        let width_offset = self.offset();
+        let width = self.duration_ms()?;
+        self.expect_token(Token::RParen, ")")?;
+        if width == 0 {
+            return Err(ParseError {
+                message: "bucket width must be positive".into(),
+                offset: width_offset,
+                kind: ParseErrorKind::Syntax,
+            });
+        }
+        Ok(Some(width))
     }
 
     /// order := ORDER BY (Timestamp|metric) [ASC|DESC]
@@ -346,18 +579,68 @@ impl Parser {
         let aggregate = self.selector()?;
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let time_range = self.where_clause()?;
+        let join = self.join_clause()?;
+        let (time_range, value_preds) = self.where_clause()?;
+        let bucket_ms = self.group_clause()?;
         let order = self.order_clause()?;
         let limit = self.limit_clause()?;
         let include_stale = self.include_stale_clause()?;
-        Ok(Select { aggregate, table, time_range, order, limit, include_stale })
+        if aggregate == Aggregate::Latest
+            && (!value_preds.is_empty() || bucket_ms.is_some() || join.is_some())
+        {
+            return Err(self.err(
+                "MAX(Timestamp), metric supports only Timestamp filters \
+                 (no value predicates, GROUP BY or JOIN)",
+            ));
+        }
+        if aggregate == Aggregate::All && bucket_ms.is_some() {
+            return Err(self.err("GROUP BY requires an aggregate (MAX/MIN/AVG/SUM/COUNT)"));
+        }
+        Ok(Select {
+            aggregate,
+            table,
+            time_range,
+            value_preds,
+            bucket_ms,
+            join,
+            order,
+            limit,
+            include_stale,
+        })
+    }
+
+    /// arm := select | ( select )
+    fn arm(&mut self) -> Result<(Select, bool), ParseError> {
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.next();
+            let s = self.select()?;
+            self.expect_token(Token::RParen, ")")?;
+            Ok((s, true))
+        } else {
+            Ok((self.select()?, false))
+        }
     }
 
     fn query(&mut self) -> Result<Query, ParseError> {
-        let mut selects = vec![self.select()?];
+        let (first, mut last_parenthesized) = self.arm()?;
+        let mut selects = vec![first];
         while self.peek_kw("union") {
             self.expect_kw("union")?;
-            selects.push(self.select()?);
+            let (s, parenthesized) = self.arm()?;
+            selects.push(s);
+            last_parenthesized = parenthesized;
+        }
+        // Post-merge clauses: written explicitly after a parenthesized
+        // final arm, or — the satellite-3 scoping rule — hoisted from an
+        // unparenthesized final arm of a multi-arm union, where a
+        // trailing ORDER BY/LIMIT reads as applying to the whole union,
+        // not just the last arm.
+        let mut order = self.order_clause()?;
+        let mut limit = self.limit_clause()?;
+        if selects.len() > 1 && !last_parenthesized && order.is_none() && limit.is_none() {
+            let last = selects.last_mut().expect("at least one arm");
+            order = last.order.take();
+            limit = last.limit.take();
         }
         if matches!(self.peek(), Some(Token::Semicolon)) {
             self.next();
@@ -365,7 +648,7 @@ impl Parser {
         if self.peek().is_some() {
             return Err(self.err("trailing input after query"));
         }
-        Ok(Query { selects })
+        Ok(Query { selects, order, limit })
     }
 }
 
@@ -440,6 +723,86 @@ mod tests {
     }
 
     #[test]
+    fn value_predicates_parse() {
+        let q = parse("SELECT metric FROM t WHERE metric > 1.5").unwrap();
+        assert_eq!(q.selects[0].value_preds, vec![ValuePred { op: CmpOp::Gt, literal: 1.5 }]);
+        assert_eq!(q.selects[0].time_range, None);
+
+        // Mixed with timestamp bounds, in any order, ANDed together.
+        let q = parse(
+            "SELECT AVG(metric) FROM t \
+             WHERE metric >= 2 AND Timestamp BETWEEN 1 AND 9 AND metric < 10",
+        )
+        .unwrap();
+        assert_eq!(q.selects[0].time_range, Some((1, 9)));
+        assert_eq!(
+            q.selects[0].value_preds,
+            vec![
+                ValuePred { op: CmpOp::Ge, literal: 2.0 },
+                ValuePred { op: CmpOp::Lt, literal: 10.0 },
+            ]
+        );
+
+        // Negative literals and equality.
+        let q = parse("SELECT COUNT(*) FROM t WHERE metric = -2.5").unwrap();
+        assert_eq!(q.selects[0].value_preds, vec![ValuePred { op: CmpOp::Eq, literal: -2.5 }]);
+    }
+
+    #[test]
+    fn group_by_bucket_parses_duration_units() {
+        let q = parse("SELECT AVG(metric) FROM t GROUP BY BUCKET(Timestamp, 10s)").unwrap();
+        assert_eq!(q.selects[0].bucket_ms, Some(10_000));
+        let q = parse("SELECT COUNT(*) FROM t GROUP BY BUCKET(Timestamp, 500ms)").unwrap();
+        assert_eq!(q.selects[0].bucket_ms, Some(500));
+        let q = parse("SELECT MAX(metric) FROM t GROUP BY BUCKET(Timestamp, 2m)").unwrap();
+        assert_eq!(q.selects[0].bucket_ms, Some(120_000));
+        // A bare number is milliseconds.
+        let q = parse("SELECT SUM(metric) FROM t GROUP BY BUCKET(Timestamp, 250)").unwrap();
+        assert_eq!(q.selects[0].bucket_ms, Some(250));
+        // Zero width matches nothing sensible: rejected.
+        let err = parse("SELECT AVG(metric) FROM t GROUP BY BUCKET(Timestamp, 0)").unwrap_err();
+        assert!(err.message.contains("positive"), "{err}");
+        // Unknown unit.
+        let err = parse("SELECT AVG(metric) FROM t GROUP BY BUCKET(Timestamp, 5d)").unwrap_err();
+        assert!(err.message.contains("duration unit"), "{err}");
+    }
+
+    #[test]
+    fn join_on_timestamp_parses() {
+        let q = parse("SELECT AVG(metric) FROM a JOIN b ON Timestamp WITHIN 5ms").unwrap();
+        assert_eq!(q.selects[0].join, Some(Join { table: "b".into(), tolerance_ms: 5 }));
+        // Default tolerance is exact-millisecond.
+        let q = parse("SELECT metric FROM a JOIN b ON Timestamp").unwrap();
+        assert_eq!(q.selects[0].join, Some(Join { table: "b".into(), tolerance_ms: 0 }));
+        // Seconds unit.
+        let q = parse("SELECT COUNT(*) FROM a JOIN b ON Timestamp WITHIN 2s").unwrap();
+        assert_eq!(q.selects[0].join.as_ref().unwrap().tolerance_ms, 2_000);
+        // ON a non-Timestamp column is rejected.
+        let err = parse("SELECT metric FROM a JOIN b ON value").unwrap_err();
+        assert!(err.message.contains("Timestamp"), "{err}");
+    }
+
+    #[test]
+    fn latest_rejects_v2_clauses() {
+        for sql in [
+            "SELECT MAX(Timestamp), metric FROM t WHERE metric > 1",
+            "SELECT MAX(Timestamp), metric FROM t GROUP BY BUCKET(Timestamp, 10s)",
+            "SELECT MAX(Timestamp), metric FROM a JOIN b ON Timestamp",
+        ] {
+            let err = parse(sql).unwrap_err();
+            assert!(err.message.contains("MAX(Timestamp)"), "{sql}: {err}");
+        }
+        // Plain timestamp filters still work on Latest.
+        assert!(parse("SELECT MAX(Timestamp), metric FROM t WHERE Timestamp <= 9").is_ok());
+    }
+
+    #[test]
+    fn all_rejects_group_by() {
+        let err = parse("SELECT metric FROM t GROUP BY BUCKET(Timestamp, 10s)").unwrap_err();
+        assert!(err.message.contains("aggregate"), "{err}");
+    }
+
+    #[test]
     fn table_names_with_slashes() {
         let q = parse("SELECT MAX(Timestamp), metric FROM node3/nvme0/remaining_capacity").unwrap();
         assert_eq!(q.selects[0].table, "node3/nvme0/remaining_capacity");
@@ -478,6 +841,30 @@ mod tests {
     fn rejects_out_of_order_between() {
         let err = parse("SELECT metric FROM t WHERE Timestamp BETWEEN 9 AND 5").unwrap_err();
         assert!(err.message.contains("out of order"));
+        // The typed kind names both bounds.
+        assert_eq!(err.kind, ParseErrorKind::ReversedTimeBounds { lo: 9, hi: 5 });
+        assert!(err.message.contains('9') && err.message.contains('5'), "{err}");
+    }
+
+    #[test]
+    fn rejects_reversed_comparison_bounds() {
+        // `>= 200 AND <= 100` intersects to an empty window — previously a
+        // silent empty scan, now a typed error naming both bounds.
+        let err =
+            parse("SELECT metric FROM t WHERE Timestamp >= 200 AND Timestamp <= 100").unwrap_err();
+        assert!(err.message.contains("out of order"), "{err}");
+        assert_eq!(err.kind, ParseErrorKind::ReversedTimeBounds { lo: 200, hi: 100 });
+        assert!(err.message.contains("200") && err.message.contains("100"), "{err}");
+
+        // Same through a BETWEEN intersected with a tighter >=.
+        let err =
+            parse("SELECT COUNT(*) FROM t WHERE Timestamp BETWEEN 10 AND 20 AND Timestamp >= 50")
+                .unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::ReversedTimeBounds { lo: 50, hi: 20 });
+
+        // A degenerate-but-valid single-point window is fine.
+        let q = parse("SELECT COUNT(*) FROM t WHERE Timestamp >= 7 AND Timestamp <= 7").unwrap();
+        assert_eq!(q.selects[0].time_range, Some((7, 7)));
     }
 
     #[test]
@@ -497,6 +884,54 @@ mod tests {
         let err = parse("SELECT metric FROM t WHERE Timestamp > 1").unwrap_err();
         assert!(err.message.contains("only >= and <="));
     }
+
+    #[test]
+    fn union_trailing_clauses_scope_to_the_merge() {
+        // Unparenthesized final arm: trailing ORDER BY/LIMIT hoist to the
+        // query level (post-merge).
+        let q =
+            parse("SELECT metric FROM a UNION SELECT metric FROM b ORDER BY metric DESC LIMIT 3")
+                .unwrap();
+        assert_eq!(q.order, Some(OrderBy::MetricDesc));
+        assert_eq!(q.limit, Some(3));
+        assert_eq!(q.selects[1].order, None, "hoisted off the final arm");
+        assert_eq!(q.selects[1].limit, None);
+
+        // Parenthesized arms pin clauses per-arm…
+        let q = parse(
+            "(SELECT metric FROM a ORDER BY metric ASC LIMIT 2) \
+             UNION (SELECT metric FROM b LIMIT 1)",
+        )
+        .unwrap();
+        assert_eq!(q.selects[0].order, Some(OrderBy::MetricAsc));
+        assert_eq!(q.selects[0].limit, Some(2));
+        assert_eq!(q.selects[1].limit, Some(1));
+        assert_eq!(q.order, None);
+        assert_eq!(q.limit, None);
+
+        // …and a trailing clause after a parenthesized final arm is
+        // unambiguously post-merge.
+        let q = parse(
+            "(SELECT metric FROM a LIMIT 2) UNION (SELECT metric FROM b) \
+             ORDER BY Timestamp DESC LIMIT 4",
+        )
+        .unwrap();
+        assert_eq!(q.selects[0].limit, Some(2));
+        assert_eq!(q.order, Some(OrderBy::TimestampDesc));
+        assert_eq!(q.limit, Some(4));
+
+        // Single SELECT keeps the historical per-arm binding.
+        let q = parse("SELECT metric FROM t ORDER BY metric DESC LIMIT 3").unwrap();
+        assert_eq!(q.selects[0].order, Some(OrderBy::MetricDesc));
+        assert_eq!(q.selects[0].limit, Some(3));
+        assert_eq!(q.order, None);
+        assert_eq!(q.limit, None);
+
+        // Non-final arms keep their clauses per-arm.
+        let q = parse("SELECT metric FROM a LIMIT 2 UNION SELECT metric FROM b").unwrap();
+        assert_eq!(q.selects[0].limit, Some(2));
+        assert_eq!(q.limit, None);
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +946,20 @@ mod prop_tests {
             let _ = parse(&input);
         }
 
+        /// Arbitrary input around the v2 grammar fragments must never
+        /// panic either, and every error must carry an in-range position.
+        #[test]
+        fn v2_fragments_never_panic(
+            prefix in "(SELECT|select|)( (metric|AVG\\(metric\\)|COUNT\\(\\*\\))| BOGUS)?",
+            middle in "( FROM [a-z_/]{1,12})?",
+            tail in "( (JOIN [a-z]{1,4} ON Timestamp( WITHIN [0-9]{1,4}(ms|s|m|h)?)?|WHERE (metric|Timestamp|value) (>|>=|<|<=|=|BETWEEN) -?[0-9]{1,6}(\\.[0-9]{1,3})?|GROUP BY BUCKET\\(Timestamp, [0-9]{1,4}(ms|s)?\\)|ORDER BY metric DESC|LIMIT [0-9]{1,3}|INCLUDE STALE)){0,4}",
+        ) {
+            let input = format!("{prefix}{middle}{tail}");
+            if let Err(e) = parse(&input) {
+                prop_assert!(e.offset <= input.len(), "offset {} out of range for {input:?}", e.offset);
+            }
+        }
+
         /// Queries built from valid fragments round-trip through the
         /// parser with the expected complexity.
         #[test]
@@ -520,6 +969,29 @@ mod prop_tests {
                 .collect();
             let q = parse(&arms.join(" UNION ")).unwrap();
             prop_assert_eq!(q.complexity(), n);
+        }
+
+        /// Valid v2 arms always parse, whatever the literal values.
+        #[test]
+        fn v2_round_trip(
+            lit in -1000.0f64..1000.0,
+            lo in 0u64..1000,
+            span in 0u64..1000,
+            width in 1u64..600,
+            tol in 0u64..100,
+        ) {
+            let hi = lo + span;
+            let sql = format!(
+                "SELECT AVG(metric) FROM a JOIN b ON Timestamp WITHIN {tol}ms \
+                 WHERE Timestamp BETWEEN {lo} AND {hi} AND metric > {lit} \
+                 GROUP BY BUCKET(Timestamp, {width}s)"
+            );
+            let q = parse(&sql).unwrap();
+            let s = &q.selects[0];
+            prop_assert_eq!(s.time_range, Some((lo, hi)));
+            prop_assert_eq!(s.bucket_ms, Some(width * 1000));
+            prop_assert_eq!(s.join.as_ref().unwrap().tolerance_ms, tol);
+            prop_assert_eq!(s.value_preds.len(), 1);
         }
     }
 }

@@ -26,7 +26,7 @@
 use crate::entry::Entry;
 use crate::id::StreamId;
 use crate::slab::SlabCursor;
-use crate::stream::{ScanBatch, SpillBackend, Stream, StreamConfig};
+use crate::stream::{ColumnBatch, ScanBatch, SpillBackend, Stream, StreamConfig};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
@@ -832,6 +832,23 @@ impl Broker {
     /// [`Broker::scan_batch`] keyed by millisecond timestamp.
     pub fn scan_batch_by_time(&self, topic: &str, start_ms: u64, end_ms: u64) -> ScanBatch {
         self.scan_batch(topic, StreamId::new(start_ms, 0), StreamId::new(end_ms, u64::MAX))
+    }
+
+    /// Consistent columnar scan of a topic (see [`Stream::scan_columns`]):
+    /// the decoded fields land in per-field vectors instead of
+    /// `Record` structs — what the vectorized query path iterates. An
+    /// unknown topic yields an empty batch with the `(0, None)` snapshot
+    /// key, mirroring [`Broker::scan_batch`].
+    pub fn scan_columns(&self, topic: &str, start: StreamId, end: StreamId) -> ColumnBatch {
+        match self.lookup(topic) {
+            Some(t) => t.stream.scan_columns(start, end),
+            None => ColumnBatch::default(),
+        }
+    }
+
+    /// [`Broker::scan_columns`] keyed by millisecond timestamp.
+    pub fn scan_columns_by_time(&self, topic: &str, start_ms: u64, end_ms: u64) -> ColumnBatch {
+        self.scan_columns(topic, StreamId::new(start_ms, 0), StreamId::new(end_ms, u64::MAX))
     }
 
     /// A topic's `(eviction_epoch, last_id)` snapshot key (see

@@ -66,6 +66,30 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+impl Provenance {
+    /// The wire byte of this provenance: predicted = 0, measured = 1,
+    /// stale = 2. Also the element encoding of the provenance column in
+    /// [`crate::stream::ColumnBatch`], so vectorized consumers compare
+    /// raw bytes instead of decoding enums.
+    pub const fn wire(self) -> u8 {
+        match self {
+            Provenance::Predicted => 0,
+            Provenance::Measured => 1,
+            Provenance::Stale => 2,
+        }
+    }
+
+    /// Decode a wire byte (see [`Provenance::wire`]).
+    pub const fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Provenance::Predicted),
+            1 => Some(Provenance::Measured),
+            2 => Some(Provenance::Stale),
+            _ => None,
+        }
+    }
+}
+
 impl Record {
     /// A measured record.
     pub fn measured(timestamp_ns: u64, value: f64) -> Self {
@@ -103,11 +127,7 @@ impl Record {
     pub fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.timestamp_ns);
         buf.put_f64_le(self.value);
-        buf.put_u8(match self.provenance {
-            Provenance::Measured => 1,
-            Provenance::Predicted => 0,
-            Provenance::Stale => 2,
-        });
+        buf.put_u8(self.provenance.wire());
     }
 
     /// Decode from the front of `buf`.
@@ -117,12 +137,8 @@ impl Record {
         }
         let timestamp_ns = buf.get_u64_le();
         let value = buf.get_f64_le();
-        let provenance = match buf.get_u8() {
-            1 => Provenance::Measured,
-            0 => Provenance::Predicted,
-            2 => Provenance::Stale,
-            b => return Err(DecodeError::BadProvenance(b)),
-        };
+        let b = buf.get_u8();
+        let provenance = Provenance::from_wire(b).ok_or(DecodeError::BadProvenance(b))?;
         Ok(Self { timestamp_ns, value, provenance })
     }
 }

@@ -53,4 +53,4 @@ pub use slab::{
     CompactPolicy, CompactReport, FlushPolicy, SlabConfig, SlabDirError, SlabStats, SlabStore,
     TierConfig,
 };
-pub use stream::{ScanBatch, SpillBackend, Stream, StreamConfig};
+pub use stream::{ColumnBatch, ScanBatch, SpillBackend, Stream, StreamConfig};

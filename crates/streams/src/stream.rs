@@ -203,6 +203,76 @@ pub struct ScanBatch {
     pub last_id: Option<StreamId>,
 }
 
+/// A consistent range scan decoded straight into **columns** (structure
+/// of arrays): one vector per record field instead of a `Vec<Record>` of
+/// structs. This is the snapshot the vectorized query path iterates —
+/// tight loops over `values`/`provenance` without materializing per-row
+/// [`Record`]s. Positions align across the three columns; payloads that
+/// failed to decode are skipped (and counted in `corrupt`), exactly as
+/// [`ScanBatch::records`] skips them, so index *i* here is record *i*
+/// there.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBatch {
+    /// Record timestamps (ns), in entry order.
+    pub timestamps_ns: Vec<u64>,
+    /// Record values, in entry order.
+    pub values: Vec<f64>,
+    /// Record provenance wire bytes ([`Provenance::wire`]), in entry
+    /// order.
+    pub provenance: Vec<u8>,
+    /// Payloads that were not valid [`Record`] frames.
+    pub corrupt: u64,
+    /// The stream's eviction epoch at the snapshot point.
+    pub epoch: u64,
+    /// The stream's last assigned ID at the snapshot point.
+    pub last_id: Option<StreamId>,
+}
+
+impl ColumnBatch {
+    /// Decoded records in the batch.
+    pub fn len(&self) -> usize {
+        self.timestamps_ns.len()
+    }
+
+    /// True when no record decoded.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps_ns.is_empty()
+    }
+
+    /// Re-materialize record `i` (test/oracle convenience — the point of
+    /// the batch is *not* doing this on the hot path).
+    pub fn record(&self, i: usize) -> Record {
+        Record {
+            timestamp_ns: self.timestamps_ns[i],
+            value: self.values[i],
+            provenance: crate::codec::Provenance::from_wire(self.provenance[i])
+                .expect("column batch holds only valid wire bytes"),
+        }
+    }
+}
+
+impl ScanBatch {
+    /// Transpose the decoded records into a [`ColumnBatch`] carrying the
+    /// same snapshot key — how a cache layer derives the columnar view
+    /// from a row scan it already paid for.
+    pub fn to_columns(&self) -> ColumnBatch {
+        let mut out = ColumnBatch {
+            timestamps_ns: Vec::with_capacity(self.records.len()),
+            values: Vec::with_capacity(self.records.len()),
+            provenance: Vec::with_capacity(self.records.len()),
+            corrupt: self.corrupt,
+            epoch: self.epoch,
+            last_id: self.last_id,
+        };
+        for r in &self.records {
+            out.timestamps_ns.push(r.timestamp_ns);
+            out.values.push(r.value);
+            out.provenance.push(r.provenance.wire());
+        }
+        out
+    }
+}
+
 /// An append-only, ID-ordered stream with bounded in-memory retention.
 #[derive(Debug)]
 pub struct Stream {
@@ -559,6 +629,38 @@ impl Stream {
     /// of [`Stream::range_by_time`]).
     pub fn scan_batch_by_time(&self, start_ms: u64, end_ms: u64) -> ScanBatch {
         self.scan_batch(StreamId::new(start_ms, 0), StreamId::new(end_ms, u64::MAX))
+    }
+
+    /// Consistent range scan decoded straight into columns — same
+    /// snapshot and same corrupt-skipping as [`Stream::scan_batch`], but
+    /// the decode loop writes field vectors directly instead of building
+    /// `Record` structs (the input of the vectorized query path).
+    pub fn scan_columns(&self, start: StreamId, end: StreamId) -> ColumnBatch {
+        let (entries, epoch, last_id) = self.range_with_meta(start, end);
+        let mut out = ColumnBatch {
+            timestamps_ns: Vec::with_capacity(entries.len()),
+            values: Vec::with_capacity(entries.len()),
+            provenance: Vec::with_capacity(entries.len()),
+            corrupt: 0,
+            epoch,
+            last_id,
+        };
+        for e in &entries {
+            match Record::decode(&e.payload) {
+                Ok(r) => {
+                    out.timestamps_ns.push(r.timestamp_ns);
+                    out.values.push(r.value);
+                    out.provenance.push(r.provenance.wire());
+                }
+                Err(_) => out.corrupt += 1,
+            }
+        }
+        out
+    }
+
+    /// [`Stream::scan_columns`] keyed by millisecond ID time.
+    pub fn scan_columns_by_time(&self, start_ms: u64, end_ms: u64) -> ColumnBatch {
+        self.scan_columns(StreamId::new(start_ms, 0), StreamId::new(end_ms, u64::MAX))
     }
 
     /// Approximate bytes of memory held by the in-memory window: payload

@@ -86,10 +86,11 @@ fn union_of_ordered_arms_keeps_arm_grouping() {
             .unwrap();
     }
     apollo.run_for(Duration::from_secs(9));
+    // Parenthesized arms pin ORDER BY/LIMIT to each arm.
     let out = apollo
         .query(
-            "SELECT metric FROM a ORDER BY metric DESC LIMIT 2 \
-             UNION SELECT metric FROM b ORDER BY metric DESC LIMIT 2",
+            "(SELECT metric FROM a ORDER BY metric DESC LIMIT 2) \
+             UNION (SELECT metric FROM b ORDER BY metric DESC LIMIT 2)",
         )
         .unwrap();
     assert_eq!(out.rows.len(), 4);
@@ -97,6 +98,17 @@ fn union_of_ordered_arms_keeps_arm_grouping() {
     assert_eq!(out.rows[2].table, "b");
     assert!(out.rows[0].value >= out.rows[1].value);
     assert!(out.rows[2].value >= out.rows[3].value);
+    // An unparenthesized trailing clause scopes to the merged result: the
+    // overall top-2 rows both come from the larger-valued table.
+    let merged = apollo
+        .query(
+            "(SELECT metric FROM a ORDER BY metric DESC LIMIT 2) \
+             UNION SELECT metric FROM b ORDER BY metric DESC LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(merged.rows.len(), 2);
+    assert!(merged.rows.iter().all(|r| r.table == "b"), "{:?}", merged.rows);
+    assert!(merged.rows[0].value >= merged.rows[1].value);
 }
 
 #[test]
