@@ -1,0 +1,246 @@
+//! Lowered Delphi inference — exact f64 vs SIMD f32 vs int8.
+//!
+//! Three [`InferencePrecision`] paths through the same trained stack:
+//!
+//! * **exact** — the PR-5 fused f64 kernels (`delphi_inference`'s
+//!   "fused"/"batched" baseline), bit-exact by construction.
+//! * **simd** — the lowered f32 path: one fused `stack_forward` sweep
+//!   with 8-wide lanes running across batch rows, runtime-dispatched to
+//!   AVX2 where the host supports it.
+//! * **int8** — the symmetric per-row quantized path: i8 weights, i32
+//!   accumulation, f32 requantization.
+//!
+//! Batched rows are staged pump-style: padded up to the model's lane
+//! width so nothing falls onto the scalar tail (`tail_rows` is also
+//! demonstrated un-padded). The report records predictions/sec and
+//! allocations per call for every path, the SIMD and int8 speedups over
+//! the exact baseline, and the int8 accuracy delta on the Fig-3c
+//! fio-trace harness — the run itself gates the ≥2× SIMD speedups, zero
+//! steady-state allocations, and the documented int8 accuracy budget.
+//!
+//! Run: `cargo run --release -p apollo-bench --bin delphi_simd`
+
+use apollo_bench::report::{Report, Series};
+use apollo_cluster::device::DeviceKind;
+use apollo_cluster::workloads::fio::{self, SarMetric};
+use apollo_delphi::eval::one_step_eval;
+use apollo_delphi::simd::{active_tier, budget, LANES};
+use apollo_delphi::stack::{Delphi, DelphiConfig, DelphiScratch, InferencePrecision};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: pure delegation to `System` plus a side counter.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+const ITERS: u32 = 2_000;
+const BATCHES: &[usize] = &[1, 16, 64];
+
+/// Run `f` `ITERS` times; returns (predictions/sec, allocations/call).
+fn measure(batch: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+    f(); // warm-up sizes every scratch buffer
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..ITERS {
+        acc += f();
+    }
+    let secs = t.elapsed().as_secs_f64();
+    black_box(acc);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    ((batch as f64) * f64::from(ITERS) / secs, allocs as f64 / f64::from(ITERS))
+}
+
+/// (fused preds/sec, fused allocs, batched preds/sec, batched allocs)
+/// for one precision path. Batches are staged pump-style: padded to the
+/// model's lane width, padded outputs discarded.
+fn run_path(model: &Delphi, windows: &[Vec<f64>], w: usize) -> (f64, f64, f64, f64) {
+    let batch = windows.len();
+    let mut scratch = DelphiScratch::default();
+    let (fused_ps, fused_allocs) = measure(batch, || {
+        windows.iter().map(|win| model.predict_into(black_box(win), &mut scratch)).sum()
+    });
+
+    let lane = model.lane_width();
+    let mut bscratch = DelphiScratch::default();
+    let mut out = Vec::new();
+    let (batched_ps, batched_allocs) = measure(batch, || {
+        bscratch.begin_batch(batch.next_multiple_of(lane), w);
+        for (i, win) in windows.iter().enumerate() {
+            bscratch.set_row(i, black_box(win));
+        }
+        bscratch.pad_rows(batch);
+        model.predict_batch_into(&mut bscratch, &mut out);
+        assert_eq!(bscratch.tail_rows(), 0, "padded batch fell off the vector path");
+        out[..batch].iter().sum()
+    });
+    (fused_ps, fused_allocs, batched_ps, batched_allocs)
+}
+
+fn main() {
+    println!("Training Delphi…");
+    let exact = Delphi::train(DelphiConfig {
+        feature_samples: 300,
+        feature_epochs: 50,
+        combiner_samples: 150,
+        combiner_epochs: 10,
+        ..DelphiConfig::default()
+    });
+    let simd = exact.clone().with_precision(InferencePrecision::SimdF32);
+    let int8 = exact.clone().with_precision(InferencePrecision::Int8);
+    let w = exact.window();
+
+    let mut report = Report::new(
+        "delphi_simd",
+        "Delphi lowered inference: exact f64 vs SIMD f32 vs int8, runtime-dispatched",
+    );
+    report.note("dispatch_tier", active_tier().name());
+    report.note("simd_lanes", LANES as f64);
+
+    let mut series: Vec<Series> = [
+        "fused_exact",
+        "fused_simd",
+        "fused_int8",
+        "batched_exact",
+        "batched_simd",
+        "batched_int8",
+    ]
+    .iter()
+    .map(|n| Series::new(*n))
+    .collect();
+    let mut simd_fused_speedup_b1 = 0.0;
+    let mut simd_fused_speedup_b16 = 0.0;
+    let mut simd_batched_speedup_b16 = 0.0;
+
+    for &batch in BATCHES {
+        let windows: Vec<Vec<f64>> = (0..batch)
+            .map(|i| (0..w).map(|j| 0.05 + 0.9 * ((i * w + j) % 17) as f64 / 17.0).collect())
+            .collect();
+
+        let paths = [&exact, &simd, &int8].map(|m| run_path(m, &windows, w));
+        for (p, &(fused_ps, _, batched_ps, _)) in paths.iter().enumerate() {
+            series[p].push(batch as f64, fused_ps);
+            series[p + 3].push(batch as f64, batched_ps);
+        }
+        let [(ef, _, eb, _), (sf, _, sb, _), (qf, _, qb, _)] = paths;
+        println!(
+            "B={batch:>3}: fused exact {ef:>12.0}/s  simd {sf:>12.0}/s  int8 {qf:>12.0}/s   \
+             batched exact {eb:>12.0}/s  simd {sb:>12.0}/s  int8 {qb:>12.0}/s"
+        );
+        if batch == 1 {
+            simd_fused_speedup_b1 = sf / ef;
+        }
+        if batch == 16 {
+            simd_fused_speedup_b16 = sf / ef;
+            simd_batched_speedup_b16 = sb / eb;
+            report.note("int8_fused_speedup_b16", qf / ef);
+            report.note("int8_batched_speedup_b16", qb / eb);
+            for (name, &(_, fa, _, ba)) in ["exact", "simd", "int8"].iter().zip(paths.iter()) {
+                report.note(format!("allocs_per_iter_fused_{name}_b16"), fa);
+                report.note(format!("allocs_per_iter_batched_{name}_b16"), ba);
+            }
+        }
+    }
+    report.note("simd_fused_speedup_b1", simd_fused_speedup_b1);
+    report.note("simd_fused_speedup_b16", simd_fused_speedup_b16);
+    report.note("simd_batched_speedup_b16", simd_batched_speedup_b16);
+
+    // Scalar-tail demonstration: a 13-row batch staged without padding
+    // runs 13 % LANES = 5 rows on the scalar tail; padded it runs none.
+    let windows: Vec<Vec<f64>> = (0..13)
+        .map(|i| (0..w).map(|j| 0.05 + 0.9 * ((i * w + j) % 17) as f64 / 17.0).collect())
+        .collect();
+    let mut scratch = DelphiScratch::default();
+    let mut out = Vec::new();
+    scratch.begin_batch(13, w);
+    for (i, win) in windows.iter().enumerate() {
+        scratch.set_row(i, win);
+    }
+    simd.predict_batch_into(&mut scratch, &mut out);
+    report.note("tail_rows_unpadded_b13", scratch.tail_rows() as f64);
+    scratch.begin_batch(13usize.next_multiple_of(LANES), w);
+    for (i, win) in windows.iter().enumerate() {
+        scratch.set_row(i, win);
+    }
+    scratch.pad_rows(13);
+    simd.predict_batch_into(&mut scratch, &mut out);
+    report.note("tail_rows_padded_b13", scratch.tail_rows() as f64);
+
+    // Int8 accuracy on the Fig-3c harness: normalized one-step MAE delta
+    // vs the exact path across every device × sar metric.
+    println!("\nFig-3c int8 accuracy delta (normalized MAE, int8 − exact):");
+    let mut deltas = Vec::new();
+    for device in [DeviceKind::Nvme, DeviceKind::Ssd, DeviceKind::Hdd] {
+        for metric in SarMetric::ALL {
+            let test_series = fio::trace(device, metric, 2_000, 6);
+            let test = test_series.values();
+            let spread = (test_series.max() - test_series.min()).max(1e-9);
+            let e = one_step_eval(&exact, &test).mae / spread;
+            let q = one_step_eval(&int8, &test).mae / spread;
+            let delta = (q - e).abs();
+            println!(
+                "  {:<22} exact {e:.4}  int8 {q:.4}  |Δ| {delta:.5}",
+                format!("{}/{}", device.label(), metric.label())
+            );
+            deltas.push(delta);
+        }
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    let max = deltas.iter().cloned().fold(0.0, f64::max);
+    report.note("fig3c_int8_mae_delta_mean", mean);
+    report.note("fig3c_int8_mae_delta_max", max);
+    report.note("fig3c_int8_mae_delta_budget", budget::FIG3C_INT8_MAE_DELTA);
+
+    for s in series {
+        report.add_series(s);
+    }
+    report.finish("batch_size", "predictions/sec");
+
+    // The run is the gate: lowering must pay for itself and stay inside
+    // the documented accuracy budget.
+    assert!(
+        simd_fused_speedup_b1 >= 2.0,
+        "simd fused B=1 speedup {simd_fused_speedup_b1:.2}x below the 2x bar"
+    );
+    assert!(
+        simd_batched_speedup_b16 >= 2.0,
+        "simd batched B=16 speedup {simd_batched_speedup_b16:.2}x below the 2x bar"
+    );
+    assert!(
+        max <= budget::FIG3C_INT8_MAE_DELTA,
+        "int8 MAE delta {max:.4} exceeds budget {}",
+        budget::FIG3C_INT8_MAE_DELTA
+    );
+    println!(
+        "\nsimd fused B=1 {simd_fused_speedup_b1:.2}x, batched B=16 {simd_batched_speedup_b16:.2}x, \
+         int8 MAE delta max {max:.4} (budget {})",
+        budget::FIG3C_INT8_MAE_DELTA
+    );
+}

@@ -12,7 +12,19 @@
 //! prediction, never its value.
 //!
 //! Self-observation: `delphi.predict_ns` (wall time of each batched
-//! kernel call) and `delphi.batch_size` (rows per call).
+//! kernel call), `delphi.batch_size` (rows per call),
+//! `delphi.batch_tail_scalar` (rows that fell off the SIMD vector path
+//! onto the kernel's scalar tail — held at 0 by the pump's lane-width
+//! padding), and the `delphi.simd_lanes` / `delphi.precision` gauges
+//! describing the model's `InferencePrecision` path.
+//!
+//! Batches are staged at a capacity rounded up to the model's
+//! [`Delphi::lane_width`] and the due rows padded with zero windows to
+//! the next lane multiple, so every tick runs entirely on the vector
+//! path when a SIMD precision is selected (padding rows' outputs are
+//! computed and discarded; each row's value is independent of the
+//! rest of the batch, so padding never changes a published
+//! prediction).
 
 use crate::vertex::FactVertex;
 use apollo_delphi::predictor::WindowTracker;
@@ -37,6 +49,10 @@ struct PumpObs {
     predict_ns: apollo_obs::Histogram,
     /// Rows per batched kernel call.
     batch_size: apollo_obs::Histogram,
+    /// Rows processed on the SIMD kernel's scalar tail. The pump pads
+    /// every batch to the lane width, so a nonzero count is a
+    /// regression alarm, not business as usual.
+    batch_tail_scalar: apollo_obs::Counter,
 }
 
 /// Reusable per-tick buffers: after the first tick at a given batch size,
@@ -72,9 +88,13 @@ impl PumpShared {
         if !registry.enabled() {
             return;
         }
+        // One-shot gauges describing the model's inference path.
+        registry.gauge("delphi.simd_lanes").set(self.model.lane_width() as f64);
+        registry.gauge("delphi.precision").set(self.model.precision().metric_code() as f64);
         let _ = self.obs.set(PumpObs {
             predict_ns: registry.histogram("delphi.predict_ns"),
             batch_size: registry.histogram("delphi.batch_size"),
+            batch_tail_scalar: registry.counter("delphi.batch_tail_scalar"),
         });
     }
 
@@ -90,8 +110,11 @@ impl PumpShared {
         let mut scratch = self.scratch.lock();
         let scratch = &mut *scratch;
         let window = self.model.window();
+        let lane = self.model.lane_width();
         scratch.staged.clear();
-        scratch.ds.begin_batch(slots.len(), window);
+        // Round the staging capacity up to the SIMD lane width so the
+        // later pad-to-lane shrink never has to grow the buffers.
+        scratch.ds.begin_batch(slots.len().next_multiple_of(lane), window);
         let mut staged_rows = 0;
         for (idx, slot) in slots.iter().enumerate() {
             if now.saturating_sub(slot.last_poll.load(Ordering::SeqCst)) < self.every_ns {
@@ -114,14 +137,18 @@ impl PumpShared {
         if staged_rows == 0 {
             return;
         }
-        // Shrink to the staged rows (prefix-preserving), one kernel call.
-        scratch.ds.begin_batch(staged_rows, window);
+        // Shrink to the staged rows padded up to the lane width
+        // (prefix-preserving; padding rows are zeroed and their outputs
+        // discarded), one kernel call entirely on the vector path.
+        scratch.ds.begin_batch(staged_rows.next_multiple_of(lane), window);
+        scratch.ds.pad_rows(staged_rows);
         let started = std::time::Instant::now();
         self.model.predict_batch_into(&mut scratch.ds, &mut scratch.out);
         let elapsed = started.elapsed().as_nanos() as u64;
         if let Some(o) = self.obs.get() {
             o.predict_ns.observe(elapsed);
             o.batch_size.observe(staged_rows as u64);
+            o.batch_tail_scalar.add(scratch.ds.tail_rows() as u64);
         }
         for (&(idx, lo, span), &p) in scratch.staged.iter().zip(&scratch.out) {
             let value = WindowTracker::denormalize(lo, span, p);

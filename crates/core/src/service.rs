@@ -496,6 +496,15 @@ impl Apollo {
     /// poll timers and virtual-clock runs stay deterministic. Kernel wall
     /// time and batch sizes report as `delphi.predict_ns` /
     /// `delphi.batch_size`.
+    ///
+    /// The pump inherits the model's `InferencePrecision` (select it
+    /// with `Delphi::with_precision` before creating the pump): `Exact`
+    /// keeps the bit-exact f64 path, `SimdF32`/`Int8` run the lowered
+    /// kernels with batches padded to the model's SIMD lane width so
+    /// ticks stay on the vector path. The active path reports as the
+    /// `delphi.simd_lanes` / `delphi.precision` gauges, and any rows
+    /// that fall off the vector path count on `delphi.batch_tail_scalar`
+    /// (held at 0 by the padding).
     pub fn prediction_pump(&mut self, model: Delphi, every: Duration) -> PredictionPump {
         let name = format!("delphi.pump.{}", self.pumps.len());
         let pump = PredictionPump::new(model, every, name.clone());

@@ -31,11 +31,14 @@ pub mod features;
 pub mod lstm;
 pub mod nn;
 pub mod predictor;
+pub mod quant;
+pub mod simd;
 pub mod stack;
 pub mod tensor;
 
-pub use conv::{CnnModel, CnnScratch};
+pub use conv::{CnnF32, CnnModel, CnnScratch, CnnScratch32};
 pub use features::Feature;
-pub use lstm::LstmModel;
+pub use lstm::{LstmF32, LstmModel, LstmScratch32};
 pub use predictor::{OnlinePredictor, WindowTracker};
-pub use stack::{Delphi, DelphiConfig, DelphiScratch};
+pub use quant::{QuantizedDense, QuantizedModel};
+pub use stack::{Delphi, DelphiConfig, DelphiScratch, InferencePrecision};

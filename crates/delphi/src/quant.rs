@@ -1,0 +1,223 @@
+//! Post-training symmetric per-row int8 quantization for frozen models.
+//!
+//! Selected through `InferencePrecision::Int8`: the Delphi stack's
+//! frozen single-Dense layers are quantized **once** at
+//! `Delphi::set_precision` time into [`QuantizedDense`] tables
+//! (per-output-row symmetric scales, weights in `i8`), and inference
+//! runs `i8×i8 → i32` accumulation with an `f32` requantization between
+//! layers. Activations are quantized dynamically per row (the staging
+//! windows are unit-normalized but not range-pinned), so each row's
+//! result is independent of the rest of the batch.
+//!
+//! Scheme: symmetric, zero-point-free. A row `w` maps to
+//! `q[k] = round(w[k] / s)` with `s = max|w| / 127`; a zero row gets
+//! `s = 0` so its dequantized product is exactly 0. Accumulation is
+//! exact in `i32` (`K·127² ≪ 2³¹` for every shape here), so the only
+//! error sources are the two rounding steps — bounded by
+//! `apollo_delphi::simd::budget::STACK_INT8` and the Fig-3c accuracy
+//! delta gate in `bench_results/delphi_simd.json`.
+
+use crate::tensor::Matrix;
+
+/// One frozen dense layer quantized to int8: weights stored transposed
+/// (`out×in`, row per output) with a per-output-row scale, bias kept in
+/// f32 and added after requantization.
+#[derive(Debug, Clone)]
+pub struct QuantizedDense {
+    in_dim: usize,
+    out_dim: usize,
+    /// `out_dim × in_dim` row-major quantized weights.
+    q: Vec<i8>,
+    /// Per-output-row dequantization scale (`w ≈ q · scale`).
+    scale: Vec<f32>,
+    /// Per-output bias, applied in f32 after requantization.
+    bias: Vec<f32>,
+}
+
+impl QuantizedDense {
+    /// Quantize an `in × out` f64 weight matrix plus `1 × out` bias (the
+    /// `nn::Dense` layout) with symmetric per-output-row scales.
+    pub fn from_dense(weights: &Matrix, bias: &Matrix) -> Self {
+        let (in_dim, out_dim) = (weights.rows(), weights.cols());
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), out_dim, "bias width mismatch");
+        let mut q = Vec::with_capacity(in_dim * out_dim);
+        let mut scale = Vec::with_capacity(out_dim);
+        for o in 0..out_dim {
+            let amax = (0..in_dim).fold(0.0f64, |m, k| m.max(weights.get(k, o).abs()));
+            if amax == 0.0 {
+                scale.push(0.0);
+                q.extend(std::iter::repeat_n(0i8, in_dim));
+                continue;
+            }
+            let s = amax / 127.0;
+            scale.push(s as f32);
+            q.extend((0..in_dim).map(|k| (weights.get(k, o) / s).round() as i8));
+        }
+        let bias = (0..out_dim).map(|o| bias.get(0, o) as f32).collect();
+        Self { in_dim, out_dim, q, scale, bias }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Infer one row:
+    /// `out[o] = i32-dot(xq, q_row_o) · x_scale · scale[o] + bias[o]`,
+    /// where `(xq, x_scale)` came from [`quantize_row`]. Steady state
+    /// this allocates nothing.
+    pub fn infer_row(&self, xq: &[i8], x_scale: f32, out: &mut [f32]) {
+        assert_eq!(xq.len(), self.in_dim, "input width mismatch");
+        assert_eq!(out.len(), self.out_dim, "output width mismatch");
+        for (o, slot) in out.iter_mut().enumerate() {
+            let row = &self.q[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc: i32 = 0;
+            for (&a, &w) in xq.iter().zip(row) {
+                acc += a as i32 * w as i32;
+            }
+            *slot = acc as f32 * (x_scale * self.scale[o]) + self.bias[o];
+        }
+    }
+
+    /// Dequantized weights (`out×in` row-major), for diagnostics/tests.
+    pub fn dequantized(&self) -> Vec<f32> {
+        self.q.iter().enumerate().map(|(i, &v)| v as f32 * self.scale[i / self.in_dim]).collect()
+    }
+}
+
+/// Symmetrically quantize one f32 activation row into `out`, returning
+/// the scale (`x ≈ q · scale`; a zero row gets scale 0). Capacity is
+/// reused across calls, so steady state this allocates nothing.
+pub fn quantize_row(x: &[f32], out: &mut Vec<i8>) -> f32 {
+    out.clear();
+    let amax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if amax == 0.0 {
+        out.resize(x.len(), 0);
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    out.extend(x.iter().map(|v| (v * inv).round() as i8));
+    amax / 127.0
+}
+
+/// Reusable per-row buffers for [`QuantizedModel::forward_window`].
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    x32: Vec<f32>,
+    xq: Vec<i8>,
+    feats: Vec<f32>,
+    fq: Vec<i8>,
+    out: Vec<f32>,
+}
+
+/// The Delphi stack with both frozen tiers quantized: the eight
+/// `window → 1` feature models packed as one `window → 8`
+/// [`QuantizedDense`] (they are all single linear layers, so stacking
+/// their rows is exact) plus the `8 → 1` combiner. Feature activations
+/// are requantized in f32 between the layers.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    /// `window → nfeat` packed feature tier.
+    pub features: QuantizedDense,
+    /// `nfeat → 1` combiner tier.
+    pub combiner: QuantizedDense,
+}
+
+impl QuantizedModel {
+    /// Forward one f64 window through the quantized stack. Each row is
+    /// processed independently (dynamic per-row activation scales), so
+    /// batched and single predictions are bit-identical. Steady state
+    /// this allocates nothing once `scratch` is warm.
+    pub fn forward_window(&self, window: &[f64], scratch: &mut QuantScratch) -> f64 {
+        assert_eq!(window.len(), self.features.in_dim(), "window length mismatch");
+        scratch.x32.clear();
+        scratch.x32.extend(window.iter().map(|&v| v as f32));
+        let x_scale = quantize_row(&scratch.x32, &mut scratch.xq);
+        scratch.feats.resize(self.features.out_dim(), 0.0);
+        self.features.infer_row(&scratch.xq, x_scale, &mut scratch.feats);
+        let f_scale = quantize_row(&scratch.feats, &mut scratch.fq);
+        scratch.out.resize(1, 0.0);
+        self.combiner.infer_row(&scratch.fq, f_scale, &mut scratch.out);
+        scratch.out[0] as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_row_round_trips_within_half_step() {
+        let x = [0.9f32, -0.3, 0.0, 0.45, -1.0];
+        let mut q = Vec::new();
+        let s = quantize_row(&x, &mut q);
+        assert_eq!(q.len(), x.len());
+        let step = 1.0 / 127.0;
+        for (&orig, &qi) in x.iter().zip(&q) {
+            let back = qi as f32 * s;
+            assert!((back - orig).abs() <= s * 0.5 + f32::EPSILON, "{orig} -> {back} (s={s})");
+        }
+        assert!((s - step).abs() < 1e-6, "scale {s} for amax 1.0");
+        // The extreme value must hit ±127 exactly.
+        assert_eq!(q[4], -127);
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_exact_zero() {
+        let mut q = Vec::new();
+        let s = quantize_row(&[0.0f32; 4], &mut q);
+        assert_eq!(s, 0.0);
+        assert_eq!(q, vec![0i8; 4]);
+    }
+
+    #[test]
+    fn quantized_dense_matches_f64_dense_within_rounding() {
+        let w = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f64 * 0.37).sin());
+        let b = Matrix::from_fn(1, 3, |_, c| c as f64 * 0.1 - 0.1);
+        let qd = QuantizedDense::from_dense(&w, &b);
+        assert_eq!((qd.in_dim(), qd.out_dim()), (5, 3));
+        let x = [0.3f32, -0.8, 0.55, 0.0, 1.0];
+        let mut xq = Vec::new();
+        let xs = quantize_row(&x, &mut xq);
+        let mut out = [0.0f32; 3];
+        qd.infer_row(&xq, xs, &mut out);
+        for (o, &got) in out.iter().enumerate() {
+            let exact: f64 = (0..5).map(|k| x[k] as f64 * w.get(k, o)).sum::<f64>() + b.get(0, o);
+            // Two symmetric rounding steps on unit-scale operands: ≤ ~2%.
+            assert!((got as f64 - exact).abs() < 0.05, "out[{o}] {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_column_yields_exact_bias() {
+        let w = Matrix::zeros(4, 2);
+        let b = Matrix::from_vec(1, 2, vec![0.25, -0.75]);
+        let qd = QuantizedDense::from_dense(&w, &b);
+        let mut xq = Vec::new();
+        let xs = quantize_row(&[1.0f32, -1.0, 0.5, 0.0], &mut xq);
+        let mut out = [0.0f32; 2];
+        qd.infer_row(&xq, xs, &mut out);
+        assert_eq!(out, [0.25, -0.75]);
+    }
+
+    #[test]
+    fn dequantized_weights_are_close() {
+        let w = Matrix::from_fn(6, 2, |r, c| (r as f64 - 2.5) * 0.2 + c as f64 * 0.05);
+        let b = Matrix::zeros(1, 2);
+        let qd = QuantizedDense::from_dense(&w, &b);
+        let dq = qd.dequantized();
+        for o in 0..2 {
+            let amax = (0..6).fold(0.0f64, |m, k| m.max(w.get(k, o).abs()));
+            for k in 0..6 {
+                let err = (dq[o * 6 + k] as f64 - w.get(k, o)).abs();
+                assert!(err <= amax / 254.0 + 1e-6, "({k},{o}) err {err}");
+            }
+        }
+    }
+}

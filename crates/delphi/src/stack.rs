@@ -14,6 +14,8 @@
 
 use crate::features::{mixed_dataset, windows, Feature};
 use crate::nn::{Activation, Dense, Scratch, Sequential};
+use crate::quant::{QuantScratch, QuantizedDense, QuantizedModel};
+use crate::simd;
 use crate::tensor::Matrix;
 use apollo_runtime::pool::WorkerPool;
 use rand::rngs::StdRng;
@@ -24,6 +26,70 @@ use std::sync::{Arc, Mutex};
 /// Fixed so pooled and serial training follow the same shard plan and
 /// stay bit-identical.
 const COMBINER_SHARDS: usize = 4;
+
+/// Numeric path used by Delphi inference. The default, [`Exact`], is
+/// the f64 scalar reference every bit-exactness suite pins; the lowered
+/// paths trade bounded precision (budgets in
+/// [`crate::simd::budget`]) for speed and are built **once** at
+/// [`Delphi::set_precision`] time — never per call.
+///
+/// [`Exact`]: InferencePrecision::Exact
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferencePrecision {
+    /// f64 scalar kernels — the bit-exact reference path.
+    #[default]
+    Exact,
+    /// Lowered f32 kernels on 8-wide SIMD lanes with runtime AVX2
+    /// dispatch ([`crate::simd`]); error bounded by
+    /// [`crate::simd::budget::STACK_F32`].
+    SimdF32,
+    /// Symmetric per-row int8 weights with i32 accumulation and f32
+    /// requantization ([`crate::quant`]); error bounded by
+    /// [`crate::simd::budget::STACK_INT8`].
+    Int8,
+}
+
+impl InferencePrecision {
+    /// Stable name for logs/bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            InferencePrecision::Exact => "exact",
+            InferencePrecision::SimdF32 => "simd-f32",
+            InferencePrecision::Int8 => "int8",
+        }
+    }
+
+    /// Code published on the `delphi.precision` gauge (0 exact /
+    /// 1 simd-f32 / 2 int8).
+    pub fn metric_code(self) -> u64 {
+        match self {
+            InferencePrecision::Exact => 0,
+            InferencePrecision::SimdF32 => 1,
+            InferencePrecision::Int8 => 2,
+        }
+    }
+}
+
+/// Frozen lowered inference tables for the non-[`Exact`] paths, built
+/// once by [`Delphi::set_precision`]. The stack is eight `window → 1`
+/// linear Dense layers plus an `8 → 1` linear combiner by construction,
+/// so lowering packs them into flat `f32` rows (for the transposed
+/// SIMD batch kernel) and one [`QuantizedModel`].
+///
+/// [`Exact`]: InferencePrecision::Exact
+#[derive(Debug, Clone)]
+struct Lowered {
+    /// Feature weights, `nfeat × window` row-major.
+    fw: Vec<f32>,
+    /// Per-feature bias.
+    fb: Vec<f32>,
+    /// Combiner weights, len `nfeat`.
+    cw: Vec<f32>,
+    /// Combiner bias.
+    cb: f32,
+    /// Int8 tables for [`InferencePrecision::Int8`].
+    quant: QuantizedModel,
+}
 
 /// Reusable buffers for [`Delphi::predict_into`] /
 /// [`Delphi::predict_batch_into`]. Owning one of these per call site
@@ -41,6 +107,16 @@ pub struct DelphiScratch {
     out: Matrix,
     /// Ping-pong buffers for [`Sequential::infer_into`].
     seq: Scratch,
+    /// Transposed f32 staging (`window × B`) for the SIMD path.
+    xt: Vec<f32>,
+    /// Transposed f32 feature outputs (`nfeat × B`) for the SIMD path.
+    ft: Vec<f32>,
+    /// f32 combiner outputs for the SIMD path.
+    out32: Vec<f32>,
+    /// Per-row int8 staging for the quantized path.
+    quant: QuantScratch,
+    /// Scalar-tail rows of the last SIMD batched call.
+    tail_rows: usize,
 }
 
 impl DelphiScratch {
@@ -63,6 +139,26 @@ impl DelphiScratch {
     /// Number of rows currently staged.
     pub fn staged_rows(&self) -> usize {
         self.input.rows()
+    }
+
+    /// Zero-fill staged rows `from..staged_rows()` — the prediction
+    /// pump's lane-width padding: after shrinking the batch to
+    /// `staged.next_multiple_of(lane_width)`, the padding rows must be
+    /// zeroed (not stale) so the vector path computes well-defined
+    /// (discarded) values.
+    pub fn pad_rows(&mut self, from: usize) {
+        for r in from..self.input.rows() {
+            self.input.row_mut(r).fill(0.0);
+        }
+    }
+
+    /// Rows the last [`Delphi::predict_batch_into`] call processed on
+    /// the SIMD path's scalar tail — 0 on the `Exact`/`Int8` paths and
+    /// whenever the staged batch is a lane-width multiple (which the
+    /// prediction pump guarantees by padding). Feeds the
+    /// `delphi.batch_tail_scalar` counter.
+    pub fn tail_rows(&self) -> usize {
+        self.tail_rows
     }
 }
 
@@ -171,6 +267,10 @@ pub struct Delphi {
     config: DelphiConfig,
     features: Vec<FeatureModel>,
     combiner: Sequential,
+    precision: InferencePrecision,
+    /// `Some` iff `precision != Exact` (invariant kept by
+    /// [`Delphi::set_precision`]).
+    lowered: Option<Lowered>,
 }
 
 impl Delphi {
@@ -269,7 +369,7 @@ impl Delphi {
             }
         }
 
-        Self { config, features, combiner }
+        Self { config, features, combiner, precision: InferencePrecision::default(), lowered: None }
     }
 
     /// Window length the model expects.
@@ -277,28 +377,149 @@ impl Delphi {
         self.config.window
     }
 
-    /// Predict the next normalized value from a normalized window.
+    /// The active [`InferencePrecision`].
+    pub fn precision(&self) -> InferencePrecision {
+        self.precision
+    }
+
+    /// Builder-style [`Delphi::set_precision`].
+    pub fn with_precision(mut self, precision: InferencePrecision) -> Self {
+        self.set_precision(precision);
+        self
+    }
+
+    /// Select the numeric inference path. Lowered tables (f32 packing
+    /// and int8 quantization) are built here, **once** — never on the
+    /// per-prediction path. Training always runs on the exact f64
+    /// weights; only inference is rerouted.
+    pub fn set_precision(&mut self, precision: InferencePrecision) {
+        self.precision = precision;
+        self.lowered = match precision {
+            InferencePrecision::Exact => None,
+            _ => Some(self.build_lowered()),
+        };
+    }
+
+    /// SIMD lane width of the active path: staging batch capacities
+    /// should be rounded up to a multiple of this so tail batches don't
+    /// fall off the vector path. 1 on the `Exact` and `Int8` (per-row)
+    /// paths.
+    pub fn lane_width(&self) -> usize {
+        match self.precision {
+            InferencePrecision::SimdF32 => simd::LANES,
+            _ => 1,
+        }
+    }
+
+    /// Pack the frozen stack into flat lowered tables. Relies on the
+    /// construction invariant that every tier is a single linear Dense.
+    fn build_lowered(&self) -> Lowered {
+        let window = self.config.window;
+        let nfeat = self.features.len();
+        let single_linear = |net: &Sequential| {
+            let layers = net.layers();
+            assert_eq!(layers.len(), 1, "lowering expects single-layer tiers");
+            assert_eq!(layers[0].activation, Activation::Linear, "lowering expects linear tiers");
+        };
+        let mut fw = Vec::with_capacity(nfeat * window);
+        let mut fb = Vec::with_capacity(nfeat);
+        for m in &self.features {
+            single_linear(&m.net);
+            let layer = &m.net.layers()[0];
+            assert_eq!(layer.weights.rows(), window, "feature window mismatch");
+            assert_eq!(layer.weights.cols(), 1, "feature output width mismatch");
+            fw.extend((0..window).map(|k| layer.weights.get(k, 0) as f32));
+            fb.push(layer.bias.get(0, 0) as f32);
+        }
+        single_linear(&self.combiner);
+        let comb = &self.combiner.layers()[0];
+        assert_eq!(comb.weights.rows(), nfeat, "combiner width mismatch");
+        let cw: Vec<f32> = (0..nfeat).map(|j| comb.weights.get(j, 0) as f32).collect();
+        let cb = comb.bias.get(0, 0) as f32;
+
+        // Int8: the eight window→1 feature rows pack into one window→8
+        // QuantizedDense (stacking single linear layers is exact).
+        let fmat = Matrix::from_fn(window, nfeat, |k, j| {
+            self.features[j].net.layers()[0].weights.get(k, 0)
+        });
+        let fbias =
+            Matrix::from_fn(1, nfeat, |_, j| self.features[j].net.layers()[0].bias.get(0, 0));
+        let quant = QuantizedModel {
+            features: QuantizedDense::from_dense(&fmat, &fbias),
+            combiner: QuantizedDense::from_dense(&comb.weights, &comb.bias),
+        };
+        Lowered { fw, fb, cw, cb, quant }
+    }
+
+    fn lowered(&self) -> &Lowered {
+        self.lowered.as_ref().expect("lowered tables exist for non-Exact precision")
+    }
+
+    /// Predict the next normalized value from a normalized window, on
+    /// the active [`InferencePrecision`] path.
     ///
     /// # Panics
     /// Panics if `window.len()` differs from the configured window.
     pub fn predict(&self, window: &[f64]) -> f64 {
-        assert_eq!(window.len(), self.config.window, "window length mismatch");
-        let feats: Vec<f64> = self.features.iter().map(|m| m.predict(window)).collect();
-        self.combiner.infer(&Matrix::row_vector(feats)).get(0, 0)
+        match self.precision {
+            InferencePrecision::Exact => {
+                assert_eq!(window.len(), self.config.window, "window length mismatch");
+                let feats: Vec<f64> = self.features.iter().map(|m| m.predict(window)).collect();
+                self.combiner.infer(&Matrix::row_vector(feats)).get(0, 0)
+            }
+            _ => self.predict_into(window, &mut DelphiScratch::default()),
+        }
     }
 
     /// [`Delphi::predict`] through caller-owned scratch buffers: after
     /// the first call warms the scratch, steady-state calls perform
-    /// **zero heap allocations**. Bit-identical to [`Delphi::predict`].
+    /// **zero heap allocations** on every precision path. Bit-identical
+    /// to [`Delphi::predict`].
     ///
     /// # Panics
     /// Panics if `window.len()` differs from the configured window.
     pub fn predict_into(&self, window: &[f64], scratch: &mut DelphiScratch) -> f64 {
         assert_eq!(window.len(), self.config.window, "window length mismatch");
-        scratch.begin_batch(1, window.len());
-        scratch.set_row(0, window);
-        self.run_staged(scratch);
-        scratch.out.get(0, 0)
+        match self.precision {
+            InferencePrecision::Exact => {
+                scratch.begin_batch(1, window.len());
+                scratch.set_row(0, window);
+                self.run_staged(scratch);
+                scratch.out.get(0, 0)
+            }
+            InferencePrecision::SimdF32 => {
+                // Stage the single window as one full zero-padded lane so
+                // even B=1 rides the vector path (row values are
+                // placement-independent, so padding never changes them).
+                let low = self.lowered();
+                let w = self.config.window;
+                let rows = simd::LANES;
+                scratch.xt.resize(w * rows, 0.0);
+                scratch.xt.fill(0.0);
+                for (k, &v) in window.iter().enumerate() {
+                    scratch.xt[k * rows] = v as f32;
+                }
+                scratch.ft.resize(low.fb.len() * rows, 0.0);
+                scratch.out32.resize(rows, 0.0);
+                scratch.tail_rows = simd::stack_forward(
+                    w,
+                    low.fb.len(),
+                    &low.fw,
+                    &low.fb,
+                    &low.cw,
+                    low.cb,
+                    &scratch.xt,
+                    rows,
+                    &mut scratch.ft,
+                    &mut scratch.out32,
+                );
+                scratch.out32[0] as f64
+            }
+            InferencePrecision::Int8 => {
+                scratch.tail_rows = 0;
+                self.lowered().quant.forward_window(window, &mut scratch.quant)
+            }
+        }
     }
 
     /// Predict every staged window in one batched forward sweep: the
@@ -317,10 +538,60 @@ impl Delphi {
     /// window.
     pub fn predict_batch_into(&self, scratch: &mut DelphiScratch, out: &mut Vec<f64>) {
         assert_eq!(scratch.input.cols(), self.config.window, "staged window length mismatch");
-        self.run_staged(scratch);
         out.clear();
-        let b = scratch.out.rows();
-        out.extend((0..b).map(|i| scratch.out.get(i, 0)));
+        match self.precision {
+            InferencePrecision::Exact => {
+                scratch.tail_rows = 0;
+                self.run_staged(scratch);
+                let b = scratch.out.rows();
+                out.extend((0..b).map(|i| scratch.out.get(i, 0)));
+            }
+            InferencePrecision::SimdF32 => {
+                let b = scratch.input.rows();
+                scratch.tail_rows = 0;
+                if b == 0 {
+                    return;
+                }
+                let low = self.lowered();
+                let w = self.config.window;
+                let nfeat = low.fb.len();
+                // Pack the staged rows transposed (window × B) so the
+                // kernel's lanes run across batch rows. Rows staged but
+                // not a lane multiple run on the kernel's scalar tail —
+                // reported via `DelphiScratch::tail_rows`; the prediction
+                // pump avoids that by padding to `lane_width()`.
+                scratch.xt.resize(w * b, 0.0);
+                for r in 0..b {
+                    let row = scratch.input.row(r);
+                    for (k, &v) in row.iter().enumerate() {
+                        scratch.xt[k * b + r] = v as f32;
+                    }
+                }
+                scratch.ft.resize(nfeat * b, 0.0);
+                scratch.out32.resize(b, 0.0);
+                scratch.tail_rows = simd::stack_forward(
+                    w,
+                    nfeat,
+                    &low.fw,
+                    &low.fb,
+                    &low.cw,
+                    low.cb,
+                    &scratch.xt,
+                    b,
+                    &mut scratch.ft,
+                    &mut scratch.out32,
+                );
+                out.extend(scratch.out32[..b].iter().map(|&v| v as f64));
+            }
+            InferencePrecision::Int8 => {
+                scratch.tail_rows = 0;
+                let low = self.lowered();
+                let b = scratch.input.rows();
+                for r in 0..b {
+                    out.push(low.quant.forward_window(scratch.input.row(r), &mut scratch.quant));
+                }
+            }
+        }
     }
 
     /// Allocating convenience over [`Delphi::predict_batch_into`].
@@ -540,6 +811,106 @@ mod tests {
         // B=1 and empty batches.
         assert_eq!(d.predict_batch(&windows[..1]), vec![d.predict(&windows[0])]);
         assert_eq!(d.predict_batch(&Vec::<Vec<f64>>::new()), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn precision_defaults_to_exact_with_unit_lane() {
+        let d = Delphi::train(fast_config());
+        assert_eq!(d.precision(), InferencePrecision::Exact);
+        assert_eq!(d.lane_width(), 1);
+        let s = d.clone().with_precision(InferencePrecision::SimdF32);
+        assert_eq!(s.precision(), InferencePrecision::SimdF32);
+        assert_eq!(s.lane_width(), crate::simd::LANES);
+        assert_eq!(s.clone().precision(), InferencePrecision::SimdF32);
+        let q = s.with_precision(InferencePrecision::Int8);
+        assert_eq!(q.lane_width(), 1);
+    }
+
+    #[test]
+    fn simd_precision_tracks_exact_within_budget() {
+        let exact = Delphi::train(fast_config());
+        let simd = exact.clone().with_precision(InferencePrecision::SimdF32);
+        let budget = crate::simd::budget::STACK_F32;
+        let mut scratch = DelphiScratch::default();
+        for i in 0..50 {
+            let w: Vec<f64> =
+                (0..5).map(|j| ((i * 5 + j) as f64 * 0.211).sin() * 0.5 + 0.5).collect();
+            let oracle = exact.predict(&w);
+            let got = simd.predict_into(&w, &mut scratch);
+            assert!(
+                budget.within(oracle, got),
+                "window {i}: exact {oracle} vs simd {got} (budget {budget:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_precision_tracks_exact_within_budget() {
+        let exact = Delphi::train(fast_config());
+        let int8 = exact.clone().with_precision(InferencePrecision::Int8);
+        let budget = crate::simd::budget::STACK_INT8;
+        let mut scratch = DelphiScratch::default();
+        for i in 0..50 {
+            let w: Vec<f64> =
+                (0..5).map(|j| ((i * 7 + j) as f64 * 0.173).cos() * 0.5 + 0.5).collect();
+            let oracle = exact.predict(&w);
+            let got = int8.predict_into(&w, &mut scratch);
+            assert!(
+                budget.within(oracle, got),
+                "window {i}: exact {oracle} vs int8 {got} (budget {budget:?})"
+            );
+        }
+    }
+
+    /// On the lowered paths each row's value is independent of batch
+    /// size and lane placement, so batched == per-row **bitwise** (same
+    /// property the Exact path pins, at f32/int8 precision).
+    #[test]
+    fn lowered_batches_match_single_rows_bitwise() {
+        let base = Delphi::train(fast_config());
+        for precision in [InferencePrecision::SimdF32, InferencePrecision::Int8] {
+            let d = base.clone().with_precision(precision);
+            let windows: Vec<Vec<f64>> = (0..13)
+                .map(|i| (0..5).map(|j| ((i * 5 + j) as f64 * 0.37).sin() * 0.5 + 0.5).collect())
+                .collect();
+            let batched = d.predict_batch(&windows);
+            let mut scratch = DelphiScratch::default();
+            for (w, &p) in windows.iter().zip(&batched) {
+                assert_eq!(p, d.predict_into(w, &mut scratch), "{precision:?}");
+                assert_eq!(p, d.predict(w), "{precision:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tail_rows_are_reported_and_vanish_when_padded() {
+        let d = Delphi::train(fast_config()).with_precision(InferencePrecision::SimdF32);
+        let w = d.window();
+        let window: Vec<f64> = (0..w).map(|i| 0.1 + 0.1 * i as f64).collect();
+        let mut scratch = DelphiScratch::default();
+        let mut out = Vec::new();
+        // Unpadded B=13: 8 lane rows + 5 scalar-tail rows.
+        scratch.begin_batch(13, w);
+        for i in 0..13 {
+            scratch.set_row(i, &window);
+        }
+        d.predict_batch_into(&mut scratch, &mut out);
+        assert_eq!(scratch.tail_rows(), 13 % crate::simd::LANES);
+        let unpadded = out.clone();
+        // Pump-style padding to the lane width: tail disappears, the
+        // first 13 outputs are bit-identical.
+        let padded = 13usize.next_multiple_of(d.lane_width());
+        scratch.begin_batch(padded, w);
+        for i in 0..13 {
+            scratch.set_row(i, &window);
+        }
+        scratch.pad_rows(13);
+        d.predict_batch_into(&mut scratch, &mut out);
+        assert_eq!(scratch.tail_rows(), 0);
+        assert_eq!(&out[..13], &unpadded[..]);
+        // Single-row predictions pad internally: no tail either.
+        d.predict_into(&window, &mut scratch);
+        assert_eq!(scratch.tail_rows(), 0);
     }
 
     #[test]
